@@ -1,0 +1,66 @@
+"""Ablation A2 — mean compute durations versus distribution-preserving
+reproduction.
+
+The paper (§4.4): "While constructing a skeleton we set the duration
+of compute operations within loops to their average duration across
+iterations of the loop. A more accurate approach that considers
+frequency distribution of the duration of compute events will be
+taken in the future" — offered as the explanation for the higher
+error in *unbalanced* scenarios.
+
+With synchronising workloads, per-iteration variance matters: the
+application's iteration time is the *maximum* over ranks, which
+averaging flattens (E[max] > max[E]). This bench quantifies how much
+of that the distribution-preserving gap model recovers on a
+high-variance stencil.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import cpu_one_node, paper_testbed
+from repro.core import build_skeleton
+from repro.ext import distribution_gap_model
+from repro.predict import SkeletonPredictor
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.workloads.synthetic import stencil2d
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = paper_testbed()
+    app = stencil2d(iterations=128, compute_secs=0.02, halo_bytes=64_000,
+                    jitter=0.5, seed=17)
+    trace, ded = trace_program(app, cluster)
+    return cluster, app, trace, ded
+
+
+def _prediction_error(cluster, app, trace, ded, gap_model):
+    kwargs = {} if gap_model is None else {"gap_model": gap_model}
+    bundle = build_skeleton(trace, scaling_factor=16.0, warn=False, **kwargs)
+    predictor = SkeletonPredictor(bundle.program, ded.elapsed, cluster)
+    scen = cpu_one_node(steady=True)  # unbalanced sharing, no env noise
+    actual = run_program(app, cluster, scen).elapsed
+    return predictor.predict(scen).error_percent(actual)
+
+
+def test_ablation_compute_distribution(benchmark, setup):
+    cluster, app, trace, ded = setup
+    mean_err = _prediction_error(cluster, app, trace, ded, None)
+
+    def with_distribution():
+        return _prediction_error(
+            cluster, app, trace, ded, distribution_gap_model
+        )
+
+    dist_err = benchmark.pedantic(with_distribution, rounds=2, iterations=1)
+    print(
+        f"\nprediction error under unbalanced CPU sharing: "
+        f"mean-gap model {mean_err:.2f}%  "
+        f"distribution-preserving {dist_err:.2f}%"
+    )
+    # The future-work model must not degrade prediction; typically it
+    # improves it on high-variance workloads.
+    assert dist_err <= mean_err + 1.0

@@ -1,0 +1,62 @@
+"""Ablation A3 — how much of the prediction error is environment noise?
+
+Runs the full campaign twice: with the default *bursty* contention
+models and with perfectly *steady* contention (same mean load, no
+temporal variance). The error that remains in the steady campaign is
+pure skeleton-construction error (clustering, averaging, remainder
+scaling); the difference is measurement/sampling noise — the dominant
+term, which also explains why the paper's short skeletons degrade.
+
+Both campaigns are cached; the steady one costs ~2 minutes on first
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiments
+from repro.experiments.report import overall_average_error
+
+from conftest import CACHE_DIR
+
+
+def test_ablation_environment_noise(benchmark, results):
+    steady_config = ExperimentConfig(steady=True)
+
+    def steady_campaign():
+        return run_experiments(steady_config, cache_dir=CACHE_DIR,
+                               verbose=True)
+
+    steady = benchmark.pedantic(steady_campaign, rounds=1, iterations=1)
+
+    noisy_err = overall_average_error(results)
+    steady_err = overall_average_error(steady)
+    print(
+        f"\noverall average error: bursty {noisy_err:.2f}% vs "
+        f"steady {steady_err:.2f}% -> environment noise contributes "
+        f"{noisy_err - steady_err:.2f} points"
+    )
+    # Construction error alone is small; the bursty environment at
+    # least doubles it.
+    assert steady_err < noisy_err
+    assert steady_err < 3.0
+
+    # The size trend flattens when the environment is steady: short
+    # skeletons are bad mainly because they under-sample contention.
+    def by_size(res):
+        benches = res.benchmarks()
+        return {
+            t: sum(res.skeleton_avg_error(b, t) for b in benches) / len(benches)
+            for t in res.targets()
+        }
+
+    noisy_sizes = by_size(results)
+    steady_sizes = by_size(steady)
+    noisy_span = noisy_sizes[0.5] - noisy_sizes[10.0]
+    steady_span = steady_sizes[0.5] - steady_sizes[10.0]
+    print(f"0.5s-vs-10s error gap: bursty {noisy_span:.2f} pts, "
+          f"steady {steady_span:.2f} pts")
+    assert steady_span < noisy_span

@@ -1,0 +1,70 @@
+"""Ablation A1 — naive byte-scaling (the paper's §3.3 method) versus
+latency-aware scale-down (its suggested improvement, §5 "The
+implementation can be improved to better manage scaling down of
+communication").
+
+The weakness shows exactly where the paper says it does: operations
+scaled as division remainders keep their full per-message latency. We
+amplify the effect with a workload whose iteration count is *not*
+divisible by K (large remainder) under the throttled-link scenario,
+and compare how close each skeleton's dedicated time lands to the
+ideal T_app/K — plus the resulting prediction errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import link_all, paper_testbed
+from repro.core import build_skeleton
+from repro.ext import make_latency_aware_scaler
+from repro.predict import SkeletonPredictor
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.workloads.synthetic import stencil2d
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = paper_testbed()
+    # 67 iterations, K=32 -> quotient 2, remainder 3: a real remainder
+    # whose messages get byte-scaled by ~0.09.
+    app = stencil2d(iterations=67, compute_secs=0.02, halo_bytes=300_000)
+    trace, ded = trace_program(app, cluster)
+    return cluster, app, trace, ded
+
+
+def _errors(cluster, app, trace, ded, comm_scaler):
+    K = 32.0
+    bundle = build_skeleton(trace, scaling_factor=K, warn=False,
+                            comm_scaler=comm_scaler)
+    skel_ded = run_program(bundle.program, cluster).elapsed
+    size_err = abs(skel_ded - ded.elapsed / K) / (ded.elapsed / K) * 100
+    predictor = SkeletonPredictor(bundle.program, ded.elapsed, cluster)
+    scen = link_all(steady=True)
+    actual = run_program(app, cluster, scen).elapsed
+    pred_err = predictor.predict(scen).error_percent(actual)
+    return size_err, pred_err
+
+
+def test_ablation_latency_aware_scaling(benchmark, setup):
+    cluster, app, trace, ded = setup
+
+    naive_size, naive_pred = _errors(cluster, app, trace, ded, None)
+
+    def aware():
+        return _errors(
+            cluster, app, trace, ded,
+            make_latency_aware_scaler(cluster.network),
+        )
+
+    aware_size, aware_pred = benchmark.pedantic(aware, rounds=2, iterations=1)
+    print(
+        f"\nskeleton-size error vs T/K : naive {naive_size:.1f}%  "
+        f"latency-aware {aware_size:.1f}%"
+        f"\nprediction error (link-all): naive {naive_pred:.1f}%  "
+        f"latency-aware {aware_pred:.1f}%"
+    )
+    # The latency-aware scale-down must not be worse at hitting the
+    # ideal skeleton size (it compensates the unscalable latency).
+    assert aware_size <= naive_size + 0.5

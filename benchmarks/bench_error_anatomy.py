@@ -1,0 +1,41 @@
+"""Extension experiment — error anatomy (§3.3/§4.4 synthesis).
+
+Decomposes the prediction error of a CG skeleton into trace-replay
+fidelity, construction approximation, and environment sampling noise.
+Expected shape: replay ≈ construction ≈ small; the single bursty probe
+dominates; multi-probe averaging pulls it back toward the
+construction floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import cpu_one_node, paper_testbed
+from repro.experiments.anatomy import analyze_error_sources
+from repro.workloads import get_program
+
+
+def test_error_anatomy(benchmark):
+    cluster = paper_testbed()
+    program = get_program("cg", "W", 4)
+
+    def run():
+        return analyze_error_sources(
+            program,
+            cluster,
+            steady_scenario=cpu_one_node(steady=True),
+            bursty_scenario=cpu_one_node(),
+            target_seconds=0.5,
+            n_probes=5,
+            seed=3,
+        )
+
+    anatomy = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + anatomy.render())
+
+    # Replay fidelity is near-exact; construction costs only a little
+    # more; averaging probes must not be worse than the worst case.
+    assert anatomy.replay_error < 3.0
+    assert anatomy.construction_error < 8.0
+    assert anatomy.multi_probe_error <= anatomy.single_probe_error + 3.0

@@ -1,0 +1,55 @@
+"""Extension experiment — the framework generalises beyond the paper's
+six codes: skeleton prediction for FT (communication-volume-bound 3D
+FFT) and EP (zero-communication), the two NPB codes the paper did not
+evaluate. EP additionally exercises the degenerate no-repeating-
+structure path of the §3.4 estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import cpu_all_nodes, link_one, paper_testbed
+from repro.core import build_skeleton
+from repro.predict import SkeletonPredictor
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.workloads import get_program
+
+
+def test_extended_suite_prediction(benchmark):
+    cluster = paper_testbed()
+    scenarios = [cpu_all_nodes(steady=True), link_one(steady=True)]
+
+    def campaign():
+        errors = {}
+        for bench in ("ft", "ep"):
+            prog = get_program(bench, "S", 4)
+            trace, ded = trace_program(prog, cluster)
+            bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+            predictor = SkeletonPredictor(bundle.program, ded.elapsed, cluster)
+            for scen in scenarios:
+                actual = run_program(prog, cluster, scen).elapsed
+                err = predictor.predict(scen).error_percent(actual)
+                errors[(bench, scen.name)] = err
+        return errors
+
+    errors = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print("\nextended-suite errors: " + ", ".join(
+        f"{b}.{s}: {e:.1f}%" for (b, s), e in errors.items()
+    ))
+    assert max(errors.values()) < 12.0
+    # The two codes stress opposite paths: FT slows hugely under the
+    # throttled link, EP barely at all — and both skeletons track it.
+    ft_prog = get_program("ft", "S", 4)
+    ep_prog = get_program("ep", "S", 4)
+    ft_slow = (
+        run_program(ft_prog, cluster, link_one(steady=True)).elapsed
+        / run_program(ft_prog, cluster).elapsed
+    )
+    ep_slow = (
+        run_program(ep_prog, cluster, link_one(steady=True)).elapsed
+        / run_program(ep_prog, cluster).elapsed
+    )
+    print(f"link-one slowdown: FT {ft_slow:.1f}x vs EP {ep_slow:.2f}x")
+    assert ft_slow > 3.0
+    assert ep_slow < 1.2

@@ -1,0 +1,30 @@
+"""Figure 2 — time spent in MPI vs computation, application vs its
+10/5/2/1/0.5 s skeletons, for all six NAS benchmarks.
+
+Paper claim: "the ratio between the computation and communication time
+is broadly similar for the skeletons and the corresponding
+application", with more variation for the smallest skeletons.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure2_activity
+
+
+def test_fig2_activity_breakdown(benchmark, results):
+    table = benchmark(figure2_activity, results)
+    print("\n" + table.render())
+
+    # Shape assertions: for every benchmark, each skeleton's MPI share
+    # is within a broad band of the application's (the paper's own
+    # bars deviate by tens of points for the worst 0.5 s cases, so the
+    # check is deliberately loose but must hold on average).
+    deviations = []
+    for bench in results.benchmarks():
+        app_mpi = results.apps[bench]["mpi_percent"]
+        for target in results.targets():
+            skel_mpi = results.skeletons[bench][f"{target:g}"]["mpi_percent"]
+            deviations.append(abs(skel_mpi - app_mpi))
+    avg_dev = sum(deviations) / len(deviations)
+    assert avg_dev < 10.0, f"average MPI-share deviation {avg_dev:.1f}pp"
+    assert max(deviations) < 35.0

@@ -1,0 +1,35 @@
+"""Figure 3 — prediction error per benchmark across skeleton sizes,
+averaged over the five sharing scenarios.
+
+Paper claims: overall average error is low (6.7% across everything);
+"error is usually close to the highest for the smallest 0.5 second
+skeletons" (~8% vs 5–6% for the larger sizes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure3_error_by_benchmark
+from repro.experiments.report import overall_average_error
+
+
+def test_fig3_error_by_benchmark(benchmark, results):
+    table = benchmark(figure3_error_by_benchmark, results)
+    print("\n" + table.render())
+
+    overall = overall_average_error(results)
+    print(f"\noverall average error: {overall:.1f}% (paper: 6.7%)")
+    # Same order of magnitude as the paper's 6.7%.
+    assert overall < 15.0
+
+    targets = results.targets()
+    avg_by_size = {
+        t: sum(results.skeleton_avg_error(b, t) for b in results.benchmarks())
+        / len(results.benchmarks())
+        for t in targets
+    }
+    smallest = min(targets)
+    largest = max(targets)
+    # The smallest skeletons have the highest average error...
+    assert avg_by_size[smallest] == max(avg_by_size.values())
+    # ... and clearly worse than the biggest skeletons.
+    assert avg_by_size[smallest] > 1.5 * avg_by_size[largest]

@@ -1,0 +1,48 @@
+"""Figure 4 — estimated minimum execution time of the smallest "good"
+skeleton for each benchmark (§3.4).
+
+Paper values: BT 1.01 s, CG 0.13 s, IS 3 s, LU 1.97 s, MG 0.34 s,
+SP 0.34 s — flagging the 0.5/1 s BT skeletons, the 0.5/1/2 s IS
+skeletons, and the 0.5/1 s LU skeletons as potentially "not good".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4_good_skeletons
+
+#: The paper's Figure 4 numbers for shape comparison.
+PAPER_MIN_GOOD = {"bt": 1.01, "cg": 0.13, "is": 3.0, "lu": 1.97,
+                  "mg": 0.34, "sp": 0.34}
+
+
+def test_fig4_good_skeletons(benchmark, results):
+    table = benchmark(figure4_good_skeletons, results)
+    print("\n" + table.render())
+
+    any_target = f"{results.targets()[0]:g}"
+    ours = {
+        b: results.skeletons[b][any_target]["min_good"]
+        for b in results.benchmarks()
+    }
+    print("\npaper vs measured (s): " + ", ".join(
+        f"{b.upper()} {PAPER_MIN_GOOD[b]:.2f}/{ours[b]:.2f}"
+        for b in results.benchmarks()
+    ))
+
+    # Shape: IS has the largest minimum among {CG, IS, SP}; CG the
+    # smallest overall; BT/LU around 1-2 s as in the paper.
+    assert ours["cg"] == min(ours.values())
+    assert ours["is"] > ours["sp"]
+    assert ours["is"] > ours["cg"]
+    assert 0.5 < ours["bt"] < 2.0
+    assert 1.0 < ours["lu"] < 3.0
+    # Flag sets reproduce the paper for BT, IS, LU:
+    flags = {
+        b: {t for t in results.targets() if t < ours[b]}
+        for b in results.benchmarks()
+    }
+    assert flags["bt"] == {0.5, 1.0}
+    assert flags["is"] == {0.5, 1.0, 2.0}
+    assert flags["lu"] == {0.5, 1.0}
+    assert flags["cg"] == set()
+    assert flags["sp"] == set()

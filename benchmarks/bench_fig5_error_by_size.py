@@ -1,0 +1,32 @@
+"""Figure 5 — the Figure 3 error data grouped by skeleton size.
+
+Paper claim: "the number of cases with a relatively large prediction
+error increase with reduced skeleton sizes and are clearly higher for
+0.5 second skeletons".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure5_error_by_size
+
+LARGE_ERROR = 6.0  # percent — "relatively large" in our campaign's scale
+
+
+def test_fig5_error_by_size(benchmark, results):
+    table = benchmark(figure5_error_by_size, results)
+    print("\n" + table.render())
+
+    targets = sorted(results.targets(), reverse=True)  # 10 .. 0.5
+    benches = results.benchmarks()
+    large_counts = []
+    for t in targets:
+        n = sum(
+            1 for b in benches if results.skeleton_avg_error(b, t) > LARGE_ERROR
+        )
+        large_counts.append(n)
+    print(f"\nbenchmarks with avg error > {LARGE_ERROR}% per size "
+          f"{targets}: {large_counts}")
+    # The 0.5 s column has at least as many large-error cases as any
+    # other size, and more than the 10 s column.
+    assert large_counts[-1] == max(large_counts)
+    assert large_counts[-1] > large_counts[0]

@@ -1,0 +1,36 @@
+"""Figure 6 — prediction error under each of the five sharing
+scenarios, using the 10-second skeletons.
+
+Paper claims: "prediction error is higher for scenarios that include
+competing traffic" (network sharing beats the unscalable-latency
+weakness of §3.3), and "in the case of CPU sharing only, the error is
+higher for the 'unbalanced' sharing of a single node versus sharing of
+all nodes".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6_error_by_scenario
+
+
+def avg_err(results, target, scen):
+    benches = results.benchmarks()
+    return sum(
+        results.skeleton_error(b, target, scen) for b in benches
+    ) / len(benches)
+
+
+def test_fig6_error_by_scenario(benchmark, results):
+    target = max(results.targets())  # the 10 s skeletons
+    table = benchmark(figure6_error_by_scenario, results, target)
+    print("\n" + table.render())
+
+    cpu_one = avg_err(results, target, "cpu-one-node")
+    cpu_all = avg_err(results, target, "cpu-all-nodes")
+    link_one = avg_err(results, target, "link-one")
+    link_all = avg_err(results, target, "link-all")
+
+    # Unbalanced CPU sharing errs more than balanced.
+    assert cpu_one > cpu_all
+    # Network-sharing scenarios err more than balanced CPU sharing.
+    assert max(link_one, link_all) > cpu_all

@@ -1,0 +1,43 @@
+"""Figure 7 — min/avg/max prediction error under the combined sharing
+scenario for every method: skeletons of each size, Class S benchmarks
+as skeletons, and the suite-average-slowdown prediction.
+
+Paper claims: "The performance skeleton approach ... is clearly better
+than the other methods. Prediction with 0.5 second skeletons, which
+roughly take as long to run as Class S benchmarks, is also clearly
+superior" — Average prediction fails because applications degrade very
+differently; Class S fails because tiny inputs do not reproduce
+realistic execution behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7_baselines
+from repro.util.stats import summarize_errors
+
+
+def test_fig7_baselines(benchmark, results):
+    scenario = "cpu+link-one"
+    table = benchmark(figure7_baselines, results, scenario)
+    print("\n" + table.render())
+
+    benches = results.benchmarks()
+    class_s = summarize_errors(
+        results.class_s_error(b, scenario) for b in benches
+    )
+    average = summarize_errors(
+        results.average_prediction_error(b, scenario) for b in benches
+    )
+    for target in results.targets():
+        skel = summarize_errors(
+            results.skeleton_error(b, target, scenario) for b in benches
+        )
+        # Every skeleton size beats both baselines on average error —
+        # including the 0.5 s skeletons that cost as much as Class S.
+        assert skel.average < class_s.average / 3
+        assert skel.average < average.average / 2
+
+    # And the baselines are catastrophically wrong somewhere (the
+    # paper's Figure 7 maxima reach ~100%+).
+    assert class_s.maximum > 50.0
+    assert average.maximum > 50.0

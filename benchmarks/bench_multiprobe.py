@@ -1,0 +1,70 @@
+"""Extension bench — prediction intervals from repeated probes.
+
+On a bursty shared system a single skeleton probe samples one
+contention window; repeated probes bound the range. This bench
+measures interval coverage: how often the measured application time
+falls inside the [min, max] of N probes, versus the single-probe point
+estimate's error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import cpu_one_node, paper_testbed
+from repro.core import build_skeleton
+from repro.ext import predict_interval
+from repro.predict import SkeletonPredictor
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.util.rng import derive_seed
+from repro.workloads import get_program
+
+N_TRIALS = 6
+N_PROBES = 6
+
+
+@pytest.fixture(scope="module")
+def predictor_setup():
+    cluster = paper_testbed()
+    prog = get_program("cg", "B", 4)
+    trace, ded = trace_program(prog, cluster)
+    # ~8 s probes: long enough to span several contention bursts.
+    bundle = build_skeleton(trace, scaling_factor=32.0, warn=False)
+    predictor = SkeletonPredictor(bundle.program, ded.elapsed, cluster)
+    return cluster, prog, predictor
+
+
+def test_interval_coverage(benchmark, predictor_setup):
+    cluster, prog, predictor = predictor_setup
+    scen = cpu_one_node()  # bursty
+
+    def one_interval():
+        return predict_interval(predictor, scen, n_probes=N_PROBES,
+                                base_seed=1)
+
+    interval = benchmark.pedantic(one_interval, rounds=1, iterations=1)
+
+    covered = 0
+    point_errors = []
+    for trial in range(N_TRIALS):
+        actual = run_program(
+            prog, cluster, scen, seed=derive_seed(99, "trial", trial)
+        ).elapsed
+        if interval.covers(actual, margin=0.5):
+            covered += 1
+        point_errors.append(
+            abs(interval.expected - actual) / actual * 100
+        )
+    coverage = covered / N_TRIALS
+    print(
+        f"\ninterval [{interval.low:.1f}, {interval.high:.1f}]s "
+        f"(expected {interval.expected:.1f}s) covers "
+        f"{coverage:.0%} of {N_TRIALS} runs; "
+        f"mean point error {sum(point_errors) / len(point_errors):.1f}%; "
+        f"probe cost {interval.probe_cost_seconds:.1f}s total"
+    )
+    assert coverage >= 0.5
+    # Probing costs a fraction of one *shared* application run (which is
+    # what the alternative to prediction would cost).
+    assert interval.probe_cost_seconds < 0.3 * interval.expected

@@ -1,0 +1,49 @@
+"""Extension experiment — the method at larger process counts.
+
+The paper evaluates on 4 nodes and lists scaling across processor
+counts as future work (§5). Here we don't *project* (that is
+`repro.ext.remap`) — we simply re-run the whole skeleton workflow at
+8 ranks on a correspondingly larger cluster and check the prediction
+quality holds. The campaign is cached like the main one (first run
+~4 minutes: LU.B at 8 ranks moves ~1.5M messages per scenario).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiments
+from repro.experiments.report import overall_average_error
+
+from conftest import CACHE_DIR
+
+
+def _config(n: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        benchmarks=("cg", "is", "mg", "lu"),
+        nprocs=n,
+        nnodes=n,
+        skeleton_targets=(10.0, 1.0),
+    )
+
+
+@pytest.mark.parametrize("nranks", [8])
+def test_scaling_ranks(benchmark, nranks):
+    def campaign():
+        return run_experiments(
+            _config(nranks), cache_dir=CACHE_DIR, verbose=True
+        )
+
+    results = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    overall = overall_average_error(results)
+    by_size = {
+        t: sum(
+            results.skeleton_avg_error(b, t) for b in results.benchmarks()
+        ) / len(results.benchmarks())
+        for t in results.targets()
+    }
+    print(f"\n{nranks} ranks: overall error {overall:.1f}% "
+          f"(10s: {by_size[10.0]:.1f}%, 1s: {by_size[1.0]:.1f}%)")
+    # Prediction quality holds at scale; small skeletons still degrade.
+    assert overall < 15.0
+    assert by_size[10.0] < 8.0

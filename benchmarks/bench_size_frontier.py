@@ -1,0 +1,43 @@
+"""§3.4 frontier — "How short running can a skeleton be and still
+generate reasonable performance estimates?"
+
+Sweeps skeleton sizes for IS.B (the benchmark with the largest
+dominant iteration) and checks the framework's own answer: sizes below
+the estimated shortest good skeleton should show clearly degraded
+accuracy, sizes above it should sit near the accuracy floor, and the
+practical knee of the measured frontier should be at or above the
+estimate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.experiments.sweeps import sweep_skeleton_sizes
+from repro.workloads import get_program
+
+TARGETS = (10.0, 5.0, 2.0, 1.0, 0.5, 0.25)
+
+
+def test_size_frontier_is(benchmark):
+    cluster = paper_testbed()
+    program = get_program("is", "B", 4)
+
+    def run():
+        return sweep_skeleton_sizes(program, cluster, TARGETS, seed=11)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + sweep.render())
+    knee = sweep.knee()
+    print(f"practical knee: {knee.target_seconds:g}s skeleton "
+          f"({knee.average_error_percent:.1f}% avg error); "
+          f"framework estimate: {sweep.min_good_seconds:.2f}s")
+
+    good = [p for p in sweep.points if not p.flagged]
+    bad = [p for p in sweep.points if p.flagged]
+    assert good and bad
+    avg_good = sum(p.average_error_percent for p in good) / len(good)
+    avg_bad = sum(p.average_error_percent for p in bad) / len(bad)
+    # Flagged (too-small) skeletons err clearly more on average.
+    assert avg_bad > 1.5 * avg_good

@@ -1,0 +1,24 @@
+"""§3.2 claim — "The maximum similarity threshold that was required
+across the NAS benchmarks for meaningful experiments was always less
+than .20 which we consider acceptable."
+
+Checks every (benchmark × skeleton size) of the campaign.
+"""
+
+from __future__ import annotations
+
+
+def test_threshold_bound(benchmark, results):
+    def collect():
+        return {
+            (bench, target): results.skeletons[bench][f"{target:g}"]["threshold"]
+            for bench in results.benchmarks()
+            for target in results.targets()
+        }
+
+    thresholds = benchmark(collect)
+    worst = max(thresholds.values())
+    worst_case = max(thresholds, key=thresholds.get)
+    print(f"\nmax similarity threshold used: {worst:.3f} "
+          f"(at {worst_case}); paper bound: < 0.20")
+    assert worst < 0.20

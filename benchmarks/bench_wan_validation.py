@@ -1,0 +1,78 @@
+"""§5 extension experiment — wide-area validation.
+
+The paper: "More experimentation, particularly on wide area networks
+is needed for stronger validation." This bench runs the skeleton
+workflow on a two-site grid (two LAN islands joined by a shared
+100 Mbit / 5 ms WAN link) and checks the method's premise transfers:
+skeletons built and probed on the WAN cluster predict WAN execution
+under sharing, and cross-site placement effects are felt by the
+skeleton just as by the application.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import cpu_one_node
+from repro.cluster.topology import two_site_grid
+from repro.core import build_skeleton
+from repro.predict import SkeletonPredictor
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.workloads import get_program
+
+BENCHES = ("cg", "mg", "is")
+
+
+@pytest.fixture(scope="module")
+def wan_cluster():
+    return two_site_grid(nodes_per_site=2)
+
+
+def test_wan_skeleton_prediction(benchmark, wan_cluster):
+    def campaign():
+        errors = {}
+        for bench in BENCHES:
+            prog = get_program(bench, "S", 4)
+            trace, ded = trace_program(prog, wan_cluster)
+            bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+            predictor = SkeletonPredictor(bundle.program, ded.elapsed,
+                                          wan_cluster)
+            scen = cpu_one_node(steady=True)
+            actual = run_program(prog, wan_cluster, scen).elapsed
+            errors[bench] = predictor.predict(scen).error_percent(actual)
+        return errors
+
+    errors = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print("\nWAN prediction errors (steady cpu-one-node): " + ", ".join(
+        f"{b.upper()} {e:.1f}%" for b, e in errors.items()
+    ))
+    assert max(errors.values()) < 15.0
+
+
+def test_wan_placement_sensitivity(benchmark, wan_cluster):
+    """A skeleton feels cross-site placement: split across sites it
+    runs slower than within one site, and its *application* does too,
+    by a comparable factor."""
+    prog = get_program("cg", "S", 4)
+    trace, _ = trace_program(prog, wan_cluster, placement=[0, 1, 0, 1])
+    bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+
+    def measure():
+        within = run_program(
+            bundle.program, wan_cluster, placement=[0, 1, 0, 1]
+        ).elapsed
+        across = run_program(
+            bundle.program, wan_cluster, placement=[0, 2, 1, 3]
+        ).elapsed
+        return within, across
+
+    within, across = benchmark.pedantic(measure, rounds=1, iterations=1)
+    app_within = run_program(prog, wan_cluster, placement=[0, 1, 0, 1]).elapsed
+    app_across = run_program(prog, wan_cluster, placement=[0, 2, 1, 3]).elapsed
+    skel_factor = across / within
+    app_factor = app_across / app_within
+    print(f"\ncross-site slowdown: application {app_factor:.2f}x, "
+          f"skeleton {skel_factor:.2f}x")
+    assert app_factor > 1.5  # WAN placement really hurts CG
+    assert skel_factor == pytest.approx(app_factor, rel=0.35)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+The paper's full evaluation campaign (6 Class B benchmarks × 5
+scenarios × 5 skeleton sizes + Class S baselines) is executed once and
+cached under ``.repro_cache/`` at the repository root; every figure
+bench reads from that shared campaign, so the first bench invocation
+pays ~2 minutes and the rest are instant.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiments
+
+#: Cache shared across bench invocations (repo root).
+CACHE_DIR = str(Path(__file__).resolve().parent.parent / ".repro_cache")
+
+
+@pytest.fixture(scope="session")
+def results():
+    """The full paper campaign (cached)."""
+    return run_experiments(
+        ExperimentConfig(), cache_dir=CACHE_DIR, verbose=True
+    )

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: trace an application, build a performance skeleton,
+predict its execution time under resource sharing.
+
+This is the paper's workflow end to end on a small problem (CG,
+Class W) so it finishes in seconds:
+
+1. run the application on the dedicated (simulated) testbed with the
+   tracing hook attached;
+2. compress the trace and generate a skeleton ~1/10 the size;
+3. measure the skeleton dedicated (-> measured scaling ratio);
+4. run the skeleton under a sharing scenario — that short probe,
+   multiplied by the ratio, is the prediction;
+5. compare against actually running the application under the same
+   scenario.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SkeletonPredictor,
+    build_skeleton,
+    cpu_one_node,
+    get_program,
+    paper_testbed,
+    run_program,
+    trace_program,
+)
+from repro.util.timebase import format_duration
+
+
+def main() -> None:
+    cluster = paper_testbed()
+    app = get_program("cg", "W", nprocs=4)
+
+    print(f"Tracing {app.name} on the dedicated testbed ...")
+    trace, dedicated = trace_program(app, cluster)
+    print(f"  dedicated time : {format_duration(dedicated.elapsed)}")
+    print(f"  MPI calls      : {trace.n_calls()}")
+
+    target = dedicated.elapsed / 10.0
+    print(f"\nBuilding a {format_duration(target)} skeleton (K ~ 10) ...")
+    bundle = build_skeleton(trace, target_seconds=target)
+    sig = bundle.signature
+    print(f"  similarity threshold : {sig.threshold:.3f}")
+    print(f"  compression          : {sig.trace_events} events -> "
+          f"{sig.n_leaves()} entries ({sig.compression_ratio:.0f}x)")
+    print(f"  smallest good        : "
+          f"{format_duration(bundle.goodness.min_good_seconds)}")
+
+    predictor = SkeletonPredictor(bundle.program, dedicated.elapsed, cluster)
+    print(f"  skeleton dedicated   : "
+          f"{format_duration(predictor.skeleton_dedicated_seconds)}")
+
+    scenario = cpu_one_node()  # two competing processes on node 0
+    print(f"\nScenario: {scenario.describe()}")
+    prediction = predictor.predict(scenario)
+    print(f"  skeleton probe  : {format_duration(prediction.probe_seconds)}")
+    print(f"  predicted time  : "
+          f"{format_duration(prediction.predicted_seconds)}")
+
+    actual = run_program(app, cluster, scenario, seed=99).elapsed
+    print(f"  measured time   : {format_duration(actual)}")
+    print(f"  prediction error: {prediction.error_percent(actual):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

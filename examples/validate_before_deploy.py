@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Validate a skeleton before trusting it — the adopter's checklist.
+
+Before using a skeleton for scheduling decisions you want to know:
+(1) does it *behave* like the application (the paper's Figure 2
+check, plus call-mix/traffic similarity), and (2) does it *predict*
+across the sharing conditions you care about, at the sizes you can
+afford? `validate_skeletons` + `skeleton_similarity` answer both in a
+few seconds.
+
+Run:  python examples/validate_before_deploy.py
+"""
+
+from repro import build_skeleton, paper_testbed, trace_program
+from repro.predict import validate_skeletons
+from repro.trace import skeleton_similarity
+from repro.workloads import get_program
+
+
+def main() -> None:
+    cluster = paper_testbed()
+    app = get_program("lu", "W", nprocs=4)
+
+    # --- behavioural similarity (Figure 2 and beyond) -----------------
+    trace, dedicated = trace_program(app, cluster)
+    bundle = build_skeleton(trace, target_seconds=dedicated.elapsed / 10,
+                            warn=False)
+    skel_trace, _ = trace_program(bundle.program, cluster)
+    sim = skeleton_similarity(trace, skel_trace)
+    print("behavioural similarity (0 = identical):")
+    for name, value in sim.items():
+        verdict = "ok" if value < 0.25 else "SUSPECT"
+        print(f"  {name:16s} {value:.3f}   {verdict}")
+
+    # --- prediction validation across scenarios ----------------------
+    print("\nprediction validation (5 scenarios x 2 sizes):")
+    report = validate_skeletons(
+        app, cluster,
+        targets=(dedicated.elapsed / 10, dedicated.elapsed / 50),
+    )
+    print(report.render())
+    print(f"\naverage error {report.average_error():.1f}%, worst "
+          f"{report.worst().error_percent:.1f}% under "
+          f"{report.worst().scenario_name}")
+    if report.average_error() < 10:
+        print("verdict: skeleton is safe to use for placement decisions")
+    else:
+        print("verdict: use a larger skeleton (see the flagged cells)")
+
+
+if __name__ == "__main__":
+    main()

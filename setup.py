@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to this legacy path (``--no-use-pep517``
+implied when wheel metadata preparation is unavailable); all real
+configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

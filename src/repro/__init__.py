@@ -1,0 +1,102 @@
+"""repro — automatic construction and evaluation of performance
+skeletons.
+
+A full reproduction of Sodhi & Subhlok, "Automatic Construction and
+Evaluation of Performance Skeletons" (IPPS 2005): trace a message-
+passing application, compress the trace into an execution signature
+(similarity-threshold clustering + loop detection), scale it down by a
+factor K, and emit a short-running *performance skeleton* whose
+execution time under any resource-sharing scenario predicts the
+application's.
+
+The physical testbed is replaced by :mod:`repro.sim`, a deterministic
+fluid-flow cluster simulator; see DESIGN.md for the substitution
+argument.
+
+Quick start::
+
+    from repro import (
+        paper_testbed, get_program, trace_program, build_skeleton,
+        SkeletonPredictor, cpu_one_node, run_program,
+    )
+
+    cluster = paper_testbed()
+    app = get_program("cg", "B", 4)
+    trace, dedicated = trace_program(app, cluster)
+    bundle = build_skeleton(trace, target_seconds=5.0)
+
+    predictor = SkeletonPredictor(bundle.program, dedicated.elapsed, cluster)
+    scenario = cpu_one_node()
+    prediction = predictor.predict(scenario)
+    actual = run_program(app, cluster, scenario).elapsed
+    print(prediction.predicted_seconds, actual)
+"""
+
+from repro.errors import (
+    DeadlockError,
+    ExperimentError,
+    ProgramError,
+    ReproError,
+    SignatureError,
+    SimulationError,
+    SkeletonError,
+    SkeletonQualityWarning,
+    TopologyError,
+    TraceError,
+    WorkloadError,
+)
+from repro.cluster import (
+    Cluster,
+    DEDICATED,
+    NetworkSpec,
+    NodeSpec,
+    Scenario,
+    combined_cpu_and_link,
+    cpu_all_nodes,
+    cpu_one_node,
+    link_all,
+    link_one,
+    paper_scenarios,
+    paper_testbed,
+)
+from repro.sim import Program, run_program
+from repro.trace import Tracer, trace_program, read_trace, write_trace
+from repro.core import (
+    SkeletonBundle,
+    build_skeleton,
+    compress_trace,
+    generate_c_source,
+    scale_signature,
+    shortest_good_skeleton,
+    skeleton_program,
+)
+from repro.predict import ClassSPredictor, SkeletonPredictor, select_nodes
+from repro.workloads import available_benchmarks, get_program
+from repro.experiments import ExperimentConfig, run_experiments
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "SimulationError", "DeadlockError", "ProgramError",
+    "TopologyError", "TraceError", "SignatureError", "SkeletonError",
+    "SkeletonQualityWarning", "ExperimentError", "WorkloadError",
+    # cluster
+    "Cluster", "NodeSpec", "NetworkSpec", "Scenario", "DEDICATED",
+    "paper_testbed", "paper_scenarios", "cpu_one_node", "cpu_all_nodes",
+    "link_one", "link_all", "combined_cpu_and_link",
+    # sim
+    "Program", "run_program",
+    # trace
+    "Tracer", "trace_program", "read_trace", "write_trace",
+    # core
+    "build_skeleton", "SkeletonBundle", "compress_trace", "scale_signature",
+    "skeleton_program", "shortest_good_skeleton", "generate_c_source",
+    # predict
+    "SkeletonPredictor", "ClassSPredictor", "select_nodes",
+    # workloads
+    "get_program", "available_benchmarks",
+    # experiments
+    "ExperimentConfig", "run_experiments",
+]

@@ -1,0 +1,274 @@
+"""Command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+* ``trace``     — run a benchmark on the (simulated) dedicated testbed
+  and write its execution trace.
+* ``skeleton``  — build a performance skeleton from a trace file and
+  report its properties (K, threshold, compression, minimum good
+  skeleton size).
+* ``codegen``   — emit the synthetic C/MPI skeleton source.
+* ``predict``   — predict a benchmark's time under a sharing scenario
+  via its skeleton and compare with the measured time.
+* ``experiment``— run the full evaluation campaign and print a chosen
+  figure (2–7) or the complete report.
+
+Examples::
+
+    repro-skeleton trace cg --klass B -o cg.trace
+    repro-skeleton skeleton cg.trace --target 5
+    repro-skeleton codegen cg.trace --target 5 -o cg_skeleton.c
+    repro-skeleton predict cg --target 5 --scenario cpu-one-node
+    repro-skeleton experiment --figure 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+from typing import Optional, Sequence
+
+from repro.cluster import paper_scenarios, paper_testbed
+from repro.core import build_skeleton, generate_c_source
+from repro.errors import ReproError
+from repro.experiments import ExperimentConfig, run_experiments
+from repro.experiments import figures as fig_mod
+from repro.experiments.report import full_report
+from repro.predict import SkeletonPredictor
+from repro.sim import run_program
+from repro.trace import read_trace, trace_program, write_trace
+from repro.util.timebase import format_duration
+from repro.workloads import available_benchmarks, get_program
+
+
+def _add_common_bench_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("benchmark", choices=available_benchmarks())
+    p.add_argument("--klass", default="B", help="problem class (S/W/A/B)")
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--seed", type=int, default=12345, help="workload seed")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cluster = paper_testbed()
+    program = get_program(args.benchmark, args.klass, args.nprocs, args.seed)
+    trace, result = trace_program(program, cluster)
+    write_trace(trace, args.output)
+    print(
+        f"{program.name}: dedicated run {format_duration(result.elapsed)}, "
+        f"{trace.n_calls()} MPI calls recorded -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_skeleton(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    bundle = build_skeleton(trace, target_seconds=args.target)
+    g = bundle.goodness
+    print(f"application      : {trace.program_name}")
+    print(f"traced time      : {format_duration(trace.elapsed)}")
+    print(f"scaling factor K : {bundle.K:.2f}")
+    print(f"similarity thr   : {bundle.signature.threshold:.3f}")
+    print(f"compression      : {bundle.signature.compression_ratio:.1f}x "
+          f"({bundle.signature.trace_events} events -> "
+          f"{bundle.signature.n_leaves()} signature entries)")
+    print(f"skeleton estimate: {format_duration(bundle.estimate)}")
+    print(f"min good skeleton: {format_duration(g.min_good_seconds)}")
+    if bundle.flagged:
+        print("WARNING: requested size is below the minimum good skeleton")
+    return 0
+
+
+def _cmd_signature(args: argparse.Namespace) -> int:
+    """Compress a trace into a signature file, or inspect one."""
+    from repro.core import compress_trace, read_signature, write_signature
+    from repro.core.signature import LoopNode
+
+    if args.trace.endswith(".sig") or args.inspect:
+        sig = read_signature(args.trace)
+    else:
+        trace = read_trace(args.trace)
+        sig = compress_trace(trace, target_ratio=args.ratio)
+        if args.output:
+            write_signature(sig, args.output)
+            print(f"wrote {args.output}")
+    from repro.core.render import render_signature
+
+    print(render_signature(sig, ranks=args.show_ranks, max_depth=4))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Descriptive statistics of a trace file."""
+    from repro.trace import imbalance_ratio, message_size_histogram, trace_stats
+    from repro.util.charts import bar_chart
+
+    trace = read_trace(args.trace)
+    stats = trace_stats(trace)
+    print(f"program  : {stats['program']} under {stats['scenario']}")
+    print(f"elapsed  : {format_duration(stats['elapsed'])}")
+    print(f"calls    : {stats['n_calls']}")
+    print(f"MPI time : {stats['mpi_percent']:.1f}%")
+    print(f"imbalance: {imbalance_ratio(trace):.3f} (max/min rank compute)")
+    print()
+    print(bar_chart("calls by type",
+                    dict(sorted(stats["calls_by_type"].items()))))
+    print()
+    histogram = {k: v for k, v in message_size_histogram(trace).items() if v}
+    print(bar_chart("calls by payload size", histogram))
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    bundle = build_skeleton(trace, target_seconds=args.target)
+    source = generate_c_source(bundle.scaled, name=trace.program_name)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(source)
+        print(f"wrote {args.output} ({len(source.splitlines())} lines)")
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    cluster = paper_testbed()
+    scenarios = {s.name: s for s in paper_scenarios()}
+    if args.scenario not in scenarios:
+        raise ReproError(
+            f"unknown scenario {args.scenario!r}; "
+            f"choose from {sorted(scenarios)}"
+        )
+    scenario = scenarios[args.scenario]
+    program = get_program(args.benchmark, args.klass, args.nprocs, args.seed)
+    print(f"tracing {program.name} on the dedicated testbed ...")
+    trace, dedicated = trace_program(program, cluster)
+    bundle = build_skeleton(trace, target_seconds=args.target)
+    predictor = SkeletonPredictor(bundle.program, dedicated.elapsed, cluster)
+    prediction = predictor.predict(scenario)
+    print(f"skeleton probe   : {format_duration(prediction.probe_seconds)}")
+    print(f"predicted time   : {format_duration(prediction.predicted_seconds)}")
+    if args.verify:
+        actual = run_program(program, cluster, scenario, seed=1).elapsed
+        print(f"measured time    : {format_duration(actual)}")
+        print(f"prediction error : {prediction.error_percent(actual):.1f}%")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Validate skeleton predictions for one benchmark across scenarios."""
+    from repro.predict import validate_skeletons
+
+    cluster = paper_testbed()
+    program = get_program(args.benchmark, args.klass, args.nprocs, args.seed)
+    print(f"validating {program.name} (trace + "
+          f"{len(args.targets)} skeleton sizes x 5 scenarios) ...")
+    report = validate_skeletons(
+        program, cluster, targets=tuple(args.targets)
+    )
+    print(report.render())
+    print(f"average error: {report.average_error():.1f}%   "
+          f"worst: {report.worst().error_percent:.1f}% "
+          f"({report.worst().scenario_name}, "
+          f"{report.worst().target_seconds:g}s)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = ExperimentConfig()
+    results = run_experiments(config, force=args.force, verbose=True)
+    builders = {
+        2: fig_mod.figure2_activity,
+        3: fig_mod.figure3_error_by_benchmark,
+        4: fig_mod.figure4_good_skeletons,
+        5: fig_mod.figure5_error_by_size,
+        6: fig_mod.figure6_error_by_scenario,
+        7: fig_mod.figure7_baselines,
+    }
+    if args.figure is None:
+        print(full_report(results))
+    else:
+        print(builders[args.figure](results).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-skeleton",
+        description="Automatic construction and evaluation of performance "
+        "skeletons (IPPS 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace", help="trace a benchmark, write a trace file")
+    _add_common_bench_args(p)
+    p.add_argument("-o", "--output", default="app.trace")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("skeleton", help="build a skeleton from a trace file")
+    p.add_argument("trace")
+    p.add_argument("--target", type=float, default=5.0,
+                   help="desired skeleton execution time (s)")
+    p.set_defaults(func=_cmd_skeleton)
+
+    p = sub.add_parser(
+        "signature", help="compress a trace into a signature file / inspect one"
+    )
+    p.add_argument("trace", help="a .trace file (or a .sig file to inspect)")
+    p.add_argument("--ratio", type=float, default=2.0,
+                   help="target compression ratio Q")
+    p.add_argument("-o", "--output", default=None, help="signature output path")
+    p.add_argument("--inspect", action="store_true",
+                   help="treat the input as an existing signature file")
+    p.add_argument("--show-ranks", type=int, default=4)
+    p.set_defaults(func=_cmd_signature)
+
+    p = sub.add_parser("stats", help="descriptive statistics of a trace")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("codegen", help="emit the synthetic C/MPI skeleton")
+    p.add_argument("trace")
+    p.add_argument("--target", type=float, default=5.0)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_codegen)
+
+    p = sub.add_parser("predict", help="predict under a sharing scenario")
+    _add_common_bench_args(p)
+    p.add_argument("--target", type=float, default=5.0)
+    p.add_argument("--scenario", default="cpu-one-node")
+    p.add_argument("--verify", action="store_true",
+                   help="also measure the application and report the error")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser(
+        "validate", help="skeleton-vs-reality validation for one benchmark"
+    )
+    _add_common_bench_args(p)
+    p.add_argument("--targets", type=float, nargs="+", default=[5.0, 1.0],
+                   help="skeleton sizes to validate (seconds)")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("experiment", help="run the evaluation campaign")
+    p.add_argument("--figure", type=int, choices=range(2, 8), default=None)
+    p.add_argument("--force", action="store_true",
+                   help="ignore cached results")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    warnings.simplefilter("default")
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Cluster model: nodes, network parameters, and resource-sharing
+scenarios (the simulated replacement for the paper's testbed)."""
+
+from repro.cluster.topology import Cluster, NetworkSpec, NodeSpec, paper_testbed
+from repro.cluster.contention import Scenario, DEDICATED
+from repro.cluster.scenarios import (
+    combined_cpu_and_link,
+    cpu_all_nodes,
+    cpu_one_node,
+    link_all,
+    link_one,
+    paper_scenarios,
+)
+
+__all__ = [
+    "Cluster",
+    "NetworkSpec",
+    "NodeSpec",
+    "paper_testbed",
+    "Scenario",
+    "DEDICATED",
+    "combined_cpu_and_link",
+    "cpu_all_nodes",
+    "cpu_one_node",
+    "link_all",
+    "link_one",
+    "paper_scenarios",
+]

@@ -1,0 +1,118 @@
+"""Resource-sharing scenario descriptions.
+
+A :class:`Scenario` says how the dedicated testbed is perturbed:
+``competing[node]`` always-runnable compute processes are added to a
+node (the paper launches two per shared dual-CPU node so the MPI rank
+gets 2/3 of a CPU), and ``nic_caps[node]`` replaces that node's NIC
+capacity in bytes/s (the paper throttles a link to 10 Mbps with
+iproute2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping, Optional
+
+from repro.errors import TopologyError
+from repro.cluster.topology import Cluster
+
+
+def _frozen(mapping: Mapping[int, object]) -> Mapping[int, object]:
+    return MappingProxyType(dict(mapping))
+
+
+@dataclass(frozen=True)
+class LoadModel:
+    """Temporal behaviour of a competing compute process.
+
+    Real compute-bound competitors are not perfectly steady: they burst
+    and briefly pause (I/O, scheduling). Each competing process
+    alternates busy intervals drawn uniformly from ``busy_range`` with
+    idle intervals from ``idle_range`` (seconds), from a seeded per-run
+    stream. A short skeleton samples only a small window of this
+    pattern while the full application averages over it — the source of
+    the accuracy/overhead trade-off the paper studies.
+    """
+
+    busy_range: tuple[float, float] = (0.4, 1.8)
+    idle_range: tuple[float, float] = (0.0, 0.45)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.busy_range
+        if not (0 < lo <= hi):
+            raise TopologyError("busy_range must be positive and ordered")
+        lo, hi = self.idle_range
+        if not (0 <= lo <= hi):
+            raise TopologyError("idle_range must be non-negative and ordered")
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Temporal behaviour of competing network traffic.
+
+    A throttled link's *available* bandwidth fluctuates with the
+    competing traffic; the capacity is resampled as
+    ``cap × (1 ± swing)`` at intervals drawn from ``period_range``.
+    """
+
+    swing: float = 0.45
+    period_range: tuple[float, float] = (0.3, 1.2)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.swing < 1:
+            raise TopologyError("swing must be in [0, 1)")
+        lo, hi = self.period_range
+        if not (0 < lo <= hi):
+            raise TopologyError("period_range must be positive and ordered")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A perturbation of the dedicated testbed."""
+
+    name: str
+    description: str = ""
+    #: node index -> number of competing compute-bound processes
+    competing: Mapping[int, int] = field(default_factory=dict)
+    #: node index -> NIC capacity override, bytes/s (applies to TX and RX)
+    nic_caps: Mapping[int, float] = field(default_factory=dict)
+    #: Burstiness of competing processes (None = perfectly steady).
+    load_model: Optional[LoadModel] = None
+    #: Fluctuation of throttled-link bandwidth (None = constant cap).
+    traffic_model: Optional[TrafficModel] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "competing", _frozen(self.competing))
+        object.__setattr__(self, "nic_caps", _frozen(self.nic_caps))
+        for node, count in self.competing.items():
+            if count < 0:
+                raise TopologyError(f"negative competing count on node {node}")
+        for node, cap in self.nic_caps.items():
+            if cap <= 0:
+                raise TopologyError(f"non-positive NIC cap on node {node}")
+
+    @property
+    def is_dedicated(self) -> bool:
+        return not self.competing and not self.nic_caps
+
+    def validate_against(self, cluster: Cluster) -> None:
+        """Raise if the scenario references nodes the cluster lacks."""
+        for node in list(self.competing) + list(self.nic_caps):
+            if not 0 <= node < cluster.nnodes:
+                raise TopologyError(
+                    f"scenario {self.name!r} references node {node}, "
+                    f"cluster has {cluster.nnodes} nodes"
+                )
+
+    def describe(self) -> str:
+        parts = []
+        for node, count in sorted(self.competing.items()):
+            parts.append(f"{count} competing process(es) on node {node}")
+        for node, cap in sorted(self.nic_caps.items()):
+            parts.append(f"NIC of node {node} capped at {cap / 1e6:.3g} MB/s")
+        return "; ".join(parts) if parts else "dedicated (no sharing)"
+
+
+#: The unperturbed testbed.
+DEDICATED = Scenario(name="dedicated", description="no competing load or traffic")

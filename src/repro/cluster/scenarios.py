@@ -1,0 +1,120 @@
+"""The paper's five resource-sharing scenarios (section 4.2).
+
+1. two competing compute-intensive processes on one node;
+2. two competing compute-intensive processes on each node;
+3. available bandwidth on one link reduced to 10 Mbps;
+4. available bandwidth on each link reduced to 10 Mbps;
+5. competing processes on one node *and* reduced bandwidth on one link.
+
+"A link" is one node's connection into the crossbar switch, so the
+throttle applies to that node's NIC (TX and RX), as iproute2 does on
+the node's interface. 10 Mbps = 1.25e6 bytes/s.
+
+By default the scenarios are *stochastic*: competing processes burst
+and pause, and throttled-link bandwidth fluctuates around its cap
+(:class:`~repro.cluster.contention.LoadModel` /
+:class:`~repro.cluster.contention.TrafficModel`), as on a real shared
+system. Pass ``steady=True`` for perfectly constant contention
+(useful in unit tests and for isolating skeleton-construction error
+from environment variance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.contention import LoadModel, Scenario, TrafficModel
+
+#: 10 Mbps expressed in bytes per second.
+TEN_MBPS: float = 10e6 / 8.0
+
+#: The paper creates CPU contention with two competing processes
+#: (needed to oversubscribe a dual-CPU node).
+COMPETING_PER_NODE: int = 2
+
+
+def _models(steady: bool) -> tuple[Optional[LoadModel], Optional[TrafficModel]]:
+    if steady:
+        return None, None
+    return LoadModel(), TrafficModel()
+
+
+def cpu_one_node(
+    node: int = 0, nproc: int = COMPETING_PER_NODE, steady: bool = False
+) -> Scenario:
+    """Scenario 1: competing compute processes on a single node."""
+    load, _ = _models(steady)
+    return Scenario(
+        name="cpu-one-node",
+        description=f"{nproc} competing compute processes on node {node}",
+        competing={node: nproc},
+        load_model=load,
+    )
+
+
+def cpu_all_nodes(
+    nnodes: int = 4, nproc: int = COMPETING_PER_NODE, steady: bool = False
+) -> Scenario:
+    """Scenario 2: competing compute processes on every node."""
+    load, _ = _models(steady)
+    return Scenario(
+        name="cpu-all-nodes",
+        description=f"{nproc} competing compute processes on each of {nnodes} nodes",
+        competing={i: nproc for i in range(nnodes)},
+        load_model=load,
+    )
+
+
+def link_one(node: int = 0, cap: float = TEN_MBPS, steady: bool = False) -> Scenario:
+    """Scenario 3: one link throttled to 10 Mbps."""
+    _, traffic = _models(steady)
+    return Scenario(
+        name="link-one",
+        description=f"NIC of node {node} throttled to {cap * 8 / 1e6:.0f} Mbps",
+        nic_caps={node: cap},
+        traffic_model=traffic,
+    )
+
+
+def link_all(nnodes: int = 4, cap: float = TEN_MBPS, steady: bool = False) -> Scenario:
+    """Scenario 4: every link throttled to 10 Mbps."""
+    _, traffic = _models(steady)
+    return Scenario(
+        name="link-all",
+        description=f"all NICs throttled to {cap * 8 / 1e6:.0f} Mbps",
+        nic_caps={i: cap for i in range(nnodes)},
+        traffic_model=traffic,
+    )
+
+
+def combined_cpu_and_link(
+    cpu_node: int = 0,
+    link_node: int = 0,
+    nproc: int = COMPETING_PER_NODE,
+    cap: float = TEN_MBPS,
+    steady: bool = False,
+) -> Scenario:
+    """Scenario 5: competing processes on one node + one throttled link."""
+    load, traffic = _models(steady)
+    return Scenario(
+        name="cpu+link-one",
+        description=(
+            f"{nproc} competing processes on node {cpu_node} and NIC of "
+            f"node {link_node} throttled to {cap * 8 / 1e6:.0f} Mbps"
+        ),
+        competing={cpu_node: nproc},
+        nic_caps={link_node: cap},
+        load_model=load,
+        traffic_model=traffic,
+    )
+
+
+def paper_scenarios(nnodes: int = 4, steady: bool = False) -> list[Scenario]:
+    """The five sharing scenarios of section 4.2, in paper order."""
+    return [
+        cpu_one_node(steady=steady),
+        cpu_all_nodes(nnodes, steady=steady),
+        link_one(steady=steady),
+        link_all(nnodes, steady=steady),
+        combined_cpu_and_link(steady=steady),
+    ]

@@ -1,0 +1,171 @@
+"""Cluster topology description.
+
+The paper's testbed is ten dual-CPU 1.7 GHz Xeon nodes on switched
+Gigabit Ethernet (full crossbar); experiments use four nodes with one
+MPI rank per node. :func:`paper_testbed` builds the equivalent model.
+
+The network is modelled at NIC granularity: each node has a full-duplex
+NIC (separate TX and RX capacities) into a contention-free crossbar, so
+"a link" in the paper's sense (one node's cable to the switch) maps to
+one node's NIC pair. Message cost between nodes is
+``latency + bytes / fair-share-bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node.
+
+    ``speed`` is the per-CPU speed relative to the reference CPU in
+    which workload compute durations are expressed (1.0 = reference).
+    """
+
+    name: str
+    ncpus: int = 2
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ncpus < 1:
+            raise TopologyError(f"node {self.name!r} must have >= 1 CPU")
+        if self.speed <= 0:
+            raise TopologyError(f"node {self.name!r} must have positive speed")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect parameters.
+
+    Defaults approximate 2005-era switched Gigabit Ethernet with MPICH:
+    ~60 us end-to-end small-message latency and ~110 MB/s achievable
+    point-to-point bandwidth. ``eager_threshold`` is the message size at
+    which the point-to-point protocol switches from eager (sender does
+    not block on the receiver) to rendezvous (sender blocks until the
+    transfer completes). ``handshake_latencies`` is the number of extra
+    one-way latencies a rendezvous handshake costs (RTS + CTS = 2).
+    """
+
+    latency: float = 60e-6
+    bandwidth: float = 80e6
+    eager_threshold: int = 64 * 1024
+    handshake_latencies: int = 2
+    intra_node_latency: float = 2e-6
+    memory_bandwidth: float = 1.5e9
+    send_overhead: float = 2e-6
+    #: One-way latency between *sites* (used only by multi-site
+    #: clusters; a metro/WAN hop is milliseconds, not microseconds).
+    wan_latency: float = 5e-3
+    #: Capacity of each site's uplink into the wide-area network,
+    #: shared by all of that site's cross-site flows per direction.
+    wan_bandwidth: float = 12.5e6
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.intra_node_latency < 0:
+            raise TopologyError("latencies must be non-negative")
+        if self.bandwidth <= 0 or self.memory_bandwidth <= 0:
+            raise TopologyError("bandwidths must be positive")
+        if self.eager_threshold < 0:
+            raise TopologyError("eager threshold must be non-negative")
+        if self.wan_latency < 0 or self.wan_bandwidth <= 0:
+            raise TopologyError("invalid WAN parameters")
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A set of nodes joined by a crossbar network.
+
+    ``sites`` optionally assigns each node to a site (grid computing's
+    multi-cluster case, §5): traffic between nodes of different sites
+    pays ``network.wan_latency`` and shares the sites' WAN uplinks of
+    ``network.wan_bandwidth``. ``None`` means one site (pure LAN).
+    """
+
+    nodes: tuple[NodeSpec, ...]
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    sites: Optional[tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise TopologyError("cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise TopologyError("node names must be unique")
+        if self.sites is not None:
+            if len(self.sites) != len(self.nodes):
+                raise TopologyError("sites must list one site per node")
+            if any(s < 0 for s in self.sites):
+                raise TopologyError("site ids must be non-negative")
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.nodes)
+
+    def site_of(self, node_index: int) -> int:
+        """Site id of a node (0 when the cluster is single-site)."""
+        if self.sites is None:
+            return 0
+        return self.sites[node_index]
+
+    @property
+    def nsites(self) -> int:
+        if self.sites is None:
+            return 1
+        return max(self.sites) + 1
+
+    def node_index(self, name: str) -> int:
+        for i, node in enumerate(self.nodes):
+            if node.name == name:
+                return i
+        raise TopologyError(f"no node named {name!r}")
+
+    def with_network(self, **changes) -> "Cluster":
+        """Copy of this cluster with modified network parameters."""
+        return replace(self, network=replace(self.network, **changes))
+
+    @staticmethod
+    def uniform(
+        nnodes: int,
+        ncpus: int = 2,
+        speed: float = 1.0,
+        network: NetworkSpec | None = None,
+    ) -> "Cluster":
+        """Homogeneous cluster of ``nnodes`` identical nodes."""
+        if nnodes < 1:
+            raise TopologyError("nnodes must be >= 1")
+        nodes = tuple(
+            NodeSpec(name=f"node{i}", ncpus=ncpus, speed=speed)
+            for i in range(nnodes)
+        )
+        return Cluster(nodes=nodes, network=network or NetworkSpec())
+
+
+def paper_testbed(nnodes: int = 4) -> Cluster:
+    """The experiment testbed: dual-CPU nodes on Gigabit Ethernet.
+
+    The paper runs its experiments on 4 of the 10 cluster nodes, one
+    MPI rank per node.
+    """
+    return Cluster.uniform(nnodes=nnodes, ncpus=2, speed=1.0)
+
+
+def two_site_grid(
+    nodes_per_site: int = 2,
+    ncpus: int = 2,
+    network: NetworkSpec | None = None,
+) -> Cluster:
+    """A two-cluster grid: two LAN islands joined by a WAN link — the
+    §5 wide-area validation environment."""
+    if nodes_per_site < 1:
+        raise TopologyError("nodes_per_site must be >= 1")
+    total = 2 * nodes_per_site
+    nodes = tuple(
+        NodeSpec(name=f"node{i}", ncpus=ncpus) for i in range(total)
+    )
+    sites = tuple(i // nodes_per_site for i in range(total))
+    return Cluster(nodes=nodes, network=network or NetworkSpec(), sites=sites)

@@ -1,0 +1,177 @@
+"""Trace-to-signature compression with iterative threshold search
+(paper §3.2).
+
+"Initially the similarity threshold is set to 0 and the clustering and
+compression procedure is applied. If the degree of compression is less
+than the desired ratio Q, the similarity threshold is increased
+gradually until the desired compression of Q (or higher) is achieved."
+The driver uses Q = K/2 (the paper's empirical rule) via
+:func:`repro.core.construct.build_skeleton`, and enforces an upper
+bound on the threshold so that very different events are never merged
+(the paper observes every NAS case resolves below 0.20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.core.clustering import ClusterSpace
+from repro.core.distance import DimensionScales
+from repro.core.events import trace_to_streams
+from repro.core.loopfind import (
+    DEFAULT_MAX_PERIOD,
+    DEFAULT_WORK_BUDGET,
+    fold_symbols,
+)
+from repro.core.signature import RankSignature, Signature
+from repro.errors import SignatureError
+from repro.trace.records import Trace
+
+#: Collective calls are globally ordered across ranks, so their
+#: clustering is *coordinated*: the i-th collective occurrence gets the
+#: same symbol on every rank (clustered once on the cross-rank mean
+#: payload). Without this, per-rank first-fit clustering of slightly
+#: varying payloads (e.g. IS's alltoallv totals) can fold ranks into
+#: incompatible loop structures whose skeletons could not communicate.
+_COLLECTIVE_CALLS = frozenset({
+    "MPI_Barrier", "MPI_Bcast", "MPI_Reduce", "MPI_Allreduce",
+    "MPI_Allgather", "MPI_Alltoall", "MPI_Alltoallv", "MPI_Gather",
+    "MPI_Scatter", "MPI_Reduce_scatter", "MPI_Scan",
+})
+
+#: Shared collective symbols live in their own namespace, above any
+#: per-rank point-to-point symbol.
+_COLL_SYMBOL_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class CompressionOptions:
+    """Knobs of the threshold search and loop folding."""
+
+    threshold_step: float = 0.01
+    #: Where the threshold search starts (0 = only identical events
+    #: cluster). Raised by the alignment-repair loop in construct.
+    start_threshold: float = 0.0
+    #: Upper bound so that "very different execution events are not
+    #: combined" (§3.2; the paper saw < 0.20 suffice across the suite).
+    max_threshold: float = 0.25
+    #: Stop raising the threshold after this many consecutive steps
+    #: with no compression improvement.
+    patience: int = 10
+    max_period: int = DEFAULT_MAX_PERIOD
+    work_budget: int = DEFAULT_WORK_BUDGET
+
+
+def _shared_collective_symbols(
+    streams, threshold: float, scales: DimensionScales
+) -> list[int] | None:
+    """Coordinated symbols for the global collective sequence.
+
+    Returns one symbol per collective occurrence (same for all ranks),
+    or ``None`` when the ranks' collective sequences disagree (not an
+    SPMD collective pattern — fall back to per-rank clustering)."""
+    seqs = [
+        [ev for ev in stream.events if ev.call in _COLLECTIVE_CALLS]
+        for stream in streams
+    ]
+    ncoll = len(seqs[0])
+    if any(len(q) != ncoll for q in seqs):
+        return None
+    for j in range(ncoll):
+        first = seqs[0][j]
+        for q in seqs[1:]:
+            if q[j].call != first.call or q[j].peer != first.peer:
+                return None
+    space = ClusterSpace(threshold=threshold, scales=scales)
+    symbols: list[int] = []
+    nranks = len(seqs)
+    for j in range(ncoll):
+        mean_bytes = sum(q[j].nbytes for q in seqs) / nranks
+        rep = dc_replace(seqs[0][j], nbytes=mean_bytes)
+        symbols.append(_COLL_SYMBOL_BASE + space.assign(rep))
+    return symbols
+
+
+def _compress_at(
+    streams, scales: DimensionScales, threshold: float, options: CompressionOptions
+) -> tuple[list[RankSignature], float]:
+    """Cluster + fold every rank at one threshold; return signatures
+    and the aggregate compression ratio (trace length / signature
+    length, in events)."""
+    coll_symbols = _shared_collective_symbols(streams, threshold, scales)
+    rank_sigs: list[RankSignature] = []
+    total_events = 0
+    total_leaves = 0
+    for stream in streams:
+        space = ClusterSpace(threshold=threshold, scales=scales)
+        symbols: list[int] = []
+        coll_idx = 0
+        for ev in stream.events:
+            if coll_symbols is not None and ev.call in _COLLECTIVE_CALLS:
+                symbols.append(coll_symbols[coll_idx])
+                coll_idx += 1
+            else:
+                symbols.append(space.assign(ev))
+        nodes = fold_symbols(
+            symbols,
+            stream.events,
+            max_period=options.max_period,
+            work_budget=options.work_budget,
+        )
+        sig = RankSignature(rank=stream.rank, nodes=nodes, tail_gap=stream.tail_gap)
+        rank_sigs.append(sig)
+        total_events += len(stream.events)
+        total_leaves += sig.n_leaves()
+    if total_events == 0:
+        raise SignatureError("trace contains no communication events")
+    ratio = total_events / max(1, total_leaves)
+    return rank_sigs, ratio
+
+
+def compress_trace(
+    trace: Trace,
+    target_ratio: float = 1.0,
+    options: CompressionOptions | None = None,
+) -> Signature:
+    """Compress ``trace`` into an execution signature.
+
+    The similarity threshold starts at 0 and rises in
+    ``options.threshold_step`` increments until the compression ratio
+    reaches ``target_ratio`` or the threshold cap is hit (whichever
+    comes first). With ``target_ratio`` <= the ratio achieved at
+    threshold 0 (e.g. 1.0), only identical events are ever clustered.
+    """
+    options = options or CompressionOptions()
+    if target_ratio < 1.0:
+        raise SignatureError("target compression ratio must be >= 1")
+    streams = trace_to_streams(trace)
+    all_events = (ev for s in streams for ev in s.events)
+    scales = DimensionScales.from_events(all_events)
+
+    threshold = options.start_threshold
+    best: tuple[list[RankSignature], float, float] | None = None
+    stale = 0
+    while True:
+        rank_sigs, ratio = _compress_at(streams, scales, threshold, options)
+        if best is None or ratio > best[1]:
+            best = (rank_sigs, ratio, threshold)
+            stale = 0
+        else:
+            stale += 1
+        if ratio >= target_ratio:
+            break
+        if threshold >= options.max_threshold - 1e-12:
+            break
+        if stale >= options.patience:
+            break
+        threshold = min(options.max_threshold, threshold + options.threshold_step)
+
+    rank_sigs, ratio, threshold = best
+    return Signature(
+        program_name=trace.program_name,
+        nranks=trace.nranks,
+        ranks=rank_sigs,
+        threshold=threshold,
+        compression_ratio=ratio,
+        trace_events=sum(len(s.events) for s in streams),
+    )

@@ -1,0 +1,132 @@
+"""End-to-end skeleton construction (paper Figure 1).
+
+:func:`build_skeleton` runs the whole pipeline: trace → compression at
+Q = K/2 → scaling by K → runnable skeleton program, and attaches the
+shortest-good-skeleton analysis, issuing the paper's §3.4 warning when
+the requested skeleton is smaller than the estimated minimum.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.compress import CompressionOptions, compress_trace
+from repro.core.goodness import GoodnessReport, shortest_good_skeleton
+from repro.core.scale import CommScaler, ScaledSignature, scale_signature
+from repro.core.signature import Signature
+from repro.core.skeleton import GapModel, check_alignment, mean_gap_model, skeleton_program
+from repro.errors import SkeletonError, SkeletonQualityWarning
+from repro.sim.program import Program
+from repro.trace.records import Trace
+
+
+@dataclass
+class SkeletonBundle:
+    """Everything produced for one skeleton."""
+
+    program: Program
+    signature: Signature
+    scaled: ScaledSignature
+    K: float
+    target_seconds: Optional[float]
+    goodness: GoodnessReport
+    flagged: bool
+
+    @property
+    def estimate(self) -> float:
+        """Construction-time estimate of the skeleton's dedicated
+        execution time (per-rank serial time)."""
+        return self.scaled.estimate
+
+
+def build_skeleton(
+    trace: Trace,
+    target_seconds: Optional[float] = None,
+    scaling_factor: Optional[float] = None,
+    compression: Optional[CompressionOptions] = None,
+    gap_model: GapModel = mean_gap_model,
+    comm_scaler: Optional[CommScaler] = None,
+    check: bool = True,
+    warn: bool = True,
+) -> SkeletonBundle:
+    """Construct a performance skeleton from an application trace.
+
+    Exactly one of ``target_seconds`` (desired skeleton execution time)
+    or ``scaling_factor`` (K) must be given; the other is derived from
+    the traced execution time. The compression target ratio is the
+    paper's Q = K/2.
+    """
+    if (target_seconds is None) == (scaling_factor is None):
+        raise SkeletonError(
+            "specify exactly one of target_seconds / scaling_factor"
+        )
+    elapsed = trace.elapsed
+    if target_seconds is not None:
+        if target_seconds <= 0:
+            raise SkeletonError("target_seconds must be positive")
+        K = max(1.0, elapsed / target_seconds)
+    else:
+        K = float(scaling_factor)
+        if K < 1.0:
+            raise SkeletonError("scaling factor must be >= 1")
+        target_seconds = elapsed / K
+
+    options = compression or CompressionOptions()
+    # The paper's empirical rule Q = K/2 (any ratio is trivially met
+    # when K < 2, hence the clamp).
+    target_ratio = max(1.0, K / 2.0)
+    signature = compress_trace(trace, target_ratio=target_ratio, options=options)
+    scaled = scale_signature(signature, K, comm_scaler=comm_scaler)
+    if check:
+        # Alignment-repair loop: if the per-rank signatures compressed
+        # into incompatible structures (their skeletons could not
+        # communicate), raise the similarity threshold — coarser
+        # clustering restores a common loop structure — and retry.
+        from dataclasses import replace as _dc_replace
+
+        attempt = 0
+        while True:
+            try:
+                check_alignment(scaled)
+                break
+            except SkeletonError:
+                attempt += 1
+                if attempt > 8:
+                    raise
+                options = _dc_replace(
+                    options,
+                    start_threshold=signature.threshold + options.threshold_step,
+                    max_threshold=max(
+                        options.max_threshold,
+                        signature.threshold + options.threshold_step,
+                    ),
+                )
+                signature = compress_trace(
+                    trace, target_ratio=target_ratio, options=options
+                )
+                scaled = scale_signature(signature, K, comm_scaler=comm_scaler)
+    program = skeleton_program(scaled, gap_model=gap_model)
+
+    goodness = shortest_good_skeleton(signature)
+    flagged = goodness.flags(target_seconds)
+    if flagged and warn:
+        warnings.warn(
+            f"requested {target_seconds:.3g}s skeleton for "
+            f"{trace.program_name} is below the estimated shortest good "
+            f"skeleton ({goodness.min_good_seconds:.3g}s); prediction "
+            f"quality may be reduced",
+            SkeletonQualityWarning,
+            stacklevel=2,
+        )
+
+    return SkeletonBundle(
+        program=program,
+        signature=signature,
+        scaled=scaled,
+        K=K,
+        target_seconds=target_seconds,
+        goodness=goodness,
+        flagged=flagged,
+    )

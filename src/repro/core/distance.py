@@ -1,0 +1,72 @@
+"""N-dimensional event dissimilarity (paper §3.2).
+
+"Formally we have developed a measure for dissimilarity of events in
+N-dimensional space ..., with one dimension for each parameter of an
+execution event." Events of different MPI primitives (or different
+peers/tags) are never comparable — they live in different spaces and
+the clusterer keys on :meth:`ExecEvent.key` first. Within a key, the
+dissimilarity is the Chebyshev (max) norm over per-dimension
+normalised differences, so a similarity threshold *t* "linearly
+relates to the maximum difference in message sizes allowed" — for
+message events the dominant dimension is the payload size, normalised
+by the largest payload in the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class DimensionScales:
+    """Normalisation scales per continuous dimension.
+
+    A scale of 0 means the dimension is absent from the trace (all
+    zero); differences there are then required to be exactly zero.
+    """
+
+    nbytes: float
+    duration: float
+
+    @staticmethod
+    def from_events(events) -> "DimensionScales":
+        max_bytes = 0.0
+        max_dur = 0.0
+        for ev in events:
+            if ev.nbytes > max_bytes:
+                max_bytes = ev.nbytes
+            if ev.duration > max_dur:
+                max_dur = ev.duration
+        return DimensionScales(nbytes=max_bytes, duration=max_dur)
+
+
+def _norm_diff(a: float, b: float, scale: float) -> float:
+    if scale <= 0.0:
+        return 0.0 if a == b else float("inf")
+    return abs(a - b) / scale
+
+
+def dissimilarity(
+    vec_a: Sequence[float], vec_b: Sequence[float], scales: Sequence[float]
+) -> float:
+    """Chebyshev norm of per-dimension normalised differences."""
+    if len(vec_a) != len(vec_b) or len(vec_a) != len(scales):
+        raise ValueError("dissimilarity requires equal-length vectors")
+    worst = 0.0
+    for a, b, s in zip(vec_a, vec_b, scales):
+        d = _norm_diff(a, b, s)
+        if d > worst:
+            worst = d
+    return worst
+
+
+def event_vector(ev) -> tuple[float, ...]:
+    """Continuous-parameter vector of an event (payload size only —
+    durations are measurements, not call parameters, and the paper
+    clusters on call parameters)."""
+    return (ev.nbytes,)
+
+
+def event_scales(scales: DimensionScales) -> tuple[float, ...]:
+    return (scales.nbytes,)

@@ -1,0 +1,91 @@
+"""Canonical execution events for signature construction.
+
+The paper's compression treats the trace as a sequence of
+*communication events* with computation riding along: "the compression
+procedure is applied across communication operations without regard to
+interleaving computations" (§3.2). Accordingly an :class:`ExecEvent`
+is one MPI call with the *compute gap that preceded it* attached; the
+residual compute after a rank's final call is the stream's
+``tail_gap``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.trace.records import Trace, TraceRecord
+
+
+@dataclass(frozen=True, slots=True)
+class ExecEvent:
+    """One communication event plus its preceding compute gap."""
+
+    call: str
+    peer: int        # peer rank / root; -1 for non-rooted collectives
+    tag: int         # user tag; -1 where not applicable
+    nbytes: float
+    duration: float  # time spent inside the MPI call
+    gap: float       # compute time since the previous call
+    nreqs: int = 0   # request count for MPI_Waitall
+    src: int = -1    # receive source for MPI_Sendrecv
+    group: tuple = ()  # sub-communicator members; () = COMM_WORLD
+
+    def key(self) -> tuple:
+        """Hard clustering key: events differing here never merge."""
+        return (self.call, self.peer, self.tag, self.nreqs, self.src,
+                self.group)
+
+
+@dataclass
+class RankStream:
+    """One rank's event stream."""
+
+    rank: int
+    events: list[ExecEvent] = field(default_factory=list)
+    tail_gap: float = 0.0
+
+    def total_time(self) -> float:
+        return sum(e.gap + e.duration for e in self.events) + self.tail_gap
+
+    def comm_time(self) -> float:
+        return sum(e.duration for e in self.events)
+
+
+def _to_event(rec: TraceRecord, gap: float) -> ExecEvent:
+    params = rec.params
+    tag = int(params.get("tag", -1))
+    return ExecEvent(
+        call=rec.call,
+        peer=rec.peer,
+        tag=tag,
+        nbytes=float(rec.nbytes),
+        duration=rec.duration,
+        gap=gap,
+        nreqs=int(params.get("count", 0)),
+        src=int(params.get("source", -1)),
+        group=tuple(params.get("group", ())),
+    )
+
+
+def trace_to_streams(trace: Trace) -> list[RankStream]:
+    """Convert a trace into per-rank event streams.
+
+    Compute gaps are derived from inter-call timestamps exactly as the
+    paper does with its gettimeofday records: the gap before call *i*
+    is ``t_start[i] - t_end[i-1]`` (``t_start[0]`` for the first).
+    """
+    if not trace.finish_times:
+        raise TraceError("trace lacks finish times")
+    streams: list[RankStream] = []
+    for rank in range(trace.nranks):
+        records = trace.records[rank]
+        stream = RankStream(rank=rank)
+        prev_end = 0.0
+        for rec in records:
+            gap = max(0.0, rec.t_start - prev_end)
+            stream.events.append(_to_event(rec, gap))
+            prev_end = rec.t_end
+        stream.tail_gap = max(0.0, trace.finish_times[rank] - prev_end)
+        streams.append(stream)
+    return streams

@@ -1,0 +1,107 @@
+"""Shortest "good" skeleton estimation (paper §3.4).
+
+"To determine the shortest good skeleton, the framework identifies the
+dominant sequence of execution events in the application that comprise
+a significantly large percentage of application execution time. A
+skeleton is considered a good skeleton if at least one full iteration
+of the dominant sequence of execution events is included."
+
+The dominant sequence is found per rank: among all loop nodes whose
+total time (iteration time × total repetitions) covers at least
+``min_share`` of the rank's time, the most deeply repeated one (the
+basic repeating unit — e.g. one CG inner iteration, one IS ranking
+round including its all-to-all). The minimum good skeleton time is the
+duration of one full iteration of that sequence, maximised over ranks
+(every rank must fit one iteration in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.signature import LoopNode, RankSignature, Signature
+from repro.errors import SignatureError
+
+#: A loop must cover at least this share of a rank's time to be a
+#: candidate dominant sequence.
+DEFAULT_MIN_SHARE = 0.5
+
+
+@dataclass(frozen=True)
+class RankDominance:
+    """Dominant sequence of one rank."""
+
+    rank: int
+    iteration_seconds: float
+    total_reps: int
+    time_share: float
+
+
+@dataclass(frozen=True)
+class GoodnessReport:
+    """Result of the shortest-good-skeleton analysis (Figure 4 rows)."""
+
+    program_name: str
+    min_good_seconds: float
+    per_rank: tuple[RankDominance, ...]
+
+    def flags(self, target_seconds: float) -> bool:
+        """True if a skeleton of ``target_seconds`` is below the
+        estimated minimum and should be flagged as potentially not
+        good."""
+        return target_seconds < self.min_good_seconds
+
+
+def _dominant(rank_sig: RankSignature, min_share: float) -> Optional[RankDominance]:
+    total = rank_sig.total_time()
+    if total <= 0:
+        return None
+    best: Optional[RankDominance] = None
+    fallback: Optional[RankDominance] = None
+    for loop, reps in rank_sig.iter_loops():
+        loop_total = loop.iteration_time() * reps
+        share = loop_total / total
+        cand = RankDominance(
+            rank=rank_sig.rank,
+            iteration_seconds=loop.iteration_time(),
+            total_reps=reps,
+            time_share=share,
+        )
+        if share >= min_share:
+            # Most deeply repeated qualifying loop = basic unit.
+            if best is None or reps > best.total_reps:
+                best = cand
+        if fallback is None or share > fallback.time_share:
+            fallback = cand
+    if best is None and fallback is None:
+        # No repeating structure at all: the whole execution is its own
+        # dominant sequence — no shorter skeleton can be "good".
+        fallback = RankDominance(
+            rank=rank_sig.rank,
+            iteration_seconds=total,
+            total_reps=1,
+            time_share=1.0,
+        )
+    return best or fallback
+
+
+def shortest_good_skeleton(
+    signature: Signature, min_share: float = DEFAULT_MIN_SHARE
+) -> GoodnessReport:
+    """Estimate the minimum execution time of a good skeleton."""
+    per_rank: list[RankDominance] = []
+    for rank_sig in signature.ranks:
+        dom = _dominant(rank_sig, min_share)
+        if dom is not None:
+            per_rank.append(dom)
+    if not per_rank:
+        raise SignatureError(
+            "signature has no repeating structure to derive a dominant "
+            "sequence from"
+        )
+    return GoodnessReport(
+        program_name=signature.program_name,
+        min_good_seconds=max(d.iteration_seconds for d in per_rank),
+        per_rank=tuple(per_rank),
+    )

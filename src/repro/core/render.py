@@ -1,0 +1,84 @@
+"""Human-readable rendering of execution signatures.
+
+Produces the paper's ``α[(β)²γ]³κ[α]²`` view of a signature as an
+indented text tree, with event parameters and compute gaps — used by
+the CLI's ``signature`` command and handy when eyeballing what the
+compressor recovered.
+"""
+
+from __future__ import annotations
+
+from repro.core.signature import EventStats, LoopNode, Node, RankSignature, Signature
+from repro.util.timebase import format_duration
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes / (1 << 20):.1f}MB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes / (1 << 10):.1f}KB"
+    return f"{nbytes:.0f}B"
+
+
+def _leaf_line(leaf: EventStats) -> str:
+    parts = [leaf.call.replace("MPI_", "")]
+    details = []
+    if leaf.peer >= 0:
+        details.append(f"peer={leaf.peer}")
+    if leaf.mean_bytes > 0:
+        details.append(_fmt_bytes(leaf.mean_bytes))
+    if leaf.nreqs > 0:
+        details.append(f"n={leaf.nreqs}")
+    if details:
+        parts.append("(" + ", ".join(details) + ")")
+    if leaf.mean_gap > 0:
+        parts.append(f"after {format_duration(leaf.mean_gap)} compute")
+    if leaf.count > 1:
+        parts.append(f"[avg of {leaf.count}]")
+    return " ".join(parts)
+
+
+def _render_nodes(nodes: list[Node], lines: list[str], depth: int,
+                  max_depth: int) -> None:
+    pad = "  " * depth
+    for node in nodes:
+        if isinstance(node, LoopNode):
+            lines.append(f"{pad}loop x{node.count}:")
+            if depth + 1 <= max_depth:
+                _render_nodes(node.body, lines, depth + 1, max_depth)
+            else:
+                lines.append(f"{pad}  ... ({node.n_leaves()} events)")
+        else:
+            lines.append(pad + _leaf_line(node))
+
+
+def render_rank_signature(
+    rank_sig: RankSignature, max_depth: int = 6
+) -> str:
+    """Text tree of one rank's signature."""
+    lines = [
+        f"rank {rank_sig.rank}: {rank_sig.n_leaves()} entries, "
+        f"{rank_sig.expanded_length()} events when expanded, "
+        f"{format_duration(rank_sig.total_time())}"
+    ]
+    _render_nodes(rank_sig.nodes, lines, 1, max_depth)
+    if rank_sig.tail_gap > 0:
+        lines.append(f"  trailing compute {format_duration(rank_sig.tail_gap)}")
+    return "\n".join(lines)
+
+
+def render_signature(
+    signature: Signature, ranks: int | None = 1, max_depth: int = 6
+) -> str:
+    """Text rendering of a signature (first ``ranks`` ranks; None =
+    all)."""
+    header = (
+        f"signature of {signature.program_name}: threshold "
+        f"{signature.threshold:.3f}, compression "
+        f"{signature.compression_ratio:.1f}x "
+        f"({signature.trace_events} -> {signature.n_leaves()} events)"
+    )
+    show = signature.ranks if ranks is None else signature.ranks[:ranks]
+    return "\n".join(
+        [header] + [render_rank_signature(r, max_depth) for r in show]
+    )

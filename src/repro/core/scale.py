@@ -1,0 +1,163 @@
+"""Signature scaling by factor K (paper §3.3).
+
+The four construction steps:
+
+1. Top-level loop iteration counts are divided by K; the division
+   remainder becomes part of the *unreduced* signature.
+2. Groups of K identical operations in the unreduced part collapse to
+   a single full-scale occurrence.
+3. Every remaining unreduced operation is scaled down by K: compute
+   durations divide by K, message byte counts divide by K. (Message
+   *latency* cannot be scaled this way — the paper's §3.3 caveat — and
+   our simulator charges it in full, so this error source is live.)
+4. Conversion to a program is :mod:`repro.core.skeleton` (runnable)
+   and :mod:`repro.core.codegen` (synthetic C).
+
+Implementation note: rather than emitting the r = n mod K remainder
+iterations as r unrolled copies that step 3 would each shrink by 1/K,
+we emit one copy scaled by r/K — the same aggregate work and traffic
+with far fewer operations. Step 2's group collapsing is applied to
+runs of identical unreduced leaves the same way (m occurrences →
+⌊m/K⌋ full + one (m mod K)/K-scaled occurrence).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.core.signature import EventStats, LoopNode, Node, RankSignature, Signature
+from repro.errors import SkeletonError
+
+#: Remainder fractions below this are dropped (they would produce
+#: sub-microsecond compute and sub-byte messages).
+_MIN_FRACTION = 1e-6
+
+#: Strategy for scaling a communication payload: maps (leaf, fraction)
+#: to the scaled byte count. The paper's method is plain
+#: multiplication (``naive_comm_scaler``); the latency-aware extension
+#: (:mod:`repro.ext.latency_aware`) compensates for the unscalable
+#: latency component.
+CommScaler = Callable[[EventStats, float], float]
+
+
+def naive_comm_scaler(leaf: EventStats, fraction: float) -> float:
+    """The paper's §3.3 reduction: bytes scale linearly with 1/K."""
+    return leaf.mean_bytes * fraction
+
+
+def _scaled_leaf(
+    leaf: EventStats, fraction: float, comm_scaler: CommScaler
+) -> EventStats:
+    """A copy of ``leaf`` with work and payload scaled by ``fraction``."""
+    return replace(
+        leaf,
+        mean_bytes=comm_scaler(leaf, fraction),
+        mean_gap=leaf.mean_gap * fraction,
+        mean_duration=leaf.mean_duration * fraction,
+        gap_samples=[g * fraction for g in leaf.gap_samples],
+    )
+
+
+def _scale_node(node: Node, fraction: float, comm_scaler: CommScaler) -> Node:
+    if isinstance(node, EventStats):
+        return _scaled_leaf(node, fraction, comm_scaler)
+    # Scaling a whole loop: reduce its count proportionally (keeps
+    # per-iteration semantics intact); once fewer than one iteration
+    # remains, keep a single iteration and push the residual fraction
+    # into the body instead.
+    scaled_count = node.count * fraction
+    if scaled_count >= 1.0:
+        return LoopNode(body=list(node.body), count=int(round(scaled_count)))
+    return LoopNode(
+        body=[_scale_node(child, scaled_count, comm_scaler) for child in node.body],
+        count=1,
+    )
+
+
+def _leaf_identity(leaf: EventStats) -> tuple:
+    return (leaf.call, leaf.peer, leaf.tag, leaf.nreqs, leaf.src,
+            round(leaf.mean_bytes, 6))
+
+
+@dataclass
+class ScaledSignature:
+    """A signature after scaling: ready for program generation."""
+
+    base_name: str
+    nranks: int
+    K: float
+    K_int: int
+    ranks: list[RankSignature]
+    #: Estimated per-rank serial time of the skeleton.
+    estimate: float = 0.0
+
+
+def _scale_rank(
+    rank_sig: RankSignature, K: float, K_int: int, comm_scaler: CommScaler
+) -> RankSignature:
+    out: list[Node] = []
+    unreduced: list[EventStats] = []  # run of identical leaves pending step 2
+
+    def flush_run() -> None:
+        """Apply step 2 + 3 to the pending run of identical leaves."""
+        if not unreduced:
+            return
+        m = len(unreduced)
+        full, rem = divmod(m, K_int)
+        proto = unreduced[0]
+        for _ in range(full):
+            out.append(replace(proto, gap_samples=list(proto.gap_samples)))
+        fraction = rem / K
+        if fraction > _MIN_FRACTION:
+            out.append(_scaled_leaf(proto, fraction, comm_scaler))
+        unreduced.clear()
+
+    for node in rank_sig.nodes:
+        if isinstance(node, EventStats):
+            if unreduced and _leaf_identity(unreduced[-1]) != _leaf_identity(node):
+                flush_run()
+            unreduced.append(node)
+            continue
+        flush_run()
+        # Step 1: divide the top-level loop count by K.
+        q, r = divmod(node.count, K_int)
+        if q >= 1:
+            out.append(LoopNode(body=list(node.body), count=q))
+        remainder_iters = r if q >= 1 else node.count
+        fraction = remainder_iters / K
+        if fraction > _MIN_FRACTION:
+            # Steps 2+3 on the unrolled remainder: one body copy at
+            # fraction scale (see module docstring).
+            for child in node.body:
+                out.append(_scale_node(child, fraction, comm_scaler))
+    flush_run()
+
+    return RankSignature(
+        rank=rank_sig.rank,
+        nodes=out,
+        tail_gap=rank_sig.tail_gap / K,
+    )
+
+
+def scale_signature(
+    signature: Signature,
+    K: float,
+    comm_scaler: Optional[CommScaler] = None,
+) -> ScaledSignature:
+    """Apply the paper's §3.3 scaling to every rank of ``signature``."""
+    if not math.isfinite(K) or K < 1.0:
+        raise SkeletonError(f"scaling factor must be >= 1, got {K}")
+    comm_scaler = comm_scaler or naive_comm_scaler
+    K_int = max(1, int(round(K)))
+    ranks = [_scale_rank(r, K, K_int, comm_scaler) for r in signature.ranks]
+    scaled = ScaledSignature(
+        base_name=signature.program_name,
+        nranks=signature.nranks,
+        K=K,
+        K_int=K_int,
+        ranks=ranks,
+    )
+    scaled.estimate = max(r.total_time() for r in ranks)
+    return scaled

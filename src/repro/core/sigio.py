@@ -1,0 +1,139 @@
+"""Execution-signature (de)serialisation.
+
+Signatures are the framework's durable artifact: trace once, store the
+signature, generate skeletons of any size later without re-tracing
+(see :func:`repro.ext.rescale.retarget_skeleton`). The format is a
+single JSON document; loop nests serialise recursively.
+
+Gap samples are optional in the file (``include_samples``) — they are
+only needed for the distribution-preserving gap model and can dominate
+file size for long traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.core.signature import EventStats, LoopNode, Node, RankSignature, Signature
+from repro.errors import SignatureError
+
+_FORMAT_VERSION = 1
+
+
+def _node_to_obj(node: Node, include_samples: bool) -> dict:
+    if isinstance(node, LoopNode):
+        return {
+            "t": "loop",
+            "n": node.count,
+            "body": [_node_to_obj(c, include_samples) for c in node.body],
+        }
+    obj = {
+        "t": "ev",
+        "call": node.call,
+        "peer": node.peer,
+        "tag": node.tag,
+        "nreqs": node.nreqs,
+        "src": node.src,
+        "bytes": node.mean_bytes,
+        "gap": node.mean_gap,
+        "dur": node.mean_duration,
+        "count": node.count,
+    }
+    if node.group:
+        obj["group"] = list(node.group)
+    if include_samples and node.gap_samples:
+        obj["gaps"] = node.gap_samples
+    return obj
+
+
+def _node_from_obj(obj: dict) -> Node:
+    kind = obj.get("t")
+    if kind == "loop":
+        return LoopNode(
+            body=[_node_from_obj(c) for c in obj["body"]],
+            count=int(obj["n"]),
+        )
+    if kind == "ev":
+        return EventStats(
+            call=str(obj["call"]),
+            peer=int(obj["peer"]),
+            tag=int(obj["tag"]),
+            nreqs=int(obj.get("nreqs", 0)),
+            src=int(obj.get("src", -1)),
+            mean_bytes=float(obj["bytes"]),
+            mean_gap=float(obj["gap"]),
+            mean_duration=float(obj["dur"]),
+            count=int(obj.get("count", 1)),
+            group=tuple(int(m) for m in obj.get("group", [])),
+            gap_samples=[float(g) for g in obj.get("gaps", [])],
+        )
+    raise SignatureError(f"unknown signature node type {kind!r}")
+
+
+def signature_to_dict(signature: Signature, include_samples: bool = True) -> dict:
+    """Plain-dict form of a signature (JSON-ready)."""
+    return {
+        "format": _FORMAT_VERSION,
+        "program": signature.program_name,
+        "nranks": signature.nranks,
+        "threshold": signature.threshold,
+        "compression_ratio": signature.compression_ratio,
+        "trace_events": signature.trace_events,
+        "ranks": [
+            {
+                "rank": r.rank,
+                "tail_gap": r.tail_gap,
+                "nodes": [_node_to_obj(n, include_samples) for n in r.nodes],
+            }
+            for r in signature.ranks
+        ],
+    }
+
+
+def signature_from_dict(obj: dict) -> Signature:
+    """Inverse of :func:`signature_to_dict`."""
+    if obj.get("format") != _FORMAT_VERSION:
+        raise SignatureError(
+            f"unsupported signature format {obj.get('format')!r}"
+        )
+    try:
+        ranks = [
+            RankSignature(
+                rank=int(r["rank"]),
+                nodes=[_node_from_obj(n) for n in r["nodes"]],
+                tail_gap=float(r.get("tail_gap", 0.0)),
+            )
+            for r in obj["ranks"]
+        ]
+        return Signature(
+            program_name=str(obj.get("program", "")),
+            nranks=int(obj["nranks"]),
+            ranks=ranks,
+            threshold=float(obj.get("threshold", 0.0)),
+            compression_ratio=float(obj.get("compression_ratio", 1.0)),
+            trace_events=int(obj.get("trace_events", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SignatureError(f"malformed signature document: {exc}") from exc
+
+
+def write_signature(
+    signature: Signature,
+    path: Union[str, os.PathLike],
+    include_samples: bool = True,
+) -> None:
+    """Write a signature to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(signature_to_dict(signature, include_samples), fh)
+
+
+def read_signature(path: Union[str, os.PathLike]) -> Signature:
+    """Read a signature written by :func:`write_signature`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            obj = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise SignatureError(f"{path}: not valid JSON: {exc}") from exc
+    return signature_from_dict(obj)

@@ -1,0 +1,183 @@
+"""Execution-signature data model (paper §3.2).
+
+A signature is the compressed form of a trace: per rank, a sequence of
+nodes that are either :class:`EventStats` leaves (one communication
+event with averaged parameters and its averaged preceding compute gap)
+or :class:`LoopNode` loops whose body is again a node sequence. Loop
+nesting is recursive, exactly the ``α[(β)²γ]³κ[α]²`` structure of the
+paper's example.
+
+Leaves keep their per-instance gap samples so the distribution-
+preserving extension (``repro.ext.distribution``) can reproduce
+variability instead of the mean — the paper's stated future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import SignatureError
+
+Node = Union["EventStats", "LoopNode"]
+
+
+@dataclass
+class EventStats:
+    """A signature leaf: one (possibly merged) communication event."""
+
+    call: str
+    peer: int
+    tag: int
+    nreqs: int
+    mean_bytes: float
+    mean_gap: float
+    mean_duration: float
+    count: int = 1
+    src: int = -1
+    group: tuple = ()
+    gap_samples: list[float] = field(default_factory=list)
+
+    @staticmethod
+    def from_event(ev) -> "EventStats":
+        return EventStats(
+            call=ev.call,
+            peer=ev.peer,
+            tag=ev.tag,
+            nreqs=ev.nreqs,
+            mean_bytes=ev.nbytes,
+            mean_gap=ev.gap,
+            mean_duration=ev.duration,
+            count=1,
+            src=ev.src,
+            group=getattr(ev, "group", ()),
+            gap_samples=[ev.gap],
+        )
+
+    def merged_with(self, other: "EventStats") -> "EventStats":
+        """Position-wise merge of corresponding events from two
+        repetitions ("an average value of execution time for the
+        corresponding computation events in the sequence is used")."""
+        if (self.call, self.peer, self.tag, self.nreqs, self.src,
+                self.group) != (
+            other.call, other.peer, other.tag, other.nreqs, other.src,
+            other.group,
+        ):
+            raise SignatureError("merging incompatible events")
+        n, m = self.count, other.count
+        total = n + m
+        return EventStats(
+            call=self.call,
+            peer=self.peer,
+            tag=self.tag,
+            nreqs=self.nreqs,
+            mean_bytes=(self.mean_bytes * n + other.mean_bytes * m) / total,
+            mean_gap=(self.mean_gap * n + other.mean_gap * m) / total,
+            mean_duration=(self.mean_duration * n + other.mean_duration * m)
+            / total,
+            count=total,
+            src=self.src,
+            group=self.group,
+            gap_samples=self.gap_samples + other.gap_samples,
+        )
+
+    # -- tree measures -------------------------------------------------
+
+    def n_leaves(self) -> int:
+        return 1
+
+    def expanded_length(self) -> int:
+        return 1
+
+    def total_time(self) -> float:
+        """Mean contribution of one occurrence (gap + call time)."""
+        return self.mean_gap + self.mean_duration
+
+
+@dataclass
+class LoopNode:
+    """A repeated node sequence: ``count`` iterations of ``body``."""
+
+    body: list[Node]
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SignatureError("loop count must be >= 1")
+        if not self.body:
+            raise SignatureError("loop body must not be empty")
+
+    def n_leaves(self) -> int:
+        return sum(node.n_leaves() for node in self.body)
+
+    def expanded_length(self) -> int:
+        return self.count * sum(node.expanded_length() for node in self.body)
+
+    def iteration_time(self) -> float:
+        """Mean time of one iteration of the body."""
+        return sum(node.total_time() for node in self.body)
+
+    def total_time(self) -> float:
+        return self.count * self.iteration_time()
+
+
+@dataclass
+class RankSignature:
+    """One rank's compressed execution record."""
+
+    rank: int
+    nodes: list[Node] = field(default_factory=list)
+    tail_gap: float = 0.0
+
+    def n_leaves(self) -> int:
+        return sum(node.n_leaves() for node in self.nodes)
+
+    def expanded_length(self) -> int:
+        return sum(node.expanded_length() for node in self.nodes)
+
+    def total_time(self) -> float:
+        return sum(node.total_time() for node in self.nodes) + self.tail_gap
+
+    def iter_leaves(self) -> Iterator[EventStats]:
+        """All leaves in order (each once, ignoring repetition)."""
+        stack: list[Node] = list(reversed(self.nodes))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, EventStats):
+                yield node
+            else:
+                stack.extend(reversed(node.body))
+
+    def iter_loops(self) -> Iterator[tuple[LoopNode, int]]:
+        """All loop nodes with their *total* repetition count (the
+        product of the counts of enclosing loops and their own)."""
+        stack: list[tuple[Node, int]] = [(n, 1) for n in reversed(self.nodes)]
+        while stack:
+            node, outer = stack.pop()
+            if isinstance(node, LoopNode):
+                reps = outer * node.count
+                yield node, reps
+                stack.extend((child, reps) for child in reversed(node.body))
+
+
+@dataclass
+class Signature:
+    """The whole application's execution signature."""
+
+    program_name: str
+    nranks: int
+    ranks: list[RankSignature]
+    threshold: float
+    compression_ratio: float
+    trace_events: int
+
+    def __post_init__(self) -> None:
+        if len(self.ranks) != self.nranks:
+            raise SignatureError("rank signature count mismatch")
+
+    def n_leaves(self) -> int:
+        return sum(r.n_leaves() for r in self.ranks)
+
+    def elapsed_estimate(self) -> float:
+        """Per-rank serial time estimate (max over ranks)."""
+        return max(r.total_time() for r in self.ranks)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency inside the discrete-event simulator."""
+
+
+class DeadlockError(SimulationError):
+    """The simulated program can make no further progress.
+
+    Raised when every live rank is blocked (e.g. on an unmatched receive
+    or an unpaired collective) and no event remains in the queue.
+    """
+
+    def __init__(self, message: str, blocked_ranks: list[int] | None = None):
+        super().__init__(message)
+        #: Ranks that were blocked when the deadlock was detected.
+        self.blocked_ranks: list[int] = blocked_ranks or []
+
+
+class ProgramError(SimulationError):
+    """A simulated program used the message-passing API incorrectly."""
+
+
+class TopologyError(ReproError):
+    """Invalid cluster description (unknown node, bad capacity, ...)."""
+
+
+class TraceError(ReproError):
+    """Malformed trace data or trace file."""
+
+
+class SignatureError(ReproError):
+    """Invalid execution-signature structure or construction failure."""
+
+
+class SkeletonError(ReproError):
+    """Skeleton generation failed (e.g. impossible scaling factor)."""
+
+
+class SkeletonQualityWarning(UserWarning):
+    """Warning issued when a requested skeleton is smaller than the
+    estimated shortest *good* skeleton (paper section 3.4)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment configuration or execution failure."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload parameters (unsupported class, rank count, ...)."""

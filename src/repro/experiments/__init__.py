@@ -1,0 +1,34 @@
+"""The paper's experiment matrix and figure regeneration (section 4)."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResults, ExperimentRunner, run_experiments
+from repro.experiments.figures import (
+    figure2_activity,
+    figure3_error_by_benchmark,
+    figure4_good_skeletons,
+    figure5_error_by_size,
+    figure6_error_by_scenario,
+    figure7_baselines,
+)
+from repro.experiments.report import full_report
+from repro.experiments.anatomy import ErrorAnatomy, analyze_error_sources
+from repro.experiments.sweeps import SizeSweep, SweepPoint, sweep_skeleton_sizes
+
+__all__ = [
+    "ErrorAnatomy",
+    "analyze_error_sources",
+    "SizeSweep",
+    "SweepPoint",
+    "sweep_skeleton_sizes",
+    "ExperimentConfig",
+    "ExperimentResults",
+    "ExperimentRunner",
+    "run_experiments",
+    "figure2_activity",
+    "figure3_error_by_benchmark",
+    "figure4_good_skeletons",
+    "figure5_error_by_size",
+    "figure6_error_by_scenario",
+    "figure7_baselines",
+    "full_report",
+]

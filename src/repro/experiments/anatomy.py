@@ -1,0 +1,113 @@
+"""Error anatomy: decompose skeleton prediction error into its sources.
+
+The paper names the suspects — approximation in skeleton construction
+(clustering, averaging, remainder scaling; §3.3/§4.4) versus plain
+measurement variance of a shared system. This experiment separates
+them for one benchmark:
+
+* **replay error** — a K=1 skeleton vs the application under *steady*
+  contention: pure trace-replay fidelity (should be ~0);
+* **construction error** — the scaled skeleton vs the application
+  under steady contention: what clustering/averaging/scaling cost,
+  with no environment noise at all;
+* **environment error** — the same skeleton under bursty contention
+  (single probe): construction error plus sampling noise — the
+  deployed regime;
+* **multi-probe residual** — the mean of several probes: what remains
+  once sampling noise is averaged away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.contention import Scenario
+from repro.cluster.topology import Cluster
+from repro.core.construct import build_skeleton
+from repro.ext.multiprobe import predict_interval
+from repro.predict.metrics import prediction_error_percent
+from repro.predict.predictor import SkeletonPredictor
+from repro.sim.program import Program, run_program
+from repro.trace.tracer import trace_program
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class ErrorAnatomy:
+    """Decomposed error sources for one benchmark + scenario pair."""
+
+    program_name: str
+    scenario_name: str
+    target_seconds: float
+    replay_error: float        # K=1, steady
+    construction_error: float  # K=target, steady
+    single_probe_error: float  # K=target, bursty, one probe
+    multi_probe_error: float   # K=target, bursty, mean of probes
+
+    def render(self) -> str:
+        table = Table(
+            title=(
+                f"Error anatomy — {self.program_name} under "
+                f"{self.scenario_name} ({self.target_seconds:g}s skeleton)"
+            ),
+            columns=["source", "error %"],
+        )
+        table.add_row("trace replay (K=1, steady)", self.replay_error)
+        table.add_row("skeleton construction (steady)", self.construction_error)
+        table.add_row("single probe (bursty)", self.single_probe_error)
+        table.add_row(
+            "multi-probe mean (bursty)", self.multi_probe_error
+        )
+        return table.render()
+
+
+def analyze_error_sources(
+    program: Program,
+    cluster: Cluster,
+    steady_scenario: Scenario,
+    bursty_scenario: Scenario,
+    target_seconds: float,
+    n_probes: int = 5,
+    seed: int = 0,
+) -> ErrorAnatomy:
+    """Run the four-way decomposition for one program."""
+    trace, dedicated = trace_program(program, cluster)
+
+    # Ground truths.
+    steady_actual = run_program(program, cluster, steady_scenario).elapsed
+    bursty_actual = run_program(
+        program, cluster, bursty_scenario,
+        seed=derive_seed(seed, "anatomy-actual"),
+    ).elapsed
+
+    # K=1 replay under steady contention.
+    replay = build_skeleton(trace, scaling_factor=1.0, warn=False)
+    replay_time = run_program(replay.program, cluster, steady_scenario).elapsed
+    replay_error = prediction_error_percent(replay_time, steady_actual)
+
+    # Scaled skeleton.
+    bundle = build_skeleton(trace, target_seconds=target_seconds, warn=False)
+    predictor = SkeletonPredictor(
+        bundle.program, dedicated.elapsed, cluster, seed=seed
+    )
+    construction_pred = predictor.predict(steady_scenario)
+    construction_error = construction_pred.error_percent(steady_actual)
+
+    single_pred = predictor.predict(bursty_scenario)
+    single_error = single_pred.error_percent(bursty_actual)
+
+    interval = predict_interval(
+        predictor, bursty_scenario, n_probes=n_probes, base_seed=seed
+    )
+    multi_error = prediction_error_percent(interval.expected, bursty_actual)
+
+    return ErrorAnatomy(
+        program_name=program.name,
+        scenario_name=bursty_scenario.name,
+        target_seconds=target_seconds,
+        replay_error=replay_error,
+        construction_error=construction_error,
+        single_probe_error=single_error,
+        multi_probe_error=multi_error,
+    )

@@ -1,0 +1,51 @@
+"""Experiment matrix configuration (paper §4.1–4.2).
+
+Defaults reproduce the paper: the six Class B NAS benchmarks on a
+4-node dual-CPU testbed, skeletons of 10/5/2/1/0.5 seconds, the five
+sharing scenarios, plus Class S runs for the §4.5 baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+
+#: Benchmarks evaluated in the paper, in its presentation order.
+PAPER_BENCHMARKS = ("bt", "cg", "is", "lu", "mg", "sp")
+
+#: Intended skeleton execution times, in seconds (paper §4.2).
+PAPER_SKELETON_TARGETS = (10.0, 5.0, 2.0, 1.0, 0.5)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that identifies one experiment campaign."""
+
+    benchmarks: tuple[str, ...] = PAPER_BENCHMARKS
+    klass: str = "B"
+    baseline_klass: str = "S"
+    nprocs: int = 4
+    nnodes: int = 4
+    skeleton_targets: tuple[float, ...] = PAPER_SKELETON_TARGETS
+    #: Workload seed (compute jitter, IS key distributions).
+    workload_seed: int = 12345
+    #: Environment seed (load bursts, traffic fluctuation).
+    environment_seed: int = 777
+    #: Steady (deterministic) contention instead of bursty sharing.
+    steady: bool = False
+
+    def key(self) -> str:
+        """Stable content hash used as the results-cache key."""
+        blob = json.dumps(asdict(self), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class QuickConfig(ExperimentConfig):
+    """A scaled-down matrix for tests and smoke runs: the three
+    fastest benchmarks and two skeleton sizes."""
+
+    benchmarks: tuple[str, ...] = ("cg", "is", "mg")
+    skeleton_targets: tuple[float, ...] = (5.0, 0.5)

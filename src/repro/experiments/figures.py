@@ -1,0 +1,138 @@
+"""Builders for every figure in the paper's evaluation (section 4).
+
+Each function takes :class:`~repro.experiments.runner.ExperimentResults`
+and returns a :class:`~repro.util.tables.Table` whose rows carry the
+same quantities the paper plots; the raw numbers are also retrievable
+from the table rows for assertions in tests/benches.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResults
+from repro.util.stats import summarize_errors
+from repro.util.tables import Table
+
+
+def _fmt_target(target: float) -> str:
+    return f"{target:g} s"
+
+
+def figure2_activity(results: ExperimentResults) -> Table:
+    """Figure 2: % time in compute vs MPI, application vs skeletons."""
+    table = Table(
+        title="Figure 2 — execution activity split (application vs skeletons)",
+        columns=["program", "variant", "compute %", "MPI %"],
+    )
+    for bench in results.benchmarks():
+        app = results.apps[bench]
+        table.add_row(
+            bench.upper(), "application",
+            app["compute_percent"], app["mpi_percent"],
+        )
+        for target in results.targets():
+            skel = results.skeletons[bench][f"{target:g}"]
+            table.add_row(
+                bench.upper(), f"{_fmt_target(target)} skeleton",
+                skel["compute_percent"], skel["mpi_percent"],
+            )
+    return table
+
+
+def figure3_error_by_benchmark(results: ExperimentResults) -> Table:
+    """Figure 3: prediction error per benchmark across skeleton sizes,
+    averaged over the sharing scenarios."""
+    targets = results.targets()
+    table = Table(
+        title="Figure 3 — prediction error (%) by benchmark, avg over scenarios",
+        columns=["benchmark"] + [_fmt_target(t) for t in targets],
+    )
+    per_target_totals = [0.0] * len(targets)
+    benches = results.benchmarks()
+    for bench in benches:
+        errs = [results.skeleton_avg_error(bench, t) for t in targets]
+        for i, e in enumerate(errs):
+            per_target_totals[i] += e
+        table.add_row(bench.upper(), *errs)
+    table.add_row(
+        "Average", *[tot / len(benches) for tot in per_target_totals]
+    )
+    return table
+
+
+def figure4_good_skeletons(results: ExperimentResults) -> Table:
+    """Figure 4: estimated minimum execution time of the smallest good
+    skeleton for each benchmark."""
+    table = Table(
+        title="Figure 4 — smallest good skeleton per benchmark",
+        columns=["application", "smallest skeleton (s)", "flagged targets"],
+    )
+    for bench in results.benchmarks():
+        any_target = f"{results.targets()[0]:g}"
+        min_good = results.skeletons[bench][any_target]["min_good"]
+        flagged = [
+            _fmt_target(t)
+            for t in results.targets()
+            if t < min_good
+        ]
+        table.add_row(bench.upper(), min_good, ", ".join(flagged) or "-")
+    return table
+
+
+def figure5_error_by_size(results: ExperimentResults) -> Table:
+    """Figure 5: the Figure 3 data grouped by skeleton size."""
+    benches = results.benchmarks()
+    table = Table(
+        title="Figure 5 — prediction error (%) by skeleton size",
+        columns=["skeleton size"] + [b.upper() for b in benches] + ["Average"],
+    )
+    for target in results.targets():
+        errs = [results.skeleton_avg_error(b, target) for b in benches]
+        table.add_row(
+            _fmt_target(target), *errs, sum(errs) / len(errs)
+        )
+    return table
+
+
+def figure6_error_by_scenario(
+    results: ExperimentResults, target: float = 10.0
+) -> Table:
+    """Figure 6: prediction error per sharing scenario (10 s skeletons)."""
+    benches = results.benchmarks()
+    table = Table(
+        title=f"Figure 6 — prediction error (%) by scenario ({target:g} s skeletons)",
+        columns=["scenario"] + [b.upper() for b in benches] + ["Average"],
+    )
+    for scen in results.scenario_names:
+        errs = [results.skeleton_error(b, target, scen) for b in benches]
+        table.add_row(scen, *errs, sum(errs) / len(errs))
+    return table
+
+
+def figure7_baselines(
+    results: ExperimentResults, scenario: str = "cpu+link-one"
+) -> Table:
+    """Figure 7: min/avg/max error of every prediction method under the
+    combined sharing scenario — skeletons of each size versus the
+    Class S and Average baselines."""
+    benches = results.benchmarks()
+    table = Table(
+        title=(
+            f"Figure 7 — min/avg/max prediction error (%) under "
+            f"'{scenario}' by method"
+        ),
+        columns=["method", "min %", "avg %", "max %"],
+    )
+    for target in results.targets():
+        summary = summarize_errors(
+            results.skeleton_error(b, target, scenario) for b in benches
+        )
+        table.add_row(f"{_fmt_target(target)} skeleton", *summary.as_row())
+    summary = summarize_errors(
+        results.class_s_error(b, scenario) for b in benches
+    )
+    table.add_row("Class S", *summary.as_row())
+    summary = summarize_errors(
+        results.average_prediction_error(b, scenario) for b in benches
+    )
+    table.add_row("Average", *summary.as_row())
+    return table

@@ -1,0 +1,80 @@
+"""Whole-evaluation report rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    figure2_activity,
+    figure3_error_by_benchmark,
+    figure4_good_skeletons,
+    figure5_error_by_size,
+    figure6_error_by_scenario,
+    figure7_baselines,
+)
+from repro.experiments.runner import ExperimentResults
+from repro.util.charts import bar_chart
+
+
+def error_charts(results: ExperimentResults) -> str:
+    """ASCII bar charts echoing the paper's bar-chart presentation:
+    average error by skeleton size and by scenario (10 s skeletons)."""
+    benches = results.benchmarks()
+    by_size = {
+        f"{t:g} s": sum(results.skeleton_avg_error(b, t) for b in benches)
+        / len(benches)
+        for t in results.targets()
+    }
+    top_target = max(results.targets())
+    by_scenario = {
+        scen: sum(results.skeleton_error(b, top_target, scen) for b in benches)
+        / len(benches)
+        for scen in results.scenario_names
+    }
+    return "\n\n".join(
+        [
+            bar_chart("Average error by skeleton size", by_size, unit="%"),
+            bar_chart(
+                f"Average error by scenario ({top_target:g} s skeletons)",
+                by_scenario,
+                unit="%",
+            ),
+        ]
+    )
+
+
+def overall_average_error(results: ExperimentResults) -> float:
+    """Mean prediction error across all benchmarks, scenarios, and
+    skeleton sizes — the paper's headline 6.7% number."""
+    errors = [
+        results.skeleton_error(bench, target, scen)
+        for bench in results.benchmarks()
+        for target in results.targets()
+        for scen in results.scenario_names
+    ]
+    return sum(errors) / len(errors)
+
+
+def full_report(results: ExperimentResults) -> str:
+    """Render every figure plus the headline summary as text."""
+    parts = [
+        f"Benchmarks: {', '.join(b.upper() for b in results.benchmarks())} "
+        f"(class {results.config['klass']}, {results.config['nprocs']} ranks)",
+        "",
+        figure2_activity(results).render(),
+        "",
+        figure3_error_by_benchmark(results).render(),
+        "",
+        figure4_good_skeletons(results).render(),
+        "",
+        figure5_error_by_size(results).render(),
+        "",
+        figure6_error_by_scenario(results, results.targets()[0]).render(),
+        "",
+        figure7_baselines(results).render(),
+        "",
+        error_charts(results),
+        "",
+        f"Overall average prediction error: "
+        f"{overall_average_error(results):.1f}% "
+        f"(paper reports 6.7%)",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,257 @@
+"""Experiment campaign runner with result caching.
+
+Executes the paper's full matrix:
+
+* each benchmark traced on the dedicated testbed (the skeleton input
+  and the dedicated reference time);
+* each benchmark measured under every sharing scenario (ground truth);
+* skeletons of every target size built, measured dedicated (scaling
+  ratio) and probed under every scenario;
+* Class S runs for the §4.5 baseline.
+
+Raw measurements are cached as JSON under ``.repro_cache/`` keyed by
+the configuration hash, so all figure benches share one campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.scenarios import paper_scenarios
+from repro.cluster.topology import Cluster, paper_testbed
+from repro.core.construct import build_skeleton
+from repro.errors import ExperimentError, SkeletonQualityWarning
+from repro.experiments.config import ExperimentConfig
+from repro.predict.metrics import prediction_error_percent
+from repro.sim.program import run_program
+from repro.trace.analysis import activity_breakdown
+from repro.trace.tracer import trace_program
+from repro.util.rng import derive_seed
+from repro.workloads import get_program
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass
+class ExperimentResults:
+    """All raw measurements of one campaign plus derived errors."""
+
+    config: dict
+    scenario_names: list[str]
+    apps: dict = field(default_factory=dict)
+    skeletons: dict = field(default_factory=dict)
+    class_s: dict = field(default_factory=dict)
+
+    # -- derived quantities ---------------------------------------------
+
+    def benchmarks(self) -> list[str]:
+        return list(self.config["benchmarks"])
+
+    def targets(self) -> list[float]:
+        return [float(t) for t in self.config["skeleton_targets"]]
+
+    def skeleton_error(self, bench: str, target: float, scenario: str) -> float:
+        """Percent error of the skeleton prediction (paper §4.2)."""
+        app = self.apps[bench]
+        skel = self.skeletons[bench][f"{target:g}"]
+        ratio = app["dedicated"] / skel["dedicated"]
+        predicted = skel["scenarios"][scenario] * ratio
+        return prediction_error_percent(predicted, app["scenarios"][scenario])
+
+    def skeleton_avg_error(self, bench: str, target: float) -> float:
+        errs = [
+            self.skeleton_error(bench, target, s) for s in self.scenario_names
+        ]
+        return sum(errs) / len(errs)
+
+    def class_s_error(self, bench: str, scenario: str) -> float:
+        """Percent error of the Class S baseline prediction."""
+        app = self.apps[bench]
+        s_run = self.class_s[bench]
+        ratio = app["dedicated"] / s_run["dedicated"]
+        predicted = s_run["scenarios"][scenario] * ratio
+        return prediction_error_percent(predicted, app["scenarios"][scenario])
+
+    def average_prediction_error(self, bench: str, scenario: str) -> float:
+        """Percent error of the suite-average-slowdown baseline."""
+        slowdowns = [
+            self.apps[b]["scenarios"][scenario] / self.apps[b]["dedicated"]
+            for b in self.benchmarks()
+        ]
+        mean_slowdown = sum(slowdowns) / len(slowdowns)
+        app = self.apps[bench]
+        predicted = app["dedicated"] * mean_slowdown
+        return prediction_error_percent(predicted, app["scenarios"][scenario])
+
+    # -- (de)serialisation ------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "config": self.config,
+                "scenario_names": self.scenario_names,
+                "apps": self.apps,
+                "skeletons": self.skeletons,
+                "class_s": self.class_s,
+            },
+            indent=1,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentResults":
+        obj = json.loads(text)
+        return ExperimentResults(
+            config=obj["config"],
+            scenario_names=obj["scenario_names"],
+            apps=obj["apps"],
+            skeletons=obj["skeletons"],
+            class_s=obj["class_s"],
+        )
+
+
+class ExperimentRunner:
+    """Runs (or loads) one experiment campaign."""
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        cluster: Optional[Cluster] = None,
+        cache_dir: str = DEFAULT_CACHE_DIR,
+        verbose: bool = False,
+    ):
+        self.config = config or ExperimentConfig()
+        self.cluster = cluster or paper_testbed(self.config.nnodes)
+        self.cache_dir = Path(cache_dir)
+        self.verbose = verbose
+        self.scenarios = paper_scenarios(
+            self.config.nnodes, steady=self.config.steady
+        )
+
+    # -- cache -----------------------------------------------------------
+
+    @property
+    def cache_path(self) -> Path:
+        return self.cache_dir / f"results-{self.config.key()}.json"
+
+    def load_cached(self) -> Optional[ExperimentResults]:
+        path = self.cache_path
+        if path.exists():
+            try:
+                return ExperimentResults.from_json(path.read_text())
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ExperimentError(f"corrupt cache file {path}: {exc}") from exc
+        return None
+
+    def _store(self, results: ExperimentResults) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.cache_path.with_suffix(".tmp")
+        tmp.write_text(results.to_json())
+        os.replace(tmp, self.cache_path)
+
+    # -- execution ---------------------------------------------------------
+
+    def _log(self, msg: str) -> None:
+        if self.verbose:
+            print(f"[experiments] {msg}", flush=True)
+
+    def run(self, force: bool = False) -> ExperimentResults:
+        if not force:
+            cached = self.load_cached()
+            if cached is not None:
+                self._log(f"loaded cached results {self.cache_path}")
+                return cached
+
+        cfg = self.config
+        env = cfg.environment_seed
+        from dataclasses import asdict
+
+        results = ExperimentResults(
+            config={k: list(v) if isinstance(v, tuple) else v
+                    for k, v in asdict(cfg).items()},
+            scenario_names=[s.name for s in self.scenarios],
+        )
+
+        for bench in cfg.benchmarks:
+            self._log(f"tracing {bench}.{cfg.klass} (dedicated)")
+            program = get_program(bench, cfg.klass, cfg.nprocs, cfg.workload_seed)
+            trace, ded = trace_program(program, self.cluster)
+            breakdown = activity_breakdown(trace)
+            app_entry = {
+                "dedicated": ded.elapsed,
+                "mpi_percent": breakdown.mpi_percent,
+                "compute_percent": breakdown.compute_percent,
+                "n_calls": trace.n_calls(),
+                "scenarios": {},
+            }
+            for scen in self.scenarios:
+                seed = derive_seed(env, "app", bench, scen.name)
+                run = run_program(program, self.cluster, scen, seed=seed)
+                app_entry["scenarios"][scen.name] = run.elapsed
+                self._log(f"  {bench} under {scen.name}: {run.elapsed:.2f}s")
+            results.apps[bench] = app_entry
+
+            # Skeletons of every target size.
+            results.skeletons[bench] = {}
+            for target in cfg.skeleton_targets:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", SkeletonQualityWarning)
+                    bundle = build_skeleton(trace, target_seconds=target)
+                skel_trace, skel_ded = trace_program(bundle.program, self.cluster)
+                skel_breakdown = activity_breakdown(skel_trace)
+                entry = {
+                    "K": bundle.K,
+                    "threshold": bundle.signature.threshold,
+                    "compression_ratio": bundle.signature.compression_ratio,
+                    "dedicated": skel_ded.elapsed,
+                    "mpi_percent": skel_breakdown.mpi_percent,
+                    "compute_percent": skel_breakdown.compute_percent,
+                    "min_good": bundle.goodness.min_good_seconds,
+                    "flagged": bundle.flagged,
+                    "scenarios": {},
+                }
+                for scen in self.scenarios:
+                    seed = derive_seed(env, "skel", bench, target, scen.name)
+                    run = run_program(
+                        bundle.program, self.cluster, scen, seed=seed
+                    )
+                    entry["scenarios"][scen.name] = run.elapsed
+                results.skeletons[bench][f"{target:g}"] = entry
+                self._log(
+                    f"  skeleton {target:g}s: K={bundle.K:.1f} "
+                    f"dedicated={skel_ded.elapsed:.3f}s"
+                )
+
+            # Class S baseline runs.
+            s_prog = get_program(
+                bench, cfg.baseline_klass, cfg.nprocs, cfg.workload_seed
+            )
+            s_ded = run_program(s_prog, self.cluster)
+            s_entry = {"dedicated": s_ded.elapsed, "scenarios": {}}
+            for scen in self.scenarios:
+                seed = derive_seed(env, "class_s", bench, scen.name)
+                run = run_program(s_prog, self.cluster, scen, seed=seed)
+                s_entry["scenarios"][scen.name] = run.elapsed
+            results.class_s[bench] = s_entry
+
+        self._store(results)
+        self._log(f"stored results at {self.cache_path}")
+        return results
+
+
+def run_experiments(
+    config: Optional[ExperimentConfig] = None,
+    cluster: Optional[Cluster] = None,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    force: bool = False,
+    verbose: bool = False,
+) -> ExperimentResults:
+    """Run or load the experiment campaign for ``config``."""
+    runner = ExperimentRunner(
+        config=config, cluster=cluster, cache_dir=cache_dir, verbose=verbose
+    )
+    return runner.run(force=force)

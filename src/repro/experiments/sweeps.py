@@ -1,0 +1,132 @@
+"""Skeleton-size sweeps: the §3.4 accuracy/overhead frontier.
+
+"It is desirable that the performance skeletons be short running since
+execution of the performance skeleton is an overhead ... However, the
+prediction accuracy is likely to be lower for shorter running
+skeletons." — this module sweeps skeleton sizes for one application
+and reports both sides of that trade, annotated with the framework's
+own shortest-good-skeleton estimate so the §3.4 heuristic can be
+judged against measured errors.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.contention import Scenario
+from repro.cluster.scenarios import paper_scenarios
+from repro.cluster.topology import Cluster
+from repro.core.construct import build_skeleton
+from repro.errors import ReproError, SkeletonQualityWarning
+from repro.predict.predictor import SkeletonPredictor
+from repro.sim.program import Program, run_program
+from repro.trace.tracer import trace_program
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One skeleton size on the frontier."""
+
+    target_seconds: float
+    skeleton_dedicated_seconds: float  # the actual overhead paid
+    average_error_percent: float
+    worst_error_percent: float
+    flagged: bool
+
+
+@dataclass
+class SizeSweep:
+    """The measured accuracy/overhead frontier for one application."""
+
+    program_name: str
+    app_dedicated_seconds: float
+    min_good_seconds: float
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def knee(self) -> SweepPoint:
+        """The cheapest point whose average error is within 1.5x of the
+        best point's — a practical 'smallest skeleton worth using'."""
+        best = min(p.average_error_percent for p in self.points)
+        eligible = [
+            p for p in self.points if p.average_error_percent <= 1.5 * best + 0.5
+        ]
+        return min(eligible, key=lambda p: p.skeleton_dedicated_seconds)
+
+    def render(self) -> str:
+        table = Table(
+            title=(
+                f"Skeleton size sweep — {self.program_name} "
+                f"(dedicated {self.app_dedicated_seconds:.1f}s; "
+                f"estimated min good {self.min_good_seconds:.2f}s)"
+            ),
+            columns=["target (s)", "overhead (s)", "avg err %",
+                     "worst err %", "flagged"],
+        )
+        for p in self.points:
+            table.add_row(
+                p.target_seconds,
+                p.skeleton_dedicated_seconds,
+                p.average_error_percent,
+                p.worst_error_percent,
+                "yes" if p.flagged else "",
+            )
+        return table.render()
+
+
+def sweep_skeleton_sizes(
+    program: Program,
+    cluster: Cluster,
+    targets: Sequence[float],
+    scenarios: Optional[Sequence[Scenario]] = None,
+    seed: int = 0,
+) -> SizeSweep:
+    """Measure prediction error and probe overhead at each size."""
+    if not targets:
+        raise ReproError("no sweep targets")
+    if scenarios is None:
+        scenarios = paper_scenarios(cluster.nnodes)
+
+    trace, dedicated = trace_program(program, cluster)
+    actuals = {
+        scen.name: run_program(
+            program, cluster, scen,
+            seed=derive_seed(seed, "sweep-actual", scen.name),
+        ).elapsed
+        for scen in scenarios
+    }
+
+    sweep: Optional[SizeSweep] = None
+    points = []
+    for target in targets:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", SkeletonQualityWarning)
+            bundle = build_skeleton(trace, target_seconds=target)
+        if sweep is None:
+            sweep = SizeSweep(
+                program_name=program.name,
+                app_dedicated_seconds=dedicated.elapsed,
+                min_good_seconds=bundle.goodness.min_good_seconds,
+            )
+        predictor = SkeletonPredictor(
+            bundle.program, dedicated.elapsed, cluster, seed=seed
+        )
+        errors = [
+            predictor.predict(scen).error_percent(actuals[scen.name])
+            for scen in scenarios
+        ]
+        points.append(
+            SweepPoint(
+                target_seconds=target,
+                skeleton_dedicated_seconds=predictor.skeleton_dedicated_seconds,
+                average_error_percent=sum(errors) / len(errors),
+                worst_error_percent=max(errors),
+                flagged=bundle.flagged,
+            )
+        )
+    assert sweep is not None
+    sweep.points = points
+    return sweep

@@ -1,0 +1,44 @@
+"""Extensions beyond the paper's implemented framework — its §5
+limitations and stated future work, each exercised by an ablation
+benchmark:
+
+* :mod:`repro.ext.latency_aware` — latency-compensated communication
+  scale-down ("The implementation can be improved to better manage
+  scaling down of communication").
+* :mod:`repro.ext.distribution` — distribution-preserving compute
+  reproduction ("A more accurate approach that considers frequency
+  distribution of the duration of compute events will be taken in the
+  future").
+* :mod:`repro.ext.memmodel` — a working-set/cache rate model showing
+  why skeletons without memory behaviour cannot predict across memory
+  architectures ("Prediction across CPU and memory architectures
+  cannot be made without better modeling of ... memory access
+  patterns").
+* :mod:`repro.ext.rescale` — cheap retargeting of an existing
+  signature to a new skeleton size.
+* :mod:`repro.ext.remap` — projecting a signature onto a different
+  process count ("Additional work is needed to scale predictions
+  across different numbers of processors").
+* :mod:`repro.ext.multiprobe` — repeated skeleton probes for
+  prediction intervals on noisy shared systems.
+"""
+
+from repro.ext.latency_aware import make_latency_aware_scaler
+from repro.ext.distribution import distribution_gap_model
+from repro.ext.memmodel import MemoryHierarchy, effective_speed
+from repro.ext.rescale import retarget_skeleton
+from repro.ext.remap import remap_signature
+from repro.ext.multiprobe import IntervalPrediction, predict_interval
+from repro.ext.datasize import project_datasize
+
+__all__ = [
+    "project_datasize",
+    "make_latency_aware_scaler",
+    "distribution_gap_model",
+    "MemoryHierarchy",
+    "effective_speed",
+    "retarget_skeleton",
+    "remap_signature",
+    "IntervalPrediction",
+    "predict_interval",
+]

@@ -1,0 +1,92 @@
+"""Project a signature to a different problem size (§5: "... and
+different size data sets").
+
+For grid-structured SPMD codes, changing the problem size N scales the
+parts of the signature differently:
+
+* compute per iteration scales with local *volume* — N^3 for a 3D
+  grid;
+* halo/pencil messages scale with local *surface* — N^2;
+* iteration counts and latency-bound control messages do not scale.
+
+:func:`project_datasize` applies these exponents to a signature, given
+the linear size ratio. The exponents default to the 3D-grid case and
+are parameters, because the right values are application knowledge
+(e.g. CG's vectors scale linearly, IS's keys linearly) — which is
+precisely why the paper lists data-set scaling as an open problem
+rather than a feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.signature import EventStats, LoopNode, Node, RankSignature, Signature
+from repro.errors import SkeletonError
+
+#: Messages at or below this size are treated as latency-bound control
+#: traffic and left unscaled.
+CONTROL_MESSAGE_BYTES = 256
+
+
+def _project_node(
+    node: Node, compute_factor: float, bytes_factor: float
+) -> Node:
+    if isinstance(node, LoopNode):
+        return LoopNode(
+            body=[
+                _project_node(c, compute_factor, bytes_factor)
+                for c in node.body
+            ],
+            count=node.count,
+        )
+    leaf: EventStats = node
+    nbytes = leaf.mean_bytes
+    if nbytes > CONTROL_MESSAGE_BYTES:
+        nbytes = nbytes * bytes_factor
+    return replace(
+        leaf,
+        mean_bytes=nbytes,
+        mean_gap=leaf.mean_gap * compute_factor,
+        mean_duration=leaf.mean_duration,
+        gap_samples=[g * compute_factor for g in leaf.gap_samples],
+    )
+
+
+def project_datasize(
+    signature: Signature,
+    size_ratio: float,
+    compute_exponent: float = 3.0,
+    surface_exponent: float = 2.0,
+) -> Signature:
+    """Project a signature to a problem whose linear size is
+    ``size_ratio`` times the traced one.
+
+    ``compute_exponent``/``surface_exponent`` translate the linear
+    ratio into compute-work and message-payload factors (3 and 2 for a
+    3D volume/surface split; use 1 and 1 for linearly-partitioned data
+    like CG vectors or IS keys).
+    """
+    if size_ratio <= 0:
+        raise SkeletonError("size_ratio must be positive")
+    compute_factor = size_ratio ** compute_exponent
+    bytes_factor = size_ratio ** surface_exponent
+    ranks = [
+        RankSignature(
+            rank=r.rank,
+            nodes=[
+                _project_node(n, compute_factor, bytes_factor)
+                for n in r.nodes
+            ],
+            tail_gap=r.tail_gap * compute_factor,
+        )
+        for r in signature.ranks
+    ]
+    return Signature(
+        program_name=f"{signature.program_name}@x{size_ratio:g}",
+        nranks=signature.nranks,
+        ranks=ranks,
+        threshold=signature.threshold,
+        compression_ratio=signature.compression_ratio,
+        trace_events=signature.trace_events,
+    )

@@ -1,0 +1,48 @@
+"""Distribution-preserving compute reproduction.
+
+The paper (§4.4): "While constructing a skeleton we set the duration
+of compute operations within loops to their average duration across
+iterations of the loop. A more accurate approach that considers
+frequency distribution of the duration of compute events will be
+taken in the future." — and it speculates this averaging is why
+prediction error rises under *unbalanced* sharing.
+
+This extension implements that future work: instead of replaying the
+mean gap, the skeleton replays gaps *sampled from the recorded
+per-occurrence distribution* (strided so a skeleton running 1/K of the
+iterations still sweeps the whole distribution). Compare with
+``benchmarks/bench_ablation_compute_distribution.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.signature import EventStats
+
+
+def _coprime_stride(n: int) -> int:
+    """A stride near n/φ that is coprime with n, so iterating
+    ``(i * stride) mod n`` visits every sample exactly once per period
+    in a low-discrepancy order."""
+    stride = max(1, int(round(n * 0.618033988)))
+    while math.gcd(stride, n) != 1:
+        stride += 1
+    return stride
+
+
+def distribution_gap_model(leaf: EventStats, iteration: int) -> float:
+    """Gap model that replays the recorded gap distribution.
+
+    Deterministic: occurrence ``iteration`` of a leaf replays sample
+    ``(iteration * stride) mod n`` of its recorded gaps, with a stride
+    coprime to n, so even a few skeleton iterations see representative
+    spread and a full period sweeps every recorded sample.
+    """
+    samples = leaf.gap_samples
+    n = len(samples)
+    if n == 0:
+        return leaf.mean_gap
+    if n == 1:
+        return samples[0]
+    return samples[(iteration * _coprime_stride(n)) % n]

@@ -1,0 +1,46 @@
+"""Latency-aware communication scale-down.
+
+The paper (§3.3): "scaling down a communication operation by reducing
+the number of bytes exchanged is not accurate ... communication
+operations have two time components; latency, which is fixed for all
+message sizes, and message transfer time, which can be scaled down
+linearly. ... A more accurate scaling down cannot be achieved without
+making some assumptions about the execution environments."
+
+This extension makes that assumption explicit: given nominal network
+parameters (latency ``L``, bandwidth ``B``), it chooses the scaled
+payload so the *estimated message time* scales by the fraction ``f``::
+
+    time(bytes)      = L + bytes / B
+    want             = f * time(bytes)
+    scaled_bytes     = max(0, (want - L) * B)
+
+When ``f * time(bytes) <= L`` the message cannot be made short enough
+(latency floor); the payload drops to zero and the residual error is
+unavoidable — which is precisely why the paper calls byte-reduction a
+last resort.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import NetworkSpec
+from repro.core.scale import CommScaler
+from repro.core.signature import EventStats
+
+
+def make_latency_aware_scaler(network: NetworkSpec) -> CommScaler:
+    """Build a :data:`~repro.core.scale.CommScaler` that compensates
+    for the fixed latency component using ``network``'s nominal
+    parameters."""
+    latency = network.latency
+    bandwidth = network.bandwidth
+
+    def scaler(leaf: EventStats, fraction: float) -> float:
+        nbytes = leaf.mean_bytes
+        if nbytes <= 0:
+            return 0.0
+        full_time = latency + nbytes / bandwidth
+        want = fraction * full_time
+        return max(0.0, (want - latency) * bandwidth)
+
+    return scaler

@@ -1,0 +1,54 @@
+"""A minimal memory-hierarchy rate model.
+
+The paper (§2, §5) limits its skeletons to "communication sequences
+and coarse computation behavior", noting that "reproduction of memory
+accesses ... is critical for performance estimation across different
+processor and memory architectures, but not essential for simple CPU
+and network sharing scenarios" (their companion work [30] addresses
+memory replication).
+
+This module provides the missing piece at the modelling level: a
+node's effective compute speed for a workload with a given working set
+degrades once the working set spills out of cache. It lets examples
+demonstrate *why* a gap-replay skeleton mispredicts across memory
+architectures: two machines with equal nominal speed but different
+cache sizes run the same skeleton identically while running the real
+application differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """A simple two-level memory model for one node."""
+
+    cache_bytes: int
+    #: Relative compute speed when the working set fits in cache.
+    hit_speed: float = 1.0
+    #: Relative compute speed when it misses to memory.
+    miss_speed: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes <= 0:
+            raise ReproError("cache size must be positive")
+        if not (0 < self.miss_speed <= self.hit_speed):
+            raise ReproError("need 0 < miss_speed <= hit_speed")
+
+
+def effective_speed(hierarchy: MemoryHierarchy, working_set_bytes: float) -> float:
+    """Effective speed for a workload with the given working set.
+
+    A smooth interpolation between hit and miss speed based on the
+    fraction of the working set that fits in cache (a standard
+    first-order cache model: accesses to the resident fraction run at
+    hit speed, the rest at miss speed).
+    """
+    if working_set_bytes <= 0:
+        return hierarchy.hit_speed
+    resident = min(1.0, hierarchy.cache_bytes / working_set_bytes)
+    return resident * hierarchy.hit_speed + (1.0 - resident) * hierarchy.miss_speed

@@ -1,0 +1,76 @@
+"""Prediction intervals from repeated skeleton probes.
+
+A single skeleton probe samples one window of the shared system's
+contention; on a bursty system (the realistic case, and our stochastic
+scenarios) repeated short probes cheaply characterise the *range* of
+expected application performance — the natural refinement of the
+paper's single-probe protocol, at a cost that is still a tiny fraction
+of one application run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.contention import Scenario
+from repro.errors import ReproError
+from repro.predict.predictor import SkeletonPredictor
+from repro.util.rng import derive_seed
+from repro.util.stats import mean
+
+
+@dataclass(frozen=True)
+class IntervalPrediction:
+    """Spread of predictions over repeated probes."""
+
+    scenario_name: str
+    n_probes: int
+    predictions: tuple[float, ...]
+    probe_cost_seconds: float  # total skeleton time spent probing
+
+    @property
+    def low(self) -> float:
+        return min(self.predictions)
+
+    @property
+    def expected(self) -> float:
+        return mean(list(self.predictions))
+
+    @property
+    def high(self) -> float:
+        return max(self.predictions)
+
+    def covers(self, actual_seconds: float, margin: float = 0.0) -> bool:
+        """Whether the measured time falls inside the (optionally
+        margin-widened) predicted interval."""
+        span = self.high - self.low
+        return (
+            self.low - margin * span
+            <= actual_seconds
+            <= self.high + margin * span
+        )
+
+
+def predict_interval(
+    predictor: SkeletonPredictor,
+    scenario: Scenario,
+    n_probes: int = 5,
+    base_seed: int = 0,
+) -> IntervalPrediction:
+    """Probe ``n_probes`` times with distinct environment samples and
+    return the min/mean/max prediction."""
+    if n_probes < 1:
+        raise ReproError("n_probes must be >= 1")
+    predictions = []
+    total_probe = 0.0
+    for i in range(n_probes):
+        seed = derive_seed(base_seed, "multiprobe", scenario.name, i)
+        probe = predictor.probe(scenario, seed=seed)
+        total_probe += probe
+        predictions.append(probe * predictor.ratio)
+    return IntervalPrediction(
+        scenario_name=scenario.name,
+        n_probes=n_probes,
+        predictions=tuple(predictions),
+        probe_cost_seconds=total_probe,
+    )

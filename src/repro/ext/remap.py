@@ -1,0 +1,148 @@
+"""Remap a signature to a different process count (§5: "Additional
+work is needed to scale predictions across different numbers of
+processors and different size data sets").
+
+This implements the natural first-order transformation the paper
+leaves as future work, with its assumptions stated explicitly:
+
+* **SPMD offset symmetry** — every point-to-point peer is interpreted
+  as a rank-relative offset ``(peer - rank) mod P`` and re-instantiated
+  as ``(rank' + offset) mod P'``. Exact for rings, shifts, and other
+  translation-invariant patterns; an approximation for 2D grids whose
+  row length changes.
+* **Work scaling** — under strong scaling the same total work spreads
+  over P' ranks: compute gaps scale by ``P/P'``; point-to-point payload
+  scales by ``bytes_scale`` (default ``P/P'``, appropriate for
+  1D-partitioned data; surface-dominated halos scale more slowly, so
+  the factor is a parameter).
+* **Collectives** carry over with per-rank payloads scaled the same
+  way.
+
+The donor rank's structure is replicated to all new ranks, so the
+source signature must be structurally uniform across ranks (checked);
+workloads with distinguished ranks (master/worker) are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.signature import EventStats, LoopNode, Node, RankSignature, Signature
+from repro.errors import SkeletonError
+
+_P2P_CALLS = frozenset({
+    "MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv", "MPI_Sendrecv",
+})
+_ROOTED = frozenset({"MPI_Bcast", "MPI_Reduce", "MPI_Gather", "MPI_Scatter"})
+
+
+def _structure_key(nodes: list[Node]) -> tuple:
+    out = []
+    for node in nodes:
+        if isinstance(node, LoopNode):
+            out.append(("loop", node.count, _structure_key(node.body)))
+        else:
+            out.append(("ev", node.call, node.nreqs))
+    return tuple(out)
+
+
+def _remap_node(
+    node: Node,
+    old_rank: int,
+    new_rank: int,
+    old_size: int,
+    new_size: int,
+    compute_scale: float,
+    bytes_scale: float,
+) -> Node:
+    if isinstance(node, LoopNode):
+        return LoopNode(
+            body=[
+                _remap_node(c, old_rank, new_rank, old_size, new_size,
+                            compute_scale, bytes_scale)
+                for c in node.body
+            ],
+            count=node.count,
+        )
+    leaf: EventStats = node
+    peer = leaf.peer
+    src = leaf.src
+    if leaf.call in _P2P_CALLS and peer >= 0:
+        offset = (peer - old_rank) % old_size
+        if offset == 0:
+            raise SkeletonError("cannot remap a self-referential peer")
+        peer = (new_rank + offset) % new_size
+    if leaf.call == "MPI_Sendrecv" and src >= 0:
+        offset = (src - old_rank) % old_size
+        src = (new_rank + offset) % new_size
+    if leaf.call in _ROOTED and peer >= old_size:
+        raise SkeletonError("collective root outside communicator")
+    # Rooted collectives keep their root if it exists in the new
+    # communicator; otherwise fold it to rank 0.
+    if leaf.call in _ROOTED and peer >= new_size:
+        peer = 0
+    return replace(
+        leaf,
+        peer=peer,
+        src=src,
+        mean_bytes=leaf.mean_bytes * bytes_scale,
+        mean_gap=leaf.mean_gap * compute_scale,
+        mean_duration=leaf.mean_duration,
+        gap_samples=[g * compute_scale for g in leaf.gap_samples],
+    )
+
+
+def remap_signature(
+    signature: Signature,
+    new_nranks: int,
+    compute_scale: Optional[float] = None,
+    bytes_scale: Optional[float] = None,
+) -> Signature:
+    """Project a P-rank signature onto ``new_nranks`` ranks.
+
+    Raises :class:`SkeletonError` when the source ranks are not
+    structurally uniform (the offset-symmetry assumption would be
+    violated) or when a peer offset cannot be preserved.
+    """
+    if new_nranks < 1:
+        raise SkeletonError("new_nranks must be >= 1")
+    old_size = signature.nranks
+    if old_size < 2:
+        raise SkeletonError("remapping needs a multi-rank source signature")
+
+    keys = {_structure_key(r.nodes) for r in signature.ranks}
+    if len(keys) != 1:
+        raise SkeletonError(
+            "source signature is not structurally uniform across ranks; "
+            "offset-based remapping would change its semantics"
+        )
+
+    if compute_scale is None:
+        compute_scale = old_size / new_nranks
+    if bytes_scale is None:
+        bytes_scale = old_size / new_nranks
+
+    donor = signature.ranks[0]
+    ranks = []
+    for new_rank in range(new_nranks):
+        nodes = [
+            _remap_node(n, donor.rank, new_rank, old_size, new_nranks,
+                        compute_scale, bytes_scale)
+            for n in donor.nodes
+        ]
+        ranks.append(
+            RankSignature(
+                rank=new_rank,
+                nodes=nodes,
+                tail_gap=donor.tail_gap * compute_scale,
+            )
+        )
+    return Signature(
+        program_name=f"{signature.program_name}@p{new_nranks}",
+        nranks=new_nranks,
+        ranks=ranks,
+        threshold=signature.threshold,
+        compression_ratio=signature.compression_ratio,
+        trace_events=signature.trace_events,
+    )

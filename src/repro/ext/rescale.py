@@ -1,0 +1,65 @@
+"""Retarget an existing skeleton to a new execution time.
+
+Building a skeleton requires tracing the application once; changing
+the desired skeleton size afterwards only requires re-scaling the
+stored execution signature — no new trace. This utility performs that
+cheap retargeting (useful when calibrating the smallest skeleton that
+still predicts well, as in the paper's §3.4 search).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+from repro.core.construct import SkeletonBundle
+from repro.core.goodness import shortest_good_skeleton
+from repro.core.scale import CommScaler, scale_signature
+from repro.core.skeleton import GapModel, check_alignment, mean_gap_model, skeleton_program
+from repro.errors import SkeletonError, SkeletonQualityWarning
+
+
+def retarget_skeleton(
+    bundle: SkeletonBundle,
+    target_seconds: float,
+    app_dedicated_seconds: Optional[float] = None,
+    gap_model: GapModel = mean_gap_model,
+    comm_scaler: Optional[CommScaler] = None,
+    warn: bool = True,
+) -> SkeletonBundle:
+    """Produce a new bundle for a different skeleton size from the
+    signature already stored in ``bundle``.
+
+    Note: the compression ratio was chosen for the original K (the
+    paper's Q = K/2 rule); retargeting reuses it, which is exact when
+    shrinking the skeleton and merely conservative when growing it.
+    """
+    if target_seconds <= 0:
+        raise SkeletonError("target_seconds must be positive")
+    if app_dedicated_seconds is None:
+        app_dedicated_seconds = bundle.K * (bundle.target_seconds or 0.0)
+    if app_dedicated_seconds <= 0:
+        raise SkeletonError("cannot derive application time from bundle")
+    K = max(1.0, app_dedicated_seconds / target_seconds)
+    scaled = scale_signature(bundle.signature, K, comm_scaler=comm_scaler)
+    check_alignment(scaled)
+    program = skeleton_program(scaled, gap_model=gap_model)
+    goodness = shortest_good_skeleton(bundle.signature)
+    flagged = goodness.flags(target_seconds)
+    if flagged and warn:
+        warnings.warn(
+            f"retargeted {target_seconds:.3g}s skeleton is below the "
+            f"estimated shortest good skeleton "
+            f"({goodness.min_good_seconds:.3g}s)",
+            SkeletonQualityWarning,
+            stacklevel=2,
+        )
+    return SkeletonBundle(
+        program=program,
+        signature=bundle.signature,
+        scaled=scaled,
+        K=K,
+        target_seconds=target_seconds,
+        goodness=goodness,
+        flagged=flagged,
+    )

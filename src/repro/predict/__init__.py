@@ -1,0 +1,24 @@
+"""Skeleton-based performance prediction and the paper's comparison
+baselines (sections 4.2, 4.5)."""
+
+from repro.predict.metrics import Prediction, prediction_error_percent
+from repro.predict.predictor import SkeletonPredictor
+from repro.predict.baselines import average_prediction_errors, ClassSPredictor
+from repro.predict.selection import select_nodes
+from repro.predict.validation import (
+    ValidationCell,
+    ValidationReport,
+    validate_skeletons,
+)
+
+__all__ = [
+    "Prediction",
+    "prediction_error_percent",
+    "SkeletonPredictor",
+    "average_prediction_errors",
+    "ClassSPredictor",
+    "select_nodes",
+    "ValidationCell",
+    "ValidationReport",
+    "validate_skeletons",
+]

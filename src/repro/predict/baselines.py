@@ -1,0 +1,74 @@
+"""The paper's §4.5 comparison baselines.
+
+*Average Prediction*: the mean slowdown of the whole benchmark suite
+under a scenario predicts every program's time in that scenario — the
+strawman that works only if all programs degrade alike (they do not,
+which is the paper's argument for application-specific skeletons).
+
+*Class S Prediction*: the Class S (tiny-input) version of a benchmark
+is used as a hand-made skeleton for its Class B version — the strawman
+showing that running an application on a very small input does not
+reproduce its execution behaviour at realistic scale.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.cluster.contention import Scenario
+from repro.cluster.topology import Cluster
+from repro.errors import ReproError
+from repro.predict.metrics import Prediction, prediction_error_percent
+from repro.predict.predictor import SkeletonPredictor
+from repro.sim.program import Program
+
+
+def average_prediction_errors(
+    dedicated: Mapping[str, float],
+    under_scenario: Mapping[str, float],
+) -> dict[str, float]:
+    """Percent errors of Average Prediction for one scenario.
+
+    ``dedicated[b]`` / ``under_scenario[b]`` are measured times of each
+    suite program. The suite-mean slowdown predicts each program as
+    ``dedicated[b] * mean_slowdown``; returns per-program percent
+    errors.
+    """
+    if set(dedicated) != set(under_scenario):
+        raise ReproError("dedicated/scenario program sets differ")
+    if not dedicated:
+        raise ReproError("empty suite")
+    slowdowns = {
+        name: under_scenario[name] / dedicated[name] for name in dedicated
+    }
+    mean_slowdown = sum(slowdowns.values()) / len(slowdowns)
+    return {
+        name: prediction_error_percent(
+            dedicated[name] * mean_slowdown, under_scenario[name]
+        )
+        for name in dedicated
+    }
+
+
+class ClassSPredictor(SkeletonPredictor):
+    """Class S benchmark used as the performance skeleton.
+
+    Identical prediction mechanics to :class:`SkeletonPredictor` — the
+    Class S program plays the skeleton role, the measured scaling ratio
+    is Class B dedicated time over Class S dedicated time.
+    """
+
+    def __init__(
+        self,
+        class_s_program: Program,
+        app_dedicated_seconds: float,
+        cluster: Cluster,
+        placement: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(
+            skeleton=class_s_program,
+            app_dedicated_seconds=app_dedicated_seconds,
+            cluster=cluster,
+            placement=placement,
+            method="class-s",
+        )

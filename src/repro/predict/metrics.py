@@ -1,0 +1,28 @@
+"""Prediction records and error metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.stats import percent_error
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One execution-time prediction for one scenario."""
+
+    program_name: str
+    scenario_name: str
+    method: str              # "skeleton[10s]" / "class-s" / "average"
+    predicted_seconds: float
+    probe_seconds: float     # what the probe (skeleton) measured
+    scaling_ratio: float     # measured ratio applied to the probe time
+
+    def error_percent(self, actual_seconds: float) -> float:
+        """Percent error against a measured application time."""
+        return prediction_error_percent(self.predicted_seconds, actual_seconds)
+
+
+def prediction_error_percent(predicted: float, actual: float) -> float:
+    """The paper's error metric: |predicted - actual| / actual × 100."""
+    return percent_error(predicted, actual)

@@ -1,0 +1,84 @@
+"""Skeleton-based execution-time prediction (paper §4.2).
+
+"For each application, the execution time was predicted for each
+resource sharing scenario and each skeleton as the product of the
+skeleton execution time and the corresponding measured scaling ratio.
+The measured scaling ratio is similar to the scaling factor except
+that actual skeleton execution time on a dedicated testbed is used."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.contention import DEDICATED, Scenario
+from repro.cluster.topology import Cluster
+from repro.errors import ReproError
+from repro.sim.program import Program, run_program
+
+
+class SkeletonPredictor:
+    """Predicts an application's time under sharing from its skeleton.
+
+    Construction measures the skeleton on the dedicated testbed to
+    establish the measured scaling ratio; :meth:`predict` then runs the
+    skeleton under a sharing scenario (the cheap probe) and multiplies.
+    """
+
+    def __init__(
+        self,
+        skeleton: Program,
+        app_dedicated_seconds: float,
+        cluster: Cluster,
+        placement: Optional[Sequence[int]] = None,
+        method: str = "skeleton",
+        seed: int = 0,
+    ):
+        if app_dedicated_seconds <= 0:
+            raise ReproError("application dedicated time must be positive")
+        self.skeleton = skeleton
+        self.cluster = cluster
+        self.placement = placement
+        self.method = method
+        self.seed = seed
+        self.app_dedicated_seconds = app_dedicated_seconds
+        result = run_program(
+            skeleton, cluster, DEDICATED, placement=placement, seed=seed
+        )
+        self.skeleton_dedicated_seconds = result.elapsed
+        if self.skeleton_dedicated_seconds <= 0:
+            raise ReproError("skeleton executed in zero time")
+        #: The measured scaling ratio.
+        self.ratio = app_dedicated_seconds / self.skeleton_dedicated_seconds
+
+    def probe(self, scenario: Scenario, seed: Optional[int] = None) -> float:
+        """Run the skeleton under ``scenario``; return its elapsed time.
+
+        ``seed`` selects the environment sample the probe observes; by
+        default it derives from the predictor's seed and the scenario,
+        so the probe never sees the very same contention timeline the
+        application will (just as a real probe run would not).
+        """
+        from repro.util.rng import derive_seed
+
+        if seed is None:
+            seed = derive_seed(self.seed, "probe", scenario.name)
+        result = run_program(
+            self.skeleton, self.cluster, scenario,
+            placement=self.placement, seed=seed,
+        )
+        return result.elapsed
+
+    def predict(self, scenario: Scenario, seed: Optional[int] = None):
+        """Predict the application's execution time under ``scenario``."""
+        from repro.predict.metrics import Prediction
+
+        probe_seconds = self.probe(scenario, seed=seed)
+        return Prediction(
+            program_name=self.skeleton.name,
+            scenario_name=scenario.name,
+            method=self.method,
+            predicted_seconds=probe_seconds * self.ratio,
+            probe_seconds=probe_seconds,
+            scaling_ratio=self.ratio,
+        )

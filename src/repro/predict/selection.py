@@ -1,0 +1,68 @@
+"""Skeleton-driven resource selection — the paper's motivating use
+case (§1): "a group of candidate node sets is identified for execution
+... and the final choice is made by comparing the execution time of
+the application skeleton on each node set."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.contention import Scenario
+from repro.cluster.topology import Cluster
+from repro.errors import ReproError
+from repro.sim.program import Program, run_program
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """Skeleton timing on one candidate placement."""
+
+    label: str
+    placement: tuple[int, ...]
+    skeleton_seconds: float
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a skeleton-based node selection."""
+
+    best: CandidateResult
+    ranking: tuple[CandidateResult, ...]
+
+
+def select_nodes(
+    skeleton: Program,
+    cluster: Cluster,
+    candidates: Sequence[Sequence[int]],
+    scenario: Optional[Scenario] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> SelectionResult:
+    """Time the skeleton on each candidate placement; pick the fastest.
+
+    ``candidates`` are rank→node placements (each of the skeleton's
+    rank count). ``scenario`` is the cluster's current sharing state —
+    the point of the method is that the skeleton *feels* that state
+    without any resource-monitoring infrastructure.
+    """
+    from repro.cluster.contention import DEDICATED
+
+    if not candidates:
+        raise ReproError("no candidate placements")
+    scenario = scenario or DEDICATED
+    results = []
+    for i, placement in enumerate(candidates):
+        label = labels[i] if labels else f"candidate-{i}"
+        run = run_program(
+            skeleton, cluster, scenario, placement=list(placement)
+        )
+        results.append(
+            CandidateResult(
+                label=label,
+                placement=tuple(placement),
+                skeleton_seconds=run.elapsed,
+            )
+        )
+    ranking = tuple(sorted(results, key=lambda r: r.skeleton_seconds))
+    return SelectionResult(best=ranking[0], ranking=ranking)

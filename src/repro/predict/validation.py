@@ -1,0 +1,126 @@
+"""One-call skeleton validation for adopters.
+
+`ExperimentRunner` reproduces the paper's campaign; this module is the
+lightweight user-facing equivalent: given *your* program, validate how
+well its skeletons predict across scenarios and sizes, and get a
+rendered report. This is what a downstream user runs before trusting a
+skeleton in production scheduling.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.contention import Scenario
+from repro.cluster.scenarios import paper_scenarios
+from repro.cluster.topology import Cluster
+from repro.core.construct import build_skeleton
+from repro.errors import ReproError, SkeletonQualityWarning
+from repro.predict.predictor import SkeletonPredictor
+from repro.sim.program import Program, run_program
+from repro.trace.tracer import trace_program
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class ValidationCell:
+    """One (skeleton size × scenario) validation measurement."""
+
+    target_seconds: float
+    scenario_name: str
+    predicted_seconds: float
+    actual_seconds: float
+    error_percent: float
+    flagged: bool
+
+
+@dataclass
+class ValidationReport:
+    """All cells of a skeleton validation plus summary accessors."""
+
+    program_name: str
+    app_dedicated_seconds: float
+    cells: list[ValidationCell] = field(default_factory=list)
+
+    def average_error(self) -> float:
+        if not self.cells:
+            raise ReproError("empty validation report")
+        return sum(c.error_percent for c in self.cells) / len(self.cells)
+
+    def worst(self) -> ValidationCell:
+        return max(self.cells, key=lambda c: c.error_percent)
+
+    def by_target(self, target_seconds: float) -> list[ValidationCell]:
+        return [c for c in self.cells if c.target_seconds == target_seconds]
+
+    def render(self) -> str:
+        targets = sorted({c.target_seconds for c in self.cells}, reverse=True)
+        scenarios = list(dict.fromkeys(c.scenario_name for c in self.cells))
+        table = Table(
+            title=f"Skeleton validation — {self.program_name} "
+            f"(dedicated {self.app_dedicated_seconds:.2f}s)",
+            columns=["scenario"] + [f"{t:g}s err%" for t in targets],
+        )
+        lookup = {
+            (c.scenario_name, c.target_seconds): c for c in self.cells
+        }
+        for scen in scenarios:
+            row = [scen]
+            for t in targets:
+                cell = lookup[(scen, t)]
+                mark = "*" if cell.flagged else ""
+                row.append(f"{cell.error_percent:.1f}{mark}")
+            table.add_row(*row)
+        note = "(* = below the estimated shortest good skeleton)"
+        return table.render() + "\n" + note
+
+
+def validate_skeletons(
+    program: Program,
+    cluster: Cluster,
+    targets: Sequence[float] = (5.0, 1.0),
+    scenarios: Optional[Sequence[Scenario]] = None,
+    seed: int = 0,
+) -> ValidationReport:
+    """Build skeletons of each target size and score their predictions
+    against real runs under each scenario."""
+    if not targets:
+        raise ReproError("no skeleton targets given")
+    if scenarios is None:
+        scenarios = paper_scenarios(cluster.nnodes)
+
+    trace, dedicated = trace_program(program, cluster)
+    report = ValidationReport(
+        program_name=program.name,
+        app_dedicated_seconds=dedicated.elapsed,
+    )
+    actuals = {
+        scen.name: run_program(
+            program, cluster, scen, seed=derive_seed(seed, "actual", scen.name)
+        ).elapsed
+        for scen in scenarios
+    }
+    for target in targets:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", SkeletonQualityWarning)
+            bundle = build_skeleton(trace, target_seconds=target)
+        predictor = SkeletonPredictor(
+            bundle.program, dedicated.elapsed, cluster, seed=seed
+        )
+        for scen in scenarios:
+            prediction = predictor.predict(scen)
+            actual = actuals[scen.name]
+            report.cells.append(
+                ValidationCell(
+                    target_seconds=target,
+                    scenario_name=scen.name,
+                    predicted_seconds=prediction.predicted_seconds,
+                    actual_seconds=actual,
+                    error_percent=prediction.error_percent(actual),
+                    flagged=bundle.flagged,
+                )
+            )
+    return report

@@ -1,0 +1,78 @@
+"""Discrete-event simulator of message-passing programs on a cluster.
+
+The simulator is the substrate that replaces the paper's physical
+testbed (dual-Xeon cluster + MPICH + iproute2 throttling). It models:
+
+* **CPU contention** — each node is a processor-sharing resource; all
+  runnable processes (application ranks in a compute phase plus any
+  competing load processes) share the node's CPUs max–min fairly, each
+  capped at one CPU.
+* **Network contention** — each message is a fluid flow through the
+  sender's TX NIC and the receiver's RX NIC; concurrent flows share NIC
+  capacity max–min fairly. Message cost = latency + bytes/rate, so the
+  fixed latency component the paper identifies as unscalable (§3.3) is
+  explicitly present.
+* **MPI semantics** — eager/rendezvous point-to-point protocol, message
+  matching with wildcards and per-pair FIFO ordering, non-blocking
+  requests, and MPICH-style collective algorithm decompositions.
+
+Programs are plain Python generator functions; see
+:mod:`repro.sim.program`.
+"""
+
+from repro.sim.ops import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Alltoallv,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    ReduceScatter,
+    Scan,
+    Scatter,
+    Send,
+    Sendrecv,
+    Wait,
+    Waitall,
+)
+from repro.sim.engine import Engine, RunResult
+from repro.sim.program import Program, run_program
+from repro.sim.api import Comm, mpi_program
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Allgather",
+    "Allreduce",
+    "Alltoall",
+    "Alltoallv",
+    "Barrier",
+    "Bcast",
+    "Compute",
+    "Gather",
+    "Irecv",
+    "Isend",
+    "Recv",
+    "Reduce",
+    "ReduceScatter",
+    "Scan",
+    "Scatter",
+    "Send",
+    "Sendrecv",
+    "Wait",
+    "Waitall",
+    "Engine",
+    "RunResult",
+    "Program",
+    "run_program",
+    "Comm",
+    "mpi_program",
+]

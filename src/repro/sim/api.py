@@ -1,0 +1,169 @@
+"""mpi4py-flavoured convenience API for writing simulated programs.
+
+Raw programs yield op objects; this wrapper lets program authors write
+in the familiar communicator style instead, using ``yield from``::
+
+    from repro.sim.api import mpi_program
+
+    @mpi_program(nranks=4)
+    def my_app(comm):
+        rank, size = comm.rank, comm.size
+        yield from comm.compute(0.01)
+        if rank == 0:
+            yield from comm.send(dest=1, nbytes=1000, tag=7)
+        elif rank == 1:
+            yield from comm.recv(source=0, tag=7)
+        yield from comm.barrier()
+        req = yield from comm.isend(dest=(rank + 1) % size, nbytes=64)
+        yield from comm.wait(req)
+
+Each method is a tiny generator yielding the corresponding op;
+non-blocking calls *return* the request handle (grab it with
+``req = yield from comm.isend(...)``), matching mpi4py's shape as
+closely as a generator-based simulator allows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.sim.ops import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Alltoallv,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Irecv,
+    Isend,
+    Op,
+    Recv,
+    Reduce,
+    ReduceScatter,
+    RequestHandle,
+    Scan,
+    Scatter,
+    Send,
+    Sendrecv,
+    Wait,
+    Waitall,
+)
+from repro.sim.program import Program
+
+
+def _grp(group):
+    """Normalise a group argument to the tuple form ops expect."""
+    return tuple(group) if group is not None else None
+
+
+class Comm:
+    """The communicator handle passed to ``@mpi_program`` functions.
+
+    Collective methods accept ``group=(ranks...)`` to run on a
+    sub-communicator (like mpi4py's ``comm.Split``): only the listed
+    global ranks participate, and rooted collectives take the root as
+    a global rank that must be a member.
+    """
+
+    __slots__ = ("rank", "size")
+
+    def __init__(self, rank: int, size: int):
+        self.rank = rank
+        self.size = size
+
+    # -- compute ---------------------------------------------------------
+
+    def compute(self, seconds: float) -> Iterator[Op]:
+        yield Compute(seconds)
+
+    # -- blocking point-to-point ------------------------------------------
+
+    def send(self, dest: int, nbytes: int, tag: int = 0) -> Iterator[Op]:
+        yield Send(dest=dest, nbytes=nbytes, tag=tag)
+
+    def recv(
+        self, source: int = ANY_SOURCE, nbytes: int = 0, tag: int = ANY_TAG
+    ) -> Iterator[Op]:
+        yield Recv(source=source, nbytes=nbytes, tag=tag)
+
+    def sendrecv(
+        self, dest: int, nbytes: int, source: int,
+        sendtag: int = 0, recvtag: int = 0,
+    ) -> Iterator[Op]:
+        yield Sendrecv(
+            dest=dest, send_nbytes=nbytes, send_tag=sendtag,
+            source=source, recv_tag=recvtag,
+        )
+
+    # -- non-blocking ------------------------------------------------------
+
+    def isend(self, dest: int, nbytes: int, tag: int = 0):
+        req = yield Isend(dest=dest, nbytes=nbytes, tag=tag)
+        return req
+
+    def irecv(
+        self, source: int = ANY_SOURCE, nbytes: int = 0, tag: int = ANY_TAG
+    ):
+        req = yield Irecv(source=source, nbytes=nbytes, tag=tag)
+        return req
+
+    def wait(self, request: RequestHandle) -> Iterator[Op]:
+        yield Wait(request)
+
+    def waitall(self, requests: Sequence[RequestHandle]) -> Iterator[Op]:
+        yield Waitall(tuple(requests))
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self, group=None) -> Iterator[Op]:
+        yield Barrier(group=_grp(group))
+
+    def bcast(self, nbytes: int, root: int = 0, group=None) -> Iterator[Op]:
+        yield Bcast(root=root, nbytes=nbytes, group=_grp(group))
+
+    def reduce(self, nbytes: int, root: int = 0, group=None) -> Iterator[Op]:
+        yield Reduce(root=root, nbytes=nbytes, group=_grp(group))
+
+    def allreduce(self, nbytes: int, group=None) -> Iterator[Op]:
+        yield Allreduce(nbytes=nbytes, group=_grp(group))
+
+    def allgather(self, nbytes: int, group=None) -> Iterator[Op]:
+        yield Allgather(nbytes=nbytes, group=_grp(group))
+
+    def alltoall(self, nbytes: int, group=None) -> Iterator[Op]:
+        yield Alltoall(nbytes=nbytes, group=_grp(group))
+
+    def alltoallv(self, send_counts: Sequence[int], group=None) -> Iterator[Op]:
+        yield Alltoallv(send_counts=tuple(send_counts), group=_grp(group))
+
+    def reduce_scatter(self, nbytes: int, group=None) -> Iterator[Op]:
+        yield ReduceScatter(nbytes=nbytes, group=_grp(group))
+
+    def scan(self, nbytes: int, group=None) -> Iterator[Op]:
+        yield Scan(nbytes=nbytes, group=_grp(group))
+
+    def gather(self, nbytes: int, root: int = 0, group=None) -> Iterator[Op]:
+        yield Gather(root=root, nbytes=nbytes, group=_grp(group))
+
+    def scatter(self, nbytes: int, root: int = 0, group=None) -> Iterator[Op]:
+        yield Scatter(root=root, nbytes=nbytes, group=_grp(group))
+
+
+def mpi_program(
+    nranks: int, name: str | None = None
+) -> Callable[[Callable[[Comm], Iterator[Op]]], Program]:
+    """Decorator turning a ``def app(comm): yield from ...`` function
+    into a runnable :class:`~repro.sim.program.Program`."""
+
+    def _wrap(func: Callable[[Comm], Iterator[Op]]) -> Program:
+        return Program(
+            name=name or func.__name__,
+            nranks=nranks,
+            make=lambda rank, size: func(Comm(rank, size)),
+        )
+
+    return _wrap

@@ -1,0 +1,338 @@
+"""MPICH-style point-to-point decompositions of collective operations.
+
+The tracer records a collective as a single MPI call (as a PMPI
+profiling library would), but the engine *executes* it as the
+decomposition below, so collectives feel network contention exactly the
+way their constituent messages do:
+
+* ``Barrier``     — dissemination algorithm (any process count)
+* ``Bcast``       — binomial tree
+* ``Reduce``      — binomial tree (mirror of bcast)
+* ``Allreduce``   — recursive doubling (power of two), otherwise
+  reduce-to-0 + bcast
+* ``Allgather``   — ring: p-1 rounds of ``nbytes`` to the right
+  neighbour (total traffic (p-1)·nbytes per rank, as in MPICH's
+  large-message algorithm)
+* ``Alltoall(v)`` — rotation: round i sends to ``rank+i`` and receives
+  from ``rank-i``
+* ``Gather`` / ``Scatter`` — binomial tree with aggregated subtree
+  payloads
+
+Every round uses a tag derived from a per-collective sequence number,
+so messages from consecutive collectives (or from user point-to-point
+traffic) can never cross-match even when ranks are skewed in time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ProgramError
+from repro.sim.ops import (
+    COLLECTIVE_TAG_BASE,
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Alltoallv,
+    Barrier,
+    Bcast,
+    CollectiveOp,
+    Gather,
+    Irecv,
+    Isend,
+    Op,
+    Recv,
+    Reduce,
+    ReduceScatter,
+    Scan,
+    Scatter,
+    Send,
+    Waitall,
+)
+
+#: Rounds per collective are tagged ``base + round``; 64 rounds is ample
+#: for any communicator size we simulate (2^64 ranks).
+_ROUND_STRIDE = 64
+
+
+def _coll_tag(seq: int, round_no: int) -> int:
+    return COLLECTIVE_TAG_BASE + (seq * _ROUND_STRIDE + round_no) % (1 << 30)
+
+
+def _exchange(dest: int, dbytes: int, src: int, tag: int) -> Iterator[Op]:
+    """Deadlock-free simultaneous send/recv used by symmetric rounds."""
+    rreq = yield Irecv(source=src, nbytes=0, tag=tag)
+    sreq = yield Isend(dest=dest, nbytes=dbytes, tag=tag)
+    yield Waitall((rreq, sreq))
+
+
+def barrier(rank: int, size: int, seq: int) -> Iterator[Op]:
+    """Dissemination barrier: ceil(log2 p) rounds of zero-byte messages."""
+    round_no = 0
+    dist = 1
+    while dist < size:
+        to = (rank + dist) % size
+        frm = (rank - dist) % size
+        yield from _exchange(to, 0, frm, _coll_tag(seq, round_no))
+        dist <<= 1
+        round_no += 1
+
+
+def bcast(rank: int, size: int, root: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Binomial-tree broadcast."""
+    vrank = (rank - root) % size
+    # Receive from parent (unless root).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            yield Recv(source=parent, nbytes=nbytes, tag=_coll_tag(seq, 0))
+            break
+        mask <<= 1
+    # Send to children, highest distance first (mirrors MPICH).
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            child = ((vrank + mask) + root) % size
+            yield Send(dest=child, nbytes=nbytes, tag=_coll_tag(seq, 0))
+        mask >>= 1
+
+
+def reduce(rank: int, size: int, root: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Binomial-tree reduction (communication mirror of bcast)."""
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            yield Send(dest=parent, nbytes=nbytes, tag=_coll_tag(seq, 0))
+            break
+        else:
+            child_v = vrank + mask
+            if child_v < size:
+                child = (child_v + root) % size
+                yield Recv(source=child, nbytes=nbytes, tag=_coll_tag(seq, 0))
+        mask <<= 1
+
+
+def allreduce(rank: int, size: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Recursive doubling when p is a power of two, else reduce+bcast."""
+    if size & (size - 1) == 0:
+        round_no = 0
+        dist = 1
+        while dist < size:
+            partner = rank ^ dist
+            yield from _exchange(partner, nbytes, partner, _coll_tag(seq, round_no))
+            dist <<= 1
+            round_no += 1
+    else:
+        yield from reduce(rank, size, 0, nbytes, seq)
+        yield from bcast(rank, size, 0, nbytes, seq * 2 + 1)
+
+
+def allgather(rank: int, size: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Ring allgather: p-1 rounds passing ``nbytes`` to the right."""
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for round_no in range(size - 1):
+        yield from _exchange(right, nbytes, left, _coll_tag(seq, round_no))
+
+
+def alltoall(rank: int, size: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Rotation all-to-all: round i pairs rank with rank±i."""
+    for i in range(1, size):
+        to = (rank + i) % size
+        frm = (rank - i) % size
+        yield from _exchange(to, nbytes, frm, _coll_tag(seq, i - 1))
+
+
+def alltoallv(
+    rank: int, size: int, send_counts: tuple[int, ...], seq: int
+) -> Iterator[Op]:
+    """Rotation all-to-all with per-destination byte counts."""
+    if len(send_counts) != size:
+        raise ProgramError(
+            f"alltoallv send_counts has {len(send_counts)} entries for "
+            f"{size} ranks"
+        )
+    for i in range(1, size):
+        to = (rank + i) % size
+        frm = (rank - i) % size
+        yield from _exchange(to, int(send_counts[to]), frm, _coll_tag(seq, i - 1))
+
+
+def reduce_scatter(rank: int, size: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Recursive halving for powers of two (volume halves each round,
+    as in MPICH); otherwise reduce-to-0 followed by a scatter."""
+    if size & (size - 1) == 0:
+        round_no = 0
+        dist = size >> 1
+        volume = nbytes * max(1, size // 2)
+        while dist >= 1:
+            partner = rank ^ dist
+            yield from _exchange(partner, volume, partner, _coll_tag(seq, round_no))
+            dist >>= 1
+            volume = max(1, volume // 2)
+            round_no += 1
+    else:
+        yield from reduce(rank, size, 0, nbytes * size, seq)
+        yield from scatter(rank, size, 0, nbytes, seq * 2 + 1)
+
+
+def scan(rank: int, size: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Linear-chain inclusive scan: partials flow rank 0 -> size-1."""
+    if rank > 0:
+        yield Recv(source=rank - 1, nbytes=nbytes, tag=_coll_tag(seq, 0))
+    if rank < size - 1:
+        yield Send(dest=rank + 1, nbytes=nbytes, tag=_coll_tag(seq, 0))
+
+
+def gather(rank: int, size: int, root: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Binomial gather; an interior node forwards its whole subtree."""
+    vrank = (rank - root) % size
+    mask = 1
+    subtree = nbytes  # bytes this rank holds (own + received children)
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            yield Send(dest=parent, nbytes=subtree, tag=_coll_tag(seq, 0))
+            break
+        else:
+            child_v = vrank + mask
+            if child_v < size:
+                child = (child_v + root) % size
+                child_subtree = nbytes * min(mask, size - child_v)
+                yield Recv(source=child, nbytes=child_subtree, tag=_coll_tag(seq, 0))
+                subtree += child_subtree
+        mask <<= 1
+
+
+def scatter(rank: int, size: int, root: int, nbytes: int, seq: int) -> Iterator[Op]:
+    """Binomial scatter (communication mirror of gather)."""
+    vrank = (rank - root) % size
+    # Receive own subtree's payload from parent.
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            # Subtree rooted at vrank spans min(mask, size - vrank) ranks.
+            sub = nbytes * min(mask, size - vrank)
+            yield Recv(source=parent, nbytes=sub, tag=_coll_tag(seq, 0))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            child = ((vrank + mask) + root) % size
+            sub = nbytes * min(mask, size - (vrank + mask))
+            yield Send(dest=child, nbytes=sub, tag=_coll_tag(seq, 0))
+        mask >>= 1
+
+
+def _translate_ranks(gen: Iterator[Op], members: tuple[int, ...]) -> Iterator[Op]:
+    """Rewrite a decomposition's group-local peers to global ranks.
+
+    Request handles returned by non-blocking ops are forwarded back
+    into the wrapped generator unchanged.
+    """
+    value = None
+    while True:
+        try:
+            op = gen.send(value)
+        except StopIteration:
+            return
+        if isinstance(op, Send):
+            op = Send(dest=members[op.dest], nbytes=op.nbytes, tag=op.tag)
+        elif isinstance(op, Recv):
+            src = members[op.source] if op.source >= 0 else op.source
+            op = Recv(source=src, nbytes=op.nbytes, tag=op.tag)
+        elif isinstance(op, Isend):
+            op = Isend(dest=members[op.dest], nbytes=op.nbytes, tag=op.tag)
+        elif isinstance(op, Irecv):
+            src = members[op.source] if op.source >= 0 else op.source
+            op = Irecv(source=src, nbytes=op.nbytes, tag=op.tag)
+        value = yield op
+
+
+def _expand_local(
+    op: CollectiveOp, grank: int, gsize: int, groot: int, seq: int
+) -> Iterator[Op]:
+    """Decomposition in group-local rank space."""
+    if isinstance(op, Barrier):
+        return barrier(grank, gsize, seq)
+    if isinstance(op, Bcast):
+        return bcast(grank, gsize, groot, op.nbytes, seq)
+    if isinstance(op, Reduce):
+        return reduce(grank, gsize, groot, op.nbytes, seq)
+    if isinstance(op, Allreduce):
+        return allreduce(grank, gsize, op.nbytes, seq)
+    if isinstance(op, Allgather):
+        return allgather(grank, gsize, op.nbytes, seq)
+    if isinstance(op, Alltoall):
+        return alltoall(grank, gsize, op.nbytes, seq)
+    if isinstance(op, Alltoallv):
+        return alltoallv(grank, gsize, tuple(op.send_counts), seq)
+    if isinstance(op, ReduceScatter):
+        return reduce_scatter(grank, gsize, op.nbytes, seq)
+    if isinstance(op, Scan):
+        return scan(grank, gsize, op.nbytes, seq)
+    if isinstance(op, Gather):
+        return gather(grank, gsize, groot, op.nbytes, seq)
+    if isinstance(op, Scatter):
+        return scatter(grank, gsize, groot, op.nbytes, seq)
+    raise ProgramError(f"unknown collective op {op!r}")
+
+
+def group_key(members: tuple[int, ...]) -> int:
+    """Stable per-communicator tag-space key (the simulator analogue of
+    an MPI context id; all ranks derive the same value from the same
+    member tuple)."""
+    key = 0x811C9DC5
+    for m in members:
+        key = ((key ^ (m + 1)) * 0x01000193) & 0xFFFFF
+    return key
+
+
+def expand(
+    op: CollectiveOp, rank: int, size: int, seq: int
+) -> Iterator[Op]:
+    """Return the decomposition generator for a collective op.
+
+    For group collectives (``op.group`` set) the decomposition runs in
+    group-local rank space, its peers are translated back to global
+    ranks, and the tag sequence is salted with the group's context key
+    so concurrent disjoint communicators never cross-match.
+    """
+    members = getattr(op, "group", None)
+    if members is None:
+        root = getattr(op, "root", 0)
+        return _expand_local(op, rank, size, root, seq)
+    members = tuple(members)
+    if rank not in members:
+        raise ProgramError(
+            f"rank {rank} executes a collective on group {members} "
+            f"it does not belong to"
+        )
+    if len(set(members)) != len(members):
+        raise ProgramError(f"group {members} has duplicate members")
+    grank = members.index(rank)
+    root = getattr(op, "root", members[0])
+    if root not in members:
+        raise ProgramError(f"root {root} not in group {members}")
+    groot = members.index(root)
+    salted_seq = seq * (1 << 8) + group_key(members) % (1 << 8)
+    local = _expand_local(op, grank, len(members), groot, salted_seq)
+    return _translate_ranks(local, members)
+
+
+def collective_bytes(op: CollectiveOp, size: int) -> int:
+    """Representative payload size recorded in the trace for a collective.
+
+    For sized collectives this is the per-rank contribution (per-pair
+    for all-to-all); for ``Alltoallv`` the total sent by this rank.
+    """
+    if isinstance(op, Barrier):
+        return 0
+    if isinstance(op, Alltoallv):
+        return int(sum(op.send_counts))
+    return int(getattr(op, "nbytes"))

@@ -1,0 +1,761 @@
+"""The discrete-event engine that executes simulated MPI programs.
+
+Each rank is a stack of generators (the program, plus any collective
+decomposition it is currently inside). The engine steps ready ranks,
+dispatches the operations they yield, and advances simulated time by
+popping fluid-task completions and timers off an event heap.
+
+Timing model
+------------
+
+* ``Compute(w)`` — a fluid task of ``w`` reference-CPU-seconds on the
+  node's CPU resource; all runnable processes on the node (app ranks in
+  a compute phase + competing load) share the CPUs max–min fairly, each
+  capped at one CPU.
+* point-to-point — a message is a fluid flow through the sender's TX
+  NIC and receiver's RX NIC; delivery at ``flow end + latency``. Eager
+  messages (≤ threshold) start flowing at send time and cost the sender
+  only a local copy (``send_overhead + bytes/memory_bandwidth``);
+  rendezvous messages start when both sides have posted (+ handshake
+  latencies) and block the sender until delivery.
+* intra-node messages cost ``intra_node_latency + bytes/memory_bandwidth``
+  and do not touch the NICs.
+* collectives — expanded into point-to-point decompositions
+  (:mod:`repro.sim.collectives`), but traced as single calls.
+
+The engine is deterministic: heap ties break on insertion order and no
+wall-clock state leaks in.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.errors import DeadlockError, ProgramError, SimulationError
+from repro.cluster.contention import DEDICATED, Scenario
+from repro.cluster.topology import Cluster
+from repro.sim import collectives as coll
+from repro.sim.fluid import INFINITE_WORK, FluidSystem, Resource, Task
+from repro.sim.matching import Mailbox, Message
+from repro.sim.ops import (
+    CollectiveOp,
+    Compute,
+    Irecv,
+    Isend,
+    Op,
+    Recv,
+    RequestHandle,
+    Send,
+    Sendrecv,
+    Wait,
+    Waitall,
+    call_name,
+)
+
+# Event kinds. Background events (load/traffic modulation) re-arm
+# themselves forever, so they are excluded from deadlock detection.
+_EV_TASK = 0
+_EV_TIMER = 1
+_EV_BG = 2
+
+# Process states.
+_READY = 0
+_BLOCKED = 1
+_DONE = 2
+
+_BLOCK = object()  # dispatch sentinel: the process must block
+
+
+class EngineHook:
+    """Observer interface; the tracer implements this.
+
+    ``on_call`` fires once per completed *user-level* MPI call with its
+    simulated start and end times (non-blocking calls have zero
+    duration; their completion is visible through the matching
+    ``MPI_Wait``). Compute phases are not calls — like the paper's
+    profiling library, observers infer compute from inter-call gaps.
+    """
+
+    def on_run_start(self, nranks: int, t: float) -> None:  # pragma: no cover
+        pass
+
+    def on_call(
+        self, rank: int, name: str, params: dict, t_start: float, t_end: float
+    ) -> None:  # pragma: no cover
+        pass
+
+    def on_run_end(self, finish_times: Sequence[float]) -> None:  # pragma: no cover
+        pass
+
+
+@dataclass
+class SimConfig:
+    """Engine knobs independent of the cluster description."""
+
+    #: Safety valve: abort after this many engine events.
+    max_events: int = 500_000_000
+    #: Rank -> node index placement; default is round-robin.
+    placement: Optional[Sequence[int]] = None
+    #: Seed for the run's environment randomness (load bursts, traffic
+    #: fluctuation). Two runs with the same seed are identical.
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated run."""
+
+    program_name: str
+    scenario_name: str
+    nranks: int
+    finish_times: tuple[float, ...]
+    elapsed: float
+    n_messages: int
+    n_events: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"RunResult({self.program_name} under {self.scenario_name}: "
+            f"{self.elapsed:.6f}s, {self.n_messages} msgs)"
+        )
+
+
+class _Proc:
+    """Execution state of one simulated rank."""
+
+    __slots__ = (
+        "rank",
+        "node",
+        "stack",
+        "state",
+        "wait_count",
+        "pending_call",
+        "coll_seqs",
+        "finish_time",
+    )
+
+    def __init__(self, rank: int, node: int, gen: Iterator[Op]):
+        self.rank = rank
+        self.node = node
+        # Stack frames: (generator, call_record-or-None); a call record
+        # is (name, params, t_start) emitted when the frame pops.
+        self.stack: list[tuple[Iterator[Op], Optional[tuple]]] = [(gen, None)]
+        self.state = _READY
+        self.wait_count = 0
+        self.pending_call: Optional[tuple] = None
+        # Per-communicator collective sequence numbers (None = world);
+        # members of a communicator agree on these because MPI requires
+        # them to issue its collectives in the same order.
+        self.coll_seqs: dict = {}
+        self.finish_time = math.nan
+
+
+class Engine:
+    """Executes one program per :meth:`run` call on a cluster+scenario."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scenario: Scenario = DEDICATED,
+        hook: Optional[EngineHook] = None,
+        config: Optional[SimConfig] = None,
+    ):
+        scenario.validate_against(cluster)
+        self.cluster = cluster
+        self.scenario = scenario
+        self.hook = hook
+        self.config = config or SimConfig()
+        self._net = cluster.network
+
+        # Mutable per-run state, initialised in run().
+        self.now = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._ready: deque = deque()
+        self._fluid = FluidSystem()
+        self._fluid_dirty: set = set()
+        self._procs: list[_Proc] = []
+        self._mailboxes: list[Mailbox] = []
+        self._cpu_res: list[Resource] = []
+        self._tx_res: list[Resource] = []
+        self._rx_res: list[Resource] = []
+        self._wan_up: list[Resource] = []
+        self._wan_down: list[Resource] = []
+        self._ndone = 0
+        self._n_messages = 0
+        self._n_events = 0
+        self._fg_in_heap = 0
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _build_resources(self) -> None:
+        cluster, scenario = self.cluster, self.scenario
+        self._cpu_res = []
+        self._tx_res = []
+        self._rx_res = []
+        for i, node in enumerate(cluster.nodes):
+            self._cpu_res.append(Resource(f"cpu[{node.name}]", float(node.ncpus)))
+            nic_cap = scenario.nic_caps.get(i, self._net.bandwidth)
+            self._tx_res.append(Resource(f"tx[{node.name}]", nic_cap))
+            self._rx_res.append(Resource(f"rx[{node.name}]", nic_cap))
+        # WAN uplinks: one per site and direction, shared by all of the
+        # site's cross-site flows (multi-site clusters only).
+        self._wan_up = []
+        self._wan_down = []
+        if cluster.nsites > 1:
+            for s in range(cluster.nsites):
+                self._wan_up.append(
+                    Resource(f"wan-up[{s}]", self._net.wan_bandwidth)
+                )
+                self._wan_down.append(
+                    Resource(f"wan-down[{s}]", self._net.wan_bandwidth)
+                )
+        # Competing load: infinite-work CPU tasks. With a load model
+        # they burst and pause; otherwise they run steadily forever.
+        for node_idx, count in scenario.competing.items():
+            for k in range(count):
+                if scenario.load_model is not None:
+                    self._start_load_process(node_idx, k)
+                else:
+                    task = Task(
+                        name=f"load[{node_idx}.{k}]",
+                        resources=(self._cpu_res[node_idx],),
+                        work=INFINITE_WORK,
+                        cap=1.0,
+                    )
+                    self._fluid.add(task)
+                    self._fluid_dirty.update(task.resources)
+        # Fluctuating available bandwidth on throttled links.
+        if scenario.traffic_model is not None:
+            for node_idx, base_cap in scenario.nic_caps.items():
+                self._start_traffic_modulation(node_idx, base_cap)
+
+    def _start_load_process(self, node_idx: int, k: int) -> None:
+        """One bursty competing process: busy/idle cycles from a seeded
+        stream (see :class:`repro.cluster.contention.LoadModel`)."""
+        from repro.util.rng import make_rng
+
+        model = self.scenario.load_model
+        rng = make_rng(self.config.seed, "load", node_idx, k)
+        cpu = self._cpu_res[node_idx]
+
+        def go_busy(t: float) -> None:
+            task = Task(
+                name=f"load[{node_idx}.{k}]",
+                resources=(cpu,),
+                work=INFINITE_WORK,
+                cap=1.0,
+            )
+            self._fluid_add(task)
+            busy = rng.uniform(*model.busy_range)
+            self._push_bg_timer(t + busy, lambda tt, tk=task: go_idle(tt, tk))
+
+        def go_idle(t: float, task: Task) -> None:
+            self._fluid_remove(task)
+            idle = rng.uniform(*model.idle_range)
+            if idle <= 0:
+                go_busy(t)
+            else:
+                self._push_bg_timer(t + idle, go_busy)
+
+        # Start each process at a random point of its busy/idle cycle
+        # so t=0 is not special and even short windows sample the
+        # process state distribution.
+        mean_busy = 0.5 * (model.busy_range[0] + model.busy_range[1])
+        mean_idle = 0.5 * (model.idle_range[0] + model.idle_range[1])
+        duty = mean_busy / max(1e-12, mean_busy + mean_idle)
+        if rng.random() < duty:
+            task = Task(
+                name=f"load[{node_idx}.{k}]",
+                resources=(cpu,),
+                work=INFINITE_WORK,
+                cap=1.0,
+            )
+            self._fluid.add(task)
+            self._fluid_dirty.update(task.resources)
+            remaining = rng.uniform(0.0, model.busy_range[1])
+            self._push_bg_timer(remaining, lambda tt, tk=task: go_idle(tt, tk))
+        else:
+            self._push_bg_timer(
+                rng.uniform(0.0, max(1e-9, model.idle_range[1])), go_busy
+            )
+
+    def _start_traffic_modulation(self, node_idx: int, base_cap: float) -> None:
+        """Resample a throttled NIC's available bandwidth periodically
+        (see :class:`repro.cluster.contention.TrafficModel`)."""
+        from repro.util.rng import make_rng
+
+        model = self.scenario.traffic_model
+        rng = make_rng(self.config.seed, "traffic", node_idx)
+        tx, rx = self._tx_res[node_idx], self._rx_res[node_idx]
+
+        def tick(t: float) -> None:
+            factor = 1.0 + model.swing * (2.0 * rng.random() - 1.0)
+            cap = base_cap * factor
+            self._fluid.sync(self.now)
+            tx.set_capacity(cap)
+            rx.set_capacity(cap)
+            self._fluid_dirty.add(tx)
+            self._fluid_dirty.add(rx)
+            self._push_bg_timer(t + rng.uniform(*model.period_range), tick)
+
+        self._push_bg_timer(rng.uniform(*model.period_range), tick)
+
+    def _placement(self, nranks: int) -> list[int]:
+        if self.config.placement is not None:
+            placement = list(self.config.placement)
+            if len(placement) != nranks:
+                raise SimulationError(
+                    f"placement has {len(placement)} entries for {nranks} ranks"
+                )
+            for node in placement:
+                if not 0 <= node < self.cluster.nnodes:
+                    raise SimulationError(f"placement references node {node}")
+            return placement
+        return [r % self.cluster.nnodes for r in range(nranks)]
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+
+    def _push_timer(self, t: float, callback: Callable[[float], None]) -> None:
+        self._seq += 1
+        self._fg_in_heap += 1
+        heappush(self._heap, (t, self._seq, _EV_TIMER, callback, 0))
+
+    def _push_bg_timer(self, t: float, callback: Callable[[float], None]) -> None:
+        self._seq += 1
+        heappush(self._heap, (t, self._seq, _EV_BG, callback, 0))
+
+    def _settle_fluid(self) -> None:
+        """Reallocate rates for components touched since the last settle
+        and (re)schedule completion events for the affected tasks."""
+        dirty = self._fluid_dirty
+        if not dirty:
+            return
+        self._fluid_dirty = set()
+        affected = self._fluid.reallocate_scoped(dirty)
+        now = self.now
+        heap = self._heap
+        for task in affected:
+            if task.alive and not task.infinite:
+                eta = task.eta(now)
+                if eta != math.inf:
+                    self._seq += 1
+                    self._fg_in_heap += 1
+                    heappush(heap, (eta, self._seq, _EV_TASK, task, task.version))
+
+    def _fluid_add(self, task: Task) -> None:
+        self._fluid.sync(self.now)
+        self._fluid.add(task)
+        self._fluid_dirty.update(task.resources)
+
+    def _fluid_remove(self, task: Task) -> None:
+        self._fluid.sync(self.now)
+        self._fluid.remove(task)
+        self._fluid_dirty.update(task.resources)
+
+    # ------------------------------------------------------------------
+    # request / message plumbing
+    # ------------------------------------------------------------------
+
+    def _complete_request(self, req: RequestHandle, t: float) -> None:
+        if req.done:
+            raise SimulationError("request completed twice")
+        req.done = True
+        req.t_done = t
+        waiters, req.waiters = req.waiters, []
+        for proc in waiters:
+            proc.wait_count -= 1
+            if proc.wait_count == 0:
+                proc.state = _READY
+                self._ready.append((proc, None))
+
+    def _block_on(self, proc: _Proc, requests: Sequence[RequestHandle]) -> bool:
+        """Register proc on incomplete requests; True if it must block."""
+        pending = [r for r in requests if not r.done]
+        if not pending:
+            return False
+        proc.state = _BLOCKED
+        proc.wait_count = len(pending)
+        for req in pending:
+            req.waiters.append(proc)
+        return True
+
+    def _local_copy_time(self, nbytes: int) -> float:
+        return self._net.send_overhead + nbytes / self._net.memory_bandwidth
+
+    def _handshake_delay(self, src_rank: int, dst_rank: int) -> float:
+        """Rendezvous RTS/CTS round-trip for a rank pair (site-aware)."""
+        src_node = self._procs[src_rank].node
+        dst_node = self._procs[dst_rank].node
+        latency = self._net.latency
+        if self.cluster.site_of(src_node) != self.cluster.site_of(dst_node):
+            latency = self._net.wan_latency
+        return self._net.handshake_latencies * latency
+
+    def _deliver(self, msg: Message, t: float) -> None:
+        msg.delivered = True
+        msg.t_delivered = t
+        if msg.recv_req is not None:
+            self._complete_request(msg.recv_req, t)
+        if not msg.eager and msg.send_req is not None:
+            self._complete_request(msg.send_req, t)
+
+    def _start_flow(self, msg: Message, start: float) -> None:
+        """Begin the data movement of a matched/eager message."""
+        if msg.flow_started:
+            raise SimulationError("flow started twice")
+        msg.flow_started = True
+        src_node = self._procs[msg.src].node
+        dst_node = self._procs[msg.dst].node
+        if src_node == dst_node:
+            dt = self._net.intra_node_latency + msg.nbytes / self._net.memory_bandwidth
+            self._push_timer(start + dt, lambda t, m=msg: self._deliver(m, t))
+            return
+        src_site = self.cluster.site_of(src_node)
+        dst_site = self.cluster.site_of(dst_node)
+        resources = [self._tx_res[src_node], self._rx_res[dst_node]]
+        latency = self._net.latency
+        if src_site != dst_site:
+            # Cross-site: pay the WAN latency and share the uplinks.
+            latency = self._net.wan_latency
+            resources.append(self._wan_up[src_site])
+            resources.append(self._wan_down[dst_site])
+        if msg.nbytes == 0:
+            self._push_timer(
+                start + latency, lambda t, m=msg: self._deliver(m, t)
+            )
+            return
+
+        def _launch(t0: float, m: Message = msg) -> None:
+            task = Task(
+                name=f"flow[{m.src}->{m.dst}]",
+                resources=tuple(resources),
+                work=float(m.nbytes),
+                on_complete=lambda task, t: self._push_timer(
+                    t + latency, lambda td, mm=m: self._deliver(mm, td)
+                ),
+            )
+            self._fluid_add(task)
+
+        if start <= self.now:
+            _launch(self.now)
+        else:
+            self._push_timer(start, _launch)
+
+    def _post_send(self, proc: _Proc, dest: int, nbytes: int, tag: int) -> RequestHandle:
+        if not 0 <= dest < len(self._procs):
+            raise ProgramError(f"rank {proc.rank} sends to invalid rank {dest}")
+        if dest == proc.rank:
+            raise ProgramError(f"rank {proc.rank} sends to itself")
+        self._n_messages += 1
+        eager = nbytes <= self._net.eager_threshold
+        msg = Message(proc.rank, dest, tag, int(nbytes), eager)
+        req = RequestHandle("send", dest, tag, int(nbytes))
+        req.msg = msg
+        msg.send_req = req
+
+        mailbox = self._mailboxes[dest]
+        recv_req = mailbox.match_send(msg)
+        if recv_req is not None:
+            msg.recv_req = recv_req
+            recv_req.msg = msg
+        else:
+            mailbox.add_unexpected(msg)
+
+        if eager:
+            # Data leaves immediately; the sender pays only a local copy.
+            self._start_flow(msg, self.now)
+            cost = self._local_copy_time(nbytes)
+            self._push_timer(
+                self.now + cost, lambda t, r=req: self._complete_request(r, t)
+            )
+        elif recv_req is not None:
+            handshake = self._handshake_delay(msg.src, msg.dst)
+            self._start_flow(msg, self.now + handshake)
+        # Rendezvous without a matched receive: the flow starts when the
+        # receive is posted; the send request completes at delivery.
+        return req
+
+    def _post_recv(self, proc: _Proc, source: int, tag: int) -> RequestHandle:
+        req = RequestHandle("recv", source, tag, 0)
+        mailbox = self._mailboxes[proc.rank]
+        msg = mailbox.match_recv(source, tag)
+        if msg is None:
+            mailbox.add_posted(req)
+            return req
+        msg.recv_req = req
+        req.msg = msg
+        if msg.delivered:
+            self._complete_request(req, self.now)
+        elif not msg.eager and not msg.flow_started:
+            handshake = self._handshake_delay(msg.src, msg.dst)
+            self._start_flow(msg, self.now + handshake)
+        return req
+
+    # ------------------------------------------------------------------
+    # process stepping
+    # ------------------------------------------------------------------
+
+    def _emit_pending_call(self, proc: _Proc) -> None:
+        if proc.pending_call is not None:
+            name, params, t_start = proc.pending_call
+            proc.pending_call = None
+            if self.hook is not None:
+                self.hook.on_call(proc.rank, name, params, t_start, self.now)
+
+    def _trace_now(self, proc: _Proc, op: Op, params: dict) -> None:
+        """Record an instantaneous (non-blocking) user-level call."""
+        if self.hook is not None and len(proc.stack) == 1:
+            self.hook.on_call(proc.rank, call_name(op), params, self.now, self.now)
+
+    def _begin_blocking_call(self, proc: _Proc, op: Op, params: dict) -> None:
+        if self.hook is not None and len(proc.stack) == 1:
+            proc.pending_call = (call_name(op), params, self.now)
+
+    def _step(self, proc: _Proc, value) -> None:
+        """Advance one rank until it blocks or finishes."""
+        self._emit_pending_call(proc)
+        while True:
+            gen, call_record = proc.stack[-1]
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                proc.stack.pop()
+                if call_record is not None and self.hook is not None:
+                    name, params, t_start = call_record
+                    self.hook.on_call(proc.rank, name, params, t_start, self.now)
+                if not proc.stack:
+                    proc.state = _DONE
+                    proc.finish_time = self.now
+                    self._ndone += 1
+                    return
+                value = stop.value
+                continue
+            value = self._dispatch(proc, op)
+            if value is _BLOCK:
+                return
+
+    def _dispatch(self, proc: _Proc, op: Op):
+        """Perform one yielded op; return the resume value or _BLOCK."""
+        user_level = len(proc.stack) == 1
+
+        if type(op) is Compute:
+            if op.seconds <= 0:
+                return None
+            node = self.cluster.nodes[proc.node]
+            proc.state = _BLOCKED
+            proc.wait_count = 0
+
+            def _done(task: Task, t: float, p: _Proc = proc) -> None:
+                # The main loop already removed the task from the fluid
+                # system; just wake the process.
+                p.state = _READY
+                self._ready.append((p, None))
+
+            task = Task(
+                name=f"compute[r{proc.rank}]",
+                resources=(self._cpu_res[proc.node],),
+                work=float(op.seconds),
+                cap=1.0,
+                speed=node.speed,
+                on_complete=_done,
+            )
+            self._fluid_add(task)
+            return _BLOCK
+
+        if type(op) is Send:
+            params = {"peer": op.dest, "bytes": op.nbytes, "tag": op.tag}
+            req = self._post_send(proc, op.dest, op.nbytes, op.tag)
+            if self._block_on(proc, (req,)):
+                if user_level:
+                    self._begin_blocking_call(proc, op, params)
+                return _BLOCK
+            self._trace_now(proc, op, params)
+            return None
+
+        if type(op) is Recv:
+            params = {"peer": op.source, "bytes": op.nbytes, "tag": op.tag}
+            if user_level:
+                self._begin_blocking_call(proc, op, params)
+            req = self._post_recv(proc, op.source, op.tag)
+            if self._block_on(proc, (req,)):
+                return _BLOCK
+            self._emit_pending_call(proc)
+            return None
+
+        if type(op) is Isend:
+            params = {"peer": op.dest, "bytes": op.nbytes, "tag": op.tag}
+            self._trace_now(proc, op, params)
+            return self._post_send(proc, op.dest, op.nbytes, op.tag)
+
+        if type(op) is Irecv:
+            params = {"peer": op.source, "bytes": op.nbytes, "tag": op.tag}
+            self._trace_now(proc, op, params)
+            req = self._post_recv(proc, op.source, op.tag)
+            # Report the declared receive size (stable regardless of
+            # whether the message has already arrived) so downstream
+            # Waitall records are timing-independent.
+            req.nbytes = op.nbytes
+            return req
+
+        if type(op) is Wait:
+            if user_level:
+                self._begin_blocking_call(proc, op, {"bytes": op.request.nbytes})
+            if self._block_on(proc, (op.request,)):
+                return _BLOCK
+            self._emit_pending_call(proc)
+            return None
+
+        if type(op) is Waitall:
+            if user_level:
+                total = sum(r.nbytes for r in op.requests)
+                self._begin_blocking_call(
+                    proc, op, {"count": len(op.requests), "bytes": total}
+                )
+            if self._block_on(proc, tuple(op.requests)):
+                return _BLOCK
+            self._emit_pending_call(proc)
+            return None
+
+        if type(op) is Sendrecv:
+            params = {
+                "peer": op.dest,
+                "bytes": op.send_nbytes,
+                "tag": op.send_tag,
+                "source": op.source,
+            }
+            if user_level:
+                self._begin_blocking_call(proc, op, params)
+            sreq = self._post_send(proc, op.dest, op.send_nbytes, op.send_tag)
+            rreq = self._post_recv(proc, op.source, op.recv_tag)
+            if self._block_on(proc, (sreq, rreq)):
+                return _BLOCK
+            self._emit_pending_call(proc)
+            return None
+
+        if isinstance(op, CollectiveOp):
+            size = len(self._procs)
+            members = getattr(op, "group", None)
+            comm_key = tuple(members) if members is not None else None
+            seq = proc.coll_seqs.get(comm_key, 0)
+            proc.coll_seqs[comm_key] = seq + 1
+            sub = coll.expand(op, proc.rank, size, seq)
+            record = None
+            if self.hook is not None and user_level:
+                gsize = len(comm_key) if comm_key is not None else size
+                params = {"bytes": coll.collective_bytes(op, gsize)}
+                root = getattr(op, "root", None)
+                if root is not None:
+                    params["root"] = root
+                if comm_key is not None:
+                    params["group"] = list(comm_key)
+                record = (call_name(op), params, self.now)
+            proc.stack.append((sub, record))
+            return None  # first send(None) primes the sub-generator
+
+        raise ProgramError(f"program yielded non-op value {op!r}")
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, program) -> RunResult:
+        """Execute ``program`` (a :class:`repro.sim.program.Program`)."""
+        nranks = program.nranks
+        if nranks < 1:
+            raise ProgramError("program needs at least one rank")
+
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+        self._ready = deque()
+        self._fluid = FluidSystem()
+        self._fluid_dirty = set()
+        self._ndone = 0
+        self._n_messages = 0
+        self._n_events = 0
+        self._fg_in_heap = 0
+        self._mailboxes = [Mailbox(r) for r in range(nranks)]
+        self._build_resources()
+
+        placement = self._placement(nranks)
+        self._procs = [
+            _Proc(rank, placement[rank], program.make(rank, nranks))
+            for rank in range(nranks)
+        ]
+        if self.hook is not None:
+            self.hook.on_run_start(nranks, 0.0)
+        for proc in self._procs:
+            self._ready.append((proc, None))
+
+        max_events = self.config.max_events
+        heap = self._heap
+        while True:
+            while self._ready:
+                proc, value = self._ready.popleft()
+                self._step(proc, value)
+            if self._ndone == nranks:
+                break
+            self._settle_fluid()
+            if self._fg_in_heap == 0:
+                # Only self-rearming background modulation (or nothing)
+                # remains: no blocked rank can ever be woken again.
+                blocked = [p.rank for p in self._procs if p.state == _BLOCKED]
+                raise DeadlockError(
+                    f"no runnable rank and no pending completion event; "
+                    f"blocked ranks: {blocked}",
+                    blocked_ranks=blocked,
+                )
+            # Pop the next valid event.
+            while heap:
+                t, _seq, kind, a, b = heappop(heap)
+                if kind == _EV_TASK:
+                    self._fg_in_heap -= 1
+                    task: Task = a
+                    if task.version != b or not task.alive:
+                        continue  # stale
+                    self._advance_time(t)
+                    self._fluid_remove(task)
+                    task.on_complete(task, t)
+                elif kind == _EV_TIMER:
+                    self._fg_in_heap -= 1
+                    self._advance_time(t)
+                    a(t)
+                else:  # background modulation
+                    self._advance_time(t)
+                    a(t)
+                    self._settle_fluid()
+                    if not self._ready:
+                        continue  # keep popping until foreground work
+                self._n_events += 1
+                if self._n_events > max_events:
+                    raise SimulationError("event budget exhausted")
+                break
+
+        finish_times = tuple(p.finish_time for p in self._procs)
+        if self.hook is not None:
+            self.hook.on_run_end(finish_times)
+        return RunResult(
+            program_name=program.name,
+            scenario_name=self.scenario.name,
+            nranks=nranks,
+            finish_times=finish_times,
+            elapsed=max(finish_times),
+            n_messages=self._n_messages,
+            n_events=self._n_events,
+        )
+
+    def _advance_time(self, t: float) -> None:
+        if t < self.now - 1e-9:
+            raise SimulationError(f"event time regressed: {self.now} -> {t}")
+        if t > self.now:
+            self._fluid.sync(t)
+            self.now = t

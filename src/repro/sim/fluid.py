@@ -1,0 +1,297 @@
+"""Max–min fair fluid resource allocator.
+
+This is the shared kernel behind both contention models in the
+simulator:
+
+* a **node's CPUs** form a resource of capacity ``ncpus`` (CPU-units);
+  every runnable process is a task with per-task cap 1.0 (a process
+  cannot use more than one CPU), so e.g. three runnable processes on a
+  dual-CPU node each progress at 2/3 CPU — exactly the situation the
+  paper engineers with two competing processes per dual-CPU node;
+* a **NIC** is a resource of capacity ``bandwidth`` (bytes/s); every
+  in-flight message is a task consuming both the sender's TX resource
+  and the receiver's RX resource.
+
+Rates are computed with the classic *progressive filling* algorithm:
+conceptually, all unfrozen task rates rise together from zero; a task
+freezes when it hits its own cap or when one of its resources
+saturates (which freezes every unfrozen task on that resource). The
+result is the unique max–min fair allocation. Tasks on disjoint
+resource sets are independent, so CPU tasks and network flows can live
+in one system without interacting.
+
+Between membership changes all rates are constant, so completion times
+are analytic — this is what makes the discrete-event simulation cheap:
+the event count scales with the number of messages and compute phases,
+not with simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Sentinel amount of work for tasks that never finish (competing load).
+INFINITE_WORK = math.inf
+
+_EPS = 1e-12
+
+
+class Resource:
+    """A capacity shared max–min fairly by the tasks that use it."""
+
+    __slots__ = ("name", "capacity", "tasks")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity < 0:
+            raise SimulationError(f"resource {name!r} has negative capacity")
+        self.name = name
+        self.capacity = float(capacity)
+        #: Live tasks currently using this resource.
+        self.tasks: set["Task"] = set()
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change capacity (used by dynamic throttling scenarios)."""
+        if capacity < 0:
+            raise SimulationError(f"resource {self.name!r} negative capacity")
+        self.capacity = float(capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Resource({self.name!r}, cap={self.capacity:g}, n={len(self.tasks)})"
+
+
+class Task:
+    """A unit of fluid work progressing at the allocated fair rate.
+
+    ``work`` is expressed in the resource's units (CPU-seconds for
+    compute, bytes for flows). ``cap`` bounds the task's own rate
+    irrespective of resource availability. ``speed`` is a multiplier
+    applied between allocated rate and progress (used for heterogeneous
+    node speeds: the *allocation* is in CPU-units, the *progress* is in
+    reference-CPU seconds).
+    """
+
+    __slots__ = (
+        "name",
+        "resources",
+        "remaining",
+        "cap",
+        "speed",
+        "rate",
+        "on_complete",
+        "version",
+        "alive",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        resources: Iterable[Resource],
+        work: float,
+        cap: float = math.inf,
+        speed: float = 1.0,
+        on_complete: Optional[Callable[["Task", float], None]] = None,
+    ):
+        if work < 0:
+            raise SimulationError(f"task {name!r} has negative work")
+        if cap <= 0:
+            raise SimulationError(f"task {name!r} has non-positive cap")
+        self.name = name
+        self.resources = tuple(resources)
+        self.remaining = float(work)
+        self.cap = float(cap)
+        self.speed = float(speed)
+        #: Currently allocated rate (resource units per second).
+        self.rate = 0.0
+        self.on_complete = on_complete
+        #: Bumped on every reallocation; used to invalidate stale events.
+        self.version = 0
+        self.alive = False
+
+    @property
+    def infinite(self) -> bool:
+        return math.isinf(self.remaining)
+
+    def eta(self, now: float) -> float:
+        """Absolute completion time at the current rate (inf if stalled)."""
+        progress = self.rate * self.speed
+        if self.infinite or progress <= _EPS:
+            return math.inf
+        return now + self.remaining / progress
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Task({self.name!r}, rem={self.remaining:g}, rate={self.rate:g})"
+        )
+
+
+class FluidSystem:
+    """The set of live resources and tasks plus the fair-share solver.
+
+    The owner (the simulation engine) drives it with::
+
+        system.sync(now)        # account progress since the last sync
+        system.add(task) / system.remove(task)
+        system.reallocate()     # recompute all rates
+        for task in system.finite_tasks(): schedule task.eta(now)
+
+    :meth:`sync` must be called with the current time *before* any
+    membership change so work done at the old rates is banked first.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: set[Task] = set()
+        #: Finite tasks with a positive rate — the only ones whose
+        #: remaining work changes as time advances.
+        self._progressing: set[Task] = set()
+        self._last_sync = 0.0
+
+    # -- membership ---------------------------------------------------
+
+    def add(self, task: Task) -> None:
+        if task.alive:
+            raise SimulationError(f"task {task.name!r} added twice")
+        task.alive = True
+        self.tasks.add(task)
+        for res in task.resources:
+            res.tasks.add(task)
+
+    def remove(self, task: Task) -> None:
+        if not task.alive:
+            raise SimulationError(f"task {task.name!r} not in system")
+        task.alive = False
+        task.version += 1
+        self.tasks.discard(task)
+        self._progressing.discard(task)
+        for res in task.resources:
+            res.tasks.discard(task)
+
+    # -- progress accounting -------------------------------------------
+
+    def sync(self, now: float) -> None:
+        """Bank the work done at current rates since the last sync."""
+        dt = now - self._last_sync
+        if dt < -1e-9:
+            raise SimulationError(
+                f"time moved backwards: {self._last_sync} -> {now}"
+            )
+        if dt > 0:
+            for task in self._progressing:
+                task.remaining -= task.rate * task.speed * dt
+                if task.remaining < 0:
+                    # Numerical dust from float arithmetic.
+                    task.remaining = 0.0
+        self._last_sync = max(self._last_sync, now)
+
+    # -- max-min fair allocation ---------------------------------------
+
+    def reallocate(self) -> None:
+        """Recompute every task's rate with progressive filling."""
+        self._fill(self.tasks)
+
+    def component(self, seed_resources: Iterable[Resource]) -> set[Task]:
+        """All tasks transitively sharing resources with the seeds.
+
+        Tasks outside the component share no resource with it, so their
+        max–min fair rates are unaffected by any change inside it; this
+        is what makes scoped reallocation exact.
+        """
+        seen_res: set[Resource] = set()
+        seen_tasks: set[Task] = set()
+        stack = list(seed_resources)
+        while stack:
+            res = stack.pop()
+            if res in seen_res:
+                continue
+            seen_res.add(res)
+            for task in res.tasks:
+                if task not in seen_tasks:
+                    seen_tasks.add(task)
+                    stack.extend(task.resources)
+        return seen_tasks
+
+    def reallocate_scoped(self, dirty_resources: Iterable[Resource]) -> set[Task]:
+        """Recompute rates only for the affected component(s).
+
+        Returns the set of tasks whose rates were recomputed (callers
+        reschedule completion events for exactly those).
+        """
+        affected = self.component(dirty_resources)
+        self._fill(affected)
+        return affected
+
+    def _fill(self, tasks: Iterable[Task]) -> None:
+        """Progressive filling over ``tasks`` (a resource-closed set)."""
+        tasks = set(tasks)
+        progressing = self._progressing
+        for task in tasks:
+            task.rate = 0.0
+            task.version += 1
+            progressing.discard(task)
+        if not tasks:
+            return
+
+        unfrozen = set(tasks)
+        avail = {res: res.capacity for task in tasks for res in task.resources}
+        # Unfrozen user count per resource.
+        users: dict[Resource, int] = {res: 0 for res in avail}
+        for task in tasks:
+            for res in task.resources:
+                users[res] += 1
+
+        level = 0.0
+        # Each iteration freezes at least one task, so this terminates.
+        while unfrozen:
+            # Largest uniform increment before a resource saturates...
+            delta = math.inf
+            for res, n in users.items():
+                if n > 0:
+                    delta = min(delta, avail[res] / n)
+            # ... or a task reaches its cap.
+            for task in unfrozen:
+                delta = min(delta, task.cap - level)
+            if delta is math.inf:
+                # No constraints at all (tasks with no resources).
+                for task in unfrozen:
+                    task.rate = task.cap
+                break
+            delta = max(delta, 0.0)
+            level += delta
+            for res in list(users):
+                if users[res] > 0:
+                    avail[res] -= delta * users[res]
+
+            newly_frozen = []
+            for task in unfrozen:
+                if task.cap - level <= _EPS:
+                    newly_frozen.append(task)
+                    continue
+                for res in task.resources:
+                    if avail[res] <= _EPS * max(1.0, res.capacity):
+                        newly_frozen.append(task)
+                        break
+            if not newly_frozen:
+                # Defensive: avoid an infinite loop on numerical edge
+                # cases by freezing everything at the current level.
+                newly_frozen = list(unfrozen)
+            for task in newly_frozen:
+                task.rate = level
+                unfrozen.discard(task)
+                for res in task.resources:
+                    users[res] -= 1
+
+        for task in tasks:
+            if task.rate > 0 and not task.infinite:
+                progressing.add(task)
+
+    # -- queries --------------------------------------------------------
+
+    def finite_tasks(self) -> list[Task]:
+        """Tasks that will complete (for event scheduling)."""
+        return [t for t in self.tasks if not t.infinite]
+
+    @property
+    def now(self) -> float:
+        return self._last_sync

@@ -1,0 +1,103 @@
+"""MPI message matching: envelopes, mailboxes, and matching rules.
+
+Matching follows MPI semantics: a receive posted with ``(source, tag)``
+— either of which may be a wildcard — matches the earliest compatible
+message, and messages between a given (source, destination, tag) triple
+are non-overtaking (per-pair FIFO). Matching is by *envelope only*;
+payload sizes need not agree (the simulator, like MPI, delivers the
+sent size).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.sim.ops import ANY_SOURCE, ANY_TAG, RequestHandle
+
+
+class Message:
+    """An in-flight or buffered point-to-point message."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "tag",
+        "nbytes",
+        "eager",
+        "delivered",
+        "t_delivered",
+        "flow_started",
+        "send_req",
+        "recv_req",
+    )
+
+    def __init__(self, src: int, dst: int, tag: int, nbytes: int, eager: bool):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.eager = eager
+        self.delivered = False
+        self.t_delivered = float("nan")
+        self.flow_started = False
+        self.send_req: Optional[RequestHandle] = None
+        self.recv_req: Optional[RequestHandle] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message({self.src}->{self.dst}, tag={self.tag}, "
+            f"bytes={self.nbytes}, {'eager' if self.eager else 'rndv'})"
+        )
+
+
+def _compatible(want_src: int, want_tag: int, src: int, tag: int) -> bool:
+    return (want_src == ANY_SOURCE or want_src == src) and (
+        want_tag == ANY_TAG or want_tag == tag
+    )
+
+
+class Mailbox:
+    """Per-destination-rank matching state."""
+
+    __slots__ = ("rank", "posted", "unexpected")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        #: Receive requests posted but not yet matched, in post order.
+        self.posted: deque[RequestHandle] = deque()
+        #: Messages that arrived (were sent) before a matching receive.
+        self.unexpected: deque[Message] = deque()
+
+    def match_send(self, msg: Message) -> Optional[RequestHandle]:
+        """Match an incoming send against posted receives.
+
+        Returns the matched receive request (removed from the posted
+        queue) or ``None``; in the latter case the caller must enqueue
+        the message as unexpected via :meth:`add_unexpected`.
+        """
+        posted = self.posted
+        for i, req in enumerate(posted):
+            if _compatible(req.peer, req.tag, msg.src, msg.tag):
+                del posted[i]
+                return req
+        return None
+
+    def add_unexpected(self, msg: Message) -> None:
+        self.unexpected.append(msg)
+
+    def match_recv(self, source: int, tag: int) -> Optional[Message]:
+        """Match a newly posted receive against unexpected messages."""
+        unexpected = self.unexpected
+        for i, msg in enumerate(unexpected):
+            if _compatible(source, tag, msg.src, msg.tag):
+                del unexpected[i]
+                return msg
+        return None
+
+    def add_posted(self, req: RequestHandle) -> None:
+        self.posted.append(req)
+
+    def outstanding(self) -> tuple[int, int]:
+        """(posted receives, unexpected messages) — deadlock diagnostics."""
+        return (len(self.posted), len(self.unexpected))

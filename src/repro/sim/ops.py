@@ -1,0 +1,263 @@
+"""Operation vocabulary for simulated message-passing programs.
+
+A simulated program is a generator that *yields* these operation
+objects; the engine performs them and resumes the generator (with a
+:class:`RequestHandle` for the non-blocking calls). The vocabulary
+mirrors the MPI subset exercised by the NAS benchmarks the paper
+traces: point-to-point (blocking and non-blocking), waits, and the
+collective family.
+
+Sizes are bytes; compute work is seconds on a dedicated reference CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Wildcard source for receives (matches any sender), like MPI_ANY_SOURCE.
+ANY_SOURCE: int = -1
+#: Wildcard tag for receives, like MPI_ANY_TAG.
+ANY_TAG: int = -1
+
+#: Tags at or above this value are reserved for internal collective
+#: decompositions; user programs must use smaller tags.
+COLLECTIVE_TAG_BASE: int = 1 << 24
+
+
+class RequestHandle:
+    """Completion handle returned by non-blocking operations.
+
+    Only the engine mutates these; programs just pass them to
+    :class:`Wait` / :class:`Waitall`.
+    """
+
+    __slots__ = ("kind", "peer", "tag", "nbytes", "done", "t_done", "waiters", "msg")
+
+    def __init__(self, kind: str, peer: int, tag: int, nbytes: int):
+        self.kind = kind  # "send" | "recv"
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.done = False
+        self.t_done = float("nan")
+        self.waiters: list = []
+        self.msg = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "pending"
+        return f"RequestHandle({self.kind}, peer={self.peer}, {state})"
+
+
+class Op:
+    """Base class of every yieldable operation."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Compute(Op):
+    """Busy CPU work of ``seconds`` on a dedicated reference CPU.
+
+    Under contention the elapsed time stretches by the inverse of the
+    CPU share the process gets.
+    """
+
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class Send(Op):
+    """Blocking standard-mode send (eager or rendezvous by size)."""
+
+    dest: int
+    nbytes: int
+    tag: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Recv(Op):
+    """Blocking receive. ``source``/``tag`` may be wildcards."""
+
+    source: int = ANY_SOURCE
+    nbytes: int = 0
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True, slots=True)
+class Isend(Op):
+    """Non-blocking send; the engine resumes the program with a
+    :class:`RequestHandle`."""
+
+    dest: int
+    nbytes: int
+    tag: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Irecv(Op):
+    """Non-blocking receive; resumes with a :class:`RequestHandle`."""
+
+    source: int = ANY_SOURCE
+    nbytes: int = 0
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True, slots=True)
+class Wait(Op):
+    """Block until one request completes."""
+
+    request: RequestHandle
+
+
+@dataclass(frozen=True, slots=True)
+class Waitall(Op):
+    """Block until every request in the tuple completes."""
+
+    requests: Tuple[RequestHandle, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Sendrecv(Op):
+    """Combined send+receive (deadlock-free exchange)."""
+
+    dest: int
+    send_nbytes: int
+    send_tag: int
+    source: int
+    recv_tag: int
+
+
+class CollectiveOp(Op):
+    """Marker base for collectives (traced as one call, executed as a
+    point-to-point decomposition).
+
+    Every collective accepts an optional ``group``: a tuple of global
+    ranks forming the sub-communicator (like a comm from
+    ``MPI_Comm_split``). ``None`` means COMM_WORLD. Rooted collectives
+    take their ``root`` as a *global* rank that must be a member.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Barrier(CollectiveOp):
+    """Dissemination barrier."""
+
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Bcast(CollectiveOp):
+    """Binomial-tree broadcast of ``nbytes`` from ``root``."""
+
+    root: int
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Reduce(CollectiveOp):
+    """Binomial-tree reduction of ``nbytes`` to ``root``."""
+
+    root: int
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Allreduce(CollectiveOp):
+    """Recursive-doubling allreduce of ``nbytes`` (reduce+bcast when the
+    communicator size is not a power of two)."""
+
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Allgather(CollectiveOp):
+    """Ring allgather; each rank contributes ``nbytes``."""
+
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Alltoall(CollectiveOp):
+    """Rotation all-to-all; ``nbytes`` exchanged per rank pair."""
+
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Alltoallv(CollectiveOp):
+    """Vector all-to-all; ``send_counts[d]`` bytes go to (group-local)
+    rank ``d``."""
+
+    send_counts: Tuple[int, ...] = field(default=())
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceScatter(CollectiveOp):
+    """Recursive-halving reduce-scatter; each rank contributes and
+    receives ``nbytes``."""
+
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Scan(CollectiveOp):
+    """Linear-chain inclusive prefix reduction of ``nbytes``."""
+
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Gather(CollectiveOp):
+    """Binomial gather of ``nbytes`` per rank to ``root``."""
+
+    root: int
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Scatter(CollectiveOp):
+    """Binomial scatter of ``nbytes`` per rank from ``root``."""
+
+    root: int
+    nbytes: int
+    group: Optional[Tuple[int, ...]] = None
+
+
+#: Map op classes to the MPI call names used in trace records.
+MPI_CALL_NAMES: dict[type, str] = {
+    Send: "MPI_Send",
+    Recv: "MPI_Recv",
+    Isend: "MPI_Isend",
+    Irecv: "MPI_Irecv",
+    Wait: "MPI_Wait",
+    Waitall: "MPI_Waitall",
+    Sendrecv: "MPI_Sendrecv",
+    Barrier: "MPI_Barrier",
+    Bcast: "MPI_Bcast",
+    Reduce: "MPI_Reduce",
+    Allreduce: "MPI_Allreduce",
+    Allgather: "MPI_Allgather",
+    Alltoall: "MPI_Alltoall",
+    Alltoallv: "MPI_Alltoallv",
+    ReduceScatter: "MPI_Reduce_scatter",
+    Scan: "MPI_Scan",
+    Gather: "MPI_Gather",
+    Scatter: "MPI_Scatter",
+}
+
+
+def call_name(op: Op) -> str:
+    """MPI call name for a traceable operation."""
+    return MPI_CALL_NAMES[type(op)]

@@ -1,0 +1,72 @@
+"""Program abstraction and the one-call run helper.
+
+A simulated program is a :class:`Program`: a name, a rank count, and a
+factory producing a generator of ops per rank. The generator yields
+:mod:`repro.sim.ops` objects; non-blocking ops resume it with a
+:class:`~repro.sim.ops.RequestHandle`.
+
+Example::
+
+    from repro.sim import Program, Compute, Send, Recv, run_program
+    from repro.cluster import paper_testbed
+
+    def ring(rank, size):
+        yield Compute(0.01)
+        if rank == 0:
+            yield Send(dest=1, nbytes=1000)
+            yield Recv(source=size - 1)
+        else:
+            yield Recv(source=rank - 1)
+            yield Send(dest=(rank + 1) % size, nbytes=1000)
+
+    result = run_program(Program("ring", 4, ring), paper_testbed())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.cluster.contention import DEDICATED, Scenario
+from repro.cluster.topology import Cluster
+from repro.sim.engine import Engine, EngineHook, RunResult, SimConfig
+from repro.sim.ops import Op
+
+
+@dataclass(frozen=True)
+class Program:
+    """A runnable SPMD program.
+
+    ``make(rank, size)`` must return a fresh generator each call; the
+    same :class:`Program` can therefore be run many times (once per
+    scenario, once traced, ...).
+    """
+
+    name: str
+    nranks: int
+    make: Callable[[int, int], Iterator[Op]]
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError("Program needs nranks >= 1")
+
+
+def run_program(
+    program: Program,
+    cluster: Cluster,
+    scenario: Scenario = DEDICATED,
+    hook: Optional[EngineHook] = None,
+    placement: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run ``program`` on ``cluster`` under ``scenario`` and return the
+    :class:`~repro.sim.engine.RunResult`.
+
+    ``seed`` drives the scenario's environment randomness (competing-
+    load bursts, traffic fluctuation); repeated runs with different
+    seeds sample different sharing conditions, like repeated runs on a
+    real shared system.
+    """
+    config = SimConfig(placement=placement, seed=seed)
+    engine = Engine(cluster, scenario=scenario, hook=hook, config=config)
+    return engine.run(program)

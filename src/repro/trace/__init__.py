@@ -1,0 +1,45 @@
+"""Execution tracing: the simulated equivalent of the paper's PMPI
+profiling library (section 3.1).
+
+Each MPI call is recorded per rank with its parameters and start/end
+times at microsecond granularity; compute time is the gap between the
+end of one call and the start of the next. No source modification is
+needed — the tracer is an engine hook.
+"""
+
+from repro.trace.records import Trace, TraceRecord
+from repro.trace.tracer import Tracer, trace_program
+from repro.trace.io import read_trace, write_trace
+from repro.trace.analysis import (
+    ActivityBreakdown,
+    activity_breakdown,
+    imbalance_ratio,
+    message_size_histogram,
+    rank_breakdowns,
+    trace_stats,
+)
+from repro.trace.similarity import (
+    activity_distance,
+    call_mix_distance,
+    skeleton_similarity,
+    traffic_profile_distance,
+)
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "Tracer",
+    "trace_program",
+    "read_trace",
+    "write_trace",
+    "ActivityBreakdown",
+    "activity_breakdown",
+    "imbalance_ratio",
+    "message_size_histogram",
+    "rank_breakdowns",
+    "trace_stats",
+    "activity_distance",
+    "call_mix_distance",
+    "skeleton_similarity",
+    "traffic_profile_distance",
+]

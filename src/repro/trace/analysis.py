@@ -1,0 +1,189 @@
+"""Trace statistics: the numbers behind Figure 2 and general sanity
+reporting.
+
+The paper validates skeletons by comparing the percentage of time spent
+in MPI operations versus other computation for the application and each
+skeleton (Figure 2); :func:`activity_breakdown` computes exactly that
+split from a trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.trace.records import Trace
+
+
+@dataclass(frozen=True)
+class ActivityBreakdown:
+    """Time split between MPI operations and computation."""
+
+    elapsed: float
+    mpi_time: float
+    compute_time: float
+
+    @property
+    def mpi_fraction(self) -> float:
+        return self.mpi_time / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.compute_time / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def mpi_percent(self) -> float:
+        return 100.0 * self.mpi_fraction
+
+    @property
+    def compute_percent(self) -> float:
+        return 100.0 * self.compute_fraction
+
+
+def activity_breakdown(trace: Trace) -> ActivityBreakdown:
+    """Average MPI/compute split across ranks.
+
+    Per rank, MPI time is the summed duration of recorded calls and
+    compute time is everything else up to the rank's finish time; the
+    fractions are then averaged over ranks (each rank ran for the same
+    wall interval in an SPMD run, so this matches the paper's
+    whole-application percentages).
+    """
+    if not trace.finish_times:
+        raise TraceError("trace lacks finish times")
+    total_elapsed = 0.0
+    total_mpi = 0.0
+    for rank in range(trace.nranks):
+        elapsed = trace.finish_times[rank]
+        mpi = sum(rec.duration for rec in trace.records[rank])
+        if mpi > elapsed + 1e-6:
+            raise TraceError(
+                f"rank {rank}: MPI time {mpi} exceeds elapsed {elapsed}"
+            )
+        total_elapsed += elapsed
+        total_mpi += mpi
+    return ActivityBreakdown(
+        elapsed=total_elapsed,
+        mpi_time=total_mpi,
+        compute_time=max(0.0, total_elapsed - total_mpi),
+    )
+
+
+def rank_breakdowns(trace: Trace) -> list[ActivityBreakdown]:
+    """Per-rank MPI/compute split (load-imbalance diagnostics)."""
+    if not trace.finish_times:
+        raise TraceError("trace lacks finish times")
+    out = []
+    for rank in range(trace.nranks):
+        elapsed = trace.finish_times[rank]
+        mpi = sum(rec.duration for rec in trace.records[rank])
+        out.append(
+            ActivityBreakdown(
+                elapsed=elapsed,
+                mpi_time=mpi,
+                compute_time=max(0.0, elapsed - mpi),
+            )
+        )
+    return out
+
+
+#: Histogram bucket boundaries for message sizes (bytes).
+_SIZE_BUCKETS = (0, 64, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024)
+
+
+def message_size_histogram(trace: Trace) -> dict[str, int]:
+    """Counts of traced calls by payload-size bucket.
+
+    Buckets follow common latency/bandwidth regimes: zero/tiny control
+    messages, eager-range, rendezvous-range, and bulk.
+    """
+    labels = []
+    for i, lo in enumerate(_SIZE_BUCKETS):
+        if i + 1 < len(_SIZE_BUCKETS):
+            labels.append(f"{lo}-{_SIZE_BUCKETS[i + 1] - 1}B")
+        else:
+            labels.append(f">={lo}B")
+    histogram = {label: 0 for label in labels}
+    for recs in trace.records:
+        for rec in recs:
+            nbytes = rec.nbytes
+            idx = 0
+            for i, lo in enumerate(_SIZE_BUCKETS):
+                if nbytes >= lo:
+                    idx = i
+            histogram[labels[idx]] += 1
+    return histogram
+
+
+def imbalance_ratio(trace: Trace) -> float:
+    """Max/min per-rank compute time — a simple load-balance figure
+    (1.0 = perfectly balanced)."""
+    breakdowns = rank_breakdowns(trace)
+    computes = [b.compute_time for b in breakdowns]
+    low = min(computes)
+    if low <= 0:
+        return float("inf") if max(computes) > 0 else 1.0
+    return max(computes) / low
+
+
+#: Calls whose peer field denotes a point-to-point destination.
+_P2P_SEND_CALLS = frozenset({"MPI_Send", "MPI_Isend", "MPI_Sendrecv"})
+
+
+def communication_matrix(trace: Trace) -> list[list[int]]:
+    """Bytes sent between each (source, destination) rank pair.
+
+    Only point-to-point traffic is attributed (collectives are
+    decomposition-dependent); ``matrix[src][dst]`` is total payload
+    bytes.
+    """
+    n = trace.nranks
+    matrix = [[0] * n for _ in range(n)]
+    for src in range(n):
+        for rec in trace.records[src]:
+            if rec.call in _P2P_SEND_CALLS:
+                dst = int(rec.params.get("peer", -1))
+                if 0 <= dst < n:
+                    matrix[src][dst] += rec.nbytes
+    return matrix
+
+
+def render_communication_matrix(trace: Trace) -> str:
+    """ASCII rendering of :func:`communication_matrix` (KB units)."""
+    matrix = communication_matrix(trace)
+    n = trace.nranks
+    header = "src\\dst " + " ".join(f"{d:>9d}" for d in range(n))
+    lines = [header]
+    for src in range(n):
+        cells = " ".join(
+            f"{matrix[src][dst] / 1024:>8.1f}K" for dst in range(n)
+        )
+        lines.append(f"{src:>7d} {cells}")
+    return "\n".join(lines)
+
+
+def trace_stats(trace: Trace) -> dict:
+    """General descriptive statistics of a trace (reporting/debugging)."""
+    calls: Counter[str] = Counter()
+    total_bytes = 0
+    max_bytes = 0
+    for recs in trace.records:
+        for rec in recs:
+            calls[rec.call] += 1
+            nbytes = rec.nbytes
+            total_bytes += nbytes
+            max_bytes = max(max_bytes, nbytes)
+    breakdown = activity_breakdown(trace)
+    return {
+        "program": trace.program_name,
+        "scenario": trace.scenario_name,
+        "nranks": trace.nranks,
+        "elapsed": trace.elapsed,
+        "n_calls": trace.n_calls(),
+        "calls_by_type": dict(calls),
+        "total_bytes": total_bytes,
+        "max_message_bytes": max_bytes,
+        "mpi_percent": breakdown.mpi_percent,
+        "compute_percent": breakdown.compute_percent,
+    }

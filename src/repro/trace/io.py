@@ -1,0 +1,86 @@
+"""Trace file I/O.
+
+Format: JSON-lines. The first line is a header object; each following
+line is one call record ``{"r": rank, "c": call, "p": params,
+"s": t_start, "e": t_end}``. One file holds the whole run (records of
+all ranks, grouped by rank in order), which keeps experiment artifacts
+manageable while preserving the paper's per-process record structure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.errors import TraceError
+from repro.trace.records import Trace, TraceRecord
+
+_FORMAT_VERSION = 1
+
+
+def write_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write a trace to ``path`` as JSON-lines."""
+    header = {
+        "format": _FORMAT_VERSION,
+        "program": trace.program_name,
+        "scenario": trace.scenario_name,
+        "nranks": trace.nranks,
+        "finish_times": trace.finish_times,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for rank, records in enumerate(trace.records):
+            for rec in records:
+                line = {
+                    "r": rank,
+                    "c": rec.call,
+                    "p": dict(rec.params),
+                    "s": rec.t_start,
+                    "e": rec.t_end,
+                }
+                fh.write(json.dumps(line) + "\n")
+
+
+def read_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Read a trace written by :func:`write_trace`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise TraceError(f"{path}: empty trace file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: bad header: {exc}") from exc
+        if header.get("format") != _FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace format {header.get('format')!r}"
+            )
+        nranks = int(header["nranks"])
+        trace = Trace(
+            program_name=header.get("program", ""),
+            scenario_name=header.get("scenario", ""),
+            nranks=nranks,
+            records=[[] for _ in range(nranks)],
+            finish_times=[float(t) for t in header.get("finish_times", [])],
+        )
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: bad record: {exc}") from exc
+            rank = int(obj["r"])
+            if not 0 <= rank < nranks:
+                raise TraceError(f"{path}:{lineno}: rank {rank} out of range")
+            trace.records[rank].append(
+                TraceRecord(
+                    call=str(obj["c"]),
+                    params={k: v for k, v in obj.get("p", {}).items()},
+                    t_start=float(obj["s"]),
+                    t_end=float(obj["e"]),
+                )
+            )
+    return trace

@@ -1,0 +1,99 @@
+"""Trace record data model.
+
+A :class:`TraceRecord` is one MPI call as the paper's profiling library
+logs it: call name, call parameters (peer/root, bytes, tag, ...), and
+start/end timestamps. A :class:`Trace` is the whole run: one record
+list per rank plus run metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One recorded MPI call on one rank."""
+
+    call: str
+    params: Mapping[str, int]
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise TraceError(
+                f"{self.call}: end {self.t_end} precedes start {self.t_start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.params.get("bytes", 0))
+
+    @property
+    def peer(self) -> int:
+        """Peer rank for point-to-point, root for rooted collectives,
+        -1 for non-rooted collectives."""
+        if "peer" in self.params:
+            return int(self.params["peer"])
+        if "root" in self.params:
+            return int(self.params["root"])
+        return -1
+
+
+@dataclass
+class Trace:
+    """All records of one run, per rank, plus metadata."""
+
+    program_name: str
+    scenario_name: str
+    nranks: int
+    records: list[list[TraceRecord]] = field(default_factory=list)
+    finish_times: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            self.records = [[] for _ in range(self.nranks)]
+        if len(self.records) != self.nranks:
+            raise TraceError(
+                f"{len(self.records)} record lists for {self.nranks} ranks"
+            )
+
+    @property
+    def elapsed(self) -> float:
+        if not self.finish_times:
+            raise TraceError("trace has no finish times (run incomplete?)")
+        return max(self.finish_times)
+
+    def rank_records(self, rank: int) -> list[TraceRecord]:
+        if not 0 <= rank < self.nranks:
+            raise TraceError(f"rank {rank} out of range")
+        return self.records[rank]
+
+    def n_calls(self) -> int:
+        """Total MPI calls across all ranks."""
+        return sum(len(r) for r in self.records)
+
+    def validate(self) -> None:
+        """Check per-rank monotonicity of call intervals."""
+        for rank, recs in enumerate(self.records):
+            prev_end = 0.0
+            for rec in recs:
+                if rec.t_start < prev_end - 1e-9:
+                    raise TraceError(
+                        f"rank {rank}: call {rec.call} starts at "
+                        f"{rec.t_start} before previous call ended at {prev_end}"
+                    )
+                prev_end = rec.t_end
+            if self.finish_times and recs:
+                if recs[-1].t_end > self.finish_times[rank] + 1e-9:
+                    raise TraceError(
+                        f"rank {rank}: last call ends after rank finish time"
+                    )

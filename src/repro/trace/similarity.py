@@ -1,0 +1,79 @@
+"""Trace similarity metrics.
+
+Quantifies how alike two executions are at the communication-profile
+level — used to validate that a skeleton's behaviour resembles its
+application's beyond the Figure 2 time split (same call mix, similar
+traffic distribution), and generally useful for regression-checking
+workload models.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.errors import TraceError
+from repro.trace.records import Trace
+
+
+def _call_mix(trace: Trace) -> dict[str, float]:
+    counts: Counter[str] = Counter()
+    for recs in trace.records:
+        for rec in recs:
+            counts[rec.call] += 1
+    total = sum(counts.values())
+    if total == 0:
+        raise TraceError("trace has no calls")
+    return {call: n / total for call, n in counts.items()}
+
+
+def call_mix_distance(a: Trace, b: Trace) -> float:
+    """Total-variation distance between call-type distributions
+    (0 = identical mix, 1 = disjoint)."""
+    mix_a, mix_b = _call_mix(a), _call_mix(b)
+    keys = set(mix_a) | set(mix_b)
+    return 0.5 * sum(abs(mix_a.get(k, 0) - mix_b.get(k, 0)) for k in keys)
+
+
+def _volume_profile(trace: Trace) -> dict[str, float]:
+    volumes: Counter[str] = Counter()
+    for recs in trace.records:
+        for rec in recs:
+            volumes[rec.call] += rec.nbytes
+    total = sum(volumes.values())
+    return (
+        {call: v / total for call, v in volumes.items()} if total else {}
+    )
+
+
+def traffic_profile_distance(a: Trace, b: Trace) -> float:
+    """Total-variation distance between per-call traffic-volume
+    shares."""
+    prof_a, prof_b = _volume_profile(a), _volume_profile(b)
+    if not prof_a and not prof_b:
+        return 0.0
+    keys = set(prof_a) | set(prof_b)
+    return 0.5 * sum(
+        abs(prof_a.get(k, 0) - prof_b.get(k, 0)) for k in keys
+    )
+
+
+def activity_distance(a: Trace, b: Trace) -> float:
+    """Absolute difference of the MPI-time fractions (the Figure 2
+    quantity), in [0, 1]."""
+    from repro.trace.analysis import activity_breakdown
+
+    return abs(
+        activity_breakdown(a).mpi_fraction
+        - activity_breakdown(b).mpi_fraction
+    )
+
+
+def skeleton_similarity(app: Trace, skeleton: Trace) -> dict[str, float]:
+    """Bundle of all similarity measures, as the validation report uses
+    them. All values in [0, 1]; lower = more similar."""
+    return {
+        "call_mix": call_mix_distance(app, skeleton),
+        "traffic_profile": traffic_profile_distance(app, skeleton),
+        "activity": activity_distance(app, skeleton),
+    }

@@ -1,0 +1,95 @@
+"""Trace slicing utilities.
+
+The paper (§2): "skeleton execution is very different from actually
+executing the application for a short time. The skeleton should
+capture the total execution of an application in a short time while
+the beginning part of an application is typically not representative
+of the entire application."
+
+Slicing a trace to a time window makes that claim testable: a
+"prefix probe" (the first τ seconds of the application) can be
+compared head-to-head against a τ-second skeleton
+(``benchmarks/bench_prefix_probe.py``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.trace.records import Trace, TraceRecord
+
+
+def slice_time(trace: Trace, t_start: float, t_end: float) -> Trace:
+    """Records whose call interval lies inside [t_start, t_end], with
+    timestamps rebased to the window start.
+
+    Calls straddling the window edge are clipped to it (their recorded
+    duration shrinks accordingly), mirroring what a profiler attached
+    for only that window would log.
+    """
+    if t_end <= t_start:
+        raise TraceError("empty slice window")
+    out = Trace(
+        program_name=f"{trace.program_name}[{t_start:g}:{t_end:g}]",
+        scenario_name=trace.scenario_name,
+        nranks=trace.nranks,
+        records=[[] for _ in range(trace.nranks)],
+        finish_times=[
+            max(0.0, min(t, t_end) - t_start) for t in trace.finish_times
+        ],
+    )
+    for rank in range(trace.nranks):
+        for rec in trace.records[rank]:
+            if rec.t_end <= t_start or rec.t_start >= t_end:
+                continue
+            start = max(rec.t_start, t_start) - t_start
+            end = min(rec.t_end, t_end) - t_start
+            out.records[rank].append(
+                TraceRecord(
+                    call=rec.call,
+                    params=dict(rec.params),
+                    t_start=start,
+                    t_end=end,
+                )
+            )
+    return out
+
+
+def slice_ranks(trace: Trace, ranks: list[int]) -> Trace:
+    """A trace containing only the given ranks (renumbered densely).
+
+    Peers referenced in call parameters are remapped where possible;
+    records whose peer falls outside the kept set keep their original
+    peer id (callers analysing sliced traces should treat those as
+    external endpoints).
+    """
+    if not ranks:
+        raise TraceError("must keep at least one rank")
+    for r in ranks:
+        if not 0 <= r < trace.nranks:
+            raise TraceError(f"rank {r} out of range")
+    mapping = {old: new for new, old in enumerate(ranks)}
+    out = Trace(
+        program_name=f"{trace.program_name}[ranks={ranks}]",
+        scenario_name=trace.scenario_name,
+        nranks=len(ranks),
+        records=[[] for _ in ranks],
+        finish_times=[trace.finish_times[r] for r in ranks]
+        if trace.finish_times
+        else [],
+    )
+    for old in ranks:
+        for rec in trace.records[old]:
+            params = dict(rec.params)
+            if "peer" in params and params["peer"] in mapping:
+                params["peer"] = mapping[params["peer"]]
+            if "source" in params and params["source"] in mapping:
+                params["source"] = mapping[params["source"]]
+            out.records[mapping[old]].append(
+                TraceRecord(
+                    call=rec.call,
+                    params=params,
+                    t_start=rec.t_start,
+                    t_end=rec.t_end,
+                )
+            )
+    return out

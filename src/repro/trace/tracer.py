@@ -1,0 +1,83 @@
+"""The tracing engine hook and the one-call trace helper."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.contention import DEDICATED, Scenario
+from repro.cluster.topology import Cluster
+from repro.errors import TraceError
+from repro.sim.engine import Engine, EngineHook, RunResult, SimConfig
+from repro.sim.program import Program
+from repro.trace.records import Trace, TraceRecord
+from repro.util.timebase import quantize_us
+
+
+class Tracer(EngineHook):
+    """Collects per-rank :class:`TraceRecord` streams during a run.
+
+    Timestamps are quantised to microseconds, mirroring the
+    ``gettimeofday`` resolution of the paper's profiling library.
+    """
+
+    def __init__(self, program_name: str = "", scenario_name: str = ""):
+        self.program_name = program_name
+        self.scenario_name = scenario_name
+        self._records: list[list[TraceRecord]] = []
+        self._trace: Optional[Trace] = None
+
+    def on_run_start(self, nranks: int, t: float) -> None:
+        self._records = [[] for _ in range(nranks)]
+        self._trace = None
+
+    def on_call(
+        self, rank: int, name: str, params: dict, t_start: float, t_end: float
+    ) -> None:
+        self._records[rank].append(
+            TraceRecord(
+                call=name,
+                params=dict(params),
+                t_start=quantize_us(t_start),
+                t_end=max(quantize_us(t_start), quantize_us(t_end)),
+            )
+        )
+
+    def on_run_end(self, finish_times: Sequence[float]) -> None:
+        self._trace = Trace(
+            program_name=self.program_name,
+            scenario_name=self.scenario_name,
+            nranks=len(self._records),
+            records=self._records,
+            finish_times=[quantize_us(t) for t in finish_times],
+        )
+
+    @property
+    def trace(self) -> Trace:
+        if self._trace is None:
+            raise TraceError("no completed run has been traced")
+        return self._trace
+
+
+def trace_program(
+    program: Program,
+    cluster: Cluster,
+    scenario: Scenario = DEDICATED,
+    placement: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> tuple[Trace, RunResult]:
+    """Run ``program`` with tracing enabled; return (trace, run result).
+
+    Trace collection adds zero simulated-time overhead, consistent with
+    the paper's observation that trace generation costs well under 1%
+    of execution time (validated by ``benchmarks/bench_trace_overhead``
+    against an untraced run).
+    """
+    tracer = Tracer(program_name=program.name, scenario_name=scenario.name)
+    engine = Engine(
+        cluster,
+        scenario=scenario,
+        hook=tracer,
+        config=SimConfig(placement=placement, seed=seed),
+    )
+    result = engine.run(program)
+    return tracer.trace, result

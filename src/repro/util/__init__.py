@@ -1,0 +1,39 @@
+"""Shared low-level helpers (no dependencies on other repro packages)."""
+
+from repro.util.timebase import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    format_duration,
+    quantize_us,
+)
+from repro.util.rng import derive_seed, make_rng
+from repro.util.stats import (
+    ErrorSummary,
+    geometric_mean,
+    mean,
+    percent_error,
+    relative_error,
+    summarize_errors,
+    weighted_mean,
+)
+from repro.util.tables import Table, render_table
+
+__all__ = [
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "format_duration",
+    "quantize_us",
+    "derive_seed",
+    "make_rng",
+    "ErrorSummary",
+    "geometric_mean",
+    "mean",
+    "percent_error",
+    "relative_error",
+    "summarize_errors",
+    "weighted_mean",
+    "Table",
+    "render_table",
+]

@@ -1,0 +1,80 @@
+"""ASCII bar charts for terminal reports.
+
+The paper presents its results as bar charts; the report renderer uses
+these to echo that presentation in plain text alongside the numeric
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one bar per (label -> value)."""
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        frac = value / peak
+        n_full = int(frac * width)
+        half = (frac * width - n_full) >= 0.5
+        bar = _BAR * n_full + (_HALF if half else "")
+        lines.append(
+            f"{str(label).ljust(label_w)} |{bar.ljust(width)}| "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Bars grouped under headers: {group: {label: value}} — used for
+    the per-benchmark figures."""
+    if not groups:
+        raise ValueError("grouped_bar_chart needs at least one group")
+    peak = max(
+        (v for sub in groups.values() for v in sub.values()), default=1.0
+    ) or 1.0
+    label_w = max(
+        len(str(k)) for sub in groups.values() for k in sub
+    )
+    lines = [title] if title else []
+    for group, sub in groups.items():
+        lines.append(f"{group}:")
+        for label, value in sub.items():
+            n_full = int(value / peak * width)
+            lines.append(
+                f"  {str(label).ljust(label_w)} |{(_BAR * n_full).ljust(width)}| "
+                f"{value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def series_summary(values: Sequence[float]) -> str:
+    """One-line min/avg/max summary used under charts."""
+    if not values:
+        raise ValueError("series_summary needs values")
+    return (
+        f"min {min(values):.2f}  "
+        f"avg {sum(values) / len(values):.2f}  "
+        f"max {max(values):.2f}"
+    )

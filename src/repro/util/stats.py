@@ -1,0 +1,71 @@
+"""Small statistics helpers used by the prediction and experiment layers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    total_w = sum(weights)
+    if total_w <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(v * w for v, w in zip(values, weights)) / total_w
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """|predicted - actual| / actual, the paper's prediction-error metric."""
+    if actual <= 0:
+        raise ValueError("actual value must be positive")
+    return abs(predicted - actual) / actual
+
+
+def percent_error(predicted: float, actual: float) -> float:
+    """Relative error expressed in percent."""
+    return 100.0 * relative_error(predicted, actual)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Min / mean / max of a collection of error values (Figure 7 rows)."""
+
+    minimum: float
+    average: float
+    maximum: float
+    count: int
+
+    def as_row(self) -> tuple[float, float, float]:
+        return (self.minimum, self.average, self.maximum)
+
+
+def summarize_errors(errors: Iterable[float]) -> ErrorSummary:
+    """Build an :class:`ErrorSummary` from raw error values."""
+    values = list(errors)
+    if not values:
+        raise ValueError("no error values to summarize")
+    return ErrorSummary(
+        minimum=min(values),
+        average=mean(values),
+        maximum=max(values),
+        count=len(values),
+    )

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment reports.
+
+The benches print each paper figure as a text table; this module keeps
+that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table with an optional title."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and abs(cell) < 0.01:
+            return f"{cell:.2e}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a table as aligned monospace text."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    headers = [str(c) for c in columns]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,40 @@
+"""Time units and formatting.
+
+All simulator times are floats in **seconds**. The paper's profiling
+library timestamps at microsecond granularity (Linux ``gettimeofday``);
+:func:`quantize_us` reproduces that quantisation for trace records.
+"""
+
+from __future__ import annotations
+
+#: One second, the base unit of simulated time.
+SECOND: float = 1.0
+#: One millisecond in seconds.
+MILLISECOND: float = 1e-3
+#: One microsecond in seconds — the trace timestamp resolution.
+MICROSECOND: float = 1e-6
+
+
+def quantize_us(t: float) -> float:
+    """Round a time to microsecond granularity.
+
+    Mirrors the paper's ``gettimeofday``-based tracer: recorded
+    timestamps carry at most microsecond resolution, so compute gaps
+    derived from them inherit the same quantisation.
+    """
+    return round(t * 1e6) / 1e6
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration: ``"823 us"``, ``"14.2 ms"``, ``"3.50 s"``,
+    ``"2 m 03 s"``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    minutes = int(seconds // 60)
+    return f"{minutes} m {seconds - 60 * minutes:02.0f} s"

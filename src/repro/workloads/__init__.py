@@ -1,0 +1,44 @@
+"""Model implementations of the NAS Parallel Benchmarks used in the
+paper's evaluation (BT, CG, IS, LU, MG, SP), plus synthetic workloads
+for examples and tests.
+
+These are *communication-and-computation models*, not numerical ports:
+each issues the communication pattern of the corresponding NPB 2.x code
+(message partners, sizes derived from the published problem-class
+parameters and domain decompositions, collective usage, iteration
+structure) interleaved with compute phases whose durations follow the
+published operation counts on a reference CPU. Skeleton construction
+consumes only the execution trace, so this is exactly the fidelity the
+framework sees from a real benchmark run.
+"""
+
+from repro.workloads.base import (
+    REFERENCE_FLOPS,
+    WorkloadSpec,
+    available_benchmarks,
+    compute_seconds,
+    get_program,
+    grid_2d,
+)
+from repro.workloads.npbdata import CLASSES, problem
+from repro.workloads import bt, cg, ep, ft, is_, lu, mg, sp, synthetic
+
+__all__ = [
+    "REFERENCE_FLOPS",
+    "WorkloadSpec",
+    "available_benchmarks",
+    "compute_seconds",
+    "get_program",
+    "grid_2d",
+    "CLASSES",
+    "problem",
+    "bt",
+    "cg",
+    "ep",
+    "ft",
+    "is_",
+    "lu",
+    "mg",
+    "sp",
+    "synthetic",
+]

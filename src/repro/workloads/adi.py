@@ -1,0 +1,138 @@
+"""Shared structure of the ADI solvers BT and SP.
+
+Both codes run time steps of: RHS computation with full-face halo
+exchanges in the decomposed dimensions, then directional solves in x,
+y, z. On a 2D process grid the x and y solves are forward/backward
+substitution pipelines along the respective grid dimension (boundary
+data flows rank-to-rank), while the z solve is process-local. BT and
+SP differ in the per-face payload (5×5 block matrices + 5-vector ≈
+240 B/cell for BT versus scalar pentadiagonal data ≈ 80 B/cell for SP)
+and in per-cell flop cost / iteration count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.sim.ops import Allreduce, Barrier, Op, Recv, Send, Sendrecv
+from repro.sim.program import Program
+from repro.workloads.base import (
+    ComputeModel,
+    WorkloadSpec,
+    compute_seconds,
+    grid_2d,
+)
+from repro.workloads.npbdata import GridParams
+
+_TAG_RHS_NS = 1
+_TAG_RHS_EW = 2
+_TAG_X_FWD = 3
+_TAG_X_BWD = 4
+_TAG_Y_FWD = 5
+_TAG_Y_BWD = 6
+
+#: Fraction of a time step's flops in each phase.
+_RHS_SHARE = 0.16
+_SOLVE_SHARE = 0.28  # per direction (x, y, z)
+
+#: The substitution pipelines are chunked along z (as the real codes
+#: buffer their sweeps) so downstream ranks start before the upstream
+#: rank has finished its whole face — without this the 2-hop pipeline
+#: would serialise half of every solve.
+PIPELINE_CHUNKS = 8
+
+
+def adi_rank_gen(
+    spec: WorkloadSpec,
+    rank: int,
+    size: int,
+    params: GridParams,
+    flops_per_cell: float,
+    solve_bytes_per_face_cell: int,
+) -> Iterator[Op]:
+    rows, cols = grid_2d(size)
+    row, col = divmod(rank, cols)
+    cm = ComputeModel(spec, rank)
+
+    local_nx = max(1, params.nx // cols)
+    local_ny = max(1, params.ny // rows)
+    nz = params.nz
+    cells = local_nx * local_ny * nz
+
+    north: Optional[int] = rank - cols if row > 0 else None
+    south: Optional[int] = rank + cols if row < rows - 1 else None
+    west: Optional[int] = rank - 1 if col > 0 else None
+    east: Optional[int] = rank + 1 if col < cols - 1 else None
+
+    rhs_ns_bytes = 5 * local_nx * nz * 8
+    rhs_ew_bytes = 5 * local_ny * nz * 8
+    x_face_bytes = local_ny * nz * solve_bytes_per_face_cell
+    y_face_bytes = local_nx * nz * solve_bytes_per_face_cell
+
+    step_secs = compute_seconds(cells * flops_per_cell)
+    rhs_secs = step_secs * _RHS_SHARE
+    solve_secs = step_secs * _SOLVE_SHARE
+
+    def rhs_exchange() -> Iterator[Op]:
+        for peer, nbytes, tag in (
+            (north, rhs_ns_bytes, _TAG_RHS_NS),
+            (south, rhs_ns_bytes, _TAG_RHS_NS),
+            (west, rhs_ew_bytes, _TAG_RHS_EW),
+            (east, rhs_ew_bytes, _TAG_RHS_EW),
+        ):
+            if peer is not None:
+                yield Sendrecv(dest=peer, send_nbytes=nbytes, send_tag=tag,
+                               source=peer, recv_tag=tag)
+
+    def pipeline(
+        pred: Optional[int], succ: Optional[int],
+        fwd_tag: int, bwd_tag: int, face_bytes: int,
+    ) -> Iterator[Op]:
+        chunk_bytes = max(8, face_bytes // PIPELINE_CHUNKS)
+        chunk_secs = solve_secs / 2.0 / PIPELINE_CHUNKS
+        # Forward substitution flows pred -> succ.
+        for _c in range(PIPELINE_CHUNKS):
+            if pred is not None:
+                yield Recv(source=pred, nbytes=chunk_bytes, tag=fwd_tag)
+            yield cm.compute(chunk_secs)
+            if succ is not None:
+                yield Send(dest=succ, nbytes=chunk_bytes, tag=fwd_tag)
+        # Backward substitution flows succ -> pred.
+        for _c in range(PIPELINE_CHUNKS):
+            if succ is not None:
+                yield Recv(source=succ, nbytes=chunk_bytes, tag=bwd_tag)
+            yield cm.compute(chunk_secs)
+            if pred is not None:
+                yield Send(dest=pred, nbytes=chunk_bytes, tag=bwd_tag)
+
+    # Initialisation: exact_rhs + initial halo fill.
+    yield cm.compute(2.0 * rhs_secs)
+    yield from rhs_exchange()
+    yield Barrier()
+
+    for _it in range(params.niter):
+        yield cm.compute(rhs_secs)
+        yield from rhs_exchange()
+        yield from pipeline(west, east, _TAG_X_FWD, _TAG_X_BWD, x_face_bytes)
+        yield from pipeline(north, south, _TAG_Y_FWD, _TAG_Y_BWD, y_face_bytes)
+        yield cm.compute(solve_secs)  # z solve is process-local
+
+    # Verification: residual norms.
+    yield cm.compute(rhs_secs)
+    yield Allreduce(nbytes=40)
+    yield Barrier()
+
+
+def build_adi(
+    spec: WorkloadSpec,
+    params: GridParams,
+    flops_per_cell: float,
+    solve_bytes_per_face_cell: int,
+) -> Program:
+    return Program(
+        name=f"{spec.benchmark}.{spec.klass}.{spec.nprocs}",
+        nranks=spec.nprocs,
+        make=lambda rank, size: adi_rank_gen(
+            spec, rank, size, params, flops_per_cell, solve_bytes_per_face_cell
+        ),
+    )

@@ -1,0 +1,141 @@
+"""Shared workload machinery: compute-time conversion, decomposition
+helpers, the compute-jitter model, and the benchmark registry."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.ops import Compute, Op
+from repro.sim.program import Program
+from repro.util.rng import make_rng
+
+#: Sustained flop rate of the reference CPU (a 1.7 GHz Xeon running
+#: compiled NPB kernels sustains a few hundred Mflop/s).
+REFERENCE_FLOPS: float = 4.0e8
+
+
+def compute_seconds(flops: float, efficiency: float = 1.0) -> float:
+    """Convert a flop count into reference-CPU seconds."""
+    if flops < 0:
+        raise WorkloadError("negative flop count")
+    if efficiency <= 0:
+        raise WorkloadError("efficiency must be positive")
+    return flops / (REFERENCE_FLOPS * efficiency)
+
+
+def grid_2d(nprocs: int) -> tuple[int, int]:
+    """Near-square 2D process grid (rows, cols) with rows*cols = nprocs."""
+    if nprocs < 1:
+        raise WorkloadError("nprocs must be >= 1")
+    rows = int(math.sqrt(nprocs))
+    while rows > 1 and nprocs % rows != 0:
+        rows -= 1
+    return rows, nprocs // rows
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Identifies one benchmark instance.
+
+    ``jitter`` is the relative amplitude of per-phase compute-duration
+    variability (load imbalance, cache effects); skeleton construction
+    averages it away, which is one of the paper's acknowledged error
+    sources for unbalanced sharing scenarios, so it must exist in the
+    model for the reproduction to be honest.
+    """
+
+    benchmark: str
+    klass: str = "B"
+    nprocs: int = 4
+    seed: int = 12345
+    jitter: float = 0.04
+
+
+class ComputeModel:
+    """Per-rank deterministic jittered compute durations.
+
+    Each call to :meth:`compute` returns a ``Compute`` op whose duration
+    is the nominal value scaled by ``1 + jitter*u`` with ``u`` drawn
+    uniformly from [-1, 1] by a per-rank seeded generator, plus a
+    persistent per-rank skew (some ranks are systematically a touch
+    slower — boundary work, NUMA placement) of the same amplitude.
+    """
+
+    def __init__(self, spec: WorkloadSpec, rank: int):
+        self._rng = make_rng(spec.seed, spec.benchmark, spec.klass, rank)
+        self._jitter = spec.jitter
+        # Persistent rank skew in [-jitter/2, +jitter/2].
+        self._skew = 1.0 + self._jitter * (self._rng.random() - 0.5)
+
+    def compute(self, seconds: float) -> Compute:
+        if seconds <= 0:
+            return Compute(0.0)
+        u = 2.0 * self._rng.random() - 1.0
+        return Compute(seconds * self._skew * (1.0 + self._jitter * u))
+
+
+#: A benchmark builder takes a spec and returns a runnable Program.
+Builder = Callable[[WorkloadSpec], Program]
+
+_REGISTRY: dict[str, Builder] = {}
+
+
+def register(name: str) -> Callable[[Builder], Builder]:
+    """Decorator used by benchmark modules to register a builder."""
+
+    def _wrap(builder: Builder) -> Builder:
+        if name in _REGISTRY:
+            raise WorkloadError(f"benchmark {name!r} registered twice")
+        _REGISTRY[name] = builder
+        return builder
+
+    return _wrap
+
+
+def available_benchmarks() -> list[str]:
+    """Names of registered benchmarks, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_program(
+    benchmark: str,
+    klass: str = "B",
+    nprocs: int = 4,
+    seed: int = 12345,
+    jitter: float = 0.04,
+) -> Program:
+    """Build a runnable :class:`Program` for a benchmark instance."""
+    benchmark = benchmark.lower()
+    try:
+        builder = _REGISTRY[benchmark]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {benchmark!r}; available: {available_benchmarks()}"
+        ) from None
+    spec = WorkloadSpec(
+        benchmark=benchmark, klass=klass.upper(), nprocs=nprocs, seed=seed,
+        jitter=jitter,
+    )
+    return builder(spec)
+
+
+def perturbed_counts(
+    rng: np.random.Generator, total: int, parts: int, amplitude: float = 0.05
+) -> list[int]:
+    """Split ``total`` into ``parts`` near-equal integer shares with
+    multiplicative noise (used e.g. for IS key distributions)."""
+    if parts < 1:
+        raise WorkloadError("parts must be >= 1")
+    base = total / parts
+    weights = 1.0 + amplitude * (2.0 * rng.random(parts) - 1.0)
+    weights /= weights.sum()
+    counts = [int(round(total * w)) for w in weights]
+    # Fix rounding drift on the last element, keeping it non-negative.
+    drift = total - sum(counts)
+    counts[-1] = max(0, counts[-1] + drift)
+    return counts

@@ -1,0 +1,29 @@
+"""BT — Block Tridiagonal solver benchmark model.
+
+See :mod:`repro.workloads.adi` for the shared ADI structure. BT's
+directional solves move 5×5 block matrices plus a 5-vector per face
+cell (≈240 bytes), making its pipeline messages the largest of the
+suite (≈1.2 MB per hop for Class B on 2×2), and it is the most
+compute-heavy benchmark (the paper's Class B range tops out near
+900 s with BT).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.sim.program import Program
+from repro.workloads.adi import build_adi
+from repro.workloads.base import WorkloadSpec, grid_2d, register
+from repro.workloads.npbdata import BT_FLOPS_PER_CELL, problem
+
+#: (5x5 block + 5-vector) doubles per face cell.
+_BT_FACE_CELL_BYTES = 240
+
+
+@register("bt")
+def build(spec: WorkloadSpec) -> Program:
+    rows, cols = grid_2d(spec.nprocs)
+    if rows * cols != spec.nprocs or abs(rows - cols) > 1 and rows != cols:
+        raise WorkloadError("BT requires a (near-)square process count")
+    params = problem("bt", spec.klass)
+    return build_adi(spec, params, BT_FLOPS_PER_CELL, _BT_FACE_CELL_BYTES)

@@ -1,0 +1,113 @@
+"""CG — Conjugate Gradient benchmark model.
+
+Structure follows NPB 2.x CG: processes form a 2D grid; each outer
+iteration runs ``inner_iters`` conjugate-gradient steps, each step
+being a sparse matrix–vector product followed by (a) partial-sum
+exchanges across the process row, (b) a vector exchange with the
+transpose partner, and (c) two scalar dot-product reductions done with
+explicit send/recv pairs along the row (CG does not use MPI
+collectives). For the 2×2 Class B layout the vector exchanges are
+na/2 doubles = 300 KB, matching the real code's dominant messages.
+
+The sparse matvec is memory-bound; its effective rate is
+``CG_MATVEC_EFFICIENCY`` of the reference flop rate (see npbdata).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.sim.ops import Barrier, Bcast, Op, Sendrecv
+from repro.sim.program import Program
+from repro.workloads.base import (
+    ComputeModel,
+    WorkloadSpec,
+    compute_seconds,
+    grid_2d,
+    register,
+)
+from repro.workloads.npbdata import CG_MATVEC_EFFICIENCY, problem
+
+_TAG_SUM = 1
+_TAG_TRANSPOSE = 2
+_TAG_DOT = 3
+
+
+def _rank_gen(spec: WorkloadSpec, rank: int, size: int) -> Iterator[Op]:
+    params = problem("cg", spec.klass)
+    rows, cols = grid_2d(size)
+    row, col = divmod(rank, cols)
+    cm = ComputeModel(spec, rank)
+
+    chunk_doubles = max(1, params.na // cols)
+    chunk_bytes = 8 * chunk_doubles
+    matvec_flops = 2.0 * params.nnz / size
+    matvec_secs = compute_seconds(matvec_flops, CG_MATVEC_EFFICIENCY)
+    vector_secs = compute_seconds(10.0 * params.na / size, 0.5)
+    dot_secs = compute_seconds(2.0 * params.na / size, 0.5)
+
+    # Row-internal reduction partners (recursive halving over columns).
+    def row_steps() -> list[int]:
+        steps, step = [], 1
+        while step < cols:
+            steps.append(row * cols + (col ^ step))
+            step <<= 1
+        return steps
+
+    # Transpose partner for the vector exchange (square grids transpose
+    # the coordinates; otherwise pair with the diametrically opposite
+    # rank, which preserves the "one large exchange" structure).
+    if rows == cols:
+        transpose = col * cols + row
+    else:
+        transpose = (rank + size // 2) % size
+
+    def row_sum(nbytes: int, tag: int) -> Iterator[Op]:
+        for partner in row_steps():
+            yield Sendrecv(
+                dest=partner, send_nbytes=nbytes, send_tag=tag,
+                source=partner, recv_tag=tag,
+            )
+
+    def cg_step() -> Iterator[Op]:
+        yield cm.compute(matvec_secs)                 # q = A.p (local part)
+        yield from row_sum(chunk_bytes, _TAG_SUM)     # sum partials over row
+        if transpose != rank:
+            yield Sendrecv(
+                dest=transpose, send_nbytes=chunk_bytes,
+                send_tag=_TAG_TRANSPOSE, source=transpose,
+                recv_tag=_TAG_TRANSPOSE,
+            )
+        yield cm.compute(dot_secs)                    # d = p.q
+        yield from row_sum(8, _TAG_DOT)
+        yield cm.compute(vector_secs)                 # z,r,p updates
+        yield cm.compute(dot_secs)                    # rho = r.r
+        yield from row_sum(8, _TAG_DOT)
+
+    # -- program body ---------------------------------------------------
+    # makea: matrix generation, then parameter broadcast + barrier.
+    yield cm.compute(3.0 * matvec_secs)
+    yield Bcast(root=0, nbytes=16)
+    yield Barrier()
+
+    for _outer in range(params.niter):
+        for _inner in range(params.inner_iters):
+            yield from cg_step()
+        # zeta norm: one more matvec-lite plus two reductions.
+        yield cm.compute(0.5 * matvec_secs)
+        yield from row_sum(8, _TAG_DOT)
+        yield from row_sum(8, _TAG_DOT)
+
+    yield Barrier()
+
+
+@register("cg")
+def build(spec: WorkloadSpec) -> Program:
+    if spec.nprocs & (spec.nprocs - 1):
+        raise WorkloadError("CG requires a power-of-two process count")
+    return Program(
+        name=f"cg.{spec.klass}.{spec.nprocs}",
+        nranks=spec.nprocs,
+        make=lambda rank, size: _rank_gen(spec, rank, size),
+    )

@@ -1,0 +1,73 @@
+"""EP — Embarrassingly Parallel benchmark model (beyond the paper's
+six, for suite completeness).
+
+NPB EP generates pairs of Gaussian deviates with no communication at
+all until three small ``MPI_Allreduce`` calls collect the counts at
+the end. It is the degenerate case for performance skeletons: the
+trace has almost no structure, the dominant "sequence" is one long
+compute phase, and prediction reduces to pure CPU-share scaling — a
+useful boundary test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.sim.ops import Allreduce, Barrier, Op
+from repro.sim.program import Program
+from repro.workloads.base import ComputeModel, WorkloadSpec, compute_seconds, register
+
+
+@dataclass(frozen=True)
+class EPParams:
+    log2_pairs: int  # M: 2^M random pairs
+
+
+EP_TABLE: dict[str, EPParams] = {
+    "S": EPParams(24),
+    "W": EPParams(25),
+    "A": EPParams(28),
+    "B": EPParams(30),
+}
+
+#: flops per generated pair (LCG + acceptance test + accumulation).
+_FLOPS_PER_PAIR = 40.0
+
+#: The compute is emitted in chunks (the code's k-loop blocks), giving
+#: the tracer's gap reconstruction something realistic to see.
+_CHUNKS = 16
+
+
+def _rank_gen(spec: WorkloadSpec, rank: int, size: int) -> Iterator[Op]:
+    try:
+        params = EP_TABLE[spec.klass]
+    except KeyError:
+        raise WorkloadError(f"EP has no class {spec.klass!r}") from None
+    cm = ComputeModel(spec, rank)
+
+    pairs = (1 << params.log2_pairs) // size
+    total_secs = compute_seconds(pairs * _FLOPS_PER_PAIR)
+
+    yield Barrier()
+    for _chunk in range(_CHUNKS):
+        yield cm.compute(total_secs / _CHUNKS)
+        # The chunk boundary is invisible to MPI; emit a zero-byte
+        # progress reduction only at the very end (below).
+    # sx, sy, and the 10 annulus counts.
+    yield Allreduce(nbytes=8)
+    yield Allreduce(nbytes=8)
+    yield Allreduce(nbytes=80)
+    yield Barrier()
+
+
+@register("ep")
+def build(spec: WorkloadSpec) -> Program:
+    if spec.nprocs < 1:
+        raise WorkloadError("EP needs at least one rank")
+    return Program(
+        name=f"ep.{spec.klass}.{spec.nprocs}",
+        nranks=spec.nprocs,
+        make=lambda rank, size: _rank_gen(spec, rank, size),
+    )

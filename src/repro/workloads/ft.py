@@ -1,0 +1,86 @@
+"""FT — 3D FFT benchmark model (beyond the paper's six, for suite
+completeness).
+
+NPB FT computes forward/inverse 3D FFTs on a complex grid with a slab
+decomposition: each time step applies 1D FFTs along two local
+dimensions, then performs a global transpose — an ``MPI_Alltoall`` of
+essentially the entire local array — before the third dimension's
+FFTs. FT is the communication-volume-heaviest NPB code, a useful
+stress case for skeleton construction (huge collectives, few events).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.sim.ops import Allreduce, Alltoall, Barrier, Op
+from repro.sim.program import Program
+from repro.workloads.base import ComputeModel, WorkloadSpec, compute_seconds, register
+
+
+@dataclass(frozen=True)
+class FTParams:
+    nx: int
+    ny: int
+    nz: int
+    niter: int
+
+
+FT_TABLE: dict[str, FTParams] = {
+    "S": FTParams(64, 64, 64, 6),
+    "W": FTParams(128, 128, 32, 6),
+    "A": FTParams(256, 256, 128, 6),
+    "B": FTParams(512, 256, 256, 20),
+}
+
+#: Complex doubles.
+_POINT_BYTES = 16
+#: flops per grid point per 1D-FFT pass ~ 5·log2(n); we charge the
+#: 3 passes together using the geometric-mean dimension.
+_FFT_FLOP_FACTOR = 5.0
+
+
+def _rank_gen(spec: WorkloadSpec, rank: int, size: int) -> Iterator[Op]:
+    try:
+        params = FT_TABLE[spec.klass]
+    except KeyError:
+        raise WorkloadError(f"FT has no class {spec.klass!r}") from None
+    cm = ComputeModel(spec, rank)
+
+    points = params.nx * params.ny * params.nz
+    local_points = points // size
+    mean_dim = (params.nx * params.ny * params.nz) ** (1.0 / 3.0)
+    fft_pass_secs = compute_seconds(
+        local_points * _FFT_FLOP_FACTOR * math.log2(max(2.0, mean_dim))
+    )
+    # Transpose moves the whole local slab, split across all ranks.
+    transpose_pair_bytes = max(1, local_points * _POINT_BYTES // size)
+    evolve_secs = compute_seconds(local_points * 6.0)
+
+    # compute_initial_conditions + warm-up FFT.
+    yield cm.compute(2.0 * fft_pass_secs)
+    yield Barrier()
+
+    for _it in range(params.niter):
+        yield cm.compute(evolve_secs)          # evolve (frequency shift)
+        yield cm.compute(2.0 * fft_pass_secs)  # FFTs along local dims
+        yield Alltoall(nbytes=transpose_pair_bytes)   # global transpose
+        yield cm.compute(fft_pass_secs)        # FFT along the third dim
+        yield cm.compute(0.2 * fft_pass_secs)  # checksum partials
+        yield Allreduce(nbytes=16)             # complex checksum
+
+    yield Barrier()
+
+
+@register("ft")
+def build(spec: WorkloadSpec) -> Program:
+    if spec.nprocs & (spec.nprocs - 1):
+        raise WorkloadError("FT requires a power-of-two process count")
+    return Program(
+        name=f"ft.{spec.klass}.{spec.nprocs}",
+        nranks=spec.nprocs,
+        make=lambda rank, size: _rank_gen(spec, rank, size),
+    )

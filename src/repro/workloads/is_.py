@@ -1,0 +1,78 @@
+"""IS — Integer Sort benchmark model.
+
+NPB IS ranks ``total_keys`` integer keys per iteration via bucket
+counting: each rank counts its local keys into buckets, an
+``MPI_Allreduce`` combines bucket sizes, an ``MPI_Alltoallv``
+redistributes the keys themselves (the dominant communication — for
+Class B on 4 ranks roughly N/P/P × 4 B ≈ 8.4 MB per rank pair), and a
+local ranking pass finishes the iteration. The per-destination key
+counts vary slightly between iterations (the key distribution is
+random), which our model reproduces with seeded multiplicative noise —
+this is what gives the trace clusterer genuinely *similar but unequal*
+events to merge.
+
+Key handling is memory-latency bound (random access histogramming), so
+work is expressed directly in seconds/key (``IS_SECONDS_PER_KEY``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.sim.ops import Allreduce, Alltoallv, Barrier, Op
+from repro.sim.program import Program
+from repro.util.rng import make_rng
+from repro.workloads.base import (
+    ComputeModel,
+    WorkloadSpec,
+    perturbed_counts,
+    register,
+)
+from repro.workloads.npbdata import IS_SECONDS_PER_KEY, problem
+
+
+def _rank_gen(spec: WorkloadSpec, rank: int, size: int) -> Iterator[Op]:
+    params = problem("is", spec.klass)
+    cm = ComputeModel(spec, rank)
+    counts_rng = make_rng(spec.seed, "is-counts", spec.klass, rank)
+
+    local_keys = params.total_keys // size
+    key_secs = IS_SECONDS_PER_KEY * local_keys
+    bucket_bytes = params.n_buckets * params.key_bytes
+    total_out_bytes = local_keys * params.key_bytes
+
+    # Key generation (one cheap pass) and warm-up ranking, then sync.
+    yield cm.compute(0.25 * key_secs)
+    yield Barrier()
+
+    for _it in range(params.niter):
+        # Bucket counting over the local keys.
+        yield cm.compute(0.6 * key_secs)
+        # Combine bucket sizes.
+        yield Allreduce(nbytes=bucket_bytes)
+        # Redistribute the keys. Both the per-destination split and the
+        # per-iteration total wobble with the random key distribution —
+        # the genuinely-similar-but-unequal events the paper's
+        # similarity threshold exists to merge.
+        it_total = int(total_out_bytes * (1.0 + 0.05 * (2.0 * counts_rng.random() - 1.0)))
+        counts = perturbed_counts(counts_rng, it_total, size, 0.06)
+        yield Alltoallv(send_counts=tuple(counts))
+        # Local ranking of received keys.
+        yield cm.compute(0.4 * key_secs)
+
+    # full_verify: a final counting pass plus a scalar reduction.
+    yield cm.compute(0.5 * key_secs)
+    yield Allreduce(nbytes=8)
+    yield Barrier()
+
+
+@register("is")
+def build(spec: WorkloadSpec) -> Program:
+    if spec.nprocs & (spec.nprocs - 1):
+        raise WorkloadError("IS requires a power-of-two process count")
+    return Program(
+        name=f"is.{spec.klass}.{spec.nprocs}",
+        nranks=spec.nprocs,
+        make=lambda rank, size: _rank_gen(spec, rank, size),
+    )

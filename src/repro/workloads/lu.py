@@ -1,0 +1,134 @@
+"""LU — SSOR solver benchmark model.
+
+NPB LU decomposes the grid over a 2D process array in x–y and sweeps
+wavefronts along z. Each SSOR iteration performs a *lower* sweep
+(dependencies flow from the north-west corner: receive thin pencil
+messages from north and west, compute the k-plane block, forward to
+south and east) and a mirrored *upper* sweep from the south-east
+corner, followed by an RHS update with full-face halo exchanges. The
+pencil messages are small (5 doubles per boundary cell per plane —
+about 2 KB per plane for Class B on 2×2), which makes LU the
+latency-sensitive, message-rich benchmark of the suite; planes are
+exchanged in blocks of ``K_BLOCK`` as the real code does with its
+pipelining buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.sim.ops import Allreduce, Barrier, Op, Recv, Send, Sendrecv
+from repro.sim.program import Program
+from repro.workloads.base import (
+    ComputeModel,
+    WorkloadSpec,
+    compute_seconds,
+    grid_2d,
+    register,
+)
+from repro.workloads.npbdata import LU_FLOPS_PER_CELL, LU_SWEEP_SHARE, problem
+
+#: Planes exchanged per pipeline message (the real code's buffering).
+K_BLOCK = 2
+
+_TAG_LOWER_NS = 1
+_TAG_LOWER_EW = 2
+_TAG_UPPER_NS = 3
+_TAG_UPPER_EW = 4
+_TAG_RHS_NS = 5
+_TAG_RHS_EW = 6
+
+
+def _rank_gen(spec: WorkloadSpec, rank: int, size: int) -> Iterator[Op]:
+    params = problem("lu", spec.klass)
+    rows, cols = grid_2d(size)
+    row, col = divmod(rank, cols)
+    cm = ComputeModel(spec, rank)
+
+    local_nx = max(1, params.nx // cols)
+    local_ny = max(1, params.ny // rows)
+    nz = params.nz
+    nblocks = max(1, nz // K_BLOCK)
+
+    north: Optional[int] = rank - cols if row > 0 else None
+    south: Optional[int] = rank + cols if row < rows - 1 else None
+    west: Optional[int] = rank - 1 if col > 0 else None
+    east: Optional[int] = rank + 1 if col < cols - 1 else None
+
+    ns_pencil = 5 * local_nx * K_BLOCK * 8
+    ew_pencil = 5 * local_ny * K_BLOCK * 8
+    ns_face = 5 * local_nx * nz * 8
+    ew_face = 5 * local_ny * nz * 8
+
+    cells_per_block = local_nx * local_ny * K_BLOCK
+    sweep_secs = compute_seconds(
+        cells_per_block * LU_FLOPS_PER_CELL * LU_SWEEP_SHARE / 2.0
+    )
+    rhs_secs = compute_seconds(
+        local_nx * local_ny * nz * LU_FLOPS_PER_CELL * (1.0 - LU_SWEEP_SHARE)
+    )
+
+    def lower_sweep() -> Iterator[Op]:
+        for _blk in range(nblocks):
+            if north is not None:
+                yield Recv(source=north, nbytes=ns_pencil, tag=_TAG_LOWER_NS)
+            if west is not None:
+                yield Recv(source=west, nbytes=ew_pencil, tag=_TAG_LOWER_EW)
+            yield cm.compute(sweep_secs)
+            if south is not None:
+                yield Send(dest=south, nbytes=ns_pencil, tag=_TAG_LOWER_NS)
+            if east is not None:
+                yield Send(dest=east, nbytes=ew_pencil, tag=_TAG_LOWER_EW)
+
+    def upper_sweep() -> Iterator[Op]:
+        for _blk in range(nblocks):
+            if south is not None:
+                yield Recv(source=south, nbytes=ns_pencil, tag=_TAG_UPPER_NS)
+            if east is not None:
+                yield Recv(source=east, nbytes=ew_pencil, tag=_TAG_UPPER_EW)
+            yield cm.compute(sweep_secs)
+            if north is not None:
+                yield Send(dest=north, nbytes=ns_pencil, tag=_TAG_UPPER_NS)
+            if west is not None:
+                yield Send(dest=west, nbytes=ew_pencil, tag=_TAG_UPPER_EW)
+
+    def rhs_exchange() -> Iterator[Op]:
+        if north is not None:
+            yield Sendrecv(dest=north, send_nbytes=ns_face, send_tag=_TAG_RHS_NS,
+                           source=north, recv_tag=_TAG_RHS_NS)
+        if south is not None:
+            yield Sendrecv(dest=south, send_nbytes=ns_face, send_tag=_TAG_RHS_NS,
+                           source=south, recv_tag=_TAG_RHS_NS)
+        if west is not None:
+            yield Sendrecv(dest=west, send_nbytes=ew_face, send_tag=_TAG_RHS_EW,
+                           source=west, recv_tag=_TAG_RHS_EW)
+        if east is not None:
+            yield Sendrecv(dest=east, send_nbytes=ew_face, send_tag=_TAG_RHS_EW,
+                           source=east, recv_tag=_TAG_RHS_EW)
+
+    # setbv/setiv/erhs initialisation, then synchronise.
+    yield cm.compute(2.0 * rhs_secs)
+    yield Barrier()
+
+    for it in range(params.niter):
+        yield from lower_sweep()
+        yield from upper_sweep()
+        yield cm.compute(rhs_secs)
+        yield from rhs_exchange()
+        # Residual norm every 20 iterations and on the last (inorm).
+        if (it + 1) % 20 == 0 or it == params.niter - 1:
+            yield Allreduce(nbytes=40)
+
+    yield Barrier()
+
+
+@register("lu")
+def build(spec: WorkloadSpec) -> Program:
+    if spec.nprocs & (spec.nprocs - 1):
+        raise WorkloadError("LU requires a power-of-two process count")
+    return Program(
+        name=f"lu.{spec.klass}.{spec.nprocs}",
+        nranks=spec.nprocs,
+        make=lambda rank, size: _rank_gen(spec, rank, size),
+    )

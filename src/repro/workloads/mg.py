@@ -1,0 +1,112 @@
+"""MG — Multigrid benchmark model.
+
+NPB MG runs V-cycles on a hierarchy of grids. Processes split the x–y
+plane (2×2 for four ranks); every level visit smooths/averages the
+local block and exchanges one-cell-deep halo faces with the four plane
+neighbours. Face sizes shrink by ~4× per level descent, so an MG trace
+mixes messages spanning three orders of magnitude — the workload that
+exercises the clusterer's similarity threshold hardest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.sim.ops import Allreduce, Barrier, Irecv, Isend, Op, Waitall
+from repro.sim.program import Program
+from repro.workloads.base import (
+    ComputeModel,
+    WorkloadSpec,
+    compute_seconds,
+    grid_2d,
+    register,
+)
+from repro.workloads.npbdata import MG_FLOPS_PER_CELL, problem
+
+_TAG_NS = 1
+_TAG_EW = 2
+
+
+def _rank_gen(spec: WorkloadSpec, rank: int, size: int) -> Iterator[Op]:
+    params = problem("mg", spec.klass)
+    rows, cols = grid_2d(size)
+    row, col = divmod(rank, cols)
+    cm = ComputeModel(spec, rank)
+
+    north: Optional[int] = rank - cols if row > 0 else None
+    south: Optional[int] = rank + cols if row < rows - 1 else None
+    west: Optional[int] = rank - 1 if col > 0 else None
+    east: Optional[int] = rank + 1 if col < cols - 1 else None
+
+    # Grid levels, finest first, down to 4^3 (NPB's coarsest useful grid).
+    levels: list[tuple[int, int, int]] = []
+    nx, ny, nz = params.nx, params.ny, params.nz
+    while min(nx, ny, nz) >= 4:
+        levels.append((nx, ny, nz))
+        nx, ny, nz = nx // 2, ny // 2, nz // 2
+
+    def halo(level: tuple[int, int, int]) -> Iterator[Op]:
+        lx, ly, lz = level
+        ns_bytes = max(8, (lx // cols) * lz * 8)
+        ew_bytes = max(8, (ly // rows) * lz * 8)
+        reqs = []
+        for peer, nbytes, tag in (
+            (north, ns_bytes, _TAG_NS),
+            (south, ns_bytes, _TAG_NS),
+            (west, ew_bytes, _TAG_EW),
+            (east, ew_bytes, _TAG_EW),
+        ):
+            if peer is not None:
+                reqs.append((yield Irecv(source=peer, nbytes=nbytes, tag=tag)))
+        for peer, nbytes, tag in (
+            (north, ns_bytes, _TAG_NS),
+            (south, ns_bytes, _TAG_NS),
+            (west, ew_bytes, _TAG_EW),
+            (east, ew_bytes, _TAG_EW),
+        ):
+            if peer is not None:
+                reqs.append((yield Isend(dest=peer, nbytes=nbytes, tag=tag)))
+        if reqs:
+            yield Waitall(tuple(reqs))
+
+    def level_secs(level: tuple[int, int, int], share: float) -> float:
+        lx, ly, lz = level
+        cells = (lx // cols) * (ly // rows) * lz
+        return compute_seconds(max(1, cells) * MG_FLOPS_PER_CELL * share)
+
+    def v_cycle() -> Iterator[Op]:
+        # Descend: residual then restriction, each with its own halo
+        # exchange (as resid and rprj3 both communicate in NPB MG).
+        for level in levels:
+            yield cm.compute(level_secs(level, 0.35))
+            yield from halo(level)
+            yield cm.compute(level_secs(level, 0.25))
+            yield from halo(level)
+        # Ascend: interpolate + smooth back to the finest level.
+        for level in reversed(levels):
+            yield cm.compute(level_secs(level, 0.4))
+            yield from halo(level)
+
+    # zran3 initialisation + initial residual.
+    yield cm.compute(level_secs(levels[0], 1.0))
+    yield from halo(levels[0])
+    yield Barrier()
+
+    for _it in range(params.niter):
+        yield from v_cycle()
+        # rnm2 residual norm after each cycle.
+        yield Allreduce(nbytes=16)
+
+    yield Barrier()
+
+
+@register("mg")
+def build(spec: WorkloadSpec) -> Program:
+    if spec.nprocs & (spec.nprocs - 1):
+        raise WorkloadError("MG requires a power-of-two process count")
+    return Program(
+        name=f"mg.{spec.klass}.{spec.nprocs}",
+        nranks=spec.nprocs,
+        make=lambda rank, size: _rank_gen(spec, rank, size),
+    )

@@ -1,0 +1,159 @@
+"""NAS Parallel Benchmark problem-class parameter tables.
+
+Grid sizes, iteration counts, and problem scales follow the NPB 2.x
+specifications (Bailey et al., NAS TR 95-020). Per-point/per-key work
+coefficients are calibration constants chosen so the simulated Class B
+benchmarks on the 4-node reference testbed land in the paper's reported
+30–900 s range; they are documented per benchmark and scale consistently
+across classes, so Class S programs come out well under a second, as
+the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+#: Problem classes implemented (paper uses S as a baseline and B for
+#: the main experiments; W, A, and C are provided for completeness).
+CLASSES = ("S", "W", "A", "B", "C")
+
+
+@dataclass(frozen=True)
+class CGParams:
+    na: int          # matrix order
+    nonzer: int      # nonzeros per row parameter
+    niter: int       # outer iterations
+    shift: float
+    inner_iters: int = 25  # CG iterations inside cgitmax
+
+    @property
+    def nnz(self) -> int:
+        """Approximate matrix nonzero count (na rows of ~nonzer*11)."""
+        return self.na * self.nonzer * 11
+
+
+@dataclass(frozen=True)
+class ISParams:
+    total_keys: int  # N
+    max_key: int
+    niter: int = 10
+    key_bytes: int = 4
+    n_buckets: int = 1024
+
+
+@dataclass(frozen=True)
+class GridParams:
+    """Shared shape for the structured-grid codes (BT, SP, LU, MG)."""
+
+    nx: int
+    ny: int
+    nz: int
+    niter: int
+
+
+CG_TABLE: dict[str, CGParams] = {
+    "S": CGParams(na=1400, nonzer=7, niter=15, shift=10.0),
+    "W": CGParams(na=7000, nonzer=8, niter=15, shift=12.0),
+    "A": CGParams(na=14000, nonzer=11, niter=15, shift=20.0),
+    "B": CGParams(na=75000, nonzer=13, niter=75, shift=60.0),
+    "C": CGParams(na=150000, nonzer=15, niter=75, shift=110.0),
+}
+
+IS_TABLE: dict[str, ISParams] = {
+    "S": ISParams(total_keys=1 << 16, max_key=1 << 11),
+    "W": ISParams(total_keys=1 << 20, max_key=1 << 16),
+    "A": ISParams(total_keys=1 << 23, max_key=1 << 19),
+    "B": ISParams(total_keys=1 << 25, max_key=1 << 21),
+    "C": ISParams(total_keys=1 << 27, max_key=1 << 23),
+}
+
+BT_TABLE: dict[str, GridParams] = {
+    "S": GridParams(12, 12, 12, 60),
+    "W": GridParams(24, 24, 24, 200),
+    "A": GridParams(64, 64, 64, 200),
+    "B": GridParams(102, 102, 102, 200),
+    "C": GridParams(162, 162, 162, 200),
+}
+
+SP_TABLE: dict[str, GridParams] = {
+    "S": GridParams(12, 12, 12, 100),
+    "W": GridParams(36, 36, 36, 400),
+    "A": GridParams(64, 64, 64, 400),
+    "B": GridParams(102, 102, 102, 400),
+    "C": GridParams(162, 162, 162, 400),
+}
+
+LU_TABLE: dict[str, GridParams] = {
+    "S": GridParams(12, 12, 12, 50),
+    "W": GridParams(33, 33, 33, 300),
+    "A": GridParams(64, 64, 64, 250),
+    "B": GridParams(102, 102, 102, 250),
+    "C": GridParams(162, 162, 162, 250),
+}
+
+MG_TABLE: dict[str, GridParams] = {
+    # niter here is the number of V-cycles (nit in the NPB spec).
+    "S": GridParams(32, 32, 32, 4),
+    "W": GridParams(128, 128, 128, 4),
+    "A": GridParams(256, 256, 256, 4),
+    "B": GridParams(256, 256, 256, 20),
+    "C": GridParams(512, 512, 512, 20),
+}
+
+_TABLES = {
+    "cg": CG_TABLE,
+    "is": IS_TABLE,
+    "bt": BT_TABLE,
+    "sp": SP_TABLE,
+    "lu": LU_TABLE,
+    "mg": MG_TABLE,
+}
+
+
+def problem(benchmark: str, klass: str):
+    """Parameter record for a benchmark/class pair."""
+    benchmark = benchmark.lower()
+    klass = klass.upper()
+    try:
+        table = _TABLES[benchmark]
+    except KeyError:
+        raise WorkloadError(f"unknown benchmark {benchmark!r}") from None
+    try:
+        return table[klass]
+    except KeyError:
+        raise WorkloadError(
+            f"benchmark {benchmark!r} has no class {klass!r} "
+            f"(available: {sorted(table)})"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Work-rate calibration constants (reference CPU = 1.7 GHz Xeon class).
+# ----------------------------------------------------------------------
+
+# The constants below are calibrated so that the simulated Class B
+# benchmarks on the 4-node testbed match the per-iteration times the
+# paper reports implicitly through Figure 4 (one iteration of the
+# dominant sequence: BT ~1.0 s, CG ~0.13 s, IS ~3 s, LU ~1.97 s,
+# SP ~0.34 s), which also puts total runtimes inside the paper's
+# 30–900 s Class B range.
+
+#: BT: flops per grid point per time step (compute_rhs + three
+#: block-tridiagonal sweeps).
+BT_FLOPS_PER_CELL = 1400.0
+#: SP: flops per grid point per time step (scalar pentadiagonal sweeps).
+SP_FLOPS_PER_CELL = 470.0
+#: LU: flops per grid point per SSOR iteration, split between the two
+#: wavefront sweeps (jacld/blts, jacu/buts) and the RHS update.
+LU_FLOPS_PER_CELL = 2800.0
+LU_SWEEP_SHARE = 0.8  # fraction of per-iteration flops in the sweeps
+#: MG: flops per finest-grid point per V-cycle (smooth+resid+interp).
+MG_FLOPS_PER_CELL = 115.0
+#: CG: effective matvec rate is memory-bound, well below peak; the
+#: sparse matvec runs at this fraction of the reference flop rate.
+CG_MATVEC_EFFICIENCY = 0.115
+#: IS: seconds of (memory-bound) key handling per key per iteration;
+#: covers bucket counting plus local ranking passes.
+IS_SECONDS_PER_KEY = 2.9e-7

@@ -1,0 +1,26 @@
+"""SP — Scalar Pentadiagonal solver benchmark model.
+
+Same ADI skeleton as BT (:mod:`repro.workloads.adi`) but the solves
+carry scalar pentadiagonal systems — roughly 10 doubles per face cell
+(≈80 bytes) — and the code runs twice as many, cheaper time steps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.sim.program import Program
+from repro.workloads.adi import build_adi
+from repro.workloads.base import WorkloadSpec, grid_2d, register
+from repro.workloads.npbdata import SP_FLOPS_PER_CELL, problem
+
+#: Scalar pentadiagonal data per face cell, in bytes.
+_SP_FACE_CELL_BYTES = 80
+
+
+@register("sp")
+def build(spec: WorkloadSpec) -> Program:
+    rows, cols = grid_2d(spec.nprocs)
+    if rows * cols != spec.nprocs:
+        raise WorkloadError("SP requires a factorable process count")
+    params = problem("sp", spec.klass)
+    return build_adi(spec, params, SP_FLOPS_PER_CELL, _SP_FACE_CELL_BYTES)

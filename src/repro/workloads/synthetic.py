@@ -1,0 +1,174 @@
+"""Synthetic workloads for examples, tests, and quick demonstrations.
+
+These are small, parameterised programs with a clear repeating
+structure, useful when a full NPB model run would be overkill:
+
+* :func:`stencil2d` — iterative 4-neighbour halo exchange + compute.
+* :func:`ring_pipeline` — token passing around a ring.
+* :func:`master_worker` — rank 0 farms fixed-size work items.
+* :func:`bsp_allreduce` — compute + allreduce supersteps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.sim.ops import (
+    Allreduce,
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Op,
+    Recv,
+    Send,
+    Waitall,
+)
+from repro.sim.program import Program
+from repro.util.rng import make_rng
+from repro.workloads.base import grid_2d
+
+
+def stencil2d(
+    nprocs: int = 4,
+    iterations: int = 50,
+    compute_secs: float = 0.01,
+    halo_bytes: int = 64 * 1024,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> Program:
+    """Jacobi-style 2D stencil: compute then exchange halos each step."""
+    rows, cols = grid_2d(nprocs)
+
+    def gen(rank: int, size: int) -> Iterator[Op]:
+        row, col = divmod(rank, cols)
+        rng = make_rng(seed, "stencil", rank)
+        north: Optional[int] = rank - cols if row > 0 else None
+        south: Optional[int] = rank + cols if row < rows - 1 else None
+        west: Optional[int] = rank - 1 if col > 0 else None
+        east: Optional[int] = rank + 1 if col < cols - 1 else None
+        neighbours = [p for p in (north, south, west, east) if p is not None]
+
+        yield Barrier()
+        for _it in range(iterations):
+            secs = compute_secs
+            if jitter > 0:
+                secs *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+            yield Compute(secs)
+            reqs = []
+            for peer in neighbours:
+                reqs.append((yield Irecv(source=peer, nbytes=halo_bytes, tag=7)))
+            for peer in neighbours:
+                reqs.append((yield Isend(dest=peer, nbytes=halo_bytes, tag=7)))
+            if reqs:
+                yield Waitall(tuple(reqs))
+        yield Barrier()
+
+    return Program(f"stencil2d.{nprocs}", nprocs, gen)
+
+
+def ring_pipeline(
+    nprocs: int = 4,
+    rounds: int = 20,
+    token_bytes: int = 4096,
+    compute_secs: float = 0.002,
+) -> Program:
+    """A token circulates the ring; each holder computes then forwards."""
+    if nprocs < 2:
+        raise WorkloadError("ring needs >= 2 ranks")
+
+    def gen(rank: int, size: int) -> Iterator[Op]:
+        nxt = (rank + 1) % size
+        prv = (rank - 1) % size
+        yield Barrier()
+        for _r in range(rounds):
+            if rank == 0:
+                yield Compute(compute_secs)
+                yield Send(dest=nxt, nbytes=token_bytes, tag=3)
+                yield Recv(source=prv, tag=3)
+            else:
+                yield Recv(source=prv, tag=3)
+                yield Compute(compute_secs)
+                yield Send(dest=nxt, nbytes=token_bytes, tag=3)
+        yield Barrier()
+
+    return Program(f"ring.{nprocs}", nprocs, gen)
+
+
+def master_worker(
+    nprocs: int = 4,
+    items_per_worker: int = 25,
+    item_bytes: int = 100_000,
+    work_secs: float = 0.005,
+) -> Program:
+    """Rank 0 dispatches items round-robin and collects results."""
+    if nprocs < 2:
+        raise WorkloadError("master/worker needs >= 2 ranks")
+    nworkers = nprocs - 1
+    total_items = items_per_worker * nworkers
+
+    def gen(rank: int, size: int) -> Iterator[Op]:
+        yield Barrier()
+        if rank == 0:
+            for item in range(total_items):
+                worker = 1 + item % nworkers
+                yield Send(dest=worker, nbytes=item_bytes, tag=1)
+            for item in range(total_items):
+                worker = 1 + item % nworkers
+                yield Recv(source=worker, nbytes=item_bytes // 10, tag=2)
+        else:
+            for _item in range(items_per_worker):
+                yield Recv(source=0, nbytes=item_bytes, tag=1)
+                yield Compute(work_secs)
+                yield Send(dest=0, nbytes=item_bytes // 10, tag=2)
+        yield Barrier()
+
+    return Program(f"master_worker.{nprocs}", nprocs, gen)
+
+
+def bsp_allreduce(
+    nprocs: int = 4,
+    supersteps: int = 40,
+    compute_secs: float = 0.005,
+    reduce_bytes: int = 1024,
+) -> Program:
+    """Bulk-synchronous compute + allreduce supersteps."""
+
+    def gen(rank: int, size: int) -> Iterator[Op]:
+        yield Barrier()
+        for _s in range(supersteps):
+            yield Compute(compute_secs)
+            yield Allreduce(nbytes=reduce_bytes)
+        yield Barrier()
+
+    return Program(f"bsp.{nprocs}", nprocs, gen)
+
+
+def grid_reductions(
+    nprocs: int = 4,
+    iterations: int = 30,
+    compute_secs: float = 0.005,
+    row_bytes: int = 64 * 1024,
+    col_bytes: int = 512,
+) -> Program:
+    """2D process grid with row and column sub-communicator
+    reductions — the communicator pattern of dense linear algebra
+    (summing partial products along rows, pivots along columns)."""
+    rows, cols = grid_2d(nprocs)
+    if rows < 2 or cols < 2:
+        raise WorkloadError("grid_reductions needs a 2D process grid")
+
+    def gen(rank: int, size: int) -> Iterator[Op]:
+        my_row, my_col = divmod(rank, cols)
+        row_group = tuple(my_row * cols + c for c in range(cols))
+        col_group = tuple(r * cols + my_col for r in range(rows))
+        yield Barrier()
+        for _it in range(iterations):
+            yield Compute(compute_secs)
+            yield Allreduce(nbytes=row_bytes, group=row_group)
+            yield Compute(compute_secs / 4)
+            yield Allreduce(nbytes=col_bytes, group=col_group)
+        yield Barrier()
+
+    return Program(f"grid_reductions.{nprocs}", nprocs, gen)

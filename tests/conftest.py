@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NetworkSpec, paper_testbed
+from repro.sim import Compute, Program, Recv, Send
+from repro.trace import trace_program
+from repro.workloads import get_program
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """The paper's 4-node dual-CPU testbed."""
+    return paper_testbed()
+
+
+@pytest.fixture
+def fast_network_cluster() -> Cluster:
+    """A cluster with negligible latency for exact-math timing tests."""
+    return Cluster.uniform(
+        4,
+        network=NetworkSpec(
+            latency=0.0,
+            bandwidth=1e8,
+            intra_node_latency=0.0,
+            send_overhead=0.0,
+            memory_bandwidth=1e12,
+        ),
+    )
+
+
+@pytest.fixture
+def pingpong_program() -> Program:
+    """Two ranks exchanging one eager message each way."""
+
+    def gen(rank: int, size: int):
+        if rank == 0:
+            yield Compute(0.01)
+            yield Send(dest=1, nbytes=1000, tag=5)
+            yield Recv(source=1, tag=6)
+        elif rank == 1:
+            yield Recv(source=0, tag=5)
+            yield Compute(0.02)
+            yield Send(dest=0, nbytes=1000, tag=6)
+        else:
+            yield Compute(0.001)
+
+    return Program("pingpong", 2, gen)
+
+
+@pytest.fixture(scope="session")
+def cg_s_trace():
+    """A traced Class S CG run (small but structurally rich)."""
+    cluster = paper_testbed()
+    program = get_program("cg", "S", 4)
+    trace, result = trace_program(program, cluster)
+    return trace, result
+
+
+@pytest.fixture(scope="session")
+def mg_s_trace():
+    """A traced Class S MG run (non-blocking halo pattern)."""
+    cluster = paper_testbed()
+    program = get_program("mg", "S", 4)
+    trace, result = trace_program(program, cluster)
+    return trace, result

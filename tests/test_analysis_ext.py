@@ -1,0 +1,93 @@
+"""Tests for the extended trace analysis and CLI additions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import paper_testbed
+from repro.trace import (
+    imbalance_ratio,
+    message_size_histogram,
+    rank_breakdowns,
+    trace_program,
+)
+from repro.sim import Compute, Program, Recv, Send
+from repro.workloads import get_program
+
+
+class TestRankBreakdowns:
+    def test_per_rank_split(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        breakdowns = rank_breakdowns(trace)
+        assert len(breakdowns) == trace.nranks
+        for b in breakdowns:
+            assert b.mpi_time >= 0
+            assert b.compute_time >= 0
+            assert b.elapsed == pytest.approx(b.mpi_time + b.compute_time,
+                                              rel=1e-6)
+
+    def test_imbalance_detects_skew(self):
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            yield Compute(0.1 * (rank + 1))
+            from repro.sim import Barrier
+
+            yield Barrier()
+
+        trace, _ = trace_program(Program("skew", 4, gen), cluster)
+        ratio = imbalance_ratio(trace)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_balanced_near_one(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        assert imbalance_ratio(trace) < 1.3
+
+
+class TestHistogram:
+    def test_buckets_cover_all_calls(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        histogram = message_size_histogram(trace)
+        assert sum(histogram.values()) == trace.n_calls()
+
+    def test_bulk_bucket(self):
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=8_000_000, tag=1)
+            elif rank == 1:
+                yield Recv(source=0, nbytes=8_000_000, tag=1)
+
+        trace, _ = trace_program(Program("bulk", 2, gen), cluster)
+        histogram = message_size_histogram(trace)
+        assert histogram[">=4194304B"] == 2  # send + recv record
+
+
+class TestCliSignatureStats:
+    def test_signature_build_and_inspect(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "mg.trace")
+        sig_file = str(tmp_path / "mg.sig")
+        main(["trace", "mg", "--klass", "S", "-o", trace_file])
+        capsys.readouterr()
+        rc = main(["signature", trace_file, "-o", sig_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compression" in out
+
+        rc = main(["signature", sig_file, "--inspect"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mg.S.4" in out
+
+    def test_stats_command(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "cg.trace")
+        main(["trace", "cg", "--klass", "S", "-o", trace_file])
+        capsys.readouterr()
+        rc = main(["stats", trace_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "calls by type" in out
+        assert "MPI_Sendrecv" in out
+        assert "imbalance" in out

@@ -1,0 +1,74 @@
+"""CLI tests (run in-process through main())."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "cg"])
+        assert args.benchmark == "cg"
+        assert args.klass == "B"
+        assert args.output == "app.trace"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "nope"])
+
+
+class TestCommands:
+    def test_trace_and_skeleton_and_codegen(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "cg.trace")
+        rc = main(["trace", "cg", "--klass", "S", "-o", trace_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MPI calls recorded" in out
+
+        rc = main(["skeleton", trace_file, "--target", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scaling factor K" in out
+        assert "min good skeleton" in out
+
+        c_file = str(tmp_path / "skel.c")
+        rc = main(["codegen", trace_file, "--target", "0.05", "-o", c_file])
+        assert rc == 0
+        with open(c_file) as fh:
+            assert "#include <mpi.h>" in fh.read()
+
+    def test_codegen_to_stdout(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "is.trace")
+        main(["trace", "is", "--klass", "S", "-o", trace_file])
+        capsys.readouterr()
+        rc = main(["codegen", trace_file, "--target", "0.02"])
+        assert rc == 0
+        assert "MPI_Alltoallv" in capsys.readouterr().out
+
+    def test_predict_with_verify(self, capsys):
+        rc = main([
+            "predict", "mg", "--klass", "S", "--target", "0.02",
+            "--scenario", "cpu-one-node", "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted time" in out
+        assert "prediction error" in out
+
+    def test_predict_unknown_scenario_fails_cleanly(self, capsys):
+        rc = main([
+            "predict", "mg", "--klass", "S", "--scenario", "bogus",
+        ])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_trace_file_reported(self, capsys, tmp_path):
+        rc = main(["skeleton", str(tmp_path / "missing.trace")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

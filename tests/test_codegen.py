@@ -1,0 +1,114 @@
+"""C source emission tests."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core import build_skeleton, generate_c_source
+from repro.core.scale import ScaledSignature
+from repro.core.signature import EventStats, LoopNode, RankSignature
+from repro.errors import SkeletonError
+
+
+def leaf(call, peer=1, nbytes=100.0, gap=0.01, tag=0, nreqs=0, src=-1):
+    return EventStats(
+        call=call, peer=peer, tag=tag, nreqs=nreqs,
+        mean_bytes=nbytes, mean_gap=gap, mean_duration=0.0,
+        count=1, src=src, gap_samples=[gap],
+    )
+
+
+def scaled_of(rank_nodes):
+    ranks = [RankSignature(rank=r, nodes=n) for r, n in sorted(rank_nodes.items())]
+    return ScaledSignature(
+        base_name="cg.B.4", nranks=len(ranks), K=10.0, K_int=10, ranks=ranks
+    )
+
+
+class TestStructure:
+    def test_header_and_main(self):
+        src = generate_c_source(scaled_of({0: [leaf("MPI_Send")]}))
+        assert "#include <mpi.h>" in src
+        assert "MPI_Init" in src
+        assert "MPI_Finalize" in src
+        assert "busy_compute" in src
+        assert "int main" in src
+
+    def test_rank_ladder(self):
+        src = generate_c_source(scaled_of({
+            0: [leaf("MPI_Send", peer=1)],
+            1: [leaf("MPI_Recv", peer=0)],
+        }))
+        assert "if (rank == 0)" in src
+        assert "else if (rank == 1)" in src
+        assert "if (size != 2)" in src
+
+    def test_loops_emitted_as_for(self):
+        src = generate_c_source(scaled_of({
+            0: [LoopNode(body=[leaf("MPI_Send")], count=37)],
+        }))
+        assert re.search(r"for \(int i\d+ = 0; i\d+ < 37; i\d+\+\+\)", src)
+
+    def test_compute_gap_emitted(self):
+        src = generate_c_source(scaled_of({0: [leaf("MPI_Send", gap=0.125)]}))
+        assert "busy_compute(0.125);" in src
+
+    def test_buffers_sized_to_largest_message(self):
+        src = generate_c_source(scaled_of({
+            0: [leaf("MPI_Send", nbytes=1_000_000.0)],
+        }))
+        m = re.search(r"static char sendbuf\[(\d+)\]", src)
+        assert m and int(m.group(1)) >= 1_000_000
+
+    def test_balanced_braces(self):
+        src = generate_c_source(scaled_of({
+            0: [LoopNode(body=[LoopNode(body=[leaf("MPI_Send")], count=2)],
+                         count=3)],
+            1: [LoopNode(body=[leaf("MPI_Recv", peer=0)], count=6)],
+        }))
+        assert src.count("{") == src.count("}")
+
+
+class TestCallMapping:
+    @pytest.mark.parametrize(
+        "call,needle",
+        [
+            ("MPI_Send", "MPI_Send(sendbuf"),
+            ("MPI_Recv", "MPI_Recv(recvbuf"),
+            ("MPI_Isend", "MPI_Isend(sendbuf"),
+            ("MPI_Irecv", "MPI_Irecv(recvbuf"),
+            ("MPI_Barrier", "MPI_Barrier(MPI_COMM_WORLD)"),
+            ("MPI_Bcast", "MPI_Bcast(sendbuf"),
+            ("MPI_Reduce", "MPI_Reduce(sendbuf"),
+            ("MPI_Allreduce", "MPI_Allreduce(sendbuf"),
+            ("MPI_Allgather", "MPI_Allgather(sendbuf"),
+            ("MPI_Alltoall", "MPI_Alltoall(sendbuf"),
+            ("MPI_Alltoallv", "MPI_Alltoallv(sendbuf"),
+            ("MPI_Gather", "MPI_Gather(sendbuf"),
+            ("MPI_Scatter", "MPI_Scatter(sendbuf"),
+            ("MPI_Wait", "MPI_Wait("),
+            ("MPI_Waitall", "MPI_Waitall("),
+            ("MPI_Sendrecv", "MPI_Sendrecv(sendbuf"),
+        ],
+    )
+    def test_each_call_emits_its_mpi_counterpart(self, call, needle):
+        src = generate_c_source(scaled_of({0: [leaf(call)]}))
+        assert needle in src
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(SkeletonError):
+            generate_c_source(scaled_of({0: [leaf("MPI_Bogus")]}))
+
+
+class TestEndToEnd:
+    def test_full_benchmark_codegen(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+        src = generate_c_source(bundle.scaled, name=trace.program_name)
+        assert "cg.S.4" in src
+        assert src.count("{") == src.count("}")
+        # All four ranks present.
+        for r in range(4):
+            assert f"(rank == {r})" in src

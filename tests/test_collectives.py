@@ -1,0 +1,184 @@
+"""Collective decompositions: correctness, termination, and timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NetworkSpec
+from repro.sim import (
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Alltoallv,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Program,
+    Reduce,
+    Scatter,
+    run_program,
+)
+from repro.sim.collectives import collective_bytes, expand
+from repro.sim.ops import Recv, Send
+
+
+def fast_cluster(n):
+    return Cluster.uniform(
+        n,
+        network=NetworkSpec(
+            latency=1e-4, bandwidth=1e8, intra_node_latency=0.0,
+            memory_bandwidth=1e12, send_overhead=0.0,
+        ),
+    )
+
+
+def run_collective(op, nranks):
+    def gen(rank, size):
+        yield op
+
+    return run_program(Program("coll", nranks, gen), fast_cluster(nranks))
+
+
+ALL_OPS = [
+    Barrier(),
+    Bcast(root=0, nbytes=1000),
+    Bcast(root=2, nbytes=1000),
+    Reduce(root=0, nbytes=1000),
+    Reduce(root=1, nbytes=1000),
+    Allreduce(nbytes=1000),
+    Allgather(nbytes=1000),
+    Alltoall(nbytes=1000),
+    Gather(root=0, nbytes=1000),
+    Gather(root=3, nbytes=1000),
+    Scatter(root=0, nbytes=1000),
+]
+
+
+class TestTermination:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: repr(o))
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 5, 8])
+    def test_completes_for_any_rank_count(self, op, nranks):
+        if isinstance(op, (Bcast, Reduce, Gather, Scatter)):
+            if getattr(op, "root", 0) >= nranks:
+                pytest.skip("root outside communicator")
+        result = run_collective(op, nranks)
+        assert result.elapsed >= 0.0
+
+    @pytest.mark.parametrize("nranks", [2, 4, 6])
+    def test_alltoallv_completes(self, nranks):
+        op = Alltoallv(send_counts=tuple(100 * (i + 1) for i in range(nranks)))
+        result = run_collective(op, nranks)
+        assert result.elapsed > 0.0
+
+    def test_alltoallv_wrong_arity_rejected(self):
+        from repro.errors import ProgramError
+
+        with pytest.raises(ProgramError):
+            run_collective(Alltoallv(send_counts=(1, 2)), 4)
+
+    def test_consecutive_collectives_do_not_cross_match(self):
+        """Tag sequencing keeps back-to-back collectives separate even
+        with rank skew."""
+
+        def gen(rank, size):
+            yield Compute(0.001 * rank)  # skew ranks
+            for _ in range(20):
+                yield Allreduce(nbytes=64)
+                yield Barrier()
+
+        run_program(Program("seq", 4, gen), fast_cluster(4))
+
+    def test_collectives_interleave_with_p2p(self):
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=128, tag=7)
+            elif rank == 1:
+                yield Recv(source=0, tag=7)
+            yield Barrier()
+            yield Allreduce(nbytes=8)
+
+        run_program(Program("mix", 4, gen), fast_cluster(4))
+
+
+class TestMessageCounts:
+    def count_ops(self, op, nranks):
+        """Total p2p sends across ranks in the decomposition."""
+        total = 0
+        for rank in range(nranks):
+            for item in expand(op, rank, nranks, seq=0):
+                name = type(item).__name__
+                if name in ("Send", "Isend"):
+                    total += 1
+        return total
+
+    def test_bcast_binomial_message_count(self):
+        # A binomial broadcast delivers exactly p-1 messages.
+        for p in (2, 4, 7, 8):
+            assert self.count_ops(Bcast(root=0, nbytes=10), p) == p - 1
+
+    def test_reduce_message_count(self):
+        for p in (2, 4, 7, 8):
+            assert self.count_ops(Reduce(root=0, nbytes=10), p) == p - 1
+
+    def test_alltoall_message_count(self):
+        for p in (2, 4, 8):
+            assert self.count_ops(Alltoall(nbytes=10), p) == p * (p - 1)
+
+    def test_allgather_ring_message_count(self):
+        for p in (2, 4, 8):
+            assert self.count_ops(Allgather(nbytes=10), p) == p * (p - 1)
+
+    def test_gather_subtree_payload_conservation(self):
+        """The root must receive exactly (p-1) ranks' worth of bytes."""
+        for p in (2, 4, 7, 8):
+            recv_bytes = 0
+            for item in expand(Gather(root=0, nbytes=100), 0, p, seq=0):
+                if type(item).__name__ == "Recv":
+                    recv_bytes += item.nbytes
+            assert recv_bytes == 100 * (p - 1)
+
+    def test_scatter_mirrors_gather(self):
+        for p in (2, 4, 8):
+            sent = 0
+            for item in expand(Scatter(root=0, nbytes=100), 0, p, seq=0):
+                if type(item).__name__ == "Send":
+                    sent += item.nbytes
+            assert sent == 100 * (p - 1)
+
+
+class TestTiming:
+    def test_barrier_synchronises(self):
+        """After a barrier every rank's remaining work starts together:
+        total time ~ max(pre-barrier skew) + post work."""
+
+        def gen(rank, size):
+            yield Compute(0.1 * (rank + 1))
+            yield Barrier()
+            yield Compute(0.1)
+
+        r = run_program(Program("b", 4, gen), fast_cluster(4))
+        for t in r.finish_times:
+            assert t == pytest.approx(0.4 + 0.1, rel=0.05)
+
+    def test_larger_alltoall_takes_longer(self):
+        small = run_collective(Alltoall(nbytes=10_000), 4).elapsed
+        big = run_collective(Alltoall(nbytes=1_000_000), 4).elapsed
+        assert big > 5 * small
+
+    def test_allreduce_faster_than_alltoall_same_bytes(self):
+        ar = run_collective(Allreduce(nbytes=100_000), 4).elapsed
+        a2a = run_collective(Alltoall(nbytes=100_000), 4).elapsed
+        assert ar < a2a
+
+
+class TestCollectiveBytes:
+    def test_barrier_is_zero(self):
+        assert collective_bytes(Barrier(), 4) == 0
+
+    def test_alltoallv_totals(self):
+        assert collective_bytes(Alltoallv(send_counts=(1, 2, 3, 4)), 4) == 10
+
+    def test_sized_ops_report_nbytes(self):
+        assert collective_bytes(Bcast(root=0, nbytes=77), 4) == 77
+        assert collective_bytes(Allreduce(nbytes=11), 4) == 11

@@ -1,0 +1,78 @@
+"""Communication-matrix analysis and full-pipeline fuzzing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.cluster import Cluster, paper_testbed
+from repro.core import build_skeleton
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.trace.analysis import communication_matrix, render_communication_matrix
+from repro.workloads import get_program
+
+from tests.test_engine_fuzz import NRANKS, build_program, phase_strategy
+
+
+class TestCommunicationMatrix:
+    def test_lu_neighbours_only(self):
+        """LU's 2x2 decomposition exchanges only with grid neighbours;
+        the diagonal-opposite pair (0,3) and (1,2) must be silent."""
+        cluster = paper_testbed()
+        trace, _ = trace_program(get_program("lu", "S", 4), cluster)
+        matrix = communication_matrix(trace)
+        assert matrix[0][3] == 0 and matrix[3][0] == 0
+        assert matrix[1][2] == 0 and matrix[2][1] == 0
+        assert matrix[0][1] > 0 and matrix[0][2] > 0
+
+    def test_diagonal_zero(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        matrix = communication_matrix(trace)
+        for r in range(trace.nranks):
+            assert matrix[r][r] == 0
+
+    def test_render(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        out = render_communication_matrix(trace)
+        assert "src\\dst" in out
+        assert out.count("\n") == trace.nranks
+
+    def test_cg_symmetry(self, cg_s_trace):
+        """CG's exchanges are symmetric pairs."""
+        trace, _ = cg_s_trace
+        matrix = communication_matrix(trace)
+        for a in range(4):
+            for b in range(4):
+                assert matrix[a][b] == pytest.approx(matrix[b][a], rel=0.05)
+
+
+class TestCliValidate:
+    def test_validate_command(self, capsys):
+        rc = main(["validate", "mg", "--klass", "S",
+                   "--targets", "0.05", "0.01"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Skeleton validation" in out
+        assert "average error" in out
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.lists(phase_strategy(), min_size=3, max_size=8))
+def test_pipeline_fuzz_skeletons_run(phases):
+    """Full-pipeline fuzz: any random phase program's trace must yield
+    a skeleton that aligns and runs, with dedicated time within a loose
+    band of T/K (random programs can be tiny, so the band is wide)."""
+    # Ensure there is at least one communication phase.
+    if not any(p[0] != "compute" for p in phases):
+        phases = list(phases) + [("coll", "barrier", 0)]
+    cluster = Cluster.uniform(NRANKS)
+    program = build_program(phases)
+    trace, ded = trace_program(program, cluster)
+    if ded.elapsed <= 0:
+        return
+    bundle = build_skeleton(trace, scaling_factor=2.0, warn=False)
+    skel = run_program(bundle.program, cluster)
+    assert skel.elapsed <= ded.elapsed * 1.5
+    assert skel.elapsed >= 0.0

@@ -1,0 +1,95 @@
+"""Statistical sanity of the stochastic contention models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Scenario, paper_testbed
+from repro.cluster.contention import LoadModel, TrafficModel
+from repro.sim import Compute, Program, Recv, Send, run_program
+
+
+class TestLoadModelStatistics:
+    def test_slowdown_within_duty_bounds(self):
+        """Over a long run, a bursty 2-process competitor slows a rank
+        by a factor between 1 (all idle) and 1.5 (always busy), with
+        the expected value set by the duty cycle."""
+        cluster = paper_testbed()
+        model = LoadModel()  # busy (0.4, 1.8), idle (0.0, 0.45)
+        scen = Scenario(name="b", competing={0: 2}, load_model=model)
+
+        def gen(rank, size):
+            for _ in range(4000):
+                yield Compute(0.01)  # 40 s of work
+
+        elapsed = run_program(Program("w", 1, gen), cluster, scen, seed=7).elapsed
+        slowdown = elapsed / 40.0
+        assert 1.0 < slowdown < 1.5
+        # Duty cycle = E[busy] / (E[busy]+E[idle]) = 1.1/1.325 ~ 0.83;
+        # with both competitors busy the rank gets 2/3. Expected
+        # slowdown sits well inside (1.2, 1.45).
+        assert 1.2 < slowdown < 1.45
+
+    def test_long_run_averages_converge_across_seeds(self):
+        """Two long runs under different seeds see nearly the same
+        average contention (ergodicity), unlike short runs."""
+        cluster = paper_testbed()
+        scen = Scenario(name="b", competing={0: 2}, load_model=LoadModel())
+
+        def make(n):
+            def gen(rank, size):
+                for _ in range(n):
+                    yield Compute(0.01)
+
+            return Program("w", 1, gen)
+
+        long_a = run_program(make(6000), cluster, scen, seed=1).elapsed
+        long_b = run_program(make(6000), cluster, scen, seed=2).elapsed
+        short_a = run_program(make(60), cluster, scen, seed=1).elapsed
+        short_b = run_program(make(60), cluster, scen, seed=2).elapsed
+        long_spread = abs(long_a - long_b) / long_a
+        short_spread = abs(short_a - short_b) / short_a
+        assert long_spread < 0.02
+        assert short_spread > long_spread
+
+
+class TestTrafficModelStatistics:
+    def test_mean_bandwidth_preserved(self):
+        """The fluctuating cap is symmetric around the base: a long
+        transfer takes roughly base-rate time."""
+        cluster = paper_testbed()
+        cap = 1.25e6
+        scen = Scenario(
+            name="t", nic_caps={0: cap}, traffic_model=TrafficModel()
+        )
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=50_000_000, tag=1)  # 40 s at cap
+            else:
+                yield Recv(source=0, nbytes=50_000_000, tag=1)
+
+        elapsed = run_program(Program("t", 2, gen), cluster, scen, seed=3).elapsed
+        nominal = 50_000_000 / cap
+        # Harmonic-mean effects bias slightly slow; allow 25%.
+        assert elapsed == pytest.approx(nominal, rel=0.25)
+
+    def test_fluctuation_bounded_by_swing(self):
+        """No transfer can beat the best-case capacity (1+swing)."""
+        cluster = paper_testbed()
+        cap = 1.25e6
+        model = TrafficModel()
+        scen = Scenario(name="t", nic_caps={0: cap}, traffic_model=model)
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=10_000_000, tag=1)
+            else:
+                yield Recv(source=0, nbytes=10_000_000, tag=1)
+
+        best_possible = 10_000_000 / (cap * (1 + model.swing))
+        for seed in range(5):
+            elapsed = run_program(
+                Program("t", 2, gen), cluster, scen, seed=seed
+            ).elapsed
+            assert elapsed >= best_possible * 0.99

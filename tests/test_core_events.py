@@ -1,0 +1,94 @@
+"""Tests for trace -> event-stream conversion and the dissimilarity
+measure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distance import (
+    DimensionScales,
+    dissimilarity,
+    event_scales,
+    event_vector,
+)
+from repro.core.events import ExecEvent, trace_to_streams
+from repro.errors import TraceError
+from repro.trace.records import Trace, TraceRecord
+
+
+def make_trace():
+    trace = Trace(program_name="t", scenario_name="d", nranks=1)
+    trace.records[0] = [
+        TraceRecord("MPI_Send", {"peer": 1, "bytes": 100, "tag": 3}, 0.5, 0.6),
+        TraceRecord("MPI_Recv", {"peer": 1, "bytes": 200, "tag": 3}, 0.9, 1.0),
+    ]
+    trace.finish_times = [1.25]
+    return trace
+
+
+class TestStreams:
+    def test_gap_reconstruction(self):
+        streams = trace_to_streams(make_trace())
+        events = streams[0].events
+        assert events[0].gap == pytest.approx(0.5)   # before first call
+        assert events[1].gap == pytest.approx(0.3)   # 0.9 - 0.6
+        assert streams[0].tail_gap == pytest.approx(0.25)
+
+    def test_event_fields(self):
+        ev = trace_to_streams(make_trace())[0].events[0]
+        assert ev.call == "MPI_Send"
+        assert ev.peer == 1
+        assert ev.tag == 3
+        assert ev.nbytes == 100
+        assert ev.duration == pytest.approx(0.1)
+
+    def test_total_time_accounts_everything(self):
+        stream = trace_to_streams(make_trace())[0]
+        assert stream.total_time() == pytest.approx(1.25)
+
+    def test_requires_finish_times(self):
+        trace = Trace(program_name="t", scenario_name="d", nranks=1)
+        with pytest.raises(TraceError):
+            trace_to_streams(trace)
+
+    def test_keys_differ_by_call_and_peer(self):
+        a = ExecEvent("MPI_Send", 1, 0, 10, 0, 0)
+        b = ExecEvent("MPI_Send", 2, 0, 10, 0, 0)
+        c = ExecEvent("MPI_Isend", 1, 0, 10, 0, 0)
+        assert a.key() != b.key()
+        assert a.key() != c.key()
+
+
+class TestDistance:
+    def test_identical_events_zero(self):
+        assert dissimilarity((100.0,), (100.0,), (1000.0,)) == 0.0
+
+    def test_linear_in_size_difference(self):
+        """The paper: threshold 'linearly relates to the maximum
+        difference in message sizes allowed'."""
+        d1 = dissimilarity((100.0,), (200.0,), (1000.0,))
+        d2 = dissimilarity((100.0,), (300.0,), (1000.0,))
+        assert d1 == pytest.approx(0.1)
+        assert d2 == pytest.approx(0.2)
+
+    def test_zero_scale_requires_equality(self):
+        assert dissimilarity((5.0,), (5.0,), (0.0,)) == 0.0
+        assert dissimilarity((5.0,), (6.0,), (0.0,)) == float("inf")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dissimilarity((1.0,), (1.0, 2.0), (1.0,))
+
+    def test_scales_from_events(self):
+        events = [
+            ExecEvent("MPI_Send", 1, 0, 500, 0.2, 0),
+            ExecEvent("MPI_Send", 1, 0, 100, 0.9, 0),
+        ]
+        scales = DimensionScales.from_events(events)
+        assert scales.nbytes == 500
+        assert scales.duration == pytest.approx(0.9)
+
+    def test_vector_and_scales_align(self):
+        ev = ExecEvent("MPI_Send", 1, 0, 123, 0.1, 0)
+        scales = DimensionScales(nbytes=1000, duration=1.0)
+        assert len(event_vector(ev)) == len(event_scales(scales))

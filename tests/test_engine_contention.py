@@ -1,0 +1,156 @@
+"""Resource-sharing effects: CPU contention, link throttling, and the
+stochastic load/traffic models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    NetworkSpec,
+    Scenario,
+    cpu_all_nodes,
+    cpu_one_node,
+    link_all,
+    link_one,
+    paper_scenarios,
+    paper_testbed,
+)
+from repro.cluster.contention import LoadModel, TrafficModel
+from repro.sim import Compute, Program, Recv, Send, run_program
+
+
+def compute_program(seconds=1.0, nranks=4):
+    def gen(rank, size):
+        yield Compute(seconds)
+
+    return Program("compute", nranks, gen)
+
+
+def transfer_program(nbytes=10_000_000, nranks=4):
+    def gen(rank, size):
+        if rank == 0:
+            yield Send(dest=1, nbytes=nbytes, tag=1)
+        elif rank == 1:
+            yield Recv(source=0, tag=1)
+
+    return Program("transfer", nranks, gen)
+
+
+class TestCpuContention:
+    def test_steady_two_competitors_slow_by_1_5x(self, cluster):
+        """1 rank + 2 steady competitors on 2 CPUs -> rank at 2/3 CPU."""
+        scen = Scenario(name="s", competing={0: 2})
+        ded = run_program(compute_program(), cluster)
+        shared = run_program(compute_program(), cluster, scen)
+        assert shared.finish_times[0] == pytest.approx(1.5, rel=1e-6)
+        # Other nodes unaffected.
+        assert shared.finish_times[1] == pytest.approx(1.0, rel=1e-6)
+        assert ded.elapsed == pytest.approx(1.0, rel=1e-6)
+
+    def test_one_competitor_on_dual_cpu_harmless(self, cluster):
+        """A dual-CPU node absorbs a single competitor (the reason the
+        paper uses two)."""
+        scen = Scenario(name="s", competing={0: 1})
+        shared = run_program(compute_program(), cluster, scen)
+        assert shared.finish_times[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_single_cpu_node_halves(self):
+        cluster = Cluster.uniform(2, ncpus=1)
+        scen = Scenario(name="s", competing={0: 1})
+        shared = run_program(compute_program(nranks=2), cluster, scen)
+        assert shared.finish_times[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_bursty_load_slows_less_than_steady(self, cluster):
+        """A bursty competitor (duty < 1) costs less than a steady one."""
+        steady = Scenario(name="st", competing={0: 2})
+        bursty = Scenario(name="bu", competing={0: 2}, load_model=LoadModel())
+        t_steady = run_program(compute_program(5.0), cluster, steady).elapsed
+        t_bursty = run_program(
+            compute_program(5.0), cluster, bursty, seed=3
+        ).elapsed
+        assert 5.0 < t_bursty < t_steady + 1e-9
+
+
+class TestLinkThrottling:
+    def test_throttled_nic_slows_transfer(self, cluster):
+        base = run_program(transfer_program(), cluster).elapsed
+        scen = Scenario(name="s", nic_caps={0: 1.25e6})
+        slow = run_program(transfer_program(), cluster, scen).elapsed
+        # 10 MB at 1.25 MB/s ~ 8s vs ~0.125s at full speed.
+        assert slow > 50 * base
+
+    def test_throttle_on_unrelated_node_has_no_effect(self, cluster):
+        scen = Scenario(name="s", nic_caps={3: 1.25e6})
+        base = run_program(transfer_program(), cluster).elapsed
+        thr = run_program(transfer_program(), cluster, scen).elapsed
+        assert thr == pytest.approx(base, rel=1e-9)
+
+    def test_rx_side_throttle_applies(self, cluster):
+        """Throttling the *receiver's* NIC also limits the flow."""
+        scen = Scenario(name="s", nic_caps={1: 1.25e6})
+        slow = run_program(transfer_program(), cluster, scen).elapsed
+        assert slow > 7.0
+
+    def test_traffic_model_fluctuates_transfer_time(self, cluster):
+        scen = Scenario(
+            name="s", nic_caps={0: 1.25e6}, traffic_model=TrafficModel()
+        )
+        t1 = run_program(transfer_program(), cluster, scen, seed=1).elapsed
+        t2 = run_program(transfer_program(), cluster, scen, seed=2).elapsed
+        assert t1 != t2
+        # Still in the throttled ballpark (not full bandwidth).
+        assert min(t1, t2) > 3.0
+
+
+class TestScenarios:
+    def test_paper_scenario_list(self):
+        scens = paper_scenarios()
+        assert [s.name for s in scens] == [
+            "cpu-one-node", "cpu-all-nodes", "link-one", "link-all",
+            "cpu+link-one",
+        ]
+
+    def test_steady_flag_removes_models(self):
+        for s in paper_scenarios(steady=True):
+            assert s.load_model is None
+            assert s.traffic_model is None
+
+    def test_stochastic_default_has_models(self):
+        assert cpu_one_node().load_model is not None
+        assert link_one().traffic_model is not None
+
+    def test_scenario_validation(self, cluster):
+        scen = Scenario(name="bad", competing={17: 2})
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            scen.validate_against(cluster)
+
+    def test_describe_dedicated(self):
+        from repro.cluster import DEDICATED
+
+        assert "dedicated" in DEDICATED.describe()
+        assert DEDICATED.is_dedicated
+
+    def test_cpu_all_nodes_slows_every_rank(self, cluster):
+        shared = run_program(
+            compute_program(), cluster, cpu_all_nodes(steady=True)
+        )
+        for t in shared.finish_times:
+            assert t == pytest.approx(1.5, rel=1e-6)
+
+    def test_link_all_affects_all_flows(self):
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            other = rank ^ 1
+            if rank % 2 == 0:
+                yield Send(dest=other, nbytes=1_000_000, tag=1)
+            else:
+                yield Recv(source=other, tag=1)
+
+        prog = Program("pairs", 4, gen)
+        base = run_program(prog, cluster).elapsed
+        slow = run_program(prog, cluster, link_all(steady=True)).elapsed
+        assert slow > 10 * base

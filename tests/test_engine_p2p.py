@@ -1,0 +1,284 @@
+"""Point-to-point semantics and timing of the simulator engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NetworkSpec
+from repro.errors import DeadlockError, ProgramError
+from repro.sim import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    Irecv,
+    Isend,
+    Program,
+    Recv,
+    Send,
+    Sendrecv,
+    Wait,
+    Waitall,
+    run_program,
+)
+
+
+def simple_cluster(latency=1e-3, bandwidth=1e6, eager=64 * 1024):
+    return Cluster.uniform(
+        2,
+        network=NetworkSpec(
+            latency=latency,
+            bandwidth=bandwidth,
+            eager_threshold=eager,
+            intra_node_latency=0.0,
+            memory_bandwidth=1e12,
+            send_overhead=0.0,
+        ),
+    )
+
+
+def run2(gen, cluster=None, **kw):
+    return run_program(Program("t", 2, gen), cluster or simple_cluster(), **kw)
+
+
+class TestBasicTiming:
+    def test_compute_only(self):
+        def gen(rank, size):
+            yield Compute(0.25)
+
+        r = run2(gen)
+        assert r.elapsed == pytest.approx(0.25)
+
+    def test_eager_message_delivery_time(self):
+        """Receiver gets the message at send + latency + bytes/bw."""
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=1000, tag=1)
+            else:
+                yield Recv(source=0, tag=1)
+
+        r = run2(gen)
+        # 1e-3 latency + 1000/1e6 transfer = 2e-3
+        assert r.finish_times[1] == pytest.approx(2e-3, rel=1e-6)
+
+    def test_recv_waits_for_late_sender(self):
+        def gen(rank, size):
+            if rank == 0:
+                yield Compute(0.5)
+                yield Send(dest=1, nbytes=1000, tag=1)
+            else:
+                yield Recv(source=0, tag=1)
+
+        r = run2(gen)
+        assert r.finish_times[1] == pytest.approx(0.5 + 2e-3, rel=1e-6)
+
+    def test_eager_sender_does_not_block_on_receiver(self):
+        """An eager send completes locally even if the receive is
+        posted much later."""
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=1000, tag=1)
+                yield Compute(0.001)
+            else:
+                yield Compute(1.0)
+                yield Recv(source=0, tag=1)
+
+        r = run2(gen)
+        assert r.finish_times[0] < 0.1
+        assert r.finish_times[1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_rendezvous_sender_blocks_until_delivery(self):
+        """A rendezvous send cannot finish before the receiver posts."""
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=200_000, tag=1)  # > eager threshold
+            else:
+                yield Compute(1.0)
+                yield Recv(source=0, tag=1)
+
+        r = run2(gen)
+        assert r.finish_times[0] > 1.0
+
+    def test_zero_byte_message_costs_latency(self):
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=0, tag=1)
+            else:
+                yield Recv(source=0, tag=1)
+
+        r = run2(gen)
+        assert r.finish_times[1] == pytest.approx(1e-3, rel=1e-6)
+
+
+class TestMatching:
+    def test_any_source_any_tag(self):
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=10, tag=42)
+            else:
+                yield Recv(source=ANY_SOURCE, tag=ANY_TAG)
+
+        run2(gen)  # completes without deadlock
+
+    def test_tag_selective_matching(self):
+        """A receive for tag 2 must not consume the tag-1 message."""
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=10, tag=1)
+                yield Send(dest=1, nbytes=10, tag=2)
+            else:
+                yield Recv(source=0, tag=2)
+                yield Recv(source=0, tag=1)
+
+        run2(gen)
+
+    def test_fifo_order_same_tag(self):
+        """Messages on the same (src, dst, tag) are non-overtaking:
+        three different-size sends must arrive in order."""
+        sizes = [100, 2000, 50]
+        seen = []
+
+        def gen(rank, size):
+            if rank == 0:
+                for s in sizes:
+                    yield Send(dest=1, nbytes=s, tag=1)
+            else:
+                for _ in sizes:
+                    req = yield Irecv(source=0, tag=1)
+                    yield Wait(req)
+                    seen.append(req.msg.nbytes)
+
+        run2(gen)
+        assert seen == sizes
+
+    def test_unmatched_recv_deadlocks(self):
+        def gen(rank, size):
+            if rank == 1:
+                yield Recv(source=0, tag=9)
+
+        with pytest.raises(DeadlockError) as err:
+            run2(gen)
+        assert 1 in err.value.blocked_ranks
+
+    def test_send_recv_cycle_with_sendrecv_is_safe(self):
+        def gen(rank, size):
+            other = 1 - rank
+            yield Sendrecv(
+                dest=other, send_nbytes=500_000, send_tag=3,
+                source=other, recv_tag=3,
+            )
+
+        run2(gen)
+
+    def test_mutual_rendezvous_blocking_sends_deadlock(self):
+        """Two blocking rendezvous sends to each other with no posted
+        receives is the classic MPI deadlock."""
+
+        def gen(rank, size):
+            other = 1 - rank
+            yield Send(dest=other, nbytes=1_000_000, tag=1)
+            yield Recv(source=other, tag=1)
+
+        with pytest.raises(DeadlockError):
+            run2(gen)
+
+
+class TestNonBlocking:
+    def test_isend_irecv_waitall(self):
+        def gen(rank, size):
+            other = 1 - rank
+            r1 = yield Irecv(source=other, tag=1)
+            r2 = yield Isend(dest=other, nbytes=10_000, tag=1)
+            yield Waitall((r1, r2))
+
+        run2(gen)
+
+    def test_overlap_hides_transfer(self):
+        """Compute issued between Isend and Wait overlaps the transfer."""
+        cluster = simple_cluster(latency=0.0, bandwidth=1e6)
+
+        def gen(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, nbytes=900_000, tag=1)  # 0.9s rndv
+                yield Compute(0.9)
+                yield Wait(req)
+            else:
+                req = yield Irecv(source=0, tag=1)
+                yield Compute(0.9)
+                yield Wait(req)
+
+        r = run2(gen, cluster)
+        # Transfer and compute overlap: well under the 1.8s serial sum.
+        assert r.elapsed < 1.1
+
+    def test_wait_after_completion_is_instant(self):
+        def gen(rank, size):
+            if rank == 0:
+                req = yield Isend(dest=1, nbytes=10, tag=1)
+                yield Compute(0.5)
+                yield Wait(req)
+            else:
+                req = yield Irecv(source=0, tag=1)
+                yield Compute(0.5)
+                yield Wait(req)
+
+        r = run2(gen)
+        assert r.elapsed == pytest.approx(0.5, rel=1e-3)
+
+
+class TestProgramErrors:
+    def test_send_to_self_rejected(self):
+        def gen(rank, size):
+            yield Send(dest=rank, nbytes=10, tag=1)
+
+        with pytest.raises(ProgramError):
+            run2(gen)
+
+    def test_send_to_invalid_rank_rejected(self):
+        def gen(rank, size):
+            yield Send(dest=99, nbytes=10, tag=1)
+
+        with pytest.raises(ProgramError):
+            run2(gen)
+
+    def test_non_op_yield_rejected(self):
+        def gen(rank, size):
+            yield "not an op"
+
+        with pytest.raises(ProgramError):
+            run2(gen)
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self, cluster):
+        from repro.cluster import cpu_one_node
+
+        def gen(rank, size):
+            for _ in range(20):
+                yield Compute(0.01)
+                other = rank ^ 1
+                yield Sendrecv(dest=other, send_nbytes=5000, send_tag=1,
+                               source=other, recv_tag=1)
+
+        prog = Program("d", 4, gen)
+        scen = cpu_one_node()
+        a = run_program(prog, cluster, scen, seed=5)
+        b = run_program(prog, cluster, scen, seed=5)
+        assert a.finish_times == b.finish_times
+
+    def test_different_seed_differs_under_sharing(self, cluster):
+        from repro.cluster import cpu_one_node
+
+        def gen(rank, size):
+            # Long enough to span several load bursts/idles.
+            for _ in range(500):
+                yield Compute(0.01)
+
+        prog = Program("d", 4, gen)
+        scen = cpu_one_node()
+        a = run_program(prog, cluster, scen, seed=5)
+        b = run_program(prog, cluster, scen, seed=6)
+        assert a.elapsed != b.elapsed

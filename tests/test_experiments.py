@@ -1,0 +1,132 @@
+"""Experiment runner, caching, and figure-builder tests.
+
+The runner tests use a tiny Class S campaign so the whole file runs in
+seconds; the figure builders are additionally exercised on a synthetic
+results object with known numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResults,
+    ExperimentRunner,
+    figure2_activity,
+    figure3_error_by_benchmark,
+    figure4_good_skeletons,
+    figure5_error_by_size,
+    figure6_error_by_scenario,
+    figure7_baselines,
+)
+from repro.experiments.report import full_report, overall_average_error
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tmp_path_factory):
+    """A real but tiny campaign: 2 benchmarks, class S, 2 sizes."""
+    config = ExperimentConfig(
+        benchmarks=("cg", "is"),
+        klass="S",
+        baseline_klass="S",
+        skeleton_targets=(0.05, 0.01),
+        steady=True,
+    )
+    cache = tmp_path_factory.mktemp("cache")
+    runner = ExperimentRunner(config=config, cache_dir=str(cache))
+    return runner.run(), runner
+
+
+class TestRunner:
+    def test_campaign_structure(self, tiny_results):
+        results, _ = tiny_results
+        assert set(results.apps) == {"cg", "is"}
+        for bench in results.benchmarks():
+            app = results.apps[bench]
+            assert app["dedicated"] > 0
+            assert set(app["scenarios"]) == set(results.scenario_names)
+            assert set(results.skeletons[bench]) == {"0.05", "0.01"}
+            assert results.class_s[bench]["dedicated"] > 0
+
+    def test_cache_round_trip(self, tiny_results):
+        results, runner = tiny_results
+        assert runner.cache_path.exists()
+        loaded = runner.load_cached()
+        assert loaded is not None
+        assert loaded.apps == results.apps
+        assert loaded.skeletons == results.skeletons
+
+    def test_cached_rerun_identical(self, tiny_results):
+        results, runner = tiny_results
+        again = runner.run()
+        assert again.apps == results.apps
+
+    def test_errors_computable(self, tiny_results):
+        results, _ = tiny_results
+        for bench in results.benchmarks():
+            for target in results.targets():
+                for scen in results.scenario_names:
+                    err = results.skeleton_error(bench, target, scen)
+                    assert err >= 0.0
+            for scen in results.scenario_names:
+                assert results.class_s_error(bench, scen) >= 0.0
+                assert results.average_prediction_error(bench, scen) >= 0.0
+
+    def test_config_key_stable_and_distinct(self):
+        a = ExperimentConfig()
+        b = ExperimentConfig()
+        c = ExperimentConfig(environment_seed=1)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_corrupt_cache_rejected(self, tmp_path):
+        from repro.errors import ExperimentError
+
+        config = ExperimentConfig(benchmarks=("cg",), klass="S")
+        runner = ExperimentRunner(config=config, cache_dir=str(tmp_path))
+        runner.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        runner.cache_path.write_text("{broken")
+        with pytest.raises(ExperimentError):
+            runner.load_cached()
+
+
+class TestFigures:
+    def test_every_figure_renders(self, tiny_results):
+        results, _ = tiny_results
+        for build in (
+            figure2_activity,
+            figure3_error_by_benchmark,
+            figure4_good_skeletons,
+            figure5_error_by_size,
+        ):
+            out = build(results).render()
+            assert "CG" in out and "IS" in out
+
+        fig6 = figure6_error_by_scenario(results, results.targets()[0]).render()
+        assert "cpu-one-node" in fig6
+        fig7 = figure7_baselines(results).render()
+        assert "Class S" in fig7 and "Average" in fig7
+
+    def test_fig2_rows_per_benchmark(self, tiny_results):
+        results, _ = tiny_results
+        table = figure2_activity(results)
+        # app + one row per skeleton target, per benchmark.
+        expected = len(results.benchmarks()) * (1 + len(results.targets()))
+        assert len(table.rows) == expected
+        for row in table.rows:
+            compute, mpi = float(row[2]), float(row[3])
+            assert compute + mpi == pytest.approx(100.0, abs=0.5)
+
+    def test_fig3_has_average_row(self, tiny_results):
+        results, _ = tiny_results
+        table = figure3_error_by_benchmark(results)
+        assert table.rows[-1][0] == "Average"
+
+    def test_full_report(self, tiny_results):
+        results, _ = tiny_results
+        report = full_report(results)
+        for marker in ("Figure 2", "Figure 3", "Figure 4", "Figure 5",
+                       "Figure 6", "Figure 7", "Overall average"):
+            assert marker in report
+        assert overall_average_error(results) >= 0.0

@@ -1,0 +1,148 @@
+"""Extension-module tests (latency-aware scaling, distribution gaps,
+memory model, retargeting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import NetworkSpec, paper_testbed
+from repro.core import build_skeleton
+from repro.core.signature import EventStats
+from repro.errors import ReproError, SkeletonError
+from repro.ext import (
+    MemoryHierarchy,
+    distribution_gap_model,
+    effective_speed,
+    make_latency_aware_scaler,
+    retarget_skeleton,
+)
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.workloads.synthetic import bsp_allreduce, stencil2d
+
+
+def leaf(nbytes=100_000.0, gaps=(0.1,)):
+    return EventStats(
+        call="MPI_Send", peer=1, tag=0, nreqs=0,
+        mean_bytes=nbytes, mean_gap=sum(gaps) / len(gaps),
+        mean_duration=0.0, count=len(gaps), gap_samples=list(gaps),
+    )
+
+
+class TestLatencyAwareScaler:
+    def setup_method(self):
+        self.net = NetworkSpec(latency=1e-3, bandwidth=1e6)
+        self.scaler = make_latency_aware_scaler(self.net)
+
+    def test_compensates_for_latency(self):
+        """Scaled bytes must make the message *time* scale by f, so the
+        payload shrinks more than linearly."""
+        lf = leaf(nbytes=1e6)  # time = 1e-3 + 1.0 ~ 1.001 s
+        f = 0.5
+        scaled = self.scaler(lf, f)
+        scaled_time = self.net.latency + scaled / self.net.bandwidth
+        full_time = self.net.latency + lf.mean_bytes / self.net.bandwidth
+        assert scaled_time == pytest.approx(f * full_time)
+        assert scaled < lf.mean_bytes * f  # stronger reduction than naive
+
+    def test_latency_floor_clamps_to_zero(self):
+        lf = leaf(nbytes=100.0)  # time ~ latency (1e-3) + 1e-4
+        scaled = self.scaler(lf, 0.01)
+        assert scaled == 0.0
+
+    def test_zero_bytes_stay_zero(self):
+        assert self.scaler(leaf(nbytes=0.0), 0.5) == 0.0
+
+    def test_improves_prediction_under_throttling(self):
+        """Ablation in miniature: with a heavily-throttled link and a
+        small skeleton, the latency-aware scale-down gets closer to the
+        naive-scaled skeleton's own target time."""
+        cluster = paper_testbed()
+        trace, ded = trace_program(
+            stencil2d(iterations=64, halo_bytes=256 * 1024), cluster
+        )
+        K = 32.0
+        naive = build_skeleton(trace, scaling_factor=K, warn=False)
+        aware = build_skeleton(
+            trace, scaling_factor=K, warn=False,
+            comm_scaler=make_latency_aware_scaler(cluster.network),
+        )
+        t_naive = run_program(naive.program, cluster).elapsed
+        t_aware = run_program(aware.program, cluster).elapsed
+        target = ded.elapsed / K
+        assert abs(t_aware - target) <= abs(t_naive - target) + 1e-6
+
+
+class TestDistributionGapModel:
+    def test_empty_samples_fall_back_to_mean(self):
+        lf = leaf(gaps=(0.3,))
+        lf.gap_samples = []
+        assert distribution_gap_model(lf, 0) == pytest.approx(lf.mean_gap)
+
+    def test_single_sample(self):
+        lf = leaf(gaps=(0.25,))
+        assert distribution_gap_model(lf, 5) == pytest.approx(0.25)
+
+    def test_sweeps_whole_distribution(self):
+        gaps = tuple(0.01 * i for i in range(10))
+        lf = leaf(gaps=gaps)
+        seen = {distribution_gap_model(lf, i) for i in range(10)}
+        assert seen == set(gaps)
+
+    def test_deterministic(self):
+        lf = leaf(gaps=(0.1, 0.2, 0.3))
+        a = [distribution_gap_model(lf, i) for i in range(6)]
+        b = [distribution_gap_model(lf, i) for i in range(6)]
+        assert a == b
+
+    def test_skeleton_with_distribution_model_runs(self, cluster):
+        from repro.ext.distribution import distribution_gap_model as dgm
+
+        trace, ded = trace_program(
+            stencil2d(iterations=40, jitter=0.3, seed=9), cluster
+        )
+        bundle = build_skeleton(trace, scaling_factor=8.0, warn=False,
+                                gap_model=dgm)
+        result = run_program(bundle.program, cluster)
+        assert result.elapsed == pytest.approx(ded.elapsed / 8.0, rel=0.4)
+
+
+class TestMemoryModel:
+    def test_fits_in_cache_full_speed(self):
+        h = MemoryHierarchy(cache_bytes=1 << 20)
+        assert effective_speed(h, 1 << 18) == pytest.approx(1.0)
+
+    def test_spills_to_memory_slows(self):
+        h = MemoryHierarchy(cache_bytes=1 << 20, miss_speed=0.25)
+        s = effective_speed(h, 1 << 24)
+        assert 0.25 < s < 0.35
+
+    def test_monotone_in_working_set(self):
+        h = MemoryHierarchy(cache_bytes=1 << 20)
+        speeds = [effective_speed(h, 1 << k) for k in range(16, 28)]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            MemoryHierarchy(cache_bytes=0)
+        with pytest.raises(ReproError):
+            MemoryHierarchy(cache_bytes=1024, miss_speed=2.0)
+
+
+class TestRetarget:
+    def test_retarget_changes_k(self, cluster):
+        trace, ded = trace_program(bsp_allreduce(supersteps=60), cluster)
+        bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+        smaller = retarget_skeleton(
+            bundle, target_seconds=ded.elapsed / 12.0,
+            app_dedicated_seconds=ded.elapsed, warn=False,
+        )
+        assert smaller.K == pytest.approx(12.0, rel=1e-6)
+        t = run_program(smaller.program, cluster).elapsed
+        assert t == pytest.approx(ded.elapsed / 12.0, rel=0.35)
+
+    def test_retarget_rejects_bad_target(self, cluster):
+        trace, _ = trace_program(bsp_allreduce(supersteps=10), cluster)
+        bundle = build_skeleton(trace, scaling_factor=2.0, warn=False)
+        with pytest.raises(SkeletonError):
+            retarget_skeleton(bundle, target_seconds=0.0)

@@ -1,0 +1,151 @@
+"""Tests for the FT/EP extension workloads and signature file I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import cpu_all_nodes, link_one, paper_testbed
+from repro.core import build_skeleton, compress_trace, read_signature, write_signature
+from repro.core.sigio import signature_from_dict, signature_to_dict
+from repro.errors import SignatureError, WorkloadError
+from repro.predict import SkeletonPredictor
+from repro.sim import run_program
+from repro.trace import trace_program, trace_stats
+from repro.workloads import get_program
+
+
+class TestFT:
+    def test_runs_all_classes(self):
+        cluster = paper_testbed()
+        for klass in ("S", "W"):
+            result = run_program(get_program("ft", klass, 4), cluster)
+            assert result.elapsed > 0
+
+    def test_comm_heavy(self):
+        """FT is the communication-volume-heaviest code: its MPI share
+        beats LU's at class W."""
+        cluster = paper_testbed()
+        shares = {}
+        for bench in ("ft", "lu"):
+            trace, _ = trace_program(get_program(bench, "W", 4), cluster)
+            shares[bench] = trace_stats(trace)["mpi_percent"]
+        assert shares["ft"] > shares["lu"]
+
+    def test_link_sensitivity(self):
+        """Throttling a link hits FT hard (its transposes move the
+        whole dataset)."""
+        cluster = paper_testbed()
+        prog = get_program("ft", "S", 4)
+        ded = run_program(prog, cluster).elapsed
+        thr = run_program(prog, cluster, link_one(steady=True)).elapsed
+        assert thr > 3 * ded
+
+    def test_skeleton_roundtrip(self):
+        cluster = paper_testbed()
+        trace, ded = trace_program(get_program("ft", "S", 4), cluster)
+        bundle = build_skeleton(trace, scaling_factor=3.0, warn=False)
+        skel = run_program(bundle.program, cluster).elapsed
+        assert skel == pytest.approx(ded.elapsed / 3.0, rel=0.35)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(WorkloadError):
+            get_program("ft", "S", 6)
+
+
+class TestEP:
+    def test_runs(self):
+        cluster = paper_testbed()
+        result = run_program(get_program("ep", "S", 4), cluster)
+        assert result.elapsed > 0
+
+    def test_almost_no_communication(self):
+        cluster = paper_testbed()
+        trace, _ = trace_program(get_program("ep", "S", 4), cluster)
+        assert trace_stats(trace)["mpi_percent"] < 5.0
+
+    def test_cpu_share_prediction_degenerate_case(self):
+        """EP is the boundary case: its skeleton is basically one
+        scaled compute phase, and prediction still works."""
+        cluster = paper_testbed()
+        prog = get_program("ep", "S", 4)
+        trace, ded = trace_program(prog, cluster)
+        bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+        predictor = SkeletonPredictor(bundle.program, ded.elapsed, cluster)
+        scen = cpu_all_nodes(steady=True)
+        actual = run_program(prog, cluster, scen).elapsed
+        assert predictor.predict(scen).error_percent(actual) < 8.0
+
+    def test_network_insensitive(self):
+        cluster = paper_testbed()
+        prog = get_program("ep", "S", 4)
+        ded = run_program(prog, cluster).elapsed
+        thr = run_program(prog, cluster, link_one(steady=True)).elapsed
+        assert thr < 1.2 * ded
+
+
+class TestSignatureIO:
+    def test_round_trip(self, cg_s_trace, tmp_path):
+        trace, _ = cg_s_trace
+        sig = compress_trace(trace, target_ratio=2.0)
+        path = tmp_path / "cg.sig"
+        write_signature(sig, path)
+        loaded = read_signature(path)
+        assert loaded.program_name == sig.program_name
+        assert loaded.nranks == sig.nranks
+        assert loaded.threshold == sig.threshold
+        assert loaded.n_leaves() == sig.n_leaves()
+        for a, b in zip(sig.ranks, loaded.ranks):
+            assert a.total_time() == pytest.approx(b.total_time())
+            assert a.expanded_length() == b.expanded_length()
+
+    def test_samples_optional(self, cg_s_trace, tmp_path):
+        trace, _ = cg_s_trace
+        sig = compress_trace(trace, target_ratio=2.0)
+        full = tmp_path / "full.sig"
+        slim = tmp_path / "slim.sig"
+        write_signature(sig, full, include_samples=True)
+        write_signature(sig, slim, include_samples=False)
+        assert slim.stat().st_size < full.stat().st_size
+        loaded = read_signature(slim)
+        for lf in loaded.ranks[0].iter_leaves():
+            assert lf.gap_samples == []
+
+    def test_loaded_signature_builds_skeleton(self, cg_s_trace, tmp_path):
+        from repro.core.scale import scale_signature
+        from repro.core.skeleton import skeleton_program
+
+        trace, _ = cg_s_trace
+        sig = compress_trace(trace, target_ratio=2.0)
+        path = tmp_path / "cg.sig"
+        write_signature(sig, path)
+        loaded = read_signature(path)
+        scaled = scale_signature(loaded, 4.0)
+        prog = skeleton_program(scaled)
+        cluster = paper_testbed()
+        assert run_program(prog, cluster).elapsed > 0
+
+    def test_bad_json_rejected(self, tmp_path):
+        p = tmp_path / "x.sig"
+        p.write_text("{nope")
+        with pytest.raises(SignatureError):
+            read_signature(p)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SignatureError):
+            signature_from_dict({"format": 99})
+
+    def test_bad_node_type_rejected(self):
+        doc = {
+            "format": 1, "nranks": 1, "program": "x",
+            "threshold": 0, "compression_ratio": 1, "trace_events": 1,
+            "ranks": [{"rank": 0, "tail_gap": 0, "nodes": [{"t": "huh"}]}],
+        }
+        with pytest.raises(SignatureError):
+            signature_from_dict(doc)
+
+    def test_dict_round_trip_no_samples(self, mg_s_trace):
+        trace, _ = mg_s_trace
+        sig = compress_trace(trace, target_ratio=2.0)
+        doc = signature_to_dict(sig, include_samples=False)
+        loaded = signature_from_dict(doc)
+        assert loaded.n_leaves() == sig.n_leaves()

@@ -1,0 +1,136 @@
+"""Shortest-good-skeleton analysis (§3.4) and the end-to-end
+construction facade."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import build_skeleton, compress_trace, shortest_good_skeleton
+from repro.core.goodness import GoodnessReport
+from repro.core.signature import EventStats, LoopNode, RankSignature, Signature
+from repro.errors import SkeletonError, SkeletonQualityWarning
+from repro.trace import trace_program
+from repro.workloads import get_program
+from repro.workloads.synthetic import bsp_allreduce
+
+
+def leaf(gap=0.1, peer=1):
+    return EventStats(
+        call="MPI_Send", peer=peer, tag=0, nreqs=0,
+        mean_bytes=10.0, mean_gap=gap, mean_duration=0.0,
+        count=1, gap_samples=[gap],
+    )
+
+
+def sig_of(nodes):
+    return Signature(
+        program_name="t", nranks=1,
+        ranks=[RankSignature(rank=0, nodes=nodes)],
+        threshold=0.0, compression_ratio=2.0, trace_events=10,
+    )
+
+
+class TestGoodness:
+    def test_single_dominant_loop(self):
+        loop = LoopNode(body=[leaf(gap=0.5)], count=100)
+        report = shortest_good_skeleton(sig_of([loop]))
+        assert report.min_good_seconds == pytest.approx(0.5)
+
+    def test_most_repeated_qualifying_loop_wins(self):
+        """Nested CG-like structure: the inner (more repeated) loop is
+        the basic unit, so the minimum is its iteration time, not the
+        outer's."""
+        inner = LoopNode(body=[leaf(gap=0.05)], count=25)
+        outer = LoopNode(body=[inner, leaf(gap=0.05, peer=2)], count=75)
+        report = shortest_good_skeleton(sig_of([outer]))
+        assert report.min_good_seconds == pytest.approx(0.05)
+
+    def test_minor_loop_ignored(self):
+        """A loop covering little time cannot be the dominant sequence."""
+        main = LoopNode(body=[leaf(gap=1.0)], count=90)   # 90 s
+        side = LoopNode(body=[leaf(gap=0.0001, peer=3)], count=1000)
+        report = shortest_good_skeleton(sig_of([side, main]))
+        assert report.min_good_seconds == pytest.approx(1.0)
+
+    def test_flags_below_minimum(self):
+        loop = LoopNode(body=[leaf(gap=0.5)], count=100)
+        report = shortest_good_skeleton(sig_of([loop]))
+        assert report.flags(0.3)
+        assert not report.flags(0.6)
+
+    def test_fallback_when_no_majority_loop(self):
+        a = LoopNode(body=[leaf(gap=0.1)], count=4)          # 0.4 s
+        b = LoopNode(body=[leaf(gap=0.12, peer=2)], count=4)  # 0.48 s
+        report = shortest_good_skeleton(sig_of([a, b]))
+        # Falls back to the largest-share loop.
+        assert report.min_good_seconds == pytest.approx(0.12)
+
+    def test_paper_figure4_shape(self):
+        """Class S traces already show the expected ordering: the IS
+        dominant iteration is the longest relative to its runtime."""
+        cluster = paper_testbed()
+        mins = {}
+        for bench in ("cg", "is"):
+            trace, result = trace_program(get_program(bench, "S", 4), cluster)
+            sig = compress_trace(trace, target_ratio=2.0)
+            mins[bench] = shortest_good_skeleton(sig).min_good_seconds / result.elapsed
+        assert mins["is"] > mins["cg"]
+
+
+class TestBuildSkeleton:
+    def test_target_and_factor_mutually_exclusive(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        with pytest.raises(SkeletonError):
+            build_skeleton(trace)
+        with pytest.raises(SkeletonError):
+            build_skeleton(trace, target_seconds=1.0, scaling_factor=2.0)
+
+    def test_invalid_target(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        with pytest.raises(SkeletonError):
+            build_skeleton(trace, target_seconds=-1.0)
+        with pytest.raises(SkeletonError):
+            build_skeleton(trace, scaling_factor=0.5)
+
+    def test_k_derived_from_target(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        bundle = build_skeleton(trace, target_seconds=trace.elapsed / 7.0,
+                                warn=False)
+        assert bundle.K == pytest.approx(7.0, rel=1e-6)
+
+    def test_warning_below_good_minimum(self, cluster):
+        trace, result = trace_program(
+            get_program("is", "S", 4), cluster
+        )
+        tiny = result.elapsed / 1000.0
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bundle = build_skeleton(trace, target_seconds=tiny)
+        assert bundle.flagged
+        assert any(
+            issubclass(w.category, SkeletonQualityWarning) for w in caught
+        )
+
+    def test_no_warning_for_large_skeleton(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bundle = build_skeleton(trace, scaling_factor=2.0)
+        assert not bundle.flagged
+        assert not caught
+
+    def test_compression_target_is_half_k(self, cluster):
+        """Q = K/2: a skeleton with K=8 accepts compression ratio >= 4
+        and stops raising the threshold there."""
+        trace, _ = trace_program(bsp_allreduce(supersteps=64), cluster)
+        bundle = build_skeleton(trace, scaling_factor=8.0, warn=False)
+        assert bundle.signature.compression_ratio >= 4.0
+
+    def test_bundle_estimate_close_to_target(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        target = trace.elapsed / 5.0
+        bundle = build_skeleton(trace, target_seconds=target, warn=False)
+        assert bundle.estimate == pytest.approx(target, rel=0.3)

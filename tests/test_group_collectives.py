@@ -1,0 +1,200 @@
+"""Sub-communicator (group) collective tests: engine semantics, trace
+and skeleton round-trips, alignment, and codegen."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, paper_testbed
+from repro.core import build_skeleton, generate_c_source
+from repro.errors import ProgramError
+from repro.sim import (
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Program,
+    Reduce,
+    mpi_program,
+    run_program,
+)
+from repro.sim.api import Comm
+from repro.trace import trace_program
+
+
+def fast_cluster(n=4):
+    from repro.cluster import NetworkSpec
+
+    return Cluster.uniform(
+        n,
+        network=NetworkSpec(latency=1e-4, bandwidth=1e8,
+                            intra_node_latency=0.0, memory_bandwidth=1e12,
+                            send_overhead=0.0),
+    )
+
+
+class TestEngineSemantics:
+    def test_disjoint_groups_run_concurrently(self):
+        """Two halves each run their own barrier+bcast: no cross-talk,
+        and neither waits for the other."""
+
+        def gen(rank, size):
+            mine = (0, 1) if rank < 2 else (2, 3)
+            if rank >= 2:
+                yield Compute(0.5)  # second group starts late
+            yield Barrier(group=mine)
+            yield Bcast(root=mine[0], nbytes=1000, group=mine)
+
+        result = run_program(Program("g", 4, gen), fast_cluster())
+        # The early group must not be held back by the late one.
+        assert max(result.finish_times[:2]) < 0.1
+        assert min(result.finish_times[2:]) >= 0.5
+
+    def test_group_collective_only_touches_members(self):
+        def gen(rank, size):
+            if rank in (0, 2):
+                yield Allreduce(nbytes=512, group=(0, 2))
+            # ranks 1 and 3 do nothing
+
+        result = run_program(Program("g", 4, gen), fast_cluster())
+        assert result.finish_times[1] == 0.0
+        assert result.finish_times[3] == 0.0
+
+    def test_mixed_world_and_group_ordering(self):
+        """Ranks interleave world and group collectives with different
+        per-rank histories; per-communicator sequence numbers keep tags
+        aligned."""
+
+        def gen(rank, size):
+            if rank < 2:
+                yield Barrier(group=(0, 1))     # extra group op first
+            yield Barrier()                      # world
+            if rank < 2:
+                yield Allreduce(nbytes=64, group=(0, 1))
+            else:
+                yield Allreduce(nbytes=64, group=(2, 3))
+            yield Barrier()                      # world again
+
+        run_program(Program("g", 4, gen), fast_cluster())
+
+    def test_nonmember_execution_rejected(self):
+        def gen(rank, size):
+            yield Barrier(group=(0, 1))  # ranks 2,3 are not members
+
+        with pytest.raises(ProgramError):
+            run_program(Program("g", 4, gen), fast_cluster())
+
+    def test_root_outside_group_rejected(self):
+        def gen(rank, size):
+            if rank < 2:
+                yield Bcast(root=3, nbytes=10, group=(0, 1))
+
+        with pytest.raises(ProgramError):
+            run_program(Program("g", 4, gen), fast_cluster())
+
+    def test_duplicate_members_rejected(self):
+        def gen(rank, size):
+            if rank == 0:
+                yield Barrier(group=(0, 0))
+
+        with pytest.raises(ProgramError):
+            run_program(Program("g", 4, gen), fast_cluster())
+
+    def test_rooted_group_reduce_to_global_root(self):
+        def gen(rank, size):
+            if rank in (1, 3):
+                yield Reduce(root=3, nbytes=4096, group=(1, 3))
+
+        result = run_program(Program("g", 4, gen), fast_cluster())
+        assert result.n_messages >= 1
+
+
+class TestRowColumnPattern:
+    """The NPB CG-style 2D grid: row communicators + column
+    communicators via the Comm API."""
+
+    @staticmethod
+    def program():
+        @mpi_program(nranks=4, name="rowcol")
+        def app(comm: Comm):
+            row = (0, 1) if comm.rank < 2 else (2, 3)
+            col = (0, 2) if comm.rank % 2 == 0 else (1, 3)
+            for _ in range(12):
+                yield from comm.compute(0.004)
+                yield from comm.allreduce(8192, group=row)
+                yield from comm.compute(0.002)
+                yield from comm.allreduce(256, group=col)
+            yield from comm.barrier()
+
+        return app
+
+    def test_runs(self):
+        result = run_program(self.program(), paper_testbed())
+        assert result.elapsed > 12 * 0.006
+
+    def test_traced_with_group_params(self):
+        trace, _ = trace_program(self.program(), paper_testbed())
+        group_recs = [
+            r for r in trace.rank_records(0) if "group" in r.params
+        ]
+        assert len(group_recs) == 24
+        assert group_recs[0].params["group"] == [0, 1]
+        assert group_recs[1].params["group"] == [0, 2]
+
+    def test_skeleton_roundtrip(self):
+        cluster = paper_testbed()
+        trace, ded = trace_program(self.program(), cluster)
+        bundle = build_skeleton(trace, scaling_factor=3.0, warn=False)
+        skel = run_program(bundle.program, cluster)
+        assert skel.elapsed == pytest.approx(ded.elapsed / 3.0, rel=0.35)
+
+    def test_signature_file_roundtrip(self, tmp_path):
+        from repro.core import read_signature, write_signature
+        from repro.core.compress import compress_trace
+
+        trace, _ = trace_program(self.program(), paper_testbed())
+        sig = compress_trace(trace, target_ratio=2.0)
+        path = tmp_path / "g.sig"
+        write_signature(sig, path)
+        loaded = read_signature(path)
+        groups = {
+            leaf.group
+            for leaf in loaded.ranks[0].iter_leaves()
+            if leaf.group
+        }
+        assert (0, 1) in groups and (0, 2) in groups
+
+    def test_codegen_emits_subcomms(self):
+        cluster = paper_testbed()
+        trace, _ = trace_program(self.program(), cluster)
+        bundle = build_skeleton(trace, scaling_factor=2.0, warn=False)
+        src = generate_c_source(bundle.scaled)
+        assert "MPI_Comm subcomms[" in src
+        assert "MPI_Comm_split" in src
+        assert "subcomms[0]" in src
+        assert src.count("{") == src.count("}")
+
+
+class TestGroupAlignment:
+    def test_group_count_mismatch_detected(self):
+        from repro.core.scale import ScaledSignature
+        from repro.core.signature import EventStats, RankSignature
+        from repro.core.skeleton import check_alignment
+        from repro.errors import SkeletonError
+
+        def coll(group):
+            return EventStats(
+                call="MPI_Allreduce", peer=-1, tag=-1, nreqs=0,
+                mean_bytes=8.0, mean_gap=0.0, mean_duration=0.0,
+                count=1, group=group, gap_samples=[0.0],
+            )
+
+        scaled = ScaledSignature(
+            base_name="x", nranks=2, K=1.0, K_int=1,
+            ranks=[
+                RankSignature(rank=0, nodes=[coll((0, 1)), coll((0, 1))]),
+                RankSignature(rank=1, nodes=[coll((0, 1))]),
+            ],
+        )
+        with pytest.raises(SkeletonError, match="group"):
+            check_alignment(scaled)

@@ -1,0 +1,126 @@
+"""Identity-skeleton property, heterogeneous clusters, and placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, NetworkSpec, paper_testbed
+from repro.core import build_skeleton
+from repro.sim import Compute, Program, run_program
+from repro.trace import trace_program
+from repro.workloads import get_program
+from repro.workloads.synthetic import bsp_allreduce, stencil2d
+
+
+class TestIdentitySkeleton:
+    """A skeleton with K=1 replays the application's entire signature:
+    its execution time must reproduce the traced time almost exactly —
+    the strongest end-to-end check of trace -> signature -> program."""
+
+    @pytest.mark.parametrize("bench", ["cg", "is", "mg", "lu"])
+    def test_k1_reproduces_application_time(self, bench):
+        cluster = paper_testbed()
+        trace, ded = trace_program(get_program(bench, "S", 4), cluster)
+        bundle = build_skeleton(trace, scaling_factor=1.0, warn=False)
+        replay = run_program(bundle.program, cluster)
+        assert replay.elapsed == pytest.approx(ded.elapsed, rel=0.05)
+
+    def test_k1_preserves_message_count_structure(self):
+        cluster = paper_testbed()
+        app = stencil2d(iterations=20)
+        trace, ded = trace_program(app, cluster)
+        original = run_program(app, cluster)
+        bundle = build_skeleton(trace, scaling_factor=1.0, warn=False)
+        replay = run_program(bundle.program, cluster)
+        assert replay.n_messages == original.n_messages
+
+
+class TestHeterogeneousNodes:
+    def test_slow_node_stretches_compute(self):
+        nodes = (
+            NodeSpec("fast", ncpus=2, speed=1.0),
+            NodeSpec("slow", ncpus=2, speed=0.5),
+        )
+        cluster = Cluster(nodes=nodes)
+
+        def gen(rank, size):
+            yield Compute(1.0)
+
+        result = run_program(Program("c", 2, gen), cluster)
+        assert result.finish_times[0] == pytest.approx(1.0, rel=1e-6)
+        assert result.finish_times[1] == pytest.approx(2.0, rel=1e-6)
+
+    def test_skeleton_feels_heterogeneity(self):
+        """A skeleton probed on a slower node set predicts the slower
+        execution — the cross-node-speed case the framework handles
+        (unlike cross-memory-architecture, see repro.ext.memmodel)."""
+        fast = Cluster.uniform(4, speed=1.0)
+        slow = Cluster.uniform(4, speed=0.5)
+        app = bsp_allreduce(supersteps=30)
+        trace, ded = trace_program(app, fast)
+        bundle = build_skeleton(trace, scaling_factor=5.0, warn=False)
+        t_fast = run_program(bundle.program, fast).elapsed
+        t_slow = run_program(bundle.program, slow).elapsed
+        app_slow = run_program(app, slow).elapsed
+        # Skeleton ratio predicts the slow cluster's app time.
+        predicted = t_slow * (ded.elapsed / t_fast)
+        assert predicted == pytest.approx(app_slow, rel=0.1)
+
+
+class TestPlacement:
+    def test_two_ranks_one_node_no_contention_on_dual_cpu(self):
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            yield Compute(0.5)
+
+        result = run_program(
+            Program("c", 2, gen), cluster, placement=[0, 0]
+        )
+        for t in result.finish_times:
+            assert t == pytest.approx(0.5, rel=1e-6)
+
+    def test_three_ranks_one_dual_cpu_node_contend(self):
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            yield Compute(0.5)
+
+        result = run_program(
+            Program("c", 3, gen), cluster, placement=[0, 0, 0]
+        )
+        for t in result.finish_times:
+            assert t == pytest.approx(0.75, rel=1e-6)  # 2/3 CPU each
+
+    def test_colocated_ranks_use_memory_path(self):
+        """Intra-node messages bypass the NIC: throttling the NIC must
+        not slow them."""
+        from repro.cluster import Scenario
+        from repro.sim import Recv, Send
+
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=1, nbytes=5_000_000, tag=1)
+            else:
+                yield Recv(source=0, nbytes=5_000_000, tag=1)
+
+        prog = Program("intra", 2, gen)
+        scen = Scenario(name="thr", nic_caps={0: 1.25e6})
+        together = run_program(prog, cluster, scen, placement=[0, 0]).elapsed
+        apart = run_program(prog, cluster, scen, placement=[0, 1]).elapsed
+        assert together < apart / 100
+
+    def test_invalid_placement_rejected(self):
+        from repro.errors import SimulationError
+
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            yield Compute(0.1)
+
+        with pytest.raises(SimulationError):
+            run_program(Program("c", 2, gen), cluster, placement=[0])
+        with pytest.raises(SimulationError):
+            run_program(Program("c", 2, gen), cluster, placement=[0, 9])

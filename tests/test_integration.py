@@ -1,0 +1,113 @@
+"""End-to-end integration: the complete paper workflow on small
+problems, including the headline claims in miniature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    Scenario,
+    cpu_one_node,
+    link_one,
+    paper_scenarios,
+    paper_testbed,
+)
+from repro.core import build_skeleton, generate_c_source
+from repro.predict import SkeletonPredictor
+from repro.sim import run_program
+from repro.trace import activity_breakdown, trace_program
+from repro.util.rng import derive_seed
+from repro.workloads import get_program
+
+
+@pytest.fixture(scope="module")
+def cg_setup():
+    """Traced CG.S plus a quarter-size skeleton."""
+    cluster = paper_testbed()
+    program = get_program("cg", "S", 4)
+    trace, dedicated = trace_program(program, cluster)
+    bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+    return cluster, program, trace, dedicated, bundle
+
+
+class TestPaperWorkflow:
+    def test_skeleton_activity_matches_application(self, cg_setup):
+        """Figure 2's validation: skeleton and application spend
+        comparable fractions of time in MPI."""
+        cluster, _program, trace, _ded, bundle = cg_setup
+        app_breakdown = activity_breakdown(trace)
+        skel_trace, _ = trace_program(bundle.program, cluster)
+        skel_breakdown = activity_breakdown(skel_trace)
+        assert skel_breakdown.mpi_percent == pytest.approx(
+            app_breakdown.mpi_percent, abs=12.0
+        )
+
+    def test_prediction_beats_trivial_guess(self, cg_setup):
+        """Skeleton prediction error under steady contention is far
+        below the 'assume no slowdown' error."""
+        cluster, program, _trace, dedicated, bundle = cg_setup
+        predictor = SkeletonPredictor(bundle.program, dedicated.elapsed, cluster)
+        scen = Scenario(name="steady", competing={0: 2, 1: 2, 2: 2, 3: 2})
+        actual = run_program(program, cluster, scen).elapsed
+        prediction = predictor.predict(scen)
+        skel_err = prediction.error_percent(actual)
+        no_slowdown_err = abs(dedicated.elapsed - actual) / actual * 100
+        assert skel_err < 10.0
+        assert skel_err < no_slowdown_err / 3
+
+    def test_all_scenarios_predictable(self, cg_setup):
+        cluster, program, _trace, dedicated, bundle = cg_setup
+        predictor = SkeletonPredictor(
+            bundle.program, dedicated.elapsed, cluster, seed=11
+        )
+        for scen in paper_scenarios(steady=True):
+            actual = run_program(
+                program, cluster, scen,
+                seed=derive_seed(3, scen.name),
+            ).elapsed
+            prediction = predictor.predict(scen)
+            assert prediction.error_percent(actual) < 25.0
+
+    def test_codegen_emits_full_program(self, cg_setup):
+        *_rest, bundle = cg_setup
+        src = generate_c_source(bundle.scaled)
+        assert src.count("{") == src.count("}")
+        assert "MPI_Init" in src
+
+    def test_skeleton_scales_with_k(self, cg_setup):
+        cluster, _program, trace, dedicated, _bundle = cg_setup
+        times = []
+        for K in (2.0, 8.0):
+            b = build_skeleton(trace, scaling_factor=K, warn=False)
+            times.append(run_program(b.program, cluster).elapsed)
+        assert times[0] > 2.5 * times[1]
+
+
+class TestCrossBenchmark:
+    @pytest.mark.parametrize("bench", ["is", "mg", "lu"])
+    def test_trace_skeleton_predict_cycle(self, bench):
+        cluster = paper_testbed()
+        program = get_program(bench, "S", 4)
+        trace, dedicated = trace_program(program, cluster)
+        bundle = build_skeleton(trace, scaling_factor=3.0, warn=False)
+        predictor = SkeletonPredictor(bundle.program, dedicated.elapsed, cluster)
+        scen = cpu_one_node(steady=True)
+        actual = run_program(program, cluster, scen).elapsed
+        prediction = predictor.predict(scen)
+        assert prediction.error_percent(actual) < 20.0
+
+    def test_network_scenario_shape(self):
+        """At realistic problem sizes, throttling a link slows the
+        communication-volume-bound IS more than the compute-bound LU —
+        the application-specific behaviour that makes the Average
+        Prediction baseline fail (§4.5)."""
+        cluster = paper_testbed()
+        slowdowns = {}
+        for bench in ("is", "lu"):
+            program = get_program(bench, "B", 4)
+            ded = run_program(program, cluster).elapsed
+            thr = run_program(
+                program, cluster, link_one(steady=True)
+            ).elapsed
+            slowdowns[bench] = thr / ded
+        assert slowdowns["is"] > 2 * slowdowns["lu"]

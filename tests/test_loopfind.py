@@ -1,0 +1,185 @@
+"""Loop-nest folding tests, including the paper's worked example."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import ExecEvent
+from repro.core.loopfind import fold_symbols
+from repro.core.signature import EventStats, LoopNode
+
+
+def events_for(symbols):
+    """One distinct event per symbol value (peer = symbol)."""
+    return [
+        ExecEvent("MPI_Send", int(s), 0, 100.0 * (int(s) + 1), 1e-4, 0.01)
+        for s in symbols
+    ]
+
+
+def fold(symbols, **kw):
+    return fold_symbols(list(symbols), events_for(symbols), **kw)
+
+
+def leaf_symbols(nodes):
+    """Expand a folded node list back to the flat symbol sequence
+    (peers encode symbols)."""
+    out = []
+    for node in nodes:
+        if isinstance(node, LoopNode):
+            body = leaf_symbols(node.body)
+            out.extend(body * node.count)
+        else:
+            out.append(node.peer)
+    return out
+
+
+class TestPaperExample:
+    def test_alpha_beta_gamma(self):
+        """The paper's §3.2 example: αββγββγββγκαα ->
+        α [(β)² γ]³ κ [α]²  (α=0, β=1, γ=2, κ=3)."""
+        s = [0, 1, 1, 2, 1, 1, 2, 1, 1, 2, 3, 0, 0]
+        nodes = fold(s)
+        # Expansion is always exact.
+        assert leaf_symbols(nodes) == s
+        # Structure: alpha, loop x3, kappa, loop x2.
+        assert len(nodes) == 4
+        assert isinstance(nodes[0], EventStats) and nodes[0].peer == 0
+        outer = nodes[1]
+        assert isinstance(outer, LoopNode) and outer.count == 3
+        # Body of the x3 loop: (β)² then γ.
+        assert isinstance(outer.body[0], LoopNode)
+        assert outer.body[0].count == 2
+        assert outer.body[0].body[0].peer == 1
+        assert outer.body[1].peer == 2
+        assert isinstance(nodes[2], EventStats) and nodes[2].peer == 3
+        tail = nodes[3]
+        assert isinstance(tail, LoopNode) and tail.count == 2
+        assert tail.body[0].peer == 0
+
+
+class TestBasicFolds:
+    def test_no_repeats_untouched(self):
+        nodes = fold([0, 1, 2, 3])
+        assert len(nodes) == 4
+        assert all(isinstance(n, EventStats) for n in nodes)
+
+    def test_simple_run(self):
+        nodes = fold([5] * 10)
+        assert len(nodes) == 1
+        assert isinstance(nodes[0], LoopNode)
+        assert nodes[0].count == 10
+
+    def test_period_two(self):
+        nodes = fold([0, 1] * 6)
+        assert len(nodes) == 1
+        assert nodes[0].count == 6
+        assert [n.peer for n in nodes[0].body] == [0, 1]
+
+    def test_nested_runs(self):
+        # (A A B) x3 -> [ (A)^2 B ]^3
+        nodes = fold([0, 0, 1] * 3)
+        assert len(nodes) == 1
+        outer = nodes[0]
+        assert outer.count == 3
+        assert isinstance(outer.body[0], LoopNode)
+        assert outer.body[0].count == 2
+
+    def test_phase_shifted_pattern(self):
+        # B (A B) x3 folds despite the leading B.
+        s = [1, 0, 1, 0, 1, 0, 1]
+        nodes = fold(s)
+        assert leaf_symbols(nodes) == s
+        assert sum(n.n_leaves() for n in nodes) < len(s)
+
+    def test_unequal_run_lengths_do_not_merge(self):
+        # (A)^2 B (A)^3 B: loops with different counts stay distinct.
+        s = [0, 0, 1, 0, 0, 0, 1]
+        nodes = fold(s)
+        assert leaf_symbols(nodes) == s
+
+    def test_empty(self):
+        assert fold([]) == []
+
+    def test_single(self):
+        nodes = fold([7])
+        assert len(nodes) == 1
+
+
+class TestMerging:
+    def test_iteration_parameters_averaged(self):
+        """Merging loop iterations averages the gaps position-wise."""
+        symbols = [0, 0, 0]
+        events = [
+            ExecEvent("MPI_Send", 0, 0, 100.0, 1e-4, gap)
+            for gap in (0.1, 0.2, 0.3)
+        ]
+        nodes = fold_symbols(symbols, events)
+        assert len(nodes) == 1
+        leaf = nodes[0].body[0]
+        assert leaf.mean_gap == pytest.approx(0.2)
+        assert leaf.count == 3
+        assert sorted(leaf.gap_samples) == [0.1, 0.2, 0.3]
+
+    def test_time_conservation(self):
+        """Total (gap+duration) mass is conserved by folding."""
+        s = [0, 1, 1, 2, 1, 1, 2, 1, 1, 2, 3, 0, 0]
+        events = events_for(s)
+        total = sum(e.gap + e.duration for e in events)
+        nodes = fold_symbols(s, events)
+
+        def tree_total(nodes):
+            out = 0.0
+            for n in nodes:
+                if isinstance(n, LoopNode):
+                    out += n.count * tree_total(n.body)
+                else:
+                    out += n.count * (n.mean_gap + n.mean_duration) / n.count * n.count
+            return out
+
+        # expanded mean mass equals the original mass
+        expanded = sum(
+            n.total_time() if isinstance(n, EventStats) else n.total_time()
+            for n in nodes
+        )
+        assert expanded == pytest.approx(total)
+
+
+class TestBudget:
+    def test_budget_exhaustion_degrades_gracefully(self):
+        s = list(range(50)) * 4  # period-50 repeat
+        nodes = fold(s, max_period=64, work_budget=10)
+        # Too little budget to fold, but expansion is still exact.
+        assert leaf_symbols(nodes) == s
+
+    def test_max_period_cap(self):
+        s = list(range(100)) * 2
+        nodes = fold(s, max_period=10)
+        assert leaf_symbols(nodes) == s  # cannot fold, still correct
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=0, max_size=60)
+)
+def test_fold_expansion_roundtrip(symbols):
+    """Folding never changes the expanded sequence — only its
+    representation."""
+    nodes = fold(symbols)
+    assert leaf_symbols(nodes) == symbols
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    body=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=6),
+    reps=st.integers(min_value=2, max_value=20),
+)
+def test_pure_repetition_compresses(body, reps):
+    """A purely periodic stream must compress below its raw length
+    whenever its period admits any folding."""
+    s = body * reps
+    nodes = fold(s)
+    total_leaves = sum(n.n_leaves() for n in nodes)
+    assert leaf_symbols(nodes) == s
+    assert total_leaves <= len(set(body)) * len(body)  # far below len(s)

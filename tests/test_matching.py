@@ -1,0 +1,87 @@
+"""Unit tests for the message-matching layer."""
+
+from __future__ import annotations
+
+from repro.sim.matching import Mailbox, Message
+from repro.sim.ops import ANY_SOURCE, ANY_TAG, RequestHandle
+
+
+def msg(src=0, dst=1, tag=5, nbytes=100):
+    return Message(src=src, dst=dst, tag=tag, nbytes=nbytes, eager=True)
+
+
+def recv_req(source=ANY_SOURCE, tag=ANY_TAG):
+    return RequestHandle("recv", source, tag, 0)
+
+
+class TestMatchSend:
+    def test_no_posted_receives(self):
+        box = Mailbox(1)
+        assert box.match_send(msg()) is None
+
+    def test_exact_match(self):
+        box = Mailbox(1)
+        req = recv_req(source=0, tag=5)
+        box.add_posted(req)
+        assert box.match_send(msg()) is req
+        assert box.outstanding() == (0, 0)
+
+    def test_wildcard_source(self):
+        box = Mailbox(1)
+        req = recv_req(source=ANY_SOURCE, tag=5)
+        box.add_posted(req)
+        assert box.match_send(msg(src=3)) is req
+
+    def test_wildcard_tag(self):
+        box = Mailbox(1)
+        req = recv_req(source=0, tag=ANY_TAG)
+        box.add_posted(req)
+        assert box.match_send(msg(tag=99)) is req
+
+    def test_tag_mismatch_skipped(self):
+        box = Mailbox(1)
+        other = recv_req(source=0, tag=6)
+        match = recv_req(source=0, tag=5)
+        box.add_posted(other)
+        box.add_posted(match)
+        assert box.match_send(msg(tag=5)) is match
+        # The non-matching receive stays posted.
+        assert box.outstanding() == (1, 0)
+
+    def test_earliest_posted_wins(self):
+        box = Mailbox(1)
+        first = recv_req(source=0, tag=5)
+        second = recv_req(source=0, tag=5)
+        box.add_posted(first)
+        box.add_posted(second)
+        assert box.match_send(msg()) is first
+
+
+class TestMatchRecv:
+    def test_no_unexpected(self):
+        box = Mailbox(1)
+        assert box.match_recv(0, 5) is None
+
+    def test_matches_earliest_arrival(self):
+        box = Mailbox(1)
+        m1, m2 = msg(nbytes=1), msg(nbytes=2)
+        box.add_unexpected(m1)
+        box.add_unexpected(m2)
+        assert box.match_recv(0, 5) is m1
+        assert box.match_recv(0, 5) is m2
+
+    def test_source_selectivity(self):
+        box = Mailbox(1)
+        from_0 = msg(src=0)
+        from_2 = msg(src=2)
+        box.add_unexpected(from_0)
+        box.add_unexpected(from_2)
+        assert box.match_recv(2, 5) is from_2
+        assert box.outstanding() == (0, 1)
+
+    def test_wildcards_take_first(self):
+        box = Mailbox(1)
+        a, b = msg(src=3, tag=1), msg(src=4, tag=2)
+        box.add_unexpected(a)
+        box.add_unexpected(b)
+        assert box.match_recv(ANY_SOURCE, ANY_TAG) is a

@@ -1,0 +1,147 @@
+"""Edge cases across modules: error types, engine guards, degenerate
+programs, larger rank counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, Scenario, paper_testbed
+from repro.errors import (
+    DeadlockError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+    SkeletonQualityWarning,
+)
+from repro.sim import Barrier, Compute, Program, Recv, Send, run_program
+from repro.sim.engine import Engine, SimConfig
+from repro.sim.ops import RequestHandle, call_name, Send as SendOp
+from repro.workloads import get_program
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in ("SimulationError", "DeadlockError", "ProgramError",
+                     "TopologyError", "TraceError", "SignatureError",
+                     "SkeletonError", "ExperimentError", "WorkloadError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, ReproError)
+
+    def test_deadlock_carries_blocked_ranks(self):
+        err = DeadlockError("stuck", blocked_ranks=[1, 3])
+        assert err.blocked_ranks == [1, 3]
+        assert isinstance(err, SimulationError)
+
+    def test_quality_warning_is_user_warning(self):
+        assert issubclass(SkeletonQualityWarning, UserWarning)
+
+
+class TestEngineGuards:
+    def test_event_budget_guard(self, cluster):
+        def gen(rank, size):
+            for _ in range(1000):
+                yield Compute(1e-6)
+
+        config = SimConfig(max_events=10)
+        engine = Engine(cluster, config=config)
+        with pytest.raises(SimulationError, match="budget"):
+            engine.run(Program("x", 4, gen))
+
+    def test_zero_compute_is_free(self, cluster):
+        def gen(rank, size):
+            yield Compute(0.0)
+            yield Compute(-1.0)  # clamped: non-positive -> no-op
+
+        result = run_program(Program("z", 2, gen), cluster)
+        assert result.elapsed == 0.0
+
+    def test_empty_program(self, cluster):
+        def gen(rank, size):
+            return
+            yield  # pragma: no cover
+
+        result = run_program(Program("empty", 4, gen), cluster)
+        assert result.elapsed == 0.0
+        assert result.n_messages == 0
+
+    def test_single_rank_program(self, cluster):
+        def gen(rank, size):
+            yield Compute(0.1)
+            yield Barrier()
+
+        result = run_program(Program("solo", 1, gen), cluster)
+        assert result.elapsed == pytest.approx(0.1)
+
+    def test_program_requires_positive_ranks(self):
+        with pytest.raises(ValueError):
+            Program("bad", 0, lambda r, s: iter(()))
+
+    def test_engine_reusable_across_runs(self, cluster):
+        def gen(rank, size):
+            yield Compute(0.05)
+
+        engine = Engine(cluster)
+        a = engine.run(Program("a", 2, gen))
+        b = engine.run(Program("b", 2, gen))
+        assert a.finish_times == b.finish_times
+
+    def test_deadlock_under_bursty_scenario_still_detected(self, cluster):
+        """Background modulation events must not mask a deadlock."""
+        from repro.cluster import cpu_one_node
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Recv(source=1, tag=1)  # never sent
+
+        with pytest.raises(DeadlockError):
+            run_program(Program("dl", 2, gen), cluster, cpu_one_node())
+
+
+class TestOps:
+    def test_call_name_mapping(self):
+        assert call_name(SendOp(dest=1, nbytes=1)) == "MPI_Send"
+
+    def test_request_repr(self):
+        req = RequestHandle("send", 1, 0, 10)
+        assert "pending" in repr(req)
+        req.done = True
+        assert "done" in repr(req)
+
+
+class TestLargerScales:
+    def test_cg_sixteen_ranks(self):
+        cluster = paper_testbed(16)
+        result = run_program(get_program("cg", "S", 16), cluster)
+        assert result.elapsed > 0
+
+    def test_bt_sixteen_ranks(self):
+        cluster = paper_testbed(16)
+        result = run_program(get_program("bt", "S", 16), cluster)
+        assert result.elapsed > 0
+
+    def test_mg_two_ranks(self):
+        cluster = paper_testbed(2)
+        result = run_program(get_program("mg", "S", 2), cluster)
+        assert result.elapsed > 0
+
+    def test_skeleton_at_sixteen_ranks(self):
+        from repro.core import build_skeleton
+        from repro.trace import trace_program
+
+        cluster = paper_testbed(16)
+        trace, ded = trace_program(get_program("mg", "S", 16), cluster)
+        bundle = build_skeleton(trace, scaling_factor=2.0, warn=False)
+        skel = run_program(bundle.program, cluster)
+        assert skel.elapsed == pytest.approx(ded.elapsed / 2.0, rel=0.4)
+
+
+class TestQuickConfig:
+    def test_quick_config_is_smaller(self):
+        from repro.experiments.config import ExperimentConfig, QuickConfig
+
+        q = QuickConfig()
+        full = ExperimentConfig()
+        assert len(q.benchmarks) < len(full.benchmarks)
+        assert q.key() != full.key()

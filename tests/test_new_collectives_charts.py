@@ -1,0 +1,159 @@
+"""Tests for Reduce_scatter/Scan collectives, ASCII charts, and the
+multi-probe prediction extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NetworkSpec, cpu_one_node, paper_testbed
+from repro.core import build_skeleton
+from repro.errors import ReproError
+from repro.ext import predict_interval
+from repro.predict import SkeletonPredictor
+from repro.sim import Program, ReduceScatter, Scan, run_program
+from repro.sim.collectives import expand
+from repro.trace import trace_program
+from repro.util.charts import bar_chart, grouped_bar_chart, series_summary
+from repro.workloads.synthetic import bsp_allreduce
+
+
+def fast_cluster(n):
+    return Cluster.uniform(
+        n,
+        network=NetworkSpec(latency=1e-4, bandwidth=1e8,
+                            intra_node_latency=0.0, memory_bandwidth=1e12,
+                            send_overhead=0.0),
+    )
+
+
+def run_collective(op, nranks):
+    def gen(rank, size):
+        yield op
+
+    return run_program(Program("coll", nranks, gen), fast_cluster(nranks))
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 8])
+    def test_completes(self, nranks):
+        assert run_collective(ReduceScatter(nbytes=4096), nranks).elapsed > 0
+
+    def test_traced_as_single_call(self):
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            yield ReduceScatter(nbytes=1024)
+
+        trace, _ = trace_program(Program("rs", 4, gen), cluster)
+        assert [r.call for r in trace.rank_records(0)] == ["MPI_Reduce_scatter"]
+
+    def test_recursive_halving_volume(self):
+        """Power-of-two: log2(p) rounds with halving volumes."""
+        sends = [
+            op for op in expand(ReduceScatter(nbytes=1000), 0, 8, seq=0)
+            if type(op).__name__ == "Isend"
+        ]
+        assert len(sends) == 3  # log2(8)
+        volumes = [s.nbytes for s in sends]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_skeleton_reconstruction(self):
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            from repro.sim import Compute
+
+            for _ in range(12):
+                yield Compute(0.01)
+                yield ReduceScatter(nbytes=8192)
+                yield Scan(nbytes=64)
+
+        trace, ded = trace_program(Program("rs-app", 4, gen), cluster)
+        bundle = build_skeleton(trace, scaling_factor=3.0, warn=False)
+        skel = run_program(bundle.program, cluster)
+        assert skel.elapsed == pytest.approx(ded.elapsed / 3.0, rel=0.3)
+
+
+class TestScan:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 7])
+    def test_completes(self, nranks):
+        assert run_collective(Scan(nbytes=512), nranks).elapsed >= 0
+
+    def test_chain_latency_scales_with_ranks(self):
+        t2 = run_collective(Scan(nbytes=8), 2).elapsed
+        t8 = run_collective(Scan(nbytes=8), 8).elapsed
+        assert t8 > 2 * t2  # 7 hops vs 1 hop
+
+
+class TestCharts:
+    def test_bar_chart_contains_labels_and_values(self):
+        out = bar_chart("Errors", {"BT": 2.9, "CG": 1.8}, unit="%")
+        assert "Errors" in out
+        assert "BT" in out and "2.90%" in out
+        assert "█" in out
+
+    def test_peak_bar_fills_width(self):
+        out = bar_chart("", {"a": 10.0, "b": 5.0}, width=10)
+        a_line = next(l for l in out.splitlines() if l.startswith("a"))
+        assert a_line.count("█") == 10
+
+    def test_zero_values_ok(self):
+        out = bar_chart("", {"a": 0.0, "b": 0.0})
+        assert "0.00" in out
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("", {"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("", {})
+
+    def test_grouped(self):
+        out = grouped_bar_chart(
+            "G", {"BT": {"10 s": 2.9, "0.5 s": 5.9}, "CG": {"10 s": 1.8}}
+        )
+        assert "BT:" in out and "CG:" in out
+
+    def test_series_summary(self):
+        s = series_summary([1.0, 2.0, 3.0])
+        assert "min 1.00" in s and "avg 2.00" in s and "max 3.00" in s
+
+
+class TestMultiProbe:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        cluster = paper_testbed()
+        prog = bsp_allreduce(supersteps=200, compute_secs=0.01)
+        trace, ded = trace_program(prog, cluster)
+        bundle = build_skeleton(trace, scaling_factor=2.0, warn=False)
+        return (
+            SkeletonPredictor(bundle.program, ded.elapsed, cluster),
+            prog,
+            cluster,
+        )
+
+    def test_interval_orders(self, predictor):
+        pred, _prog, _cluster = predictor
+        interval = predict_interval(pred, cpu_one_node(), n_probes=4)
+        assert interval.low <= interval.expected <= interval.high
+        assert interval.n_probes == 4
+        assert interval.probe_cost_seconds > 0
+
+    def test_interval_brackets_actual(self, predictor):
+        pred, prog, cluster = predictor
+        scen = cpu_one_node()
+        interval = predict_interval(pred, scen, n_probes=6, base_seed=5)
+        actual = run_program(prog, cluster, scen, seed=1234).elapsed
+        # With a generous margin the interval must cover the truth.
+        assert interval.covers(actual, margin=1.0)
+
+    def test_spread_nonzero_under_bursty_load(self, predictor):
+        pred, _prog, _cluster = predictor
+        interval = predict_interval(pred, cpu_one_node(), n_probes=5)
+        assert interval.high > interval.low
+
+    def test_invalid_probe_count(self, predictor):
+        pred, _prog, _cluster = predictor
+        with pytest.raises(ReproError):
+            predict_interval(pred, cpu_one_node(), n_probes=0)

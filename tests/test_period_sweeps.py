@@ -1,0 +1,106 @@
+"""Tests for period diagnostics and size sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Scenario, paper_testbed
+from repro.core.clustering import cluster_stream
+from repro.core.events import trace_to_streams
+from repro.core.period import estimate_period, symbol_autocorrelation
+from repro.errors import ReproError, SignatureError
+from repro.experiments.sweeps import sweep_skeleton_sizes
+from repro.trace import trace_program
+from repro.workloads import get_program
+from repro.workloads.synthetic import bsp_allreduce
+
+
+class TestAutocorrelation:
+    def test_perfect_period(self):
+        s = [1, 2, 3] * 10
+        assert symbol_autocorrelation(s, 3) == 1.0
+        assert symbol_autocorrelation(s, 1) < 0.5
+
+    def test_bad_lag_rejected(self):
+        with pytest.raises(SignatureError):
+            symbol_autocorrelation([1, 2], 0)
+        with pytest.raises(SignatureError):
+            symbol_autocorrelation([1, 2], 5)
+
+    def test_estimate_finds_smallest_period(self):
+        s = [0, 1, 0, 1, 2] * 8
+        est = estimate_period(s)
+        assert est is not None
+        assert est.period == 5
+
+    def test_aperiodic_returns_none(self):
+        s = list(range(50))
+        assert estimate_period(s) is None
+
+    def test_short_stream_returns_none(self):
+        assert estimate_period([1, 2]) is None
+
+    def test_constant_stream_period_one(self):
+        est = estimate_period([7] * 20)
+        assert est is not None
+        assert est.period == 1
+
+    @pytest.mark.parametrize("bench,expected", [
+        ("cg", None),   # period checked against structure below
+        ("mg", None),
+    ])
+    def test_benchmark_streams_are_periodic(self, bench, expected):
+        """Every cyclic benchmark's clustered stream shows strong
+        periodicity — the property the whole compression step rests
+        on."""
+        cluster = paper_testbed()
+        trace, _ = trace_program(get_program(bench, "S", 4), cluster)
+        stream = trace_to_streams(trace)[0]
+        symbols, _space = cluster_stream(stream, 0.0)
+        est = estimate_period(symbols, min_score=0.75)
+        assert est is not None
+        # The period must be a tiny fraction of the stream.
+        assert est.period < len(symbols) / 4
+
+
+class TestSweeps:
+    def test_sweep_structure(self):
+        cluster = paper_testbed()
+        program = bsp_allreduce(supersteps=60, compute_secs=0.01)
+        scenarios = [Scenario(name="cpu", competing={0: 2})]
+        sweep = sweep_skeleton_sizes(
+            program, cluster, targets=(0.3, 0.05), scenarios=scenarios
+        )
+        assert len(sweep.points) == 2
+        assert sweep.points[0].target_seconds == 0.3
+        # Overhead roughly tracks the target.
+        for p in sweep.points:
+            assert p.skeleton_dedicated_seconds == pytest.approx(
+                p.target_seconds, rel=0.5
+            )
+
+    def test_knee_prefers_cheap_accurate_point(self):
+        cluster = paper_testbed()
+        program = bsp_allreduce(supersteps=60, compute_secs=0.01)
+        scenarios = [Scenario(name="cpu", competing={0: 2})]
+        sweep = sweep_skeleton_sizes(
+            program, cluster, targets=(0.3, 0.1, 0.05), scenarios=scenarios
+        )
+        knee = sweep.knee()
+        assert knee in sweep.points
+
+    def test_render(self):
+        cluster = paper_testbed()
+        program = bsp_allreduce(supersteps=40)
+        scenarios = [Scenario(name="cpu", competing={0: 2})]
+        sweep = sweep_skeleton_sizes(
+            program, cluster, targets=(0.1,), scenarios=scenarios
+        )
+        out = sweep.render()
+        assert "Skeleton size sweep" in out
+        assert "avg err %" in out
+
+    def test_empty_targets_rejected(self):
+        cluster = paper_testbed()
+        with pytest.raises(ReproError):
+            sweep_skeleton_sizes(bsp_allreduce(), cluster, targets=())

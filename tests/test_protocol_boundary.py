@@ -1,0 +1,113 @@
+"""Eager/rendezvous protocol boundary behaviour and the end-to-end
+skeleton-scaling property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, NetworkSpec, paper_testbed
+from repro.core import build_skeleton
+from repro.sim import Compute, Program, Recv, Send, run_program
+from repro.trace import trace_program
+
+EAGER = 10_000
+
+
+def boundary_cluster():
+    return Cluster.uniform(
+        2,
+        network=NetworkSpec(
+            latency=1e-4, bandwidth=1e7, eager_threshold=EAGER,
+            intra_node_latency=0.0, memory_bandwidth=1e12,
+            send_overhead=0.0,
+        ),
+    )
+
+
+def send_then_late_recv(nbytes):
+    def gen(rank, size):
+        if rank == 0:
+            yield Send(dest=1, nbytes=nbytes, tag=1)
+        else:
+            yield Compute(0.5)
+            yield Recv(source=0, tag=1)
+
+    return Program("p", 2, gen)
+
+
+class TestProtocolBoundary:
+    def test_at_threshold_is_eager(self):
+        result = run_program(send_then_late_recv(EAGER), boundary_cluster())
+        assert result.finish_times[0] < 0.1  # sender returned immediately
+
+    def test_one_byte_over_is_rendezvous(self):
+        result = run_program(send_then_late_recv(EAGER + 1), boundary_cluster())
+        assert result.finish_times[0] > 0.5  # sender waited for the recv
+
+    def test_protocol_discontinuity_in_sender_time(self):
+        """The sender-side time jumps discontinuously at the threshold
+        — the real-world effect that makes byte-scaled skeleton
+        messages cross protocols (a §3.3 error source)."""
+        t_eager = run_program(
+            send_then_late_recv(EAGER), boundary_cluster()
+        ).finish_times[0]
+        t_rndv = run_program(
+            send_then_late_recv(EAGER + 1), boundary_cluster()
+        ).finish_times[0]
+        assert t_rndv > 100 * t_eager
+
+    def test_scaled_skeleton_can_cross_protocol(self):
+        """A skeleton scaled by K can turn rendezvous messages eager;
+        the pipeline must still run correctly (no deadlock, sane
+        time)."""
+        cluster = paper_testbed()
+
+        def gen(rank, size):
+            other = rank ^ 1
+            for _ in range(40):
+                yield Compute(0.005)
+                if rank % 2 == 0:
+                    yield Send(dest=other, nbytes=100_000, tag=1)  # rndv
+                    yield Recv(source=other, tag=2)
+                else:
+                    yield Recv(source=other, tag=1)
+                    yield Send(dest=other, nbytes=100_000, tag=2)
+
+        trace, ded = trace_program(Program("cross", 4, gen), cluster)
+        # K=4 remainder handling scales some messages below the eager
+        # threshold (100 KB / 4 = 25 KB < 64 KB).
+        bundle = build_skeleton(trace, scaling_factor=7.0, warn=False)
+        skel = run_program(bundle.program, cluster)
+        assert skel.elapsed == pytest.approx(ded.elapsed / 7.0, rel=0.35)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    iters=st.integers(min_value=8, max_value=60),
+    compute_ms=st.floats(min_value=1.0, max_value=20.0),
+    nbytes=st.integers(min_value=0, max_value=200_000),
+    K=st.sampled_from([2.0, 4.0, 8.0]),
+)
+def test_skeleton_time_scales_by_k_property(iters, compute_ms, nbytes, K):
+    """End-to-end property: for periodic exchange workloads, the
+    skeleton's dedicated time is T/K within tolerance (looser when the
+    loop count is small relative to K)."""
+    cluster = paper_testbed()
+
+    def gen(rank, size):
+        other = rank ^ 1
+        for _ in range(iters):
+            yield Compute(compute_ms / 1000.0)
+            if rank % 2 == 0:
+                yield Send(dest=other, nbytes=nbytes, tag=1)
+                yield Recv(source=other, tag=2)
+            else:
+                yield Recv(source=other, tag=1)
+                yield Send(dest=other, nbytes=nbytes, tag=2)
+
+    trace, ded = trace_program(Program("prop", 4, gen), cluster)
+    bundle = build_skeleton(trace, scaling_factor=K, warn=False)
+    skel = run_program(bundle.program, cluster)
+    tolerance = 0.15 + 2.0 * K / iters
+    assert skel.elapsed == pytest.approx(ded.elapsed / K, rel=tolerance)

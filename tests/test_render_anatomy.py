@@ -1,0 +1,92 @@
+"""Tests for signature rendering and the error-anatomy experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Scenario, cpu_one_node, paper_testbed
+from repro.core import compress_trace, render_rank_signature, render_signature
+from repro.core.signature import EventStats, LoopNode, RankSignature, Signature
+from repro.experiments import analyze_error_sources
+from repro.workloads import get_program
+from repro.workloads.synthetic import bsp_allreduce
+
+
+def leaf(call="MPI_Send", peer=1, nbytes=2048.0, gap=0.01, count=1):
+    return EventStats(
+        call=call, peer=peer, tag=0, nreqs=0,
+        mean_bytes=nbytes, mean_gap=gap, mean_duration=0.0,
+        count=count, gap_samples=[gap] * count,
+    )
+
+
+class TestRender:
+    def test_leaf_formatting(self):
+        rank_sig = RankSignature(rank=0, nodes=[leaf(count=3)])
+        out = render_rank_signature(rank_sig)
+        assert "Send" in out
+        assert "peer=1" in out
+        assert "2.0KB" in out
+        assert "avg of 3" in out
+
+    def test_loop_nesting_indented(self):
+        inner = LoopNode(body=[leaf()], count=2)
+        outer = LoopNode(body=[inner, leaf(peer=2)], count=3)
+        out = render_rank_signature(RankSignature(rank=0, nodes=[outer]))
+        assert "loop x3:" in out
+        assert "  loop x2:" in out.replace("\n", "\n")
+
+    def test_depth_cap_elides(self):
+        node = leaf()
+        for _ in range(8):
+            node = LoopNode(body=[node], count=2)
+        out = render_rank_signature(RankSignature(rank=0, nodes=[node]),
+                                    max_depth=3)
+        assert "..." in out
+
+    def test_full_signature_header(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        sig = compress_trace(trace, target_ratio=2.0)
+        out = render_signature(sig, ranks=2)
+        assert "cg.S.4" in out
+        assert out.count("rank ") == 2
+
+    def test_megabyte_formatting(self):
+        out = render_rank_signature(
+            RankSignature(rank=0, nodes=[leaf(nbytes=5 * 1024 * 1024)])
+        )
+        assert "5.0MB" in out
+
+
+class TestAnatomy:
+    @pytest.fixture(scope="class")
+    def anatomy(self):
+        cluster = paper_testbed()
+        program = bsp_allreduce(supersteps=150, compute_secs=0.01)
+        return analyze_error_sources(
+            program,
+            cluster,
+            steady_scenario=cpu_one_node(steady=True),
+            bursty_scenario=cpu_one_node(),
+            target_seconds=0.4,
+            n_probes=4,
+            seed=1,
+        )
+
+    def test_replay_is_nearly_exact(self, anatomy):
+        assert anatomy.replay_error < 3.0
+
+    def test_construction_error_small_when_steady(self, anatomy):
+        assert anatomy.construction_error < 10.0
+
+    def test_render_contains_all_sources(self, anatomy):
+        out = anatomy.render()
+        for needle in ("trace replay", "construction", "single probe",
+                       "multi-probe"):
+            assert needle in out
+
+    def test_environment_noise_is_visible(self, anatomy):
+        """Under bursty contention the probe samples a different window
+        than the application: its error exceeds the steady-state
+        construction error."""
+        assert anatomy.single_probe_error > anatomy.construction_error

@@ -1,0 +1,134 @@
+"""Exact-math tests of the ExperimentResults derivations using a
+hand-built results object (no simulation involved)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentResults
+from repro.experiments.figures import (
+    figure3_error_by_benchmark,
+    figure4_good_skeletons,
+    figure7_baselines,
+)
+
+
+@pytest.fixture
+def results():
+    """Two benchmarks, one skeleton size, two scenarios — numbers
+    chosen so every derived quantity is computable by hand."""
+    return ExperimentResults(
+        config={
+            "benchmarks": ["aa", "bb"],
+            "skeleton_targets": [2.0],
+            "klass": "B",
+            "nprocs": 4,
+        },
+        scenario_names=["s1", "s2"],
+        apps={
+            "aa": {
+                "dedicated": 100.0,
+                "mpi_percent": 10.0,
+                "compute_percent": 90.0,
+                "scenarios": {"s1": 150.0, "s2": 200.0},
+            },
+            "bb": {
+                "dedicated": 50.0,
+                "mpi_percent": 40.0,
+                "compute_percent": 60.0,
+                "scenarios": {"s1": 100.0, "s2": 50.0},
+            },
+        },
+        skeletons={
+            # aa skeleton: dedicated 2.0 -> ratio 50; probes chosen to
+            # give exact predictions.
+            "aa": {
+                "2": {
+                    "K": 50.0, "threshold": 0.0, "compression_ratio": 10.0,
+                    "dedicated": 2.0, "mpi_percent": 10.0,
+                    "compute_percent": 90.0, "min_good": 1.0,
+                    "flagged": False,
+                    "scenarios": {"s1": 3.3, "s2": 4.0},
+                },
+            },
+            "bb": {
+                "2": {
+                    "K": 25.0, "threshold": 0.05, "compression_ratio": 5.0,
+                    "dedicated": 2.5, "mpi_percent": 42.0,
+                    "compute_percent": 58.0, "min_good": 3.0,
+                    "flagged": True,
+                    "scenarios": {"s1": 5.0, "s2": 2.4},
+                },
+            },
+        },
+        class_s={
+            "aa": {"dedicated": 1.0, "scenarios": {"s1": 1.2, "s2": 4.0}},
+            "bb": {"dedicated": 0.5, "scenarios": {"s1": 1.5, "s2": 0.5}},
+        },
+    )
+
+
+class TestSkeletonErrorMath:
+    def test_exact_prediction_zero_error(self, results):
+        # aa: ratio = 100/2 = 50; prediction s2 = 4.0*50 = 200 = actual.
+        assert results.skeleton_error("aa", 2.0, "s2") == pytest.approx(0.0)
+
+    def test_known_error(self, results):
+        # aa s1: prediction = 3.3*50 = 165 vs actual 150 -> 10%.
+        assert results.skeleton_error("aa", 2.0, "s1") == pytest.approx(10.0)
+
+    def test_bb_errors(self, results):
+        # bb: ratio = 50/2.5 = 20; s1: 5*20=100 = actual -> 0%;
+        # s2: 2.4*20=48 vs 50 -> 4%.
+        assert results.skeleton_error("bb", 2.0, "s1") == pytest.approx(0.0)
+        assert results.skeleton_error("bb", 2.0, "s2") == pytest.approx(4.0)
+
+    def test_avg_error(self, results):
+        assert results.skeleton_avg_error("aa", 2.0) == pytest.approx(5.0)
+
+
+class TestBaselineMath:
+    def test_class_s_error(self, results):
+        # aa: ratio = 100/1 = 100; s1: 1.2*100=120 vs 150 -> 20%.
+        assert results.class_s_error("aa", "s1") == pytest.approx(20.0)
+        # s2: 4*100=400 vs 200 -> 100%.
+        assert results.class_s_error("aa", "s2") == pytest.approx(100.0)
+
+    def test_average_prediction_error(self, results):
+        # s1 slowdowns: aa 1.5, bb 2.0 -> mean 1.75.
+        # aa prediction: 100*1.75=175 vs 150 -> 16.667%.
+        assert results.average_prediction_error("aa", "s1") == pytest.approx(
+            100 * 25 / 150
+        )
+        # bb prediction: 50*1.75=87.5 vs 100 -> 12.5%.
+        assert results.average_prediction_error("bb", "s1") == pytest.approx(12.5)
+
+
+class TestFigureBuilders:
+    def test_fig3_numbers(self, results):
+        table = figure3_error_by_benchmark(results)
+        rows = {row[0]: row[1:] for row in table.rows}
+        assert rows["AA"][0] == pytest.approx(5.0)
+        assert rows["BB"][0] == pytest.approx(2.0)
+        assert rows["Average"][0] == pytest.approx(3.5)
+
+    def test_fig4_flags(self, results):
+        table = figure4_good_skeletons(results)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["AA"][2] == "-"        # min_good 1.0 < target 2.0
+        assert "2 s" in rows["BB"][2]      # min_good 3.0 > target 2.0
+
+    def test_fig7_rows(self, results):
+        table = figure7_baselines(results, scenario="s2")
+        methods = [row[0] for row in table.rows]
+        assert methods == ["2 s skeleton", "Class S", "Average"]
+        skel_row = table.rows[0]
+        # errors: aa 0%, bb 4% -> min 0, avg 2, max 4.
+        assert skel_row[1] == pytest.approx(0.0)
+        assert skel_row[2] == pytest.approx(2.0)
+        assert skel_row[3] == pytest.approx(4.0)
+
+    def test_round_trip_serialisation(self, results):
+        loaded = ExperimentResults.from_json(results.to_json())
+        assert loaded.apps == results.apps
+        assert loaded.skeleton_error("aa", 2.0, "s1") == pytest.approx(10.0)

@@ -1,0 +1,118 @@
+"""Property-based round-trip tests for signature serialisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.signature import EventStats, LoopNode, RankSignature, Signature
+from repro.core.sigio import signature_from_dict, signature_to_dict
+
+CALLS = ("MPI_Send", "MPI_Recv", "MPI_Allreduce", "MPI_Waitall",
+         "MPI_Sendrecv", "MPI_Bcast")
+
+
+@st.composite
+def leaves(draw):
+    call = draw(st.sampled_from(CALLS))
+    gaps = draw(
+        st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=4)
+    )
+    return EventStats(
+        call=call,
+        peer=draw(st.integers(min_value=-1, max_value=7)),
+        tag=draw(st.integers(min_value=-1, max_value=99)),
+        nreqs=draw(st.integers(min_value=0, max_value=8)),
+        src=draw(st.integers(min_value=-1, max_value=7)),
+        group=draw(st.sampled_from([(), (0, 1), (0, 2, 3)])),
+        mean_bytes=draw(st.floats(min_value=0, max_value=1e8)),
+        mean_gap=sum(gaps) / len(gaps),
+        mean_duration=draw(st.floats(min_value=0, max_value=1.0)),
+        count=len(gaps),
+        gap_samples=gaps,
+    )
+
+
+@st.composite
+def node_lists(draw, depth=0):
+    n = draw(st.integers(min_value=1, max_value=4))
+    nodes = []
+    for _ in range(n):
+        if depth < 2 and draw(st.booleans()):
+            nodes.append(
+                LoopNode(
+                    body=draw(node_lists(depth=depth + 1)),
+                    count=draw(st.integers(min_value=1, max_value=50)),
+                )
+            )
+        else:
+            nodes.append(draw(leaves()))
+    return nodes
+
+
+@st.composite
+def signatures(draw):
+    nranks = draw(st.integers(min_value=1, max_value=3))
+    ranks = [
+        RankSignature(
+            rank=r,
+            nodes=draw(node_lists()),
+            tail_gap=draw(st.floats(min_value=0, max_value=5)),
+        )
+        for r in range(nranks)
+    ]
+    return Signature(
+        program_name="prop",
+        nranks=nranks,
+        ranks=ranks,
+        threshold=draw(st.floats(min_value=0, max_value=0.25)),
+        compression_ratio=draw(st.floats(min_value=1, max_value=1e4)),
+        trace_events=draw(st.integers(min_value=1, max_value=10**7)),
+    )
+
+
+def _leaves_equal(a: EventStats, b: EventStats) -> bool:
+    return (
+        a.call == b.call
+        and a.peer == b.peer
+        and a.tag == b.tag
+        and a.nreqs == b.nreqs
+        and a.src == b.src
+        and tuple(a.group) == tuple(b.group)
+        and a.count == b.count
+        and a.mean_bytes == pytest.approx(b.mean_bytes)
+        and a.mean_gap == pytest.approx(b.mean_gap)
+        and a.gap_samples == pytest.approx(b.gap_samples)
+    )
+
+
+def _nodes_equal(xs, ys) -> bool:
+    if len(xs) != len(ys):
+        return False
+    for x, y in zip(xs, ys):
+        if isinstance(x, LoopNode) != isinstance(y, LoopNode):
+            return False
+        if isinstance(x, LoopNode):
+            if x.count != y.count or not _nodes_equal(x.body, y.body):
+                return False
+        elif not _leaves_equal(x, y):
+            return False
+    return True
+
+
+@settings(max_examples=80, deadline=None)
+@given(signatures())
+def test_signature_dict_round_trip(sig):
+    loaded = signature_from_dict(signature_to_dict(sig))
+    assert loaded.nranks == sig.nranks
+    assert loaded.threshold == pytest.approx(sig.threshold)
+    assert loaded.trace_events == sig.trace_events
+    for a, b in zip(sig.ranks, loaded.ranks):
+        assert a.rank == b.rank
+        assert a.tail_gap == pytest.approx(b.tail_gap)
+        assert _nodes_equal(a.nodes, b.nodes)
+    # Derived measures survive too.
+    assert loaded.n_leaves() == sig.n_leaves()
+    for a, b in zip(sig.ranks, loaded.ranks):
+        assert a.expanded_length() == b.expanded_length()
+        assert a.total_time() == pytest.approx(b.total_time())

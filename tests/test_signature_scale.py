@@ -1,0 +1,188 @@
+"""Signature data-model and scaling (§3.3) tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scale import ScaledSignature, naive_comm_scaler, scale_signature
+from repro.core.signature import (
+    EventStats,
+    LoopNode,
+    RankSignature,
+    Signature,
+)
+from repro.errors import SignatureError, SkeletonError
+
+
+def leaf(call="MPI_Send", peer=1, nbytes=1000.0, gap=0.01, tag=0):
+    return EventStats(
+        call=call, peer=peer, tag=tag, nreqs=0,
+        mean_bytes=nbytes, mean_gap=gap, mean_duration=1e-4,
+        count=1, gap_samples=[gap],
+    )
+
+
+def sig_with(nodes, nranks=1):
+    ranks = [RankSignature(rank=r, nodes=list(nodes)) for r in range(nranks)]
+    return Signature(
+        program_name="t", nranks=nranks, ranks=ranks,
+        threshold=0.0, compression_ratio=1.0, trace_events=10,
+    )
+
+
+class TestSignatureModel:
+    def test_loop_requires_positive_count(self):
+        with pytest.raises(SignatureError):
+            LoopNode(body=[leaf()], count=0)
+
+    def test_loop_requires_body(self):
+        with pytest.raises(SignatureError):
+            LoopNode(body=[], count=3)
+
+    def test_expanded_length(self):
+        loop = LoopNode(body=[leaf(), leaf()], count=5)
+        rank = RankSignature(rank=0, nodes=[leaf(), loop])
+        assert rank.expanded_length() == 1 + 10
+        assert rank.n_leaves() == 3
+
+    def test_total_time_multiplies_counts(self):
+        loop = LoopNode(body=[leaf(gap=0.1)], count=4)
+        rank = RankSignature(rank=0, nodes=[loop], tail_gap=0.5)
+        assert rank.total_time() == pytest.approx(4 * (0.1 + 1e-4) + 0.5)
+
+    def test_iter_loops_reports_total_reps(self):
+        inner = LoopNode(body=[leaf()], count=3)
+        outer = LoopNode(body=[inner], count=5)
+        rank = RankSignature(rank=0, nodes=[outer])
+        reps = {id(l): r for l, r in rank.iter_loops()}
+        assert reps[id(outer)] == 5
+        assert reps[id(inner)] == 15
+
+    def test_merge_incompatible_leaves_rejected(self):
+        with pytest.raises(SignatureError):
+            leaf(peer=1).merged_with(leaf(peer=2))
+
+    def test_merge_weighted_average(self):
+        a, b = leaf(nbytes=100.0, gap=0.1), leaf(nbytes=300.0, gap=0.3)
+        b.count = 3
+        b.gap_samples = [0.3, 0.3, 0.3]
+        m = a.merged_with(b)
+        assert m.count == 4
+        assert m.mean_bytes == pytest.approx((100 + 3 * 300) / 4)
+        assert m.mean_gap == pytest.approx((0.1 + 3 * 0.3) / 4)
+
+    def test_rank_count_mismatch_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature(
+                program_name="t", nranks=2,
+                ranks=[RankSignature(rank=0)],
+                threshold=0.0, compression_ratio=1.0, trace_events=1,
+            )
+
+
+class TestScaling:
+    def test_k_below_one_rejected(self):
+        with pytest.raises(SkeletonError):
+            scale_signature(sig_with([leaf()]), 0.5)
+
+    def test_loop_division_exact(self):
+        """n divisible by K: count just divides, no remainder ops."""
+        loop = LoopNode(body=[leaf()], count=100)
+        scaled = scale_signature(sig_with([loop]), 10.0)
+        nodes = scaled.ranks[0].nodes
+        assert len(nodes) == 1
+        assert isinstance(nodes[0], LoopNode)
+        assert nodes[0].count == 10
+
+    def test_loop_division_with_remainder(self):
+        """n = 25, K = 10 -> loop of 2 plus a 0.5-scale remainder copy."""
+        loop = LoopNode(body=[leaf(nbytes=1000.0, gap=0.2)], count=25)
+        scaled = scale_signature(sig_with([loop]), 10.0)
+        nodes = scaled.ranks[0].nodes
+        assert isinstance(nodes[0], LoopNode) and nodes[0].count == 2
+        rem = nodes[1]
+        assert isinstance(rem, EventStats)
+        assert rem.mean_bytes == pytest.approx(500.0)
+        assert rem.mean_gap == pytest.approx(0.1)
+
+    def test_loop_smaller_than_k_fully_scaled(self):
+        loop = LoopNode(body=[leaf(nbytes=1000.0, gap=0.4)], count=4)
+        scaled = scale_signature(sig_with([loop]), 8.0)
+        nodes = scaled.ranks[0].nodes
+        assert len(nodes) == 1
+        assert isinstance(nodes[0], EventStats)
+        assert nodes[0].mean_gap == pytest.approx(0.4 * 4 / 8)
+
+    def test_singleton_ops_scaled_down(self):
+        """Unreduced single ops: compute /K and bytes /K (§3.3 step 3)."""
+        scaled = scale_signature(sig_with([leaf(nbytes=8000.0, gap=0.8)]), 8.0)
+        node = scaled.ranks[0].nodes[0]
+        assert node.mean_bytes == pytest.approx(1000.0)
+        assert node.mean_gap == pytest.approx(0.1)
+
+    def test_identical_run_group_collapse(self):
+        """Step 2: m identical unreduced ops with m = q*K + r become q
+        full ops plus one r/K-scale op."""
+        leaves = [leaf(nbytes=100.0, gap=0.1) for _ in range(7)]
+        scaled = scale_signature(sig_with(leaves), 3.0)
+        nodes = scaled.ranks[0].nodes
+        # 7 = 2*3 + 1 -> two full + one 1/3 scale.
+        assert len(nodes) == 3
+        assert nodes[0].mean_bytes == pytest.approx(100.0)
+        assert nodes[1].mean_bytes == pytest.approx(100.0)
+        assert nodes[2].mean_bytes == pytest.approx(100.0 / 3)
+
+    def test_total_work_scales_by_k(self):
+        """The scaled signature's serial time estimate is ~1/K of the
+        original when K divides the counts."""
+        loop = LoopNode(body=[leaf(gap=0.05), leaf(gap=0.02, peer=2)], count=200)
+        original = sig_with([loop])
+        K = 20.0
+        scaled = scale_signature(original, K)
+        assert scaled.estimate == pytest.approx(
+            original.ranks[0].total_time() / K, rel=1e-6
+        )
+
+    def test_tail_gap_scaled(self):
+        sig = sig_with([leaf()])
+        sig.ranks[0].tail_gap = 1.0
+        scaled = scale_signature(sig, 4.0)
+        assert scaled.ranks[0].tail_gap == pytest.approx(0.25)
+
+    def test_nested_loops_kept_per_iteration(self):
+        inner = LoopNode(body=[leaf()], count=7)
+        outer = LoopNode(body=[inner, leaf(peer=2)], count=50)
+        scaled = scale_signature(sig_with([outer]), 10.0)
+        out_loop = scaled.ranks[0].nodes[0]
+        assert out_loop.count == 5
+        # The inner loop still runs 7 times per outer iteration.
+        assert out_loop.body[0].count == 7
+
+    def test_custom_comm_scaler_applied(self):
+        calls = []
+
+        def scaler(lf, fraction):
+            calls.append(fraction)
+            return 42.0
+
+        scaled = scale_signature(sig_with([leaf(nbytes=1000.0)]), 4.0,
+                                 comm_scaler=scaler)
+        assert scaled.ranks[0].nodes[0].mean_bytes == 42.0
+        assert calls == [0.25]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    count=st.integers(min_value=1, max_value=500),
+    K=st.integers(min_value=1, max_value=100),
+)
+def test_scaled_loop_mass_conserved(count, K):
+    """For any loop count and integer K, the scaled loop represents
+    count/K iterations' worth of work (within the dropped-dust
+    tolerance)."""
+    loop = LoopNode(body=[leaf(gap=1.0)], count=count)
+    original = sig_with([loop])
+    scaled = scale_signature(original, float(K))
+    expected = original.ranks[0].total_time() / K
+    assert scaled.ranks[0].total_time() == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,97 @@
+"""Tests for the mpi4py-flavoured program API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.sim import run_program
+from repro.sim.api import Comm, mpi_program
+from repro.trace import trace_program
+
+
+class TestCommApi:
+    def test_pingpong(self, cluster):
+        @mpi_program(nranks=2)
+        def app(comm: Comm):
+            if comm.rank == 0:
+                yield from comm.compute(0.01)
+                yield from comm.send(dest=1, nbytes=1000, tag=7)
+                yield from comm.recv(source=1, tag=8)
+            else:
+                yield from comm.recv(source=0, tag=7)
+                yield from comm.send(dest=0, nbytes=1000, tag=8)
+
+        result = run_program(app, cluster)
+        assert result.n_messages == 2
+        assert result.elapsed > 0.01
+
+    def test_nonblocking_returns_requests(self, cluster):
+        @mpi_program(nranks=2)
+        def app(comm: Comm):
+            other = 1 - comm.rank
+            r1 = yield from comm.irecv(source=other, tag=1)
+            r2 = yield from comm.isend(dest=other, nbytes=5000, tag=1)
+            yield from comm.waitall([r1, r2])
+
+        result = run_program(app, cluster)
+        assert result.n_messages == 2
+
+    def test_wait_single(self, cluster):
+        @mpi_program(nranks=2)
+        def app(comm: Comm):
+            other = 1 - comm.rank
+            req = yield from comm.irecv(source=other, tag=2)
+            yield from comm.isend(dest=other, nbytes=10, tag=2)
+            yield from comm.wait(req)
+
+        run_program(app, cluster)
+
+    def test_all_collectives(self, cluster):
+        @mpi_program(nranks=4)
+        def app(comm: Comm):
+            yield from comm.barrier()
+            yield from comm.bcast(100, root=2)
+            yield from comm.reduce(100, root=1)
+            yield from comm.allreduce(100)
+            yield from comm.allgather(100)
+            yield from comm.alltoall(100)
+            yield from comm.alltoallv([10, 20, 30, 40])
+            yield from comm.reduce_scatter(100)
+            yield from comm.scan(100)
+            yield from comm.gather(100, root=0)
+            yield from comm.scatter(100, root=0)
+
+        result = run_program(app, cluster)
+        assert result.elapsed > 0
+
+    def test_sendrecv(self, cluster):
+        @mpi_program(nranks=2)
+        def app(comm: Comm):
+            other = 1 - comm.rank
+            yield from comm.sendrecv(dest=other, nbytes=100_000,
+                                     source=other)
+
+        run_program(app, cluster)
+
+    def test_decorated_program_is_traceable_and_skeletonable(self, cluster):
+        from repro.core import build_skeleton
+
+        @mpi_program(nranks=4, name="api-demo")
+        def app(comm: Comm):
+            for _ in range(30):
+                yield from comm.compute(0.002)
+                yield from comm.allreduce(4096)
+
+        trace, ded = trace_program(app, cluster)
+        assert trace.program_name == "api-demo"
+        bundle = build_skeleton(trace, scaling_factor=5.0, warn=False)
+        skel = run_program(bundle.program, cluster)
+        assert skel.elapsed == pytest.approx(ded.elapsed / 5.0, rel=0.3)
+
+    def test_program_name_defaults_to_function_name(self):
+        @mpi_program(nranks=2)
+        def my_named_app(comm: Comm):
+            yield from comm.barrier()
+
+        assert my_named_app.name == "my_named_app"

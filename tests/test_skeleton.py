@@ -1,0 +1,166 @@
+"""Executable-skeleton construction and alignment checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import build_skeleton, check_alignment, compress_trace
+from repro.core.scale import ScaledSignature, scale_signature
+from repro.core.signature import EventStats, LoopNode, RankSignature
+from repro.core.skeleton import skeleton_program
+from repro.errors import SkeletonError
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.workloads import get_program
+from repro.workloads.synthetic import bsp_allreduce, stencil2d
+
+
+def leaf(call, peer, nbytes=100.0, gap=0.001, tag=0, nreqs=0, src=-1):
+    return EventStats(
+        call=call, peer=peer, tag=tag, nreqs=nreqs,
+        mean_bytes=nbytes, mean_gap=gap, mean_duration=1e-5,
+        count=1, src=src, gap_samples=[gap],
+    )
+
+
+def scaled_from(rank_nodes: dict, K=1.0):
+    ranks = [
+        RankSignature(rank=r, nodes=nodes) for r, nodes in sorted(rank_nodes.items())
+    ]
+    return ScaledSignature(
+        base_name="hand", nranks=len(ranks), K=K, K_int=max(1, int(K)),
+        ranks=ranks,
+    )
+
+
+class TestSkeletonExecution:
+    def test_hand_built_pair_runs(self, cluster):
+        scaled = scaled_from({
+            0: [leaf("MPI_Send", 1, tag=3)],
+            1: [leaf("MPI_Recv", 0, tag=3)],
+        })
+        prog = skeleton_program(scaled)
+        result = run_program(prog, cluster)
+        assert result.n_messages == 1
+
+    def test_gap_replayed_as_compute(self, cluster):
+        scaled = scaled_from({
+            0: [leaf("MPI_Send", 1, gap=0.25, tag=1)],
+            1: [leaf("MPI_Recv", 0, gap=0.0, tag=1)],
+        })
+        result = run_program(skeleton_program(scaled), cluster)
+        assert result.finish_times[0] >= 0.25
+
+    def test_loop_replays_count_times(self, cluster):
+        body0 = [leaf("MPI_Send", 1, tag=1)]
+        body1 = [leaf("MPI_Recv", 0, tag=1)]
+        scaled = scaled_from({
+            0: [LoopNode(body=body0, count=9)],
+            1: [LoopNode(body=body1, count=9)],
+        })
+        result = run_program(skeleton_program(scaled), cluster)
+        assert result.n_messages == 9
+
+    def test_nonblocking_requests_reconnected(self, cluster):
+        """Irecv/Isend followed by Waitall(count) reproduces overlap."""
+        nodes = {
+            0: [
+                leaf("MPI_Irecv", 1, tag=2),
+                leaf("MPI_Isend", 1, tag=2),
+                leaf("MPI_Waitall", -1, nreqs=2),
+            ],
+            1: [
+                leaf("MPI_Irecv", 0, tag=2),
+                leaf("MPI_Isend", 0, tag=2),
+                leaf("MPI_Waitall", -1, nreqs=2),
+            ],
+        }
+        result = run_program(skeleton_program(scaled_from(nodes)), cluster)
+        assert result.n_messages == 2
+
+    def test_collective_leaf_regenerated(self, cluster):
+        nodes = {
+            r: [leaf("MPI_Allreduce", -1, nbytes=64.0)] for r in range(4)
+        }
+        result = run_program(skeleton_program(scaled_from(nodes)), cluster)
+        assert result.elapsed > 0
+
+    def test_unknown_call_rejected(self, cluster):
+        scaled = scaled_from({0: [leaf("MPI_Bogus", -1)]})
+        with pytest.raises(SkeletonError):
+            run_program(skeleton_program(scaled), cluster)
+
+    def test_alltoallv_uniform_reconstruction(self, cluster):
+        nodes = {
+            r: [leaf("MPI_Alltoallv", -1, nbytes=4000.0)] for r in range(4)
+        }
+        result = run_program(skeleton_program(scaled_from(nodes)), cluster)
+        assert result.elapsed > 0
+
+
+class TestAlignment:
+    def test_aligned_pair_passes(self):
+        scaled = scaled_from({
+            0: [leaf("MPI_Send", 1, tag=1)],
+            1: [leaf("MPI_Recv", 0, tag=1)],
+        })
+        check_alignment(scaled)  # no exception
+
+    def test_missing_receive_detected(self):
+        scaled = scaled_from({
+            0: [leaf("MPI_Send", 1, tag=1), leaf("MPI_Send", 1, tag=1)],
+            1: [leaf("MPI_Recv", 0, tag=1)],
+        })
+        with pytest.raises(SkeletonError, match="sends vs"):
+            check_alignment(scaled)
+
+    def test_collective_count_mismatch_detected(self):
+        scaled = scaled_from({
+            0: [leaf("MPI_Allreduce", -1)],
+            1: [leaf("MPI_Allreduce", -1), leaf("MPI_Allreduce", -1)],
+        })
+        with pytest.raises(SkeletonError, match="performs"):
+            check_alignment(scaled)
+
+    def test_loop_multiplicity_counted(self):
+        scaled = scaled_from({
+            0: [LoopNode(body=[leaf("MPI_Send", 1, tag=1)], count=3)],
+            1: [LoopNode(body=[leaf("MPI_Recv", 0, tag=1)], count=2)],
+        })
+        with pytest.raises(SkeletonError):
+            check_alignment(scaled)
+
+    def test_sendrecv_counts_both_sides(self):
+        scaled = scaled_from({
+            0: [leaf("MPI_Sendrecv", 1, tag=1, src=1)],
+            1: [leaf("MPI_Sendrecv", 0, tag=1, src=0)],
+        })
+        check_alignment(scaled)
+
+
+class TestEndToEndSkeletons:
+    @pytest.mark.parametrize("bench", ["cg", "is", "mg", "lu", "bt", "sp"])
+    def test_class_s_skeleton_roundtrip(self, bench):
+        """Every Class S benchmark's skeleton builds, aligns, and runs;
+        its dedicated time lands near the target."""
+        cluster = paper_testbed()
+        trace, result = trace_program(get_program(bench, "S", 4), cluster)
+        target = result.elapsed / 4.0
+        bundle = build_skeleton(trace, target_seconds=target, warn=False)
+        skel = run_program(bundle.program, cluster)
+        assert skel.elapsed == pytest.approx(target, rel=0.35)
+
+    def test_skeleton_of_stencil(self, cluster):
+        trace, result = trace_program(
+            stencil2d(iterations=40, jitter=0.1, seed=3), cluster
+        )
+        bundle = build_skeleton(trace, scaling_factor=8.0, warn=False)
+        skel = run_program(bundle.program, cluster)
+        assert skel.elapsed == pytest.approx(result.elapsed / 8.0, rel=0.3)
+
+    def test_skeleton_shorter_than_app(self, cluster):
+        trace, result = trace_program(bsp_allreduce(supersteps=50), cluster)
+        bundle = build_skeleton(trace, scaling_factor=10.0, warn=False)
+        skel = run_program(bundle.program, cluster)
+        assert skel.elapsed < result.elapsed / 5

@@ -1,0 +1,81 @@
+"""Tests for trace slicing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import TraceError
+from repro.trace import trace_program
+from repro.trace.slicing import slice_ranks, slice_time
+from repro.workloads.synthetic import bsp_allreduce
+
+
+@pytest.fixture(scope="module")
+def bsp_trace():
+    cluster = paper_testbed()
+    trace, _ = trace_program(
+        bsp_allreduce(supersteps=20, compute_secs=0.01), cluster
+    )
+    return trace
+
+
+class TestSliceTime:
+    def test_window_contains_only_window_records(self, bsp_trace):
+        total = bsp_trace.elapsed
+        window = slice_time(bsp_trace, 0.0, total / 2)
+        for rank in range(window.nranks):
+            for rec in window.rank_records(rank):
+                assert rec.t_end <= total / 2 + 1e-9
+
+    def test_rebased_timestamps(self, bsp_trace):
+        window = slice_time(bsp_trace, 0.05, 0.15)
+        for rank in range(window.nranks):
+            for rec in window.rank_records(rank):
+                assert rec.t_start >= 0.0
+                assert rec.t_end <= 0.1 + 1e-9
+
+    def test_full_window_is_identity(self, bsp_trace):
+        window = slice_time(bsp_trace, 0.0, bsp_trace.elapsed + 1.0)
+        assert window.n_calls() == bsp_trace.n_calls()
+        assert window.finish_times == pytest.approx(bsp_trace.finish_times)
+
+    def test_straddling_calls_clipped(self, bsp_trace):
+        # Pick a boundary inside some call by scanning for one.
+        rec = bsp_trace.rank_records(0)[3]
+        mid = (rec.t_start + rec.t_end) / 2
+        window = slice_time(bsp_trace, 0.0, mid)
+        clipped = window.rank_records(0)[3]
+        assert clipped.t_end == pytest.approx(mid, abs=1e-9)
+        assert clipped.duration < rec.duration + 1e-12
+
+    def test_empty_window_rejected(self, bsp_trace):
+        with pytest.raises(TraceError):
+            slice_time(bsp_trace, 1.0, 1.0)
+
+    def test_validates_after_slicing(self, bsp_trace):
+        window = slice_time(bsp_trace, 0.02, 0.2)
+        window.validate()
+
+
+class TestSliceRanks:
+    def test_subset_and_renumber(self, bsp_trace):
+        sub = slice_ranks(bsp_trace, [1, 3])
+        assert sub.nranks == 2
+        assert len(sub.finish_times) == 2
+        assert sub.finish_times[0] == bsp_trace.finish_times[1]
+
+    def test_peer_remapping(self, bsp_trace):
+        sub = slice_ranks(bsp_trace, [0, 1])
+        for rank in range(2):
+            for rec in sub.rank_records(rank):
+                peer = rec.params.get("peer", -1)
+                # Remapped peers are dense; unmapped externals keep
+                # their original (>= kept count) ids.
+                assert peer == -1 or peer < 4
+
+    def test_invalid_ranks_rejected(self, bsp_trace):
+        with pytest.raises(TraceError):
+            slice_ranks(bsp_trace, [])
+        with pytest.raises(TraceError):
+            slice_ranks(bsp_trace, [99])

@@ -1,0 +1,98 @@
+"""Synthetic workload tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import WorkloadError
+from repro.sim import run_program
+from repro.trace import trace_program
+from repro.workloads.synthetic import (
+    bsp_allreduce,
+    master_worker,
+    ring_pipeline,
+    stencil2d,
+)
+
+
+class TestStencil:
+    def test_runs(self):
+        cluster = paper_testbed()
+        r = run_program(stencil2d(iterations=5), cluster)
+        # 5 iterations x 10ms compute plus halo time.
+        assert r.elapsed > 0.05
+
+    def test_jitter_changes_times(self):
+        cluster = paper_testbed()
+        a = run_program(stencil2d(iterations=5, jitter=0.2, seed=1), cluster)
+        b = run_program(stencil2d(iterations=5, jitter=0.2, seed=2), cluster)
+        assert a.elapsed != b.elapsed
+
+    def test_trace_has_nonblocking_pattern(self):
+        cluster = paper_testbed()
+        trace, _ = trace_program(stencil2d(iterations=3), cluster)
+        calls = {r.call for r in trace.rank_records(0)}
+        assert {"MPI_Irecv", "MPI_Isend", "MPI_Waitall"} <= calls
+
+
+class TestRing:
+    def test_serialises_computation(self):
+        cluster = paper_testbed()
+        r = run_program(ring_pipeline(rounds=5, compute_secs=0.01), cluster)
+        # Token passes serially: >= rounds * nprocs * compute.
+        assert r.elapsed >= 5 * 4 * 0.01
+
+    def test_requires_two_ranks(self):
+        with pytest.raises(WorkloadError):
+            ring_pipeline(nprocs=1)
+
+
+class TestMasterWorker:
+    def test_completes(self):
+        cluster = paper_testbed()
+        r = run_program(master_worker(items_per_worker=5), cluster)
+        assert r.elapsed > 0
+
+    def test_worker_count_scaling_reduces_time(self):
+        cluster = paper_testbed(8)
+        few = run_program(
+            master_worker(nprocs=2, items_per_worker=30), cluster
+        ).elapsed
+        many = run_program(
+            master_worker(nprocs=7, items_per_worker=30 * 1 // 6 + 5), cluster
+        ).elapsed
+        assert many < few
+
+    def test_requires_two_ranks(self):
+        with pytest.raises(WorkloadError):
+            master_worker(nprocs=1)
+
+
+class TestBsp:
+    def test_superstep_time(self):
+        cluster = paper_testbed()
+        r = run_program(bsp_allreduce(supersteps=10, compute_secs=0.01), cluster)
+        assert r.elapsed >= 0.1
+
+
+class TestGridReductions:
+    def test_runs_and_skeletonises(self):
+        from repro.core import build_skeleton
+        from repro.trace import trace_program
+        from repro.workloads.synthetic import grid_reductions
+
+        cluster = paper_testbed()
+        prog = grid_reductions(iterations=16)
+        trace, ded = trace_program(prog, cluster)
+        bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+        skel = run_program(bundle.program, cluster)
+        import pytest as _pytest
+
+        assert skel.elapsed == _pytest.approx(ded.elapsed / 4.0, rel=0.3)
+
+    def test_requires_2d_grid(self):
+        from repro.workloads.synthetic import grid_reductions
+
+        with pytest.raises(WorkloadError):
+            grid_reductions(nprocs=2)

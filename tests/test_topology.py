@@ -1,0 +1,77 @@
+"""Cluster topology validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NetworkSpec, NodeSpec, paper_testbed
+from repro.errors import TopologyError
+
+
+class TestNodeSpec:
+    def test_valid(self):
+        n = NodeSpec("n0", ncpus=2, speed=1.5)
+        assert n.ncpus == 2
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(TopologyError):
+            NodeSpec("n0", ncpus=0)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(TopologyError):
+            NodeSpec("n0", speed=0.0)
+
+
+class TestNetworkSpec:
+    def test_defaults_sane(self):
+        net = NetworkSpec()
+        assert net.latency > 0
+        assert net.bandwidth > 0
+        assert net.eager_threshold > 0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(TopologyError):
+            NetworkSpec(latency=-1.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(TopologyError):
+            NetworkSpec(bandwidth=0.0)
+
+    def test_negative_eager_threshold_rejected(self):
+        with pytest.raises(TopologyError):
+            NetworkSpec(eager_threshold=-1)
+
+
+class TestCluster:
+    def test_uniform(self):
+        c = Cluster.uniform(4, ncpus=2)
+        assert c.nnodes == 4
+        assert all(n.ncpus == 2 for n in c.nodes)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Cluster(nodes=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TopologyError):
+            Cluster(nodes=(NodeSpec("a"), NodeSpec("a")))
+
+    def test_node_index(self):
+        c = Cluster.uniform(3)
+        assert c.node_index("node1") == 1
+        with pytest.raises(TopologyError):
+            c.node_index("nope")
+
+    def test_with_network(self):
+        c = Cluster.uniform(2).with_network(latency=1e-3)
+        assert c.network.latency == 1e-3
+        assert c.nnodes == 2
+
+    def test_paper_testbed_shape(self):
+        c = paper_testbed()
+        assert c.nnodes == 4
+        assert all(n.ncpus == 2 for n in c.nodes)
+
+    def test_zero_node_count_rejected(self):
+        with pytest.raises(TopologyError):
+            Cluster.uniform(0)

@@ -1,0 +1,151 @@
+"""Trace layer tests: records, tracer semantics, file I/O, analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import TraceError
+from repro.sim import Compute, Program, Recv, Send, Barrier
+from repro.trace import (
+    Trace,
+    TraceRecord,
+    activity_breakdown,
+    read_trace,
+    trace_program,
+    trace_stats,
+    write_trace,
+)
+from repro.workloads.synthetic import bsp_allreduce
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        r = TraceRecord("MPI_Send", {"peer": 1, "bytes": 10}, 1.0, 1.5)
+        assert r.duration == pytest.approx(0.5)
+        assert r.nbytes == 10
+        assert r.peer == 1
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord("MPI_Send", {}, 2.0, 1.0)
+
+    def test_peer_falls_back_to_root(self):
+        r = TraceRecord("MPI_Bcast", {"root": 2, "bytes": 10}, 0.0, 0.1)
+        assert r.peer == 2
+
+    def test_peer_default(self):
+        r = TraceRecord("MPI_Barrier", {}, 0.0, 0.1)
+        assert r.peer == -1
+
+
+class TestTracer:
+    def test_records_blocking_call_interval(self, cluster, pingpong_program):
+        trace, result = trace_program(pingpong_program, cluster)
+        recs0 = trace.rank_records(0)
+        assert [r.call for r in recs0] == ["MPI_Send", "MPI_Recv"]
+        send = recs0[0]
+        # The send starts after rank 0's 10ms compute phase.
+        assert send.t_start == pytest.approx(0.01, abs=1e-5)
+        assert send.t_end >= send.t_start
+
+    def test_compute_gap_reconstruction(self, cluster, pingpong_program):
+        trace, _ = trace_program(pingpong_program, cluster)
+        recs1 = trace.rank_records(1)
+        # Rank 1: Recv then (0.02 compute) then Send.
+        assert [r.call for r in recs1] == ["MPI_Recv", "MPI_Send"]
+        gap = recs1[1].t_start - recs1[0].t_end
+        assert gap == pytest.approx(0.02, rel=1e-3)
+
+    def test_collectives_recorded_as_single_calls(self, cluster):
+        def gen(rank, size):
+            yield Barrier()
+
+        trace, _ = trace_program(Program("b", 4, gen), cluster)
+        for rank in range(4):
+            assert [r.call for r in trace.rank_records(rank)] == ["MPI_Barrier"]
+
+    def test_finish_times_cover_records(self, cluster, pingpong_program):
+        trace, result = trace_program(pingpong_program, cluster)
+        trace.validate()
+        assert trace.elapsed == pytest.approx(result.elapsed, abs=1e-5)
+
+    def test_trace_does_not_perturb_timing(self, cluster):
+        from repro.sim import run_program
+
+        prog = bsp_allreduce(supersteps=10)
+        untraced = run_program(prog, cluster)
+        _, traced = trace_program(prog, cluster)
+        assert traced.elapsed == pytest.approx(untraced.elapsed, rel=1e-12)
+
+
+class TestTraceIO:
+    def test_round_trip(self, cluster, pingpong_program, tmp_path):
+        trace, _ = trace_program(pingpong_program, cluster)
+        path = tmp_path / "t.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.program_name == trace.program_name
+        assert loaded.nranks == trace.nranks
+        assert loaded.finish_times == trace.finish_times
+        for rank in range(trace.nranks):
+            a, b = trace.rank_records(rank), loaded.rank_records(rank)
+            assert len(a) == len(b)
+            for ra, rb in zip(a, b):
+                assert ra.call == rb.call
+                assert dict(ra.params) == dict(rb.params)
+                assert ra.t_start == rb.t_start
+                assert ra.t_end == rb.t_end
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_bad_format_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.trace"
+        path.write_text('{"format": 99, "nranks": 1}\n')
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_out_of_range_rank_rejected(self, tmp_path):
+        path = tmp_path / "rank.trace"
+        path.write_text(
+            '{"format": 1, "program": "x", "scenario": "d", "nranks": 1, '
+            '"finish_times": [1.0]}\n'
+            '{"r": 5, "c": "MPI_Send", "p": {}, "s": 0.0, "e": 0.1}\n'
+        )
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+
+class TestAnalysis:
+    def test_breakdown_fractions_sum_to_one(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        b = activity_breakdown(trace)
+        assert b.mpi_fraction + b.compute_fraction == pytest.approx(1.0)
+        assert 0 < b.mpi_percent < 100
+
+    def test_stats_fields(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        stats = trace_stats(trace)
+        assert stats["n_calls"] == trace.n_calls()
+        assert stats["max_message_bytes"] > 0
+        assert "MPI_Sendrecv" in stats["calls_by_type"]
+
+    def test_breakdown_needs_finish_times(self):
+        trace = Trace(program_name="x", scenario_name="d", nranks=1)
+        with pytest.raises(TraceError):
+            activity_breakdown(trace)
+
+    def test_rank_records_bounds(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        with pytest.raises(TraceError):
+            trace.rank_records(99)

@@ -1,0 +1,150 @@
+"""Tests for repro.util (timebase, rng, stats, tables)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    ErrorSummary,
+    format_duration,
+    geometric_mean,
+    mean,
+    percent_error,
+    quantize_us,
+    relative_error,
+    summarize_errors,
+    weighted_mean,
+)
+from repro.util.rng import derive_seed, make_rng
+from repro.util.tables import Table, render_table
+
+
+class TestTimebase:
+    def test_quantize_microseconds(self):
+        assert quantize_us(1.2345678) == pytest.approx(1.234568)
+
+    def test_quantize_idempotent(self):
+        assert quantize_us(quantize_us(0.1)) == quantize_us(0.1)
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_quantize_within_half_microsecond(self, t):
+        assert abs(quantize_us(t) - t) <= 5e-7 + 1e-12 * t
+
+    def test_format_microseconds(self):
+        assert format_duration(823e-6) == "823 us"
+
+    def test_format_milliseconds(self):
+        assert format_duration(0.0142) == "14.2 ms"
+
+    def test_format_seconds(self):
+        assert format_duration(3.5) == "3.50 s"
+
+    def test_format_minutes(self):
+        assert format_duration(123.0) == "2 m 03 s"
+
+    def test_format_negative(self):
+        assert format_duration(-3.5) == "-3.50 s"
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_paths_do_not_collide_by_concatenation(self):
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_make_rng_streams_independent(self):
+        a = make_rng(7, "x").random(4)
+        b = make_rng(7, "y").random(4)
+        assert list(a) != list(b)
+
+    def test_make_rng_reproducible(self):
+        assert list(make_rng(7, "x").random(4)) == list(make_rng(7, "x").random(4))
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_weighted_mean_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_weighted_mean_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_relative_error_rejects_zero_actual(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_percent_error(self):
+        assert percent_error(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_summarize_errors(self):
+        s = summarize_errors([3.0, 1.0, 2.0])
+        assert s == ErrorSummary(minimum=1.0, average=2.0, maximum=3.0, count=3)
+        assert s.as_row() == (1.0, 2.0, 3.0)
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1))
+    def test_summary_ordering_invariant(self, values):
+        s = summarize_errors(values)
+        # Tolerate 1-ULP float-mean wobble on identical inputs.
+        eps = 1e-9 * max(1.0, s.maximum)
+        assert s.minimum <= s.average + eps
+        assert s.average <= s.maximum + eps
+
+
+class TestTables:
+    def test_row_arity_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_contains_cells(self):
+        t = Table("My Title", ["name", "value"])
+        t.add_row("alpha", 1.25)
+        out = t.render()
+        assert "My Title" in out
+        assert "alpha" in out
+        assert "1.25" in out
+
+    def test_small_floats_use_scientific(self):
+        out = render_table("", ["x"], [[0.00001]])
+        assert "e-05" in out
+
+    def test_columns_aligned(self):
+        t = Table("t", ["col"])
+        t.add_row("short")
+        t.add_row("much-longer-cell")
+        lines = t.render().splitlines()
+        assert len(lines[-1]) >= len("much-longer-cell")

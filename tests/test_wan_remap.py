@@ -1,0 +1,163 @@
+"""WAN (multi-site) topology and process-count remapping tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NetworkSpec
+from repro.cluster.topology import two_site_grid
+from repro.core import build_skeleton, compress_trace
+from repro.core.scale import scale_signature
+from repro.core.skeleton import check_alignment, skeleton_program
+from repro.errors import SkeletonError, TopologyError
+from repro.ext.remap import remap_signature
+from repro.predict import SkeletonPredictor
+from repro.sim import Compute, Program, Recv, Send, run_program
+from repro.trace import trace_program
+from repro.workloads import get_program
+from repro.workloads.synthetic import bsp_allreduce, master_worker, ring_pipeline
+
+
+def transfer(nbytes=1_000_000, src=0, dst=1, nranks=4):
+    def gen(rank, size):
+        if rank == src:
+            yield Send(dest=dst, nbytes=nbytes, tag=1)
+        elif rank == dst:
+            yield Recv(source=src, tag=1)
+
+    return Program("transfer", nranks, gen)
+
+
+class TestWanTopology:
+    def test_sites_validation(self):
+        from repro.cluster import NodeSpec
+
+        with pytest.raises(TopologyError):
+            Cluster(nodes=(NodeSpec("a"), NodeSpec("b")), sites=(0,))
+        with pytest.raises(TopologyError):
+            Cluster(nodes=(NodeSpec("a"),), sites=(-1,))
+
+    def test_two_site_grid_shape(self):
+        c = two_site_grid(nodes_per_site=2)
+        assert c.nnodes == 4
+        assert c.nsites == 2
+        assert [c.site_of(i) for i in range(4)] == [0, 0, 1, 1]
+
+    def test_intra_site_unaffected(self):
+        lan = Cluster.uniform(4)
+        wan = two_site_grid(2)
+        t_lan = run_program(transfer(dst=1), lan).elapsed
+        t_wan_local = run_program(transfer(dst=1), wan).elapsed
+        assert t_wan_local == pytest.approx(t_lan, rel=1e-9)
+
+    def test_cross_site_pays_wan_cost(self):
+        wan = two_site_grid(2)
+        t_local = run_program(transfer(dst=1), wan).elapsed
+        t_cross = run_program(transfer(dst=2), wan).elapsed
+        # WAN bandwidth is ~6x lower and latency ~100x higher.
+        assert t_cross > 4 * t_local
+
+    def test_wan_uplink_shared_by_cross_flows(self):
+        """Two simultaneous cross-site flows from the same site share
+        the uplink -> each takes ~2x the solo time."""
+        wan = two_site_grid(2)
+
+        def gen(rank, size):
+            if rank == 0:
+                yield Send(dest=2, nbytes=5_000_000, tag=1)
+            elif rank == 1:
+                yield Send(dest=3, nbytes=5_000_000, tag=1)
+            elif rank == 2:
+                yield Recv(source=0, tag=1)
+            elif rank == 3:
+                yield Recv(source=1, tag=1)
+
+        both = run_program(Program("both", 4, gen), wan).elapsed
+        solo = run_program(transfer(nbytes=5_000_000, dst=2), wan).elapsed
+        assert both == pytest.approx(2 * solo, rel=0.1)
+
+    def test_skeleton_prediction_on_wan(self):
+        """§5: skeleton prediction works on a wide-area grid too —
+        trace and predict on the two-site cluster."""
+        wan = two_site_grid(2)
+        prog = get_program("cg", "S", 4)
+        trace, ded = trace_program(prog, wan)
+        bundle = build_skeleton(trace, scaling_factor=4.0, warn=False)
+        predictor = SkeletonPredictor(bundle.program, ded.elapsed, wan)
+        from repro.cluster import cpu_one_node
+
+        scen = cpu_one_node(steady=True)
+        actual = run_program(prog, wan, scen).elapsed
+        assert predictor.predict(scen).error_percent(actual) < 15.0
+
+
+class TestRemap:
+    def _ring_signature(self, nranks=4, rounds=24):
+        cluster = Cluster.uniform(nranks)
+        trace, _ = trace_program(
+            bsp_allreduce(nprocs=nranks, supersteps=rounds), cluster
+        )
+        return compress_trace(trace, target_ratio=2.0)
+
+    def test_remap_bsp_to_more_ranks(self):
+        sig = self._ring_signature(4)
+        remapped = remap_signature(sig, 8)
+        assert remapped.nranks == 8
+        # Strong scaling: per-rank compute halves.
+        orig = sig.ranks[0].total_time()
+        new = remapped.ranks[0].total_time()
+        assert new < orig
+
+    def test_remapped_skeleton_runs(self):
+        sig = self._ring_signature(4)
+        remapped = remap_signature(sig, 8)
+        scaled = scale_signature(remapped, 2.0)
+        check_alignment(scaled)
+        prog = skeleton_program(scaled)
+        cluster = Cluster.uniform(8)
+        assert run_program(prog, cluster).elapsed > 0
+
+    def test_ring_offsets_preserved(self):
+        cluster = Cluster.uniform(4)
+        trace, _ = trace_program(
+            ring_pipeline(nprocs=4, rounds=12), cluster
+        )
+        sig = compress_trace(trace, target_ratio=1.0)
+        # Ring is NOT structurally uniform (rank 0 differs) -> rejected.
+        with pytest.raises(SkeletonError):
+            remap_signature(sig, 8)
+
+    def test_master_worker_rejected(self):
+        cluster = Cluster.uniform(4)
+        trace, _ = trace_program(master_worker(nprocs=4), cluster)
+        sig = compress_trace(trace, target_ratio=1.0)
+        with pytest.raises(SkeletonError):
+            remap_signature(sig, 8)
+
+    def test_stencil_remap_runs_at_new_size(self):
+        from repro.workloads.synthetic import stencil2d
+
+        cluster = Cluster.uniform(4)
+        trace, _ = trace_program(
+            bsp_allreduce(nprocs=4, supersteps=16), cluster
+        )
+        sig = compress_trace(trace, target_ratio=2.0)
+        for new_p in (2, 8, 16):
+            remapped = remap_signature(sig, new_p)
+            scaled = scale_signature(remapped, 1.0)
+            prog = skeleton_program(scaled)
+            big = Cluster.uniform(new_p)
+            assert run_program(prog, big).elapsed > 0
+
+    def test_invalid_sizes(self):
+        sig = self._ring_signature(4)
+        with pytest.raises(SkeletonError):
+            remap_signature(sig, 0)
+
+    def test_custom_scales(self):
+        sig = self._ring_signature(4)
+        remapped = remap_signature(sig, 8, compute_scale=1.0, bytes_scale=1.0)
+        # Weak scaling: per-rank time preserved.
+        assert remapped.ranks[0].total_time() == pytest.approx(
+            sig.ranks[0].total_time(), rel=1e-6
+        )

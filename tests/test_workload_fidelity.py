@@ -1,0 +1,161 @@
+"""Structural-fidelity checks of the NPB workload models: message
+sizes, partners, and call mixes must follow the published
+decompositions (this is what 'the trace is faithful' means for
+skeleton construction)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.trace import trace_program
+from repro.workloads import get_program, problem
+
+
+@pytest.fixture(scope="module")
+def traces():
+    cluster = paper_testbed()
+    out = {}
+    for bench in ("cg", "is", "lu", "mg", "bt", "sp"):
+        trace, result = trace_program(get_program(bench, "S", 4), cluster)
+        out[bench] = trace
+    return out
+
+
+def calls_of(trace, rank, name):
+    return [r for r in trace.rank_records(rank) if r.call == name]
+
+
+class TestCG:
+    def test_transpose_exchange_size(self, traces):
+        """The dominant CG message is the na/npcols-double vector
+        exchange."""
+        params = problem("cg", "S")
+        expected = (params.na // 2) * 8
+        sizes = {r.nbytes for r in calls_of(traces["cg"], 0, "MPI_Sendrecv")}
+        assert expected in sizes
+
+    def test_scalar_reductions_present(self, traces):
+        """Dot products travel as 8-byte exchanges (CG uses p2p, not
+        MPI collectives, for its reductions)."""
+        sizes = [r.nbytes for r in calls_of(traces["cg"], 0, "MPI_Sendrecv")]
+        assert sizes.count(8) > 100
+
+    def test_no_collectives_in_iterations(self, traces):
+        calls = Counter(r.call for r in traces["cg"].rank_records(0))
+        # Only the startup bcast/barriers; reductions are explicit p2p.
+        assert calls["MPI_Allreduce"] == 0
+        assert calls["MPI_Bcast"] == 1
+
+
+class TestIS:
+    def test_alltoallv_per_iteration(self, traces):
+        params = problem("is", "S")
+        a2a = calls_of(traces["is"], 0, "MPI_Alltoallv")
+        assert len(a2a) == params.niter
+
+    def test_alltoallv_moves_the_keys(self, traces):
+        params = problem("is", "S")
+        local_bytes = params.total_keys // 4 * params.key_bytes
+        for rec in calls_of(traces["is"], 0, "MPI_Alltoallv"):
+            # Total sent per rank ~ its local key volume (±8%).
+            assert rec.nbytes == pytest.approx(local_bytes, rel=0.12)
+
+    def test_bucket_allreduce_size(self, traces):
+        params = problem("is", "S")
+        sizes = {r.nbytes for r in calls_of(traces["is"], 0, "MPI_Allreduce")}
+        assert params.n_buckets * params.key_bytes in sizes
+
+
+class TestLU:
+    def test_pencil_message_size(self, traces):
+        """Wavefront pencils: 5 doubles x boundary cells x K_BLOCK."""
+        from repro.workloads.lu import K_BLOCK
+
+        params = problem("lu", "S")
+        expected = 5 * (params.nx // 2) * K_BLOCK * 8
+        sizes = Counter(r.nbytes for r in calls_of(traces["lu"], 0, "MPI_Send"))
+        assert sizes[expected] > 100  # the dominant message
+
+    def test_wavefront_send_count_formula(self, traces):
+        """Per SSOR iteration, the south-east corner rank sends one
+        pencil pair per k-block of the upper sweep only (it has no
+        south/east successors for the lower sweep): nz/K_BLOCK x 2."""
+        from repro.workloads.lu import K_BLOCK
+
+        params = problem("lu", "S")
+        sends = sum(
+            1 for r in traces["lu"].rank_records(3) if r.call == "MPI_Send"
+        )
+        expected_per_iter = (params.nz // K_BLOCK) * 2
+        assert sends / params.niter == pytest.approx(expected_per_iter)
+
+    def test_face_exchange_size(self, traces):
+        params = problem("lu", "S")
+        expected = 5 * (params.nx // 2) * params.nz * 8
+        sizes = {r.nbytes for r in calls_of(traces["lu"], 0, "MPI_Sendrecv")}
+        assert expected in sizes
+
+
+class TestMG:
+    def test_halo_sizes_span_levels(self, traces):
+        """MG faces shrink ~4x per level: the trace must contain a
+        wide range of message sizes."""
+        sizes = sorted({
+            r.nbytes for r in calls_of(traces["mg"], 0, "MPI_Isend")
+        })
+        assert len(sizes) >= 3
+        assert sizes[-1] >= 16 * sizes[0]
+
+    def test_finest_face_size(self, traces):
+        params = problem("mg", "S")
+        expected = (params.nx // 2) * params.nz * 8
+        sizes = {r.nbytes for r in calls_of(traces["mg"], 0, "MPI_Isend")}
+        assert expected in sizes
+
+
+class TestAdi:
+    @pytest.mark.parametrize("bench", ["bt", "sp"])
+    def test_rhs_face_exchange(self, traces, bench):
+        params = problem(bench, "S")
+        expected = 5 * (params.nx // 2) * params.nz * 8
+        sizes = {r.nbytes for r in calls_of(traces[bench], 0, "MPI_Sendrecv")}
+        assert expected in sizes
+
+    def test_bt_solver_messages_bigger_than_sp(self, traces):
+        """BT moves 5x5 blocks (240 B/cell) vs SP's scalars (80 B/cell):
+        BT's largest pipeline message must be ~3x SP's."""
+        def max_send(bench):
+            return max(
+                r.nbytes for r in calls_of(traces[bench], 0, "MPI_Send")
+            )
+
+        assert max_send("bt") == pytest.approx(3 * max_send("sp"), rel=0.01)
+
+    @pytest.mark.parametrize("bench", ["bt", "sp"])
+    def test_pipeline_chunk_counts(self, traces, bench):
+        from repro.workloads.adi import PIPELINE_CHUNKS
+
+        params = problem(bench, "S")
+        # Rank 0 (corner) sends one forward chunk per pipeline stage in
+        # x and y -> 2 * chunks per iteration, plus receives.
+        sends = calls_of(traces[bench], 0, "MPI_Send")
+        per_iter = len(sends) / params.niter
+        assert per_iter == pytest.approx(2 * PIPELINE_CHUNKS, rel=0.1)
+
+
+class TestCrossBenchmark:
+    def test_comm_fraction_ordering_class_b_shape(self, traces):
+        """Within Class S the per-call latency dominates, but the call
+        mixes must already differ strongly across benchmarks —
+        that diversity is why Average Prediction fails."""
+        mixes = {
+            b: Counter(r.call for r in traces[b].rank_records(0))
+            for b in traces
+        }
+        assert mixes["is"]["MPI_Alltoallv"] > 0
+        assert mixes["cg"]["MPI_Alltoallv"] == 0
+        assert mixes["mg"]["MPI_Waitall"] > 0
+        assert mixes["lu"]["MPI_Recv"] > 0 and mixes["mg"]["MPI_Recv"] == 0

@@ -1,0 +1,158 @@
+"""Workload model tests: parameter tables, registry, benchmark runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import WorkloadError
+from repro.sim import run_program
+from repro.trace import trace_program, trace_stats
+from repro.workloads import (
+    available_benchmarks,
+    compute_seconds,
+    get_program,
+    grid_2d,
+    problem,
+)
+from repro.workloads.base import ComputeModel, WorkloadSpec, perturbed_counts
+from repro.util.rng import make_rng
+
+
+class TestNpbData:
+    def test_all_benchmarks_have_all_classes(self):
+        for bench in ("cg", "is", "bt", "sp", "lu", "mg"):
+            for klass in ("S", "W", "A", "B", "C"):
+                assert problem(bench, klass) is not None
+
+    def test_class_c_larger_than_b(self):
+        assert problem("cg", "C").na > problem("cg", "B").na
+        assert problem("bt", "C").nx > problem("bt", "B").nx
+
+    def test_class_b_larger_than_s(self):
+        assert problem("cg", "B").na > problem("cg", "S").na
+        assert problem("is", "B").total_keys > problem("is", "S").total_keys
+        assert problem("lu", "B").nx > problem("lu", "S").nx
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            problem("xx", "B")
+
+    def test_unknown_class(self):
+        with pytest.raises(WorkloadError):
+            problem("cg", "Z")
+
+    def test_case_insensitive(self):
+        assert problem("CG", "b") is problem("cg", "B")
+
+
+class TestBase:
+    def test_compute_seconds(self):
+        assert compute_seconds(4.0e8) == pytest.approx(1.0)
+        assert compute_seconds(4.0e8, efficiency=0.5) == pytest.approx(2.0)
+
+    def test_compute_seconds_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            compute_seconds(-1.0)
+
+    def test_grid_2d_square(self):
+        assert grid_2d(4) == (2, 2)
+        assert grid_2d(16) == (4, 4)
+
+    def test_grid_2d_rectangular(self):
+        rows, cols = grid_2d(8)
+        assert rows * cols == 8
+
+    def test_grid_2d_prime(self):
+        assert grid_2d(7) == (1, 7)
+
+    def test_registry(self):
+        assert available_benchmarks() == [
+            "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp",
+        ]
+
+    def test_unknown_program(self):
+        with pytest.raises(WorkloadError):
+            get_program("nope")
+
+    def test_compute_model_jitter_bounds(self):
+        spec = WorkloadSpec(benchmark="cg", jitter=0.1)
+        cm = ComputeModel(spec, rank=0)
+        for _ in range(100):
+            op = cm.compute(1.0)
+            # skew (±5%) times jitter (±10%).
+            assert 0.8 < op.seconds < 1.2
+
+    def test_compute_model_zero(self):
+        spec = WorkloadSpec(benchmark="cg")
+        cm = ComputeModel(spec, rank=0)
+        assert cm.compute(0.0).seconds == 0.0
+
+    def test_perturbed_counts_sum_preserved(self):
+        rng = make_rng(1, "t")
+        for total in (0, 1, 100, 10_000_000):
+            counts = perturbed_counts(rng, total, 4, 0.1)
+            assert sum(counts) == total
+            assert all(c >= 0 for c in counts)
+
+    def test_perturbed_counts_rejects_zero_parts(self):
+        with pytest.raises(WorkloadError):
+            perturbed_counts(make_rng(1), 10, 0)
+
+
+@pytest.mark.parametrize("bench", ["bt", "cg", "is", "lu", "mg", "sp"])
+class TestClassSRuns:
+    """Every Class S benchmark must run to completion quickly and
+    reproducibly on the paper testbed."""
+
+    def test_runs_and_is_deterministic(self, bench):
+        cluster = paper_testbed()
+        prog = get_program(bench, "S", 4)
+        a = run_program(prog, cluster)
+        b = run_program(prog, cluster)
+        assert a.finish_times == b.finish_times
+        assert 0.001 < a.elapsed < 5.0  # Class S runs under seconds
+
+    def test_trace_structure(self, bench):
+        cluster = paper_testbed()
+        prog = get_program(bench, "S", 4)
+        trace, result = trace_program(prog, cluster)
+        trace.validate()
+        stats = trace_stats(trace)
+        assert stats["n_calls"] > 4 * 4  # every rank communicates
+        assert 0 < stats["mpi_percent"] < 100
+
+    def test_workload_seed_changes_timing(self, bench):
+        cluster = paper_testbed()
+        a = run_program(get_program(bench, "S", 4, seed=1), cluster)
+        b = run_program(get_program(bench, "S", 4, seed=2), cluster)
+        assert a.elapsed != b.elapsed
+
+
+class TestScalingAcrossClasses:
+    def test_class_w_between_s_and_b(self):
+        cluster = paper_testbed()
+        times = {}
+        for klass in ("S", "W"):
+            times[klass] = run_program(
+                get_program("cg", klass, 4), cluster
+            ).elapsed
+        assert times["S"] < times["W"]
+
+    def test_nprocs_validation(self):
+        with pytest.raises(WorkloadError):
+            get_program("cg", "S", 3)  # not a power of two
+        with pytest.raises(WorkloadError):
+            get_program("lu", "S", 5)
+
+    def test_other_power_of_two_sizes_run(self):
+        cluster = paper_testbed(8)
+        for bench in ("cg", "is", "mg", "lu"):
+            prog = get_program(bench, "S", 8)
+            result = run_program(prog, cluster)
+            assert result.elapsed > 0
+
+    def test_bt_sp_square_grids(self):
+        cluster = paper_testbed(4)
+        for bench in ("bt", "sp"):
+            run_program(get_program(bench, "S", 4), cluster)
