@@ -12,6 +12,15 @@ Subcommands mirror the paper's workflow:
   via its skeleton and compare with the measured time.
 * ``experiment``— run the full evaluation campaign and print a chosen
   figure (2–7) or the complete report.
+* ``timeline``  — run a benchmark with the timeline recorder attached
+  and export a Perfetto-loadable Chrome trace plus a per-rank
+  activity summary.
+* ``profile``   — run the trace → skeleton pipeline with the metrics
+  registry enabled and print the instrumentation report.
+
+Every command also accepts a global ``--metrics-out metrics.json``
+flag that enables the metrics registry for the whole invocation and
+writes its snapshot on exit.
 
 Examples::
 
@@ -20,6 +29,9 @@ Examples::
     repro-skeleton codegen cg.trace --target 5 -o cg_skeleton.c
     repro-skeleton predict cg --target 5 --scenario cpu-one-node
     repro-skeleton experiment --figure 7
+    repro-skeleton timeline cg --klass S -o cg_timeline.json
+    repro-skeleton profile cg --klass S --scenario cpu-one-node
+    repro-skeleton --metrics-out m.json predict cg --target 5
 """
 
 from __future__ import annotations
@@ -47,6 +59,21 @@ def _add_common_bench_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--klass", default="B", help="problem class (S/W/A/B)")
     p.add_argument("--nprocs", type=int, default=4)
     p.add_argument("--seed", type=int, default=12345, help="workload seed")
+
+
+def _resolve_scenario(name: str):
+    """Scenario by name, or the dedicated baseline for 'dedicated'."""
+    from repro.cluster.contention import DEDICATED
+
+    if name in (DEDICATED.name, "dedicated"):
+        return DEDICATED
+    scenarios = {s.name: s for s in paper_scenarios()}
+    if name not in scenarios:
+        raise ReproError(
+            f"unknown scenario {name!r}; "
+            f"choose from {sorted(scenarios) + [DEDICATED.name]}"
+        )
+    return scenarios[name]
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -175,9 +202,76 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """Run a benchmark with the timeline recorder; export Chrome trace."""
+    from repro.obs import TimelineRecorder
+
+    if args.samples < 0:
+        raise ReproError("--samples must be >= 0")
+    cluster = paper_testbed()
+    scenario = _resolve_scenario(args.scenario)
+    program = get_program(args.benchmark, args.klass, args.nprocs, args.seed)
+    # Pick the sampling period from a quick untraced run so that any
+    # run length yields ~args.samples utilization samples.
+    sample_period = 0.0
+    if args.samples > 0:
+        sizing = run_program(program, cluster, scenario, seed=args.env_seed)
+        sample_period = sizing.elapsed / args.samples
+    recorder = TimelineRecorder(
+        program_name=program.name,
+        scenario_name=scenario.name,
+        sample_period=sample_period,
+    )
+    result = run_program(
+        program, cluster, scenario, hook=recorder, seed=args.env_seed
+    )
+    recorder.write_chrome_trace(args.output)
+    trace = recorder.to_chrome_trace()
+    print(
+        f"{program.name} under {scenario.name}: "
+        f"{format_duration(result.elapsed)}, "
+        f"{len(trace['traceEvents'])} trace events -> {args.output}"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    print()
+    print(recorder.render_summary())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run the trace -> skeleton pipeline with metrics enabled."""
+    from repro.obs import enabled_metrics, get_metrics, render_metrics
+
+    cluster = paper_testbed()
+    scenario = _resolve_scenario(args.scenario)
+    program = get_program(args.benchmark, args.klass, args.nprocs, args.seed)
+    # Honour a registry already enabled by --metrics-out; otherwise
+    # enable a fresh one for the duration of this command.
+    if get_metrics().enabled:
+        registry = get_metrics()
+        ctx = None
+    else:
+        ctx = enabled_metrics()
+        registry = ctx.__enter__()
+    try:
+        print(f"profiling {program.name}: trace + skeleton ({args.target:g}s) "
+              f"+ run under {scenario.name} ...")
+        trace, _ = trace_program(program, cluster)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            bundle = build_skeleton(trace, target_seconds=args.target)
+        run_program(bundle.program, cluster, scenario, seed=args.env_seed)
+        print()
+        print(render_metrics(registry))
+    finally:
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     config = ExperimentConfig()
-    results = run_experiments(config, force=args.force, verbose=True)
+    results = run_experiments(config, force=args.force, verbose=args.verbose)
     builders = {
         2: fig_mod.figure2_activity,
         3: fig_mod.figure3_error_by_benchmark,
@@ -198,6 +292,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-skeleton",
         description="Automatic construction and evaluation of performance "
         "skeletons (IPPS 2005 reproduction)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable the metrics registry for this invocation and write "
+        "its JSON snapshot to PATH on exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -254,7 +355,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--figure", type=int, choices=range(2, 8), default=None)
     p.add_argument("--force", action="store_true",
                    help="ignore cached results")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="structured per-run progress lines with ETA")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "timeline",
+        help="record a run's per-rank timeline as Perfetto-loadable JSON",
+    )
+    _add_common_bench_args(p)
+    p.add_argument("--scenario", default="dedicated",
+                   help="sharing scenario (default: dedicated)")
+    p.add_argument("--env-seed", type=int, default=0,
+                   help="environment randomness seed")
+    p.add_argument("--samples", type=int, default=120,
+                   help="target number of utilization samples (0 disables)")
+    p.add_argument("-o", "--output", default="timeline.json")
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser(
+        "profile",
+        help="run trace -> skeleton -> probe with the metrics registry on",
+    )
+    _add_common_bench_args(p)
+    p.add_argument("--scenario", default="cpu-one-node")
+    p.add_argument("--target", type=float, default=5.0,
+                   help="skeleton target size (seconds)")
+    p.add_argument("--env-seed", type=int, default=0,
+                   help="environment randomness seed")
+    p.set_defaults(func=_cmd_profile)
 
     return parser
 
@@ -263,11 +392,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     warnings.simplefilter("default")
+    from repro.obs import MetricsRegistry, set_metrics
+
+    registry = None
+    if args.metrics_out:
+        registry = MetricsRegistry(enabled=True)
+        set_metrics(registry)
     try:
-        return args.func(args)
+        rc = args.func(args)
+        if registry is not None:
+            registry.write(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        return rc
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if registry is not None:
+            set_metrics(None)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from repro.core.distance import (
     event_vector,
 )
 from repro.core.events import ExecEvent, RankStream
+from repro.obs.metrics import get_metrics
 
 
 @dataclass
@@ -49,6 +50,18 @@ class ClusterSpace:
     clusters: list[Cluster] = field(default_factory=list)
     _by_key: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        metrics = get_metrics()
+        self._m_enabled = metrics.enabled
+        if self._m_enabled:
+            self._m_merges = metrics.counter(
+                "construct.cluster_merges",
+                "events absorbed into an existing cluster",
+            )
+            self._m_created = metrics.counter(
+                "construct.clusters_created", "new clusters opened"
+            )
+
     def assign(self, ev: ExecEvent) -> int:
         """Return the symbol for ``ev``, creating a cluster if needed."""
         key = ev.key()
@@ -61,10 +74,14 @@ class ClusterSpace:
         for cluster in bucket:
             if dissimilarity(vec, cluster.centroid, scales) <= self.threshold:
                 cluster.absorb(vec)
+                if self._m_enabled:
+                    self._m_merges.inc()
                 return cluster.symbol
         cluster = Cluster(symbol=len(self.clusters), key=key, centroid=vec, count=1)
         self.clusters.append(cluster)
         bucket.append(cluster)
+        if self._m_enabled:
+            self._m_created.inc()
         return cluster.symbol
 
     @property

@@ -25,6 +25,7 @@ from repro.core.loopfind import (
 )
 from repro.core.signature import RankSignature, Signature
 from repro.errors import SignatureError
+from repro.obs.metrics import get_metrics
 from repro.trace.records import Trace
 
 #: Collective calls are globally ordered across ranks, so their
@@ -144,6 +145,7 @@ def compress_trace(
     options = options or CompressionOptions()
     if target_ratio < 1.0:
         raise SignatureError("target compression ratio must be >= 1")
+    metrics = get_metrics()
     streams = trace_to_streams(trace)
     all_events = (ev for s in streams for ev in s.events)
     scales = DimensionScales.from_events(all_events)
@@ -151,22 +153,42 @@ def compress_trace(
     threshold = options.start_threshold
     best: tuple[list[RankSignature], float, float] | None = None
     stale = 0
-    while True:
-        rank_sigs, ratio = _compress_at(streams, scales, threshold, options)
-        if best is None or ratio > best[1]:
-            best = (rank_sigs, ratio, threshold)
-            stale = 0
-        else:
-            stale += 1
-        if ratio >= target_ratio:
-            break
-        if threshold >= options.max_threshold - 1e-12:
-            break
-        if stale >= options.patience:
-            break
-        threshold = min(options.max_threshold, threshold + options.threshold_step)
+    iterations = 0
+    with metrics.timer("construct.compress", "trace -> signature wall time"):
+        while True:
+            iterations += 1
+            rank_sigs, ratio = _compress_at(streams, scales, threshold, options)
+            if best is None or ratio > best[1]:
+                best = (rank_sigs, ratio, threshold)
+                stale = 0
+            else:
+                stale += 1
+            if ratio >= target_ratio:
+                break
+            if threshold >= options.max_threshold - 1e-12:
+                break
+            if stale >= options.patience:
+                break
+            threshold = min(
+                options.max_threshold, threshold + options.threshold_step
+            )
 
     rank_sigs, ratio, threshold = best
+    if metrics.enabled:
+        metrics.counter(
+            "construct.threshold_iterations",
+            "threshold-search steps across all compressions",
+        ).inc(iterations)
+        metrics.counter(
+            "construct.compressions", "compress_trace invocations"
+        ).inc()
+        metrics.gauge(
+            "construct.last_threshold", "threshold chosen by the last search"
+        ).set(threshold)
+        metrics.gauge(
+            "construct.last_compression_ratio",
+            "compression ratio achieved by the last search",
+        ).set(ratio)
     return Signature(
         program_name=trace.program_name,
         nranks=trace.nranks,

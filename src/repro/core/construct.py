@@ -8,6 +8,7 @@ the requested skeleton is smaller than the estimated minimum.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Optional
@@ -18,6 +19,7 @@ from repro.core.scale import CommScaler, ScaledSignature, scale_signature
 from repro.core.signature import Signature
 from repro.core.skeleton import GapModel, check_alignment, mean_gap_model, skeleton_program
 from repro.errors import SkeletonError, SkeletonQualityWarning
+from repro.obs.metrics import get_metrics
 from repro.sim.program import Program
 from repro.trace.records import Trace
 
@@ -73,6 +75,9 @@ def build_skeleton(
             raise SkeletonError("scaling factor must be >= 1")
         target_seconds = elapsed / K
 
+    metrics = get_metrics()
+    t_wall = time.perf_counter()
+    repairs = 0
     options = compression or CompressionOptions()
     # The paper's empirical rule Q = K/2 (any ratio is trivially met
     # when K < 2, hence the clamp).
@@ -93,6 +98,7 @@ def build_skeleton(
                 break
             except SkeletonError:
                 attempt += 1
+                repairs = attempt
                 if attempt > 8:
                     raise
                 options = _dc_replace(
@@ -120,6 +126,20 @@ def build_skeleton(
             SkeletonQualityWarning,
             stacklevel=2,
         )
+
+    if metrics.enabled:
+        metrics.counter(
+            "construct.skeletons_built", "build_skeleton invocations"
+        ).inc()
+        if repairs:
+            metrics.counter(
+                "construct.alignment_repairs",
+                "threshold bumps forced by cross-rank misalignment",
+            ).inc(repairs)
+        metrics.histogram(
+            "construct.build_skeleton_seconds",
+            "wall time of the whole construction pipeline",
+        ).observe(time.perf_counter() - t_wall)
 
     return SkeletonBundle(
         program=program,

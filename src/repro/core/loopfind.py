@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.core.events import ExecEvent
 from repro.core.signature import EventStats, LoopNode, Node
+from repro.obs.metrics import get_metrics
 
 #: Periods longer than this are not considered for folding. Iteration
 #: bodies collapse to a handful of nodes once their inner loops fold,
@@ -126,18 +127,39 @@ def fold_symbols(
     sigs: list[int] = list(symbols)
     interner = _Interner()
     budget = work_budget
+    metrics = get_metrics()
+    n_passes = 0
+    n_folds = 0
 
     changed_any = True
     while changed_any and budget > 0:
         changed_any = False
         period = 1
         while period <= min(max_period, len(nodes) // 2) and budget > 0:
+            before = len(nodes)
             nodes, sigs, changed, work = _fold_period(nodes, sigs, period, interner)
             budget -= work
+            n_passes += 1
             if changed:
+                n_folds += before - len(nodes)
                 changed_any = True
                 # Re-scan small periods: folding may create new runs.
                 period = 1
             else:
                 period += 1
+    if metrics.enabled:
+        metrics.counter(
+            "construct.fold_attempts", "fold passes attempted (one per period)"
+        ).inc(n_passes)
+        metrics.counter(
+            "construct.folds", "node-count reduction from applied folds"
+        ).inc(n_folds)
+        metrics.counter(
+            "construct.fold_work", "element comparisons spent folding"
+        ).inc(work_budget - budget)
+        if budget <= 0:
+            metrics.counter(
+                "construct.fold_budget_exhausted",
+                "folds stopped early by the work budget",
+            ).inc()
     return nodes

@@ -17,16 +17,18 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cluster.scenarios import paper_scenarios
 from repro.cluster.topology import Cluster, paper_testbed
 from repro.core.construct import build_skeleton
 from repro.errors import ExperimentError, SkeletonQualityWarning
 from repro.experiments.config import ExperimentConfig
+from repro.obs.metrics import get_metrics
 from repro.predict.metrics import prediction_error_percent
 from repro.sim.program import run_program
 from repro.trace.analysis import activity_breakdown
@@ -114,6 +116,35 @@ class ExperimentResults:
         )
 
 
+class _CampaignProgress:
+    """Per-run progress accounting: counters and a wall-clock ETA."""
+
+    def __init__(self, total_runs: int):
+        self.total = total_runs
+        self.done = 0
+        self._t0 = time.perf_counter()
+
+    def record(self) -> None:
+        self.done += 1
+
+    def eta_seconds(self) -> float:
+        """Remaining wall time extrapolated from the completed runs."""
+        if self.done == 0:
+            return float("nan")
+        rate = (time.perf_counter() - self._t0) / self.done
+        return rate * (self.total - self.done)
+
+    def line(
+        self, run_id: str, scenario: str, seed: int, sim: float, wall: float
+    ) -> str:
+        """One structured per-run log line."""
+        return (
+            f"run {self.done}/{self.total} id={run_id} "
+            f"scenario={scenario} seed={seed} "
+            f"sim={sim:.3f}s wall={wall:.2f}s eta={self.eta_seconds():.0f}s"
+        )
+
+
 class ExperimentRunner:
     """Runs (or loads) one experiment campaign."""
 
@@ -159,6 +190,44 @@ class ExperimentRunner:
         if self.verbose:
             print(f"[experiments] {msg}", flush=True)
 
+    def _planned_runs(self) -> int:
+        """Total simulated runs the campaign will execute (for ETA)."""
+        cfg = self.config
+        nscen = len(self.scenarios)
+        per_bench = (
+            (1 + nscen)                                   # app: trace + scenarios
+            + len(cfg.skeleton_targets) * (1 + nscen)     # skeletons
+            + (1 + nscen)                                 # Class S baseline
+        )
+        return len(cfg.benchmarks) * per_bench
+
+    def _measure(
+        self,
+        progress: _CampaignProgress,
+        run_id: str,
+        scenario_name: str,
+        seed: int,
+        fn: Callable,
+    ):
+        """Execute one run, emit its structured log line, count it.
+
+        ``fn`` returns either a ``RunResult`` or a ``(trace, RunResult)``
+        pair; the value is passed through unchanged.
+        """
+        t0 = time.perf_counter()
+        value = fn()
+        wall = time.perf_counter() - t0
+        result = value[1] if isinstance(value, tuple) else value
+        progress.record()
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("campaign.runs", "campaign runs completed").inc()
+            metrics.histogram(
+                "campaign.run_wall_seconds", "wall time per campaign run"
+            ).observe(wall)
+        self._log(progress.line(run_id, scenario_name, seed, result.elapsed, wall))
+        return value
+
     def run(self, force: bool = False) -> ExperimentResults:
         if not force:
             cached = self.load_cached()
@@ -175,11 +244,20 @@ class ExperimentRunner:
                     for k, v in asdict(cfg).items()},
             scenario_names=[s.name for s in self.scenarios],
         )
+        progress = _CampaignProgress(self._planned_runs())
+        self._log(
+            f"campaign: {len(cfg.benchmarks)} benchmarks x "
+            f"{len(self.scenarios)} scenarios x "
+            f"{len(cfg.skeleton_targets)} skeleton sizes = "
+            f"{progress.total} runs"
+        )
 
         for bench in cfg.benchmarks:
-            self._log(f"tracing {bench}.{cfg.klass} (dedicated)")
             program = get_program(bench, cfg.klass, cfg.nprocs, cfg.workload_seed)
-            trace, ded = trace_program(program, self.cluster)
+            trace, ded = self._measure(
+                progress, f"{bench}.{cfg.klass}/trace", "dedicated", 0,
+                lambda: trace_program(program, self.cluster),
+            )
             breakdown = activity_breakdown(trace)
             app_entry = {
                 "dedicated": ded.elapsed,
@@ -190,9 +268,11 @@ class ExperimentRunner:
             }
             for scen in self.scenarios:
                 seed = derive_seed(env, "app", bench, scen.name)
-                run = run_program(program, self.cluster, scen, seed=seed)
+                run = self._measure(
+                    progress, f"{bench}.{cfg.klass}/app", scen.name, seed,
+                    lambda: run_program(program, self.cluster, scen, seed=seed),
+                )
                 app_entry["scenarios"][scen.name] = run.elapsed
-                self._log(f"  {bench} under {scen.name}: {run.elapsed:.2f}s")
             results.apps[bench] = app_entry
 
             # Skeletons of every target size.
@@ -201,7 +281,11 @@ class ExperimentRunner:
                 with warnings.catch_warnings():
                     warnings.simplefilter("ignore", SkeletonQualityWarning)
                     bundle = build_skeleton(trace, target_seconds=target)
-                skel_trace, skel_ded = trace_program(bundle.program, self.cluster)
+                skel_id = f"{bench}.{cfg.klass}/skel-{target:g}"
+                skel_trace, skel_ded = self._measure(
+                    progress, skel_id, "dedicated", 0,
+                    lambda: trace_program(bundle.program, self.cluster),
+                )
                 skel_breakdown = activity_breakdown(skel_trace)
                 entry = {
                     "K": bundle.K,
@@ -216,8 +300,11 @@ class ExperimentRunner:
                 }
                 for scen in self.scenarios:
                     seed = derive_seed(env, "skel", bench, target, scen.name)
-                    run = run_program(
-                        bundle.program, self.cluster, scen, seed=seed
+                    run = self._measure(
+                        progress, skel_id, scen.name, seed,
+                        lambda: run_program(
+                            bundle.program, self.cluster, scen, seed=seed
+                        ),
                     )
                     entry["scenarios"][scen.name] = run.elapsed
                 results.skeletons[bench][f"{target:g}"] = entry
@@ -230,11 +317,18 @@ class ExperimentRunner:
             s_prog = get_program(
                 bench, cfg.baseline_klass, cfg.nprocs, cfg.workload_seed
             )
-            s_ded = run_program(s_prog, self.cluster)
+            s_id = f"{bench}.{cfg.baseline_klass}/class-s"
+            s_ded = self._measure(
+                progress, s_id, "dedicated", 0,
+                lambda: run_program(s_prog, self.cluster),
+            )
             s_entry = {"dedicated": s_ded.elapsed, "scenarios": {}}
             for scen in self.scenarios:
                 seed = derive_seed(env, "class_s", bench, scen.name)
-                run = run_program(s_prog, self.cluster, scen, seed=seed)
+                run = self._measure(
+                    progress, s_id, scen.name, seed,
+                    lambda: run_program(s_prog, self.cluster, scen, seed=seed),
+                )
                 s_entry["scenarios"][scen.name] = run.elapsed
             results.class_s[bench] = s_entry
 

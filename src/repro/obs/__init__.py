@@ -1,0 +1,59 @@
+"""Unified observability layer: metrics, timelines, instrumentation.
+
+Three pieces, designed in rather than bolted on:
+
+* :mod:`repro.obs.metrics` — a process-wide **metrics registry**
+  (counters, gauges, histograms, stage timers). The engine loop, the
+  fluid allocator, the message matcher, and every skeleton-construction
+  pass report into the active registry; the default registry is
+  disabled and costs (near) nothing.
+* :mod:`repro.obs.timeline` — a **timeline recorder** engine hook that
+  captures per-rank compute/blocked spans, message flights, and
+  sampled resource utilization, exporting Chrome-trace-event JSON that
+  Perfetto loads directly.
+* CLI surface — ``repro-skeleton profile``, ``repro-skeleton
+  timeline`` and the global ``--metrics-out`` flag (see
+  :mod:`repro.cli`).
+
+See ``docs/OBSERVABILITY.md`` for the user guide.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    enabled_metrics,
+    get_metrics,
+    render_metrics,
+    set_metrics,
+)
+
+# The timeline recorder subclasses EngineHook, and the engine itself
+# imports repro.obs.metrics — import it lazily to keep the package
+# acyclic regardless of which side is imported first.
+_TIMELINE_NAMES = ("ActivitySpan", "MessageFlight", "TimelineRecorder")
+
+
+def __getattr__(name: str):
+    if name in _TIMELINE_NAMES:
+        from repro.obs import timeline
+
+        return getattr(timeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ActivitySpan",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MessageFlight",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "TimelineRecorder",
+    "enabled_metrics",
+    "get_metrics",
+    "render_metrics",
+    "set_metrics",
+]

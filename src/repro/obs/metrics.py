@@ -1,0 +1,425 @@
+"""Lightweight metrics registry: counters, gauges, histograms, timers.
+
+The registry is the numeric backbone of the observability layer: the
+engine loop, the fluid allocator, the message matcher, and every
+skeleton-construction pass report into it, and the CLI (``profile``,
+``--metrics-out``) and the campaign runner read it back out.
+
+Design constraints, in order:
+
+1. **Near-zero cost when disabled.** The default global registry is
+   disabled; a disabled registry hands out a shared null instrument
+   whose mutators are empty methods, and exposes ``enabled`` so hot
+   loops can hoist a single boolean check instead of even the null
+   call. Instrumented code never pays dict lookups when observability
+   is off.
+2. **No effect on simulation.** Instruments only accumulate Python
+   numbers; nothing feeds back into engine state, so a run with
+   metrics enabled is bit-identical to one without.
+3. **Plain-data snapshots.** ``snapshot()`` returns JSON-ready dicts so
+   ``--metrics-out`` and tests need no custom serialisation.
+
+Usage::
+
+    from repro.obs import enabled_metrics, get_metrics
+
+    with enabled_metrics() as m:
+        run_program(program, cluster)
+        m.counter("engine.messages").value
+
+Instrumentation sites call :func:`get_metrics` at setup time (per run,
+per pass) — not at import time — so enabling a registry takes effect
+for everything constructed afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "enabled_metrics",
+    "get_metrics",
+    "render_metrics",
+    "set_metrics",
+]
+
+#: Default histogram buckets: exponential, spanning microseconds to
+#: minutes (seconds) or single items to millions (counts).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1000.0
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (optionally labelled)."""
+
+    __slots__ = ("name", "help", "value", "_children")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self._children: dict[tuple, Counter] = {}
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def labels(self, **labels: object) -> "Counter":
+        """Child counter for one label combination (created on demand)."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Counter(self.name, self.help)
+            self._children[key] = child
+        return child
+
+    def snapshot(self) -> dict:
+        out: dict = {"type": "counter", "value": self.value}
+        if self._children:
+            out["labels"] = {
+                "|".join(f"{k}={v}" for k, v in key): child.value
+                for key, child in sorted(self._children.items())
+            }
+        return out
+
+
+class Gauge:
+    """A value that can go up and down (e.g. queue depth, utilization)."""
+
+    __slots__ = ("name", "help", "value", "_children")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self._children: dict[tuple, Gauge] = {}
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def labels(self, **labels: object) -> "Gauge":
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Gauge(self.name, self.help)
+            self._children[key] = child
+        return child
+
+    def snapshot(self) -> dict:
+        out: dict = {"type": "gauge", "value": self.value}
+        if self._children:
+            out["labels"] = {
+                "|".join(f"{k}={v}" for k, v in key): child.value
+                for key, child in sorted(self._children.items())
+            }
+        return out
+
+
+class Histogram:
+    """Bucketed histogram plus sum/count/min/max.
+
+    Snapshots expose cumulative buckets (count of observations
+    ``<= bound``); an implicit +inf bucket catches the rest (``count``
+    minus the last bound's cumulative count). Internally each
+    observation lands in a single bucket via bisect so ``observe`` is
+    cheap enough for per-event call sites.
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count",
+                 "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # Per-bucket count; cumulated lazily in snapshot(). Values past
+        # the last bound land only in the implicit +inf bucket (count).
+        i = bisect_left(self.bounds, value)
+        if i < len(self.bounds):
+            self.bucket_counts[i] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": self._cumulative_buckets(),
+        }
+
+    def _cumulative_buckets(self) -> dict:
+        out: dict = {}
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out[f"{bound:g}"] = running
+        return out
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in handed out by disabled registries.
+
+    Implements the union of the mutator surfaces so any instrument
+    handle obtained from a disabled registry is safe to poke.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **labels: object) -> "_NullInstrument":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL = _NullInstrument()
+
+
+class _Timer:
+    """Context manager feeding wall time into a histogram."""
+
+    __slots__ = ("_hist", "_t0", "elapsed")
+
+    def __init__(self, hist):
+        self._hist = hist
+        self._t0 = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        self._hist.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """Named instruments with one shared enabled/disabled switch.
+
+    Instrument getters are idempotent: the first call creates, later
+    calls return the same object (the help string of the first call
+    wins). Asking a *disabled* registry for an instrument returns the
+    shared null instrument, so instrumented code needs no branches of
+    its own — though hot loops should hoist ``registry.enabled``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._instruments: dict[str, object] = {}
+
+    # -- instrument factories -------------------------------------------
+
+    def _get(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = ""):
+        if not self.enabled:
+            return _NULL
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = ""):
+        if not self.enabled:
+            return _NULL
+        return self._get(name, Gauge, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if not self.enabled:
+            return _NULL
+        return self._get(name, Histogram, help, buckets)
+
+    def timer(self, name: str, help: str = "") -> _Timer:
+        """Wall-clock stage timer: ``with m.timer("compress.search"):``.
+
+        Observations land in a histogram named ``<name>_seconds``.
+        """
+        return _Timer(self.histogram(f"{name}_seconds", help))
+
+    # -- output ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All instruments as a plain ``{name: data}`` dict."""
+        return {
+            name: inst.snapshot()
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def clear(self) -> None:
+        self._instruments.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __getitem__(self, name: str):
+        return self._instruments[name]
+
+
+#: The always-disabled registry active by default: instrumentation in
+#: library code resolves to null instruments unless a caller opts in.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_metrics() -> MetricsRegistry:
+    """The currently active registry (disabled null one by default)."""
+    return _active
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the active one; returns the previous.
+
+    Passing ``None`` restores the default disabled registry.
+    """
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Terminal report of a registry: counters/gauges, then timings.
+
+    Histograms whose name ends in ``_seconds`` render as stage timings
+    with count/mean/total; other histograms show count and mean.
+    """
+    from repro.util.tables import render_table
+
+    scalars: list[tuple] = []
+    timings: list[tuple] = []
+    distributions: list[tuple] = []
+    for name, inst in sorted(registry.snapshot().items()):
+        kind = inst.get("type")
+        if kind in ("counter", "gauge"):
+            scalars.append((name, kind, f"{inst['value']:g}"))
+        elif name.endswith("_seconds"):
+            timings.append(
+                (name, inst["count"], f"{inst['mean']:.4f}", f"{inst['sum']:.4f}")
+            )
+        else:
+            distributions.append(
+                (name, inst["count"], f"{inst['mean']:.2f}", f"{inst['max']:g}")
+            )
+    parts: list[str] = []
+    if scalars:
+        parts.append(render_table("metrics", ("name", "type", "value"), scalars))
+    if timings:
+        parts.append(
+            render_table(
+                "stage timings (seconds)",
+                ("stage", "count", "mean s", "total s"),
+                timings,
+            )
+        )
+    if distributions:
+        parts.append(
+            render_table(
+                "distributions", ("name", "count", "mean", "max"), distributions
+            )
+        )
+    if not parts:
+        return "no metrics recorded"
+    return "\n\n".join(parts)
+
+
+@contextmanager
+def enabled_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Scope with metrics collection on; yields the active registry.
+
+    A fresh enabled registry is created unless one is passed in; the
+    previous active registry is restored on exit.
+    """
+    reg = registry if registry is not None else MetricsRegistry(enabled=True)
+    previous = set_metrics(reg)
+    try:
+        yield reg
+    finally:
+        set_metrics(previous)

@@ -1,0 +1,307 @@
+"""Per-rank activity timelines exported as Chrome trace events.
+
+:class:`TimelineRecorder` is an :class:`~repro.sim.engine.EngineHook`
+that reconstructs, for every rank, the alternation the paper's
+analysis is built on: **compute** (gaps between user-level MPI calls)
+and **blocked-in-MPI** (the recorded call durations). It also captures
+point-to-point **message flights** (send time to delivery) and, at a
+configurable simulated-time period, sampled **resource utilization**
+from the engine's fluid model.
+
+Everything exports to the Chrome trace-event JSON format — the
+``{"traceEvents": [...]}`` flavour — which Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly:
+
+* rank activity: complete events (``ph: "X"``) on ``pid 0``, one
+  thread track per rank;
+* message flights: complete events on ``pid 1``, tracked per source
+  rank, named ``src->dst``;
+* utilization samples: counter events (``ph: "C"``), one counter track
+  per resource.
+
+Timestamps are microseconds of *simulated* time. Span bookkeeping
+uses the engine's raw float times (not the tracer's quantised
+microseconds), so per-rank ``compute + blocked`` totals reconcile
+exactly with ``RunResult.finish_times``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.sim.engine import EngineHook
+
+__all__ = ["ActivitySpan", "MessageFlight", "TimelineRecorder"]
+
+#: Span kinds.
+COMPUTE = "compute"
+MPI = "mpi"
+
+
+@dataclass(frozen=True)
+class ActivitySpan:
+    """One contiguous interval of a rank's time."""
+
+    rank: int
+    kind: str  # COMPUTE or MPI
+    name: str  # "compute" or the MPI call name
+    t_start: float
+    t_end: float
+    args: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class MessageFlight:
+    """One point-to-point message from send to delivery."""
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+    t_sent: float
+    t_delivered: float
+
+    @property
+    def flight_time(self) -> float:
+        return self.t_delivered - self.t_sent
+
+
+class TimelineRecorder(EngineHook):
+    """Records spans, message flights, and utilization samples.
+
+    Attach to a run via :func:`repro.sim.run_program`'s ``hook=`` (or
+    an :class:`~repro.sim.engine.Engine` directly)::
+
+        rec = TimelineRecorder(sample_period=0.05)
+        result = run_program(program, cluster, hook=rec)
+        rec.write_chrome_trace("run.json")
+        print(rec.render_summary())
+
+    ``sample_period`` is in simulated seconds; 0 disables utilization
+    sampling. Recording adds zero *simulated* overhead — the run's
+    timing and event count are identical with or without the hook.
+    """
+
+    def __init__(
+        self,
+        program_name: str = "",
+        scenario_name: str = "",
+        sample_period: float = 0.0,
+        record_messages: bool = True,
+    ):
+        if sample_period < 0:
+            raise ValueError("sample_period must be >= 0")
+        self.program_name = program_name
+        self.scenario_name = scenario_name
+        self.sample_period = float(sample_period)
+        self.record_messages = record_messages
+        self.spans: list[ActivitySpan] = []
+        self.messages: list[MessageFlight] = []
+        #: (t, {resource name: utilization fraction}) samples.
+        self.samples: list[tuple[float, dict]] = []
+        self.finish_times: tuple[float, ...] = ()
+        self._last_end: list[float] = []
+        self._done = False
+
+    # -- EngineHook ------------------------------------------------------
+
+    def on_run_start(self, nranks: int, t: float) -> None:
+        self.spans = []
+        self.messages = []
+        self.samples = []
+        self.finish_times = ()
+        self._last_end = [t] * nranks
+        self._done = False
+
+    def on_call(
+        self, rank: int, name: str, params: dict, t_start: float, t_end: float
+    ) -> None:
+        last = self._last_end[rank]
+        if t_start > last:
+            self.spans.append(
+                ActivitySpan(rank, COMPUTE, "compute", last, t_start)
+            )
+        self.spans.append(
+            ActivitySpan(rank, MPI, name, t_start, t_end, dict(params))
+        )
+        if t_end > last:
+            self._last_end[rank] = t_end
+
+    def on_message(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: int,
+        t_sent: float,
+        t_delivered: float,
+    ) -> None:
+        if self.record_messages:
+            self.messages.append(
+                MessageFlight(src, dst, nbytes, tag, t_sent, t_delivered)
+            )
+
+    def on_sample(self, t: float, utilization: Mapping[str, float]) -> None:
+        self.samples.append((t, dict(utilization)))
+
+    def on_run_end(self, finish_times: Sequence[float]) -> None:
+        for rank, finish in enumerate(finish_times):
+            last = self._last_end[rank]
+            if finish > last:
+                self.spans.append(
+                    ActivitySpan(rank, COMPUTE, "compute", last, finish)
+                )
+                self._last_end[rank] = finish
+        self.finish_times = tuple(finish_times)
+        self._done = True
+
+    # -- derived views ---------------------------------------------------
+
+    def _require_done(self) -> None:
+        if not self._done:
+            raise TraceError("no completed run has been recorded")
+
+    @property
+    def nranks(self) -> int:
+        self._require_done()
+        return len(self.finish_times)
+
+    def activity_totals(self) -> dict[int, dict[str, float]]:
+        """Per-rank ``{"compute": s, "mpi": s}`` span totals.
+
+        For every rank ``compute + mpi`` equals the rank's finish time:
+        the spans tile ``[0, finish]`` with no gaps or overlaps.
+        """
+        self._require_done()
+        totals: dict[int, dict[str, float]] = {
+            r: {COMPUTE: 0.0, MPI: 0.0} for r in range(self.nranks)
+        }
+        for span in self.spans:
+            totals[span.rank][span.kind] += span.duration
+        return totals
+
+    # -- Chrome trace export ---------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The run as a Chrome trace-event JSON object (Perfetto-ready)."""
+        self._require_done()
+        scale = 1e6  # seconds -> microseconds
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": f"ranks ({self.program_name or 'run'})"},
+            },
+        ]
+        for rank in range(self.nranks):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": rank,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
+        for span in self.spans:
+            ev = {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.t_start * scale,
+                "dur": span.duration * scale,
+                "pid": 0,
+                "tid": span.rank,
+            }
+            if span.args:
+                ev["args"] = span.args
+            events.append(ev)
+        if self.messages:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {"name": "messages"},
+                }
+            )
+            for msg in self.messages:
+                events.append(
+                    {
+                        "name": f"{msg.src}->{msg.dst}",
+                        "cat": "message",
+                        "ph": "X",
+                        "ts": msg.t_sent * scale,
+                        "dur": msg.flight_time * scale,
+                        "pid": 1,
+                        "tid": msg.src,
+                        "args": {"bytes": msg.nbytes, "tag": msg.tag},
+                    }
+                )
+        for t, util in self.samples:
+            for resource, frac in util.items():
+                events.append(
+                    {
+                        "name": resource,
+                        "cat": "utilization",
+                        "ph": "C",
+                        "ts": t * scale,
+                        "pid": 0,
+                        "tid": 0,
+                        "args": {"utilization": frac},
+                    }
+                )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "program": self.program_name,
+                "scenario": self.scenario_name,
+                "nranks": self.nranks,
+            },
+        }
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+            fh.write("\n")
+
+    # -- terminal rendering ----------------------------------------------
+
+    def render_summary(self, width: int = 40) -> str:
+        """Per-rank activity bars plus a message/sample footer."""
+        from repro.util.charts import segmented_bar_chart
+
+        self._require_done()
+        totals = self.activity_totals()
+        rows = {
+            f"rank {rank}": [
+                ("compute", t[COMPUTE]),
+                ("mpi", t[MPI]),
+            ]
+            for rank, t in totals.items()
+        }
+        title = "per-rank activity (seconds)"
+        if self.program_name:
+            title = f"{self.program_name}: {title}"
+        lines = [segmented_bar_chart(title, rows, width=width)]
+        if self.messages:
+            flight = [m.flight_time for m in self.messages]
+            lines.append(
+                f"messages: {len(self.messages)}  "
+                f"mean flight {sum(flight) / len(flight) * 1e6:.1f}us  "
+                f"max {max(flight) * 1e6:.1f}us"
+            )
+        if self.samples:
+            lines.append(f"utilization samples: {len(self.samples)}")
+        return "\n".join(lines)

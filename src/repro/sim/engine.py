@@ -30,12 +30,14 @@ wall-clock state leaks in.
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import DeadlockError, ProgramError, SimulationError
+from repro.obs.metrics import get_metrics
 from repro.cluster.contention import DEDICATED, Scenario
 from repro.cluster.topology import Cluster
 from repro.sim import collectives as coll
@@ -71,24 +73,64 @@ _BLOCK = object()  # dispatch sentinel: the process must block
 
 
 class EngineHook:
-    """Observer interface; the tracer implements this.
+    """Observer interface; the tracer and the timeline recorder
+    implement this. Every method is a no-op by default, so observers
+    override only what they need.
 
-    ``on_call`` fires once per completed *user-level* MPI call with its
-    simulated start and end times (non-blocking calls have zero
-    duration; their completion is visible through the matching
-    ``MPI_Wait``). Compute phases are not calls — like the paper's
-    profiling library, observers infer compute from inter-call gaps.
+    Contract (see also ``docs/API.md``):
+
+    * ``on_run_start(nranks, t)`` fires once per :meth:`Engine.run`,
+      before any rank executes, with the rank count and the start time
+      (always 0.0).
+    * ``on_call`` fires once per completed *user-level* MPI call with
+      its simulated start and end times (non-blocking calls have zero
+      duration; their completion is visible through the matching
+      ``MPI_Wait``). Compute phases are not calls — like the paper's
+      profiling library, observers infer compute from inter-call gaps.
+      Per rank, calls are reported in order with non-decreasing times.
+    * ``on_message`` fires at each point-to-point delivery with the
+      envelope and the send/delivery times. Only dispatched when the
+      hook class overrides it — the engine never pays for unobserved
+      messages.
+    * ``on_sample`` fires every ``sample_period`` simulated seconds
+      with ``{resource name: utilization fraction}`` from the fluid
+      model (CPUs, NICs, WAN links). Sampling is off while
+      ``sample_period`` is 0. Samples piggyback on background events
+      and never alter run timing or the reported event count.
+    * ``on_run_end(finish_times)`` fires once after the last rank
+      finishes.
+
+    Hooks must treat everything they receive as read-only: the engine
+    is deterministic, and a hook that mutates engine state voids that
+    guarantee.
     """
 
-    def on_run_start(self, nranks: int, t: float) -> None:  # pragma: no cover
+    #: Simulated-seconds period for ``on_sample``; 0 disables sampling.
+    sample_period: float = 0.0
+
+    def on_run_start(self, nranks: int, t: float) -> None:
         pass
 
     def on_call(
         self, rank: int, name: str, params: dict, t_start: float, t_end: float
-    ) -> None:  # pragma: no cover
+    ) -> None:
         pass
 
-    def on_run_end(self, finish_times: Sequence[float]) -> None:  # pragma: no cover
+    def on_message(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: int,
+        t_sent: float,
+        t_delivered: float,
+    ) -> None:
+        pass
+
+    def on_sample(self, t: float, utilization: dict) -> None:
+        pass
+
+    def on_run_end(self, finish_times: Sequence[float]) -> None:
         pass
 
 
@@ -170,6 +212,15 @@ class Engine:
         self.hook = hook
         self.config = config or SimConfig()
         self._net = cluster.network
+        # Dispatch flags resolved once: the engine only pays for hook
+        # features the hook's class actually overrides / enables.
+        self._emit_messages = (
+            hook is not None
+            and type(hook).on_message is not EngineHook.on_message
+        )
+        self._sample_period = (
+            float(getattr(hook, "sample_period", 0.0)) if hook is not None else 0.0
+        )
 
         # Mutable per-run state, initialised in run().
         self.now = 0.0
@@ -307,6 +358,34 @@ class Engine:
 
         self._push_bg_timer(rng.uniform(*model.period_range), tick)
 
+    def _start_sampler(self) -> None:
+        """Arm the hook's utilization sampling (background events, so
+        the run's timing and foreground event count are unaffected)."""
+        period = self._sample_period
+
+        def tick(t: float) -> None:
+            self.hook.on_sample(t, self._utilization_snapshot())
+            self._push_bg_timer(t + period, tick)
+
+        self._push_bg_timer(period, tick)
+
+    def _utilization_snapshot(self) -> dict:
+        """Fraction of each resource's capacity currently allocated."""
+        util: dict = {}
+        for group in (
+            self._cpu_res,
+            self._tx_res,
+            self._rx_res,
+            self._wan_up,
+            self._wan_down,
+        ):
+            for res in group:
+                if res.capacity <= 0:
+                    continue
+                used = sum(task.rate for task in res.tasks)
+                util[res.name] = used / res.capacity
+        return util
+
     def _placement(self, nranks: int) -> list[int]:
         if self.config.placement is not None:
             placement = list(self.config.placement)
@@ -403,6 +482,10 @@ class Engine:
     def _deliver(self, msg: Message, t: float) -> None:
         msg.delivered = True
         msg.t_delivered = t
+        if self._emit_messages:
+            self.hook.on_message(
+                msg.src, msg.dst, msg.nbytes, msg.tag, msg.t_sent, t
+            )
         if msg.recv_req is not None:
             self._complete_request(msg.recv_req, t)
         if not msg.eager and msg.send_req is not None:
@@ -458,6 +541,7 @@ class Engine:
         self._n_messages += 1
         eager = nbytes <= self._net.eager_threshold
         msg = Message(proc.rank, dest, tag, int(nbytes), eager)
+        msg.t_sent = self.now
         req = RequestHandle("send", dest, tag, int(nbytes))
         req.msg = msg
         msg.send_req = req
@@ -693,8 +777,11 @@ class Engine:
         ]
         if self.hook is not None:
             self.hook.on_run_start(nranks, 0.0)
+        if self._sample_period > 0:
+            self._start_sampler()
         for proc in self._procs:
             self._ready.append((proc, None))
+        t_wall = time.perf_counter()
 
         max_events = self.config.max_events
         heap = self._heap
@@ -743,6 +830,26 @@ class Engine:
         finish_times = tuple(p.finish_time for p in self._procs)
         if self.hook is not None:
             self.hook.on_run_end(finish_times)
+        # Instrumented components tally in plain ints during the run;
+        # their totals land in the registry here, once.
+        self._fluid.flush_metrics()
+        for mailbox in self._mailboxes:
+            mailbox.flush_metrics()
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("engine.runs", "simulated runs completed").inc()
+            metrics.counter("engine.events", "engine events popped").inc(
+                self._n_events
+            )
+            metrics.counter(
+                "engine.messages", "point-to-point messages simulated"
+            ).inc(self._n_messages)
+            metrics.histogram(
+                "engine.run_wall_seconds", "wall time per simulated run"
+            ).observe(time.perf_counter() - t_wall)
+            metrics.histogram(
+                "engine.run_sim_seconds", "simulated time per run"
+            ).observe(max(finish_times))
         return RunResult(
             program_name=program.name,
             scenario_name=self.scenario.name,

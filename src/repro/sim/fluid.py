@@ -32,6 +32,7 @@ import math
 from typing import Callable, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.metrics import get_metrics
 
 #: Sentinel amount of work for tasks that never finish (competing load).
 INFINITE_WORK = math.inf
@@ -147,6 +148,27 @@ class FluidSystem:
         #: remaining work changes as time advances.
         self._progressing: set[Task] = set()
         self._last_sync = 0.0
+        metrics = get_metrics()
+        self._m_enabled = metrics.enabled
+        if self._m_enabled:
+            self._m_resettles = metrics.counter(
+                "fluid.resettles", "scoped reallocations performed"
+            )
+            self._m_tasks_resettled = metrics.counter(
+                "fluid.tasks_resettled",
+                "tasks whose rate was recomputed across all resettles",
+            )
+            self._m_component_size = metrics.histogram(
+                "fluid.component_size",
+                "tasks per recomputed component (1-in-32 sampled)",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            )
+            # Plain-int tallies: reallocate_scoped runs several times
+            # per message, so per-call Counter.inc would dominate the
+            # enabled-mode overhead. flush_metrics() moves the totals
+            # into the registry once per run.
+            self._n_resettles = 0
+            self._n_tasks_resettled = 0
 
     # -- membership ---------------------------------------------------
 
@@ -220,7 +242,22 @@ class FluidSystem:
         """
         affected = self.component(dirty_resources)
         self._fill(affected)
+        if self._m_enabled:
+            self._n_resettles += 1
+            self._n_tasks_resettled += len(affected)
+            # Sampling the size distribution keeps the enabled
+            # overhead in budget.
+            if not self._n_resettles & 31:
+                self._m_component_size.observe(len(affected))
         return affected
+
+    def flush_metrics(self) -> None:
+        """Move accumulated tallies into the registry (end of run)."""
+        if self._m_enabled and self._n_resettles:
+            self._m_resettles.inc(self._n_resettles)
+            self._m_tasks_resettled.inc(self._n_tasks_resettled)
+            self._n_resettles = 0
+            self._n_tasks_resettled = 0
 
     def _fill(self, tasks: Iterable[Task]) -> None:
         """Progressive filling over ``tasks`` (a resource-closed set)."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from repro.obs.metrics import get_metrics
 from repro.sim.ops import ANY_SOURCE, ANY_TAG, RequestHandle
 
 
@@ -26,6 +27,7 @@ class Message:
         "nbytes",
         "eager",
         "delivered",
+        "t_sent",
         "t_delivered",
         "flow_started",
         "send_req",
@@ -39,6 +41,7 @@ class Message:
         self.nbytes = nbytes
         self.eager = eager
         self.delivered = False
+        self.t_sent = float("nan")
         self.t_delivered = float("nan")
         self.flow_started = False
         self.send_req: Optional[RequestHandle] = None
@@ -58,9 +61,18 @@ def _compatible(want_src: int, want_tag: int, src: int, tag: int) -> bool:
 
 
 class Mailbox:
-    """Per-destination-rank matching state."""
+    """Per-destination-rank matching state.
 
-    __slots__ = ("rank", "posted", "unexpected")
+    When the active metrics registry is enabled, mailboxes report
+    matching behaviour — how many sends found a posted receive versus
+    arrived unexpected, and how deep the queues got — numbers that
+    decide eager/rendezvous cost in real MPI implementations.
+    """
+
+    __slots__ = ("rank", "posted", "unexpected", "_m_enabled",
+                 "_m_matched", "_m_unexpected", "_m_from_unexpected",
+                 "_m_queue_depth", "_n_matched", "_n_unexpected",
+                 "_n_from_unexpected")
 
     def __init__(self, rank: int):
         self.rank = rank
@@ -68,6 +80,30 @@ class Mailbox:
         self.posted: deque[RequestHandle] = deque()
         #: Messages that arrived (were sent) before a matching receive.
         self.unexpected: deque[Message] = deque()
+        metrics = get_metrics()
+        self._m_enabled = metrics.enabled
+        if self._m_enabled:
+            self._m_matched = metrics.counter(
+                "match.sends_matched", "sends that found a posted receive"
+            )
+            self._m_unexpected = metrics.counter(
+                "match.sends_unexpected", "sends queued as unexpected"
+            )
+            self._m_from_unexpected = metrics.counter(
+                "match.recvs_from_unexpected",
+                "receives satisfied from the unexpected queue",
+            )
+            self._m_queue_depth = metrics.histogram(
+                "match.unexpected_depth",
+                "unexpected-queue depth at enqueue time",
+                buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+            )
+            # Plain-int tallies, flushed once per run: matching runs on
+            # every message, so per-event Counter.inc would eat the
+            # enabled-mode overhead budget.
+            self._n_matched = 0
+            self._n_unexpected = 0
+            self._n_from_unexpected = 0
 
     def match_send(self, msg: Message) -> Optional[RequestHandle]:
         """Match an incoming send against posted receives.
@@ -80,10 +116,15 @@ class Mailbox:
         for i, req in enumerate(posted):
             if _compatible(req.peer, req.tag, msg.src, msg.tag):
                 del posted[i]
+                if self._m_enabled:
+                    self._n_matched += 1
                 return req
         return None
 
     def add_unexpected(self, msg: Message) -> None:
+        if self._m_enabled:
+            self._n_unexpected += 1
+            self._m_queue_depth.observe(len(self.unexpected))
         self.unexpected.append(msg)
 
     def match_recv(self, source: int, tag: int) -> Optional[Message]:
@@ -92,11 +133,26 @@ class Mailbox:
         for i, msg in enumerate(unexpected):
             if _compatible(source, tag, msg.src, msg.tag):
                 del unexpected[i]
+                if self._m_enabled:
+                    self._n_from_unexpected += 1
                 return msg
         return None
 
     def add_posted(self, req: RequestHandle) -> None:
         self.posted.append(req)
+
+    def flush_metrics(self) -> None:
+        """Move accumulated tallies into the registry (end of run)."""
+        if self._m_enabled:
+            if self._n_matched:
+                self._m_matched.inc(self._n_matched)
+            if self._n_unexpected:
+                self._m_unexpected.inc(self._n_unexpected)
+            if self._n_from_unexpected:
+                self._m_from_unexpected.inc(self._n_from_unexpected)
+            self._n_matched = 0
+            self._n_unexpected = 0
+            self._n_from_unexpected = 0
 
     def outstanding(self) -> tuple[int, int]:
         """(posted receives, unexpected messages) — deadlock diagnostics."""

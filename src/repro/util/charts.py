@@ -69,6 +69,54 @@ def grouped_bar_chart(
     return "\n".join(lines)
 
 
+#: Glyph cycle for segments of a stacked bar (compute, mpi, ...).
+_SEGMENT_GLYPHS = ("█", "░", "▒", "▓")
+
+
+def segmented_bar_chart(
+    title: str,
+    rows: Mapping[str, Sequence[tuple[str, float]]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Stacked horizontal bars: one bar per row, one glyph per segment.
+
+    ``rows`` maps a row label to ``[(segment label, value), ...]``;
+    segment order is preserved and all rows share one scale (the
+    largest row total). Used by the timeline recorder's per-rank
+    activity summary, where the segments are compute vs MPI time.
+    """
+    if not rows:
+        raise ValueError("segmented_bar_chart needs at least one row")
+    for segments in rows.values():
+        if any(v < 0 for _, v in segments):
+            raise ValueError("segmented_bar_chart values must be non-negative")
+    peak = max(sum(v for _, v in segments) for segments in rows.values()) or 1.0
+    label_w = max(len(str(k)) for k in rows)
+    seg_labels: list[str] = []
+    for segments in rows.values():
+        for name, _ in segments:
+            if name not in seg_labels:
+                seg_labels.append(name)
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{_SEGMENT_GLYPHS[i % len(_SEGMENT_GLYPHS)]} {name}"
+        for i, name in enumerate(seg_labels)
+    )
+    lines.append(legend)
+    for label, segments in rows.items():
+        total = sum(v for _, v in segments)
+        bar = ""
+        for name, value in segments:
+            glyph = _SEGMENT_GLYPHS[seg_labels.index(name) % len(_SEGMENT_GLYPHS)]
+            bar += glyph * int(round(value / peak * width))
+        lines.append(
+            f"{str(label).ljust(label_w)} |{bar.ljust(width)}| "
+            f"{total:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
 def series_summary(values: Sequence[float]) -> str:
     """One-line min/avg/max summary used under charts."""
     if not values:

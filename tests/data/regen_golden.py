@@ -1,0 +1,28 @@
+"""Regenerate the golden timeline file after an intentional format
+change to the Chrome-trace exporter::
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from test_obs_timeline import GOLDEN, golden_program, record_run  # noqa: E402
+
+
+def main() -> None:
+    recorder, result = record_run(golden_program())
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN, "w", encoding="utf-8") as fh:
+        json.dump(recorder.to_chrome_trace(), fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {GOLDEN} (run elapsed {result.elapsed:.6f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -72,3 +72,76 @@ class TestCommands:
         rc = main(["skeleton", str(tmp_path / "missing.trace")])
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    def test_timeline_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "tl.json"
+        rc = main([
+            "timeline", "cg", "--klass", "S", "--samples", "20",
+            "-o", str(out_file),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        assert "rank 0" in out
+        trace = json.loads(out_file.read_text())
+        assert trace["traceEvents"]
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"X", "M", "C"} <= phases
+
+    def test_timeline_under_scenario(self, tmp_path):
+        out_file = str(tmp_path / "tl.json")
+        rc = main([
+            "timeline", "cg", "--klass", "S", "--scenario", "cpu-one-node",
+            "--samples", "0", "-o", out_file,
+        ])
+        assert rc == 0
+
+    def test_timeline_unknown_scenario(self, capsys):
+        rc = main(["timeline", "cg", "--klass", "S", "--scenario", "bogus"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_prints_metrics_report(self, capsys):
+        rc = main([
+            "profile", "cg", "--klass", "S", "--target", "0.05",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine.messages" in out
+        assert "construct.threshold_iterations" in out
+        assert "stage timings" in out
+
+    def test_profile_leaves_global_registry_disabled(self):
+        from repro.obs import get_metrics
+
+        main(["profile", "cg", "--klass", "S", "--target", "0.05"])
+        assert not get_metrics().enabled
+
+    def test_metrics_out_flag_on_existing_command(self, tmp_path, capsys):
+        import json
+
+        metrics_file = tmp_path / "m.json"
+        trace_file = str(tmp_path / "cg.trace")
+        rc = main([
+            "--metrics-out", str(metrics_file),
+            "trace", "cg", "--klass", "S", "-o", trace_file,
+        ])
+        assert rc == 0
+        assert "metrics written" in capsys.readouterr().err
+        data = json.loads(metrics_file.read_text())
+        assert data["engine.runs"]["value"] == 1
+        assert data["engine.messages"]["value"] > 0
+
+    def test_metrics_out_restores_registry(self, tmp_path):
+        from repro.obs import get_metrics
+
+        main([
+            "--metrics-out", str(tmp_path / "m.json"),
+            "trace", "cg", "--klass", "S",
+            "-o", str(tmp_path / "cg.trace"),
+        ])
+        assert not get_metrics().enabled

@@ -1,0 +1,77 @@
+"""EngineHook contract tests: the base class is a complete no-op
+observer, and every extension point actually fires."""
+
+from __future__ import annotations
+
+from repro.cluster import paper_testbed
+from repro.sim import run_program
+from repro.sim.engine import EngineHook
+
+
+class TestDefaultNoop:
+    def test_every_method_is_callable_and_returns_none(self):
+        hook = EngineHook()
+        assert hook.on_run_start(4, 0.0) is None
+        assert hook.on_call(0, "MPI_Send", {"peer": 1}, 0.0, 1.0) is None
+        assert hook.on_message(0, 1, 1024, 7, 0.0, 0.5) is None
+        assert hook.on_sample(0.5, {"cpu[n0]": 0.5}) is None
+        assert hook.on_run_end((1.0, 2.0)) is None
+
+    def test_sampling_disabled_by_default(self):
+        assert EngineHook.sample_period == 0.0
+
+    def test_run_with_base_hook_matches_unhooked_run(
+        self, cluster, pingpong_program
+    ):
+        """A default hook observes without disturbing the simulation."""
+        plain = run_program(pingpong_program, cluster)
+        hooked = run_program(pingpong_program, cluster, hook=EngineHook())
+        assert hooked == plain
+
+
+class RecordingHook(EngineHook):
+    """Overrides everything; used to verify dispatch order/coverage."""
+
+    def __init__(self):
+        self.sample_period = 0.005
+        self.events: list[tuple] = []
+
+    def on_run_start(self, nranks, t):
+        self.events.append(("start", nranks, t))
+
+    def on_call(self, rank, name, params, t_start, t_end):
+        self.events.append(("call", rank, name))
+
+    def on_message(self, src, dst, nbytes, tag, t_sent, t_delivered):
+        self.events.append(("msg", src, dst, nbytes))
+
+    def on_sample(self, t, utilization):
+        self.events.append(("sample", t))
+
+    def on_run_end(self, finish_times):
+        self.events.append(("end", tuple(finish_times)))
+
+
+class TestDispatch:
+    def test_all_extension_points_fire(self, cluster, pingpong_program):
+        hook = RecordingHook()
+        result = run_program(pingpong_program, cluster, hook=hook)
+        kinds = [e[0] for e in hook.events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "end"
+        assert kinds.count("msg") == result.n_messages
+        assert "call" in kinds
+        assert "sample" in kinds
+        assert hook.events[0] == ("start", pingpong_program.nranks, 0.0)
+        assert hook.events[-1] == ("end", result.finish_times)
+
+    def test_message_dispatch_skipped_for_base_hook(self, cluster):
+        """The engine resolves on_message dispatch from the hook class."""
+        from repro.sim.engine import Engine
+
+        engine = Engine(cluster, hook=EngineHook())
+        assert not engine._emit_messages
+        engine = Engine(cluster, hook=RecordingHook())
+        assert engine._emit_messages
+        engine = Engine(cluster, hook=None)
+        assert not engine._emit_messages

@@ -1,0 +1,238 @@
+"""Metrics registry unit tests and instrumentation integration tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import build_skeleton, compress_trace
+from repro.obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    enabled_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.metrics import render_metrics
+from repro.sim import run_program
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        m = MetricsRegistry()
+        c = m.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_are_independent(self):
+        c = MetricsRegistry().counter("calls")
+        c.labels(call="MPI_Send").inc(3)
+        c.labels(call="MPI_Recv").inc(1)
+        c.labels(call="MPI_Send").inc()
+        snap = c.snapshot()
+        assert snap["labels"]["call=MPI_Send"] == 4
+        assert snap["labels"]["call=MPI_Recv"] == 1
+
+    def test_same_name_same_object(self):
+        m = MetricsRegistry()
+        assert m.counter("x") is m.counter("x")
+
+    def test_type_conflict_rejected(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+
+class TestHistogram:
+    def test_buckets_cumulative(self):
+        h = MetricsRegistry().histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"] == {"1": 1, "10": 2, "100": 3}
+        assert snap["sum"] == pytest.approx(555.5)
+        assert snap["min"] == 0.5 and snap["max"] == 500
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_timer_records_wall_time(self):
+        m = MetricsRegistry()
+        with m.timer("stage") as t:
+            sum(range(1000))
+        assert t.elapsed >= 0
+        assert m["stage_seconds"].count == 1
+
+
+class TestDisabledRegistry:
+    def test_disabled_returns_null_instrument(self):
+        m = MetricsRegistry(enabled=False)
+        c = m.counter("x")
+        c.inc()
+        c.labels(a=1).inc(5)
+        assert c.value == 0.0
+        assert m.snapshot() == {}
+
+    def test_null_registry_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1)
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_default_active_registry_is_disabled(self):
+        assert not get_metrics().enabled
+
+
+class TestGlobalRegistry:
+    def test_set_and_restore(self):
+        mine = MetricsRegistry()
+        prev = set_metrics(mine)
+        try:
+            assert get_metrics() is mine
+        finally:
+            set_metrics(prev)
+        assert get_metrics() is prev
+
+    def test_set_none_restores_null(self):
+        prev = set_metrics(MetricsRegistry())
+        set_metrics(None)
+        assert get_metrics() is NULL_REGISTRY
+        set_metrics(prev)
+
+    def test_enabled_metrics_scope(self):
+        before = get_metrics()
+        with enabled_metrics() as m:
+            assert get_metrics() is m
+            assert m.enabled
+        assert get_metrics() is before
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        m = MetricsRegistry()
+        m.counter("a").inc(2)
+        m.gauge("b").set(1.5)
+        m.histogram("c", buckets=(1,)).observe(0.5)
+        data = json.loads(m.to_json())
+        assert data["a"]["value"] == 2
+        assert data["b"]["value"] == 1.5
+        assert data["c"]["count"] == 1
+
+    def test_write(self, tmp_path):
+        m = MetricsRegistry()
+        m.counter("a").inc()
+        path = tmp_path / "m.json"
+        m.write(str(path))
+        assert json.loads(path.read_text())["a"]["value"] == 1
+
+    def test_render_metrics(self):
+        m = MetricsRegistry()
+        m.counter("engine.events").inc(10)
+        m.histogram("stage_seconds").observe(0.5)
+        m.histogram("depth", buckets=(1, 2)).observe(1)
+        text = render_metrics(m)
+        assert "engine.events" in text
+        assert "stage timings" in text
+        assert "depth" in text
+
+    def test_render_empty(self):
+        assert render_metrics(MetricsRegistry()) == "no metrics recorded"
+
+
+class TestEngineInstrumentation:
+    def test_run_reports_counters(self, cluster, pingpong_program):
+        with enabled_metrics() as m:
+            result = run_program(pingpong_program, cluster)
+        assert m["engine.runs"].value == 1
+        assert m["engine.messages"].value == result.n_messages
+        assert m["engine.events"].value == result.n_events
+        assert m["engine.run_wall_seconds"].count == 1
+        # Every message either matched a posted receive or was queued
+        # unexpected — the two counters partition the message count.
+        matched = m["match.sends_matched"].value
+        unexpected = m["match.sends_unexpected"].value
+        assert matched + unexpected == result.n_messages
+        assert m["fluid.resettles"].value > 0
+
+    def test_metrics_do_not_change_simulation(self, cluster, pingpong_program):
+        baseline = run_program(pingpong_program, cluster)
+        with enabled_metrics():
+            instrumented = run_program(pingpong_program, cluster)
+        assert instrumented == baseline
+
+
+class TestConstructionInstrumentation:
+    def test_compress_reports_counters(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        with enabled_metrics() as m:
+            sig = compress_trace(trace, target_ratio=2.0)
+        assert m["construct.compressions"].value == 1
+        assert m["construct.threshold_iterations"].value >= 1
+        created = m["construct.clusters_created"].value
+        merges = m["construct.cluster_merges"].value
+        # Every clustered event either opened a cluster or was absorbed.
+        # Coordinated collectives are assigned once per occurrence (not
+        # per rank), so each search pass assigns at most trace_events.
+        iterations = m["construct.threshold_iterations"].value
+        assert 0 < created + merges <= iterations * sig.trace_events
+        assert m["construct.fold_attempts"].value > 0
+        assert m["construct.compress_seconds"].count == 1
+        assert m["construct.last_compression_ratio"].value == pytest.approx(
+            sig.compression_ratio
+        )
+
+    def test_build_skeleton_reports_stage_time(self, cg_s_trace):
+        trace, _ = cg_s_trace
+        with enabled_metrics() as m:
+            build_skeleton(trace, target_seconds=0.05)
+        assert m["construct.skeletons_built"].value == 1
+        assert m["construct.build_skeleton_seconds"].count == 1
+
+
+@pytest.mark.tier2
+class TestCampaignInstrumentation:
+    def test_runner_counts_runs(self, tmp_path, capsys):
+        from repro.experiments import ExperimentConfig, run_experiments
+
+        cfg = ExperimentConfig(
+            benchmarks=("cg",), klass="S", skeleton_targets=(0.05,)
+        )
+        with enabled_metrics() as m:
+            run_experiments(cfg, cache_dir=str(tmp_path), verbose=True)
+        out = capsys.readouterr().out
+        # Structured per-run lines: id, scenario, seed, durations, ETA.
+        assert "id=cg.S/trace scenario=dedicated seed=0" in out
+        assert "eta=" in out
+        total = int(m["campaign.runs"].value)
+        assert f"run {total}/{total} " in out
+        assert m["campaign.run_wall_seconds"].count == total
+
+    def test_runner_quiet_by_default(self, tmp_path, capsys):
+        from repro.experiments import ExperimentConfig, run_experiments
+
+        cfg = ExperimentConfig(
+            benchmarks=("cg",), klass="S", skeleton_targets=(0.05,)
+        )
+        run_experiments(cfg, cache_dir=str(tmp_path))
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,201 @@
+"""Timeline recorder tests: span reconciliation, Chrome-trace schema,
+golden-file format lock, and utilization sampling."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import TraceError
+from repro.obs import TimelineRecorder
+from repro.sim import Compute, Program, Recv, Send, run_program
+from repro.workloads import get_program
+
+GOLDEN = Path(__file__).parent / "data" / "pingpong_timeline.json"
+
+#: Valid Chrome trace event phases used by the exporter.
+_PHASES = {"X", "M", "C"}
+
+
+def golden_program() -> Program:
+    """The fixed 2-rank exchange behind the golden timeline file."""
+
+    def gen(rank: int, size: int):
+        if rank == 0:
+            yield Compute(0.01)
+            yield Send(dest=1, nbytes=1000, tag=5)
+            yield Recv(source=1, tag=6)
+        else:
+            yield Recv(source=0, tag=5)
+            yield Compute(0.02)
+            yield Send(dest=0, nbytes=1000, tag=6)
+
+    return Program("pingpong", 2, gen)
+
+
+def record_run(program, **recorder_kwargs):
+    cluster = paper_testbed()
+    recorder = TimelineRecorder(
+        program_name=program.name, scenario_name="dedicated", **recorder_kwargs
+    )
+    result = run_program(program, cluster, hook=recorder)
+    return recorder, result
+
+
+def assert_chrome_schema(trace: dict) -> None:
+    """Structural validation of the Chrome trace-event JSON."""
+    assert set(trace) >= {"traceEvents", "displayTimeUnit"}
+    events = trace["traceEvents"]
+    assert events, "trace must contain events"
+    for ev in events:
+        assert ev["ph"] in _PHASES
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert isinstance(ev["pid"], int)
+        assert isinstance(ev["tid"], int)
+        if ev["ph"] == "M":  # metadata carries no timestamp
+            assert "name" in ev["args"]
+            continue
+        assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+        if ev["ph"] == "C":
+            assert ev["args"], "counter events need a value"
+
+
+class TestReconciliation:
+    def test_cg_span_totals_match_run_result(self):
+        """4-rank CG: compute + blocked tile [0, finish] on every rank."""
+        program = get_program("cg", "S", 4)
+        recorder, result = record_run(program)
+        totals = recorder.activity_totals()
+        assert recorder.nranks == 4
+        for rank in range(4):
+            spanned = totals[rank]["compute"] + totals[rank]["mpi"]
+            assert spanned == pytest.approx(
+                result.finish_times[rank], abs=1e-6
+            )
+        # Spans are contiguous and non-overlapping per rank.
+        by_rank: dict = {}
+        for span in recorder.spans:
+            by_rank.setdefault(span.rank, []).append(span)
+        for rank, spans in by_rank.items():
+            spans.sort(key=lambda s: s.t_start)
+            cursor = 0.0
+            for span in spans:
+                if span.duration == 0:
+                    continue
+                assert span.t_start == pytest.approx(cursor, abs=1e-9)
+                cursor = span.t_end
+            assert cursor == pytest.approx(
+                result.finish_times[rank], abs=1e-9
+            )
+
+    def test_messages_recorded(self, cluster):
+        program = get_program("cg", "S", 4)
+        recorder, result = record_run(program)
+        assert len(recorder.messages) == result.n_messages
+        for msg in recorder.messages:
+            assert msg.t_delivered >= msg.t_sent >= 0
+            assert not math.isnan(msg.t_sent)
+
+    def test_recording_does_not_alter_run(self, cluster):
+        program = get_program("mg", "S", 4)
+        baseline = run_program(program, cluster)
+        recorder, recorded = record_run(program)
+        assert recorded == baseline
+
+
+class TestChromeTraceExport:
+    def test_cg_schema_valid(self):
+        program = get_program("cg", "S", 4)
+        recorder, result = record_run(program, sample_period=0.05)
+        trace = recorder.to_chrome_trace()
+        assert_chrome_schema(trace)
+        # One thread-name metadata event per rank under pid 0.
+        thread_names = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert {e["tid"] for e in thread_names} == {0, 1, 2, 3}
+        # Span events reconstruct the activity split.
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert {"compute", "mpi", "message", "utilization"} <= cats
+
+    def test_span_events_total_matches_finish(self):
+        program = get_program("cg", "S", 4)
+        recorder, result = record_run(program)
+        trace = recorder.to_chrome_trace()
+        per_rank: dict[int, float] = {}
+        for ev in trace["traceEvents"]:
+            if ev["ph"] == "X" and ev["pid"] == 0:
+                per_rank[ev["tid"]] = per_rank.get(ev["tid"], 0.0) + ev["dur"]
+        for rank, total_us in per_rank.items():
+            assert total_us / 1e6 == pytest.approx(
+                result.finish_times[rank], abs=1e-6
+            )
+
+    def test_write_round_trip(self, tmp_path):
+        recorder, _ = record_run(golden_program())
+        path = tmp_path / "t.json"
+        recorder.write_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == recorder.to_chrome_trace()
+
+    def test_golden_file(self):
+        """The exporter's output format is locked by a golden file.
+
+        Regenerate with ``python tests/data/regen_golden.py`` after an
+        intentional format change.
+        """
+        recorder, _ = record_run(golden_program())
+        assert recorder.to_chrome_trace() == json.loads(GOLDEN.read_text())
+
+
+class TestSampling:
+    def test_samples_collected(self):
+        program = get_program("cg", "S", 4)
+        recorder, result = record_run(program, sample_period=0.05)
+        assert recorder.samples
+        for t, util in recorder.samples:
+            assert 0 < t <= result.elapsed + 0.05
+            for name, frac in util.items():
+                assert frac >= 0
+        # CPU utilization of a busy dedicated run should show activity.
+        peak = max(
+            frac
+            for _, util in recorder.samples
+            for name, frac in util.items()
+            if name.startswith("cpu")
+        )
+        assert peak > 0
+
+    def test_sampling_does_not_alter_result(self, cluster):
+        program = get_program("cg", "S", 4)
+        plain = run_program(program, cluster)
+        sampled_rec = TimelineRecorder(sample_period=0.01)
+        sampled = run_program(program, cluster, hook=sampled_rec)
+        assert sampled == plain
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(sample_period=-1.0)
+
+
+class TestRendering:
+    def test_summary_lists_all_ranks(self):
+        recorder, _ = record_run(golden_program())
+        text = recorder.render_summary()
+        assert "rank 0" in text and "rank 1" in text
+        assert "compute" in text and "mpi" in text
+        assert "messages: 2" in text
+
+    def test_requires_completed_run(self):
+        rec = TimelineRecorder()
+        with pytest.raises(TraceError):
+            rec.activity_totals()
+        with pytest.raises(TraceError):
+            rec.to_chrome_trace()
