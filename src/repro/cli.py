@@ -17,6 +17,10 @@ Subcommands mirror the paper's workflow:
   activity summary.
 * ``profile``   — run the trace → skeleton pipeline with the metrics
   registry enabled and print the instrumentation report.
+* ``trace validate`` — check a trace file's structure; with
+  ``--salvage``, recover the valid prefix of a corrupt file.
+* ``faults``    — render a fault plan (``faults render``) or run a
+  benchmark under one (``faults apply``); see :mod:`repro.faults`.
 
 Every command also accepts a global ``--metrics-out metrics.json``
 flag that enables the metrics registry for the whole invocation and
@@ -32,6 +36,9 @@ Examples::
     repro-skeleton timeline cg --klass S -o cg_timeline.json
     repro-skeleton profile cg --klass S --scenario cpu-one-node
     repro-skeleton --metrics-out m.json predict cg --target 5
+    repro-skeleton trace validate cg.trace --salvage -o repaired.trace
+    repro-skeleton faults render --stock flapping-link
+    repro-skeleton faults apply cg --klass S --stock cpu-burst
 """
 
 from __future__ import annotations
@@ -63,11 +70,12 @@ def _add_common_bench_args(p: argparse.ArgumentParser) -> None:
 
 def _resolve_scenario(name: str):
     """Scenario by name, or the dedicated baseline for 'dedicated'."""
+    from repro.cluster import volatile_scenarios
     from repro.cluster.contention import DEDICATED
 
     if name in (DEDICATED.name, "dedicated"):
         return DEDICATED
-    scenarios = {s.name: s for s in paper_scenarios()}
+    scenarios = {s.name: s for s in paper_scenarios() + volatile_scenarios()}
     if name not in scenarios:
         raise ReproError(
             f"unknown scenario {name!r}; "
@@ -269,9 +277,99 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    """Validate a trace file; optionally salvage a corrupt one."""
+    from repro.trace import read_trace_salvage, validate_trace
+
+    corrupt = False
+    if args.salvage:
+        trace, report = read_trace_salvage(args.trace)
+        print(report.describe())
+        corrupt = not report.clean
+        if args.output:
+            write_trace(trace, args.output)
+            print(f"salvaged trace written to {args.output}")
+    else:
+        trace = read_trace(args.trace)
+    issues = validate_trace(trace)
+    if issues:
+        print(f"{args.trace}: INVALID ({len(issues)} issue(s))")
+        for issue in issues:
+            print(f"  - {issue}")
+        return 1
+    verdict = "OK (salvaged prefix)" if corrupt else "OK"
+    print(
+        f"{args.trace}: {verdict} — {trace.nranks} rank(s), "
+        f"{trace.n_calls()} call(s)"
+    )
+    return 1 if corrupt else 0
+
+
+def _load_fault_plan(args: argparse.Namespace):
+    """A fault plan from ``--stock NAME`` or a plan JSON file."""
+    from repro.faults import FaultPlan, stock_plans
+
+    if args.stock is not None:
+        plans = stock_plans(seed=args.plan_seed)
+        if args.stock not in plans:
+            raise ReproError(
+                f"unknown stock plan {args.stock!r}; "
+                f"choose from {sorted(plans)}"
+            )
+        return plans[args.stock]
+    if args.plan is not None:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            return FaultPlan.from_json(fh.read())
+    raise ReproError("provide a fault plan: --stock NAME or --plan FILE")
+
+
+def _cmd_faults_render(args: argparse.Namespace) -> int:
+    """Render a fault plan as text; optionally export it as JSON."""
+    plan = _load_fault_plan(args)
+    print(plan.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(plan.to_json() + "\n")
+        print(f"plan written to {args.output}")
+    return 0
+
+
+def _cmd_faults_apply(args: argparse.Namespace) -> int:
+    """Run a benchmark under a fault plan; report the slowdown."""
+    from repro.cluster.contention import Scenario
+    from repro.obs import TimelineRecorder
+
+    plan = _load_fault_plan(args)
+    cluster = paper_testbed()
+    program = get_program(args.benchmark, args.klass, args.nprocs, args.seed)
+    scenario = Scenario(
+        name=plan.name or "faults",
+        description="fault plan applied via the CLI",
+        fault_plan=plan,
+    )
+    baseline = run_program(program, cluster, seed=args.env_seed)
+    recorder = TimelineRecorder(
+        program_name=program.name, scenario_name=scenario.name
+    )
+    result = run_program(
+        program, cluster, scenario, hook=recorder, seed=args.env_seed
+    )
+    print(f"plan             : {plan.describe()}")
+    print(f"fault-free run   : {format_duration(baseline.elapsed)}")
+    print(f"faulted run      : {format_duration(result.elapsed)}")
+    print(f"slowdown         : {result.elapsed / baseline.elapsed:.3f}x")
+    print(f"events applied   : {len(recorder.faults)}")
+    if args.timeline:
+        recorder.write_chrome_trace(args.timeline)
+        print(f"timeline written to {args.timeline} (Perfetto-loadable)")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    config = ExperimentConfig()
-    results = run_experiments(config, force=args.force, verbose=args.verbose)
+    config = ExperimentConfig(include_volatile=args.volatile)
+    results = run_experiments(
+        config, force=args.force, resume=args.resume, verbose=args.verbose
+    )
     builders = {
         2: fig_mod.figure2_activity,
         3: fig_mod.figure3_error_by_benchmark,
@@ -351,10 +449,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skeleton sizes to validate (seconds)")
     p.set_defaults(func=_cmd_validate)
 
+    p = sub.add_parser(
+        "trace-validate",
+        help="validate a trace file ('trace validate' works too)",
+    )
+    p.add_argument("trace", help="trace file to check")
+    p.add_argument("--salvage", action="store_true",
+                   help="recover the valid prefix of a corrupt file")
+    p.add_argument("-o", "--output", default=None,
+                   help="with --salvage: write the recovered trace here")
+    p.set_defaults(func=_cmd_trace_validate)
+
+    p = sub.add_parser("faults", help="render or apply fault plans")
+    fsub = p.add_subparsers(dest="faults_command", required=True)
+    for name, helptext, func in (
+        ("render", "print a fault plan (optionally export JSON)",
+         _cmd_faults_render),
+        ("apply", "run a benchmark under a fault plan", _cmd_faults_apply),
+    ):
+        fp = fsub.add_parser(name, help=helptext)
+        if name == "apply":
+            _add_common_bench_args(fp)
+            fp.add_argument("--env-seed", type=int, default=0,
+                            help="environment randomness seed")
+            fp.add_argument("--timeline", default=None, metavar="PATH",
+                            help="also write a Perfetto timeline JSON")
+        fp.add_argument("--stock", default=None,
+                        help="a stock plan by name (see repro.faults)")
+        fp.add_argument("--plan", default=None, metavar="FILE",
+                        help="a fault-plan JSON file")
+        fp.add_argument("--plan-seed", type=int, default=0,
+                        help="seed for stock plan generation")
+        if name == "render":
+            fp.add_argument("-o", "--output", default=None,
+                            help="export the plan as JSON")
+        fp.set_defaults(func=func)
+
     p = sub.add_parser("experiment", help="run the evaluation campaign")
     p.add_argument("--figure", type=int, choices=range(2, 8), default=None)
     p.add_argument("--force", action="store_true",
                    help="ignore cached results")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted campaign from its journal")
+    p.add_argument("--volatile", action="store_true",
+                   help="also score skeletons under the volatile "
+                   "fault-plan scenarios")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="structured per-run progress lines with ETA")
     p.set_defaults(func=_cmd_experiment)
@@ -388,9 +527,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _normalize_argv(argv: Sequence[str]) -> list[str]:
+    """Map the natural ``trace validate FILE`` spelling onto the
+    ``trace-validate`` subcommand (``trace`` already takes a benchmark
+    name as its positional, so argparse cannot nest it)."""
+    argv = list(argv)
+    i = 0
+    while i < len(argv):
+        tok = argv[i]
+        if tok == "--metrics-out":
+            i += 2
+            continue
+        if tok.startswith("-"):
+            i += 1
+            continue
+        if tok == "trace" and i + 1 < len(argv) and argv[i + 1] == "validate":
+            argv[i : i + 2] = ["trace-validate"]
+        break
+    return argv
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(
+        _normalize_argv(sys.argv[1:] if argv is None else argv)
+    )
     warnings.simplefilter("default")
     from repro.obs import MetricsRegistry, set_metrics
 

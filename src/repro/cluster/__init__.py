@@ -10,6 +10,7 @@ from repro.cluster.scenarios import (
     link_all,
     link_one,
     paper_scenarios,
+    volatile_scenarios,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "link_all",
     "link_one",
     "paper_scenarios",
+    "volatile_scenarios",
 ]

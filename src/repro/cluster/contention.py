@@ -16,6 +16,7 @@ from typing import Mapping, Optional
 
 from repro.errors import TopologyError
 from repro.cluster.topology import Cluster
+from repro.faults.plan import FaultPlan
 
 
 def _frozen(mapping: Mapping[int, object]) -> Mapping[int, object]:
@@ -81,6 +82,9 @@ class Scenario:
     load_model: Optional[LoadModel] = None
     #: Fluctuation of throttled-link bandwidth (None = constant cap).
     traffic_model: Optional[TrafficModel] = None
+    #: Deterministic fault events applied during the run (None/empty =
+    #: no faults; see :mod:`repro.faults`).
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "competing", _frozen(self.competing))
@@ -104,6 +108,10 @@ class Scenario:
                     f"scenario {self.name!r} references node {node}, "
                     f"cluster has {cluster.nnodes} nodes"
                 )
+        if self.fault_plan is not None:
+            # Rank-targeted events are checked again at run start, when
+            # the rank count is known.
+            self.fault_plan.validate_against(cluster.nnodes)
 
     def describe(self) -> str:
         parts = []
@@ -111,6 +119,8 @@ class Scenario:
             parts.append(f"{count} competing process(es) on node {node}")
         for node, cap in sorted(self.nic_caps.items()):
             parts.append(f"NIC of node {node} capped at {cap / 1e6:.3g} MB/s")
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            parts.append(self.fault_plan.describe())
         return "; ".join(parts) if parts else "dedicated (no sharing)"
 
 

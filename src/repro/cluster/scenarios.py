@@ -118,3 +118,31 @@ def paper_scenarios(nnodes: int = 4, steady: bool = False) -> list[Scenario]:
         link_all(nnodes, steady=steady),
         combined_cpu_and_link(steady=steady),
     ]
+
+
+def volatile_scenarios(
+    nnodes: int = 4, seed: int = 0, horizon: float = 300.0
+) -> list[Scenario]:
+    """Volatile environments beyond the paper's static sharing: fault
+    plans of transient, time-varying perturbations (see
+    :mod:`repro.faults`). ``seed`` fixes the flap/burst cadence,
+    ``horizon`` the simulated time span the plans cover.
+
+    * ``cpu-burst`` — bursty external CPU interference on node 0;
+    * ``link-flap`` — node 0's link repeatedly collapsing to 10% of its
+      bandwidth and recovering, WAN-style flapping.
+    """
+    from repro.faults.plan import cpu_burst_plan, flapping_link_plan
+
+    return [
+        Scenario(
+            name="cpu-burst",
+            description="bursty competing CPU interference on node 0",
+            fault_plan=cpu_burst_plan(node=0, seed=seed, horizon=horizon),
+        ),
+        Scenario(
+            name="link-flap",
+            description="flapping link: node 0 NIC repeatedly degrades to 10%",
+            fault_plan=flapping_link_plan(node=0, seed=seed, horizon=horizon),
+        ),
+    ]

@@ -22,10 +22,18 @@ class DeadlockError(SimulationError):
     or an unpaired collective) and no event remains in the queue.
     """
 
-    def __init__(self, message: str, blocked_ranks: list[int] | None = None):
+    def __init__(
+        self,
+        message: str,
+        blocked_ranks: list[int] | None = None,
+        blocked_ops: dict[int, str] | None = None,
+    ):
         super().__init__(message)
         #: Ranks that were blocked when the deadlock was detected.
         self.blocked_ranks: list[int] = blocked_ranks or []
+        #: rank -> description of the operation it was blocked in
+        #: (call name plus peer/tag), when known.
+        self.blocked_ops: dict[int, str] = blocked_ops or {}
 
 
 class ProgramError(SimulationError):
@@ -51,6 +59,23 @@ class SkeletonError(ReproError):
 class SkeletonQualityWarning(UserWarning):
     """Warning issued when a requested skeleton is smaller than the
     estimated shortest *good* skeleton (paper section 3.4)."""
+
+
+class FaultError(ReproError):
+    """Invalid fault plan (unknown event kind, bad window, bad target)."""
+
+
+class InjectedCrashError(SimulationError):
+    """A fault plan crashed a rank with no restart; the run is lost."""
+
+    def __init__(self, message: str, rank: int = -1, t: float = float("nan")):
+        super().__init__(message)
+        self.rank = rank
+        self.t = t
+
+
+class RunTimeoutError(ReproError):
+    """A run exceeded its wall-clock budget and was aborted."""
 
 
 class ExperimentError(ReproError):

@@ -1,6 +1,7 @@
 """The paper's experiment matrix and figure regeneration (section 4)."""
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.journal import CampaignJournal
 from repro.experiments.runner import ExperimentResults, ExperimentRunner, run_experiments
 from repro.experiments.figures import (
     figure2_activity,
@@ -20,6 +21,7 @@ __all__ = [
     "SizeSweep",
     "SweepPoint",
     "sweep_skeleton_sizes",
+    "CampaignJournal",
     "ExperimentConfig",
     "ExperimentResults",
     "ExperimentRunner",

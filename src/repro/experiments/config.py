@@ -35,6 +35,9 @@ class ExperimentConfig:
     environment_seed: int = 777
     #: Steady (deterministic) contention instead of bursty sharing.
     steady: bool = False
+    #: Also score skeletons under the volatile fault-plan scenarios
+    #: (:func:`repro.cluster.scenarios.volatile_scenarios`).
+    include_volatile: bool = False
 
     def key(self) -> str:
         """Stable content hash used as the results-cache key."""

@@ -1,0 +1,91 @@
+"""JSON-lines campaign journal: exact checkpoint/resume for campaigns.
+
+Every completed (or permanently failed) run is appended to a journal
+file as one JSON line, flushed and fsync'd immediately so a campaign
+killed at any instant loses at most the line being written. On
+``--resume`` the journal is replayed: runs recorded as ``ok`` are
+reconstructed from their journaled measurements instead of being
+re-executed, so resuming an interrupted campaign re-runs *zero*
+completed work and — because journaled floats round-trip exactly
+through JSON — produces byte-identical results.
+
+The journal is append-only; when the same key appears twice the last
+entry wins. Loading tolerates a truncated or corrupt trailing line
+(the signature of a mid-write kill) by skipping it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+
+class CampaignJournal:
+    """Append-only JSON-lines record of campaign run outcomes.
+
+    Keys are opaque strings (the runner uses
+    ``"{run_id}::{scenario}::{seed}"``); values are JSON-serialisable
+    dicts carrying at least ``{"status": "ok" | "failed"}``.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = Path(path)
+        self._fh = None
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self) -> dict[str, dict]:
+        """Replay the journal into ``{key: last entry}``.
+
+        Corrupt or truncated lines (a kill mid-write) are skipped;
+        everything durably written before them is still honoured.
+        """
+        entries: dict[str, dict] = {}
+        if not self.path.exists():
+            return entries
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(obj, dict) and "key" in obj:
+                    entries[str(obj["key"])] = obj
+        return entries
+
+    # -- writing ---------------------------------------------------------
+
+    def record(self, key: str, entry: dict) -> None:
+        """Append one entry and force it to disk before returning."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        payload = {"key": key, **entry}
+        self._fh.write(json.dumps(payload) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def remove(self) -> None:
+        """Delete the journal file (campaign finished or restarted)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None

@@ -53,28 +53,76 @@ def overall_average_error(results: ExperimentResults) -> float:
     return sum(errors) / len(errors)
 
 
+def partial_banner(results: ExperimentResults) -> str:
+    """A prominent banner describing failed benchmarks, or ``""``."""
+    if not results.is_partial:
+        return ""
+    lines = [
+        "=" * 64,
+        f"PARTIAL RESULTS: {len(results.failures)} benchmark(s) failed "
+        f"and are excluded below",
+    ]
+    for bench, info in sorted(results.failures.items()):
+        lines.append(
+            f"  {bench}: {info.get('error_type', 'error')} in "
+            f"{info.get('run', '?')}: {info.get('error', '')}"
+        )
+    lines.append("=" * 64)
+    return "\n".join(lines)
+
+
 def full_report(results: ExperimentResults) -> str:
-    """Render every figure plus the headline summary as text."""
+    """Render every figure plus the headline summary as text.
+
+    Partial campaigns (some benchmarks failed) render what completed,
+    behind a banner; a figure that cannot be computed from the partial
+    data degrades to a one-line note instead of killing the report.
+    """
+    if not results.benchmarks():
+        banner = partial_banner(results)
+        return (banner + "\n" if banner else "") + (
+            "no completed benchmarks: nothing to report"
+        )
+
+    def render(label: str, fn) -> str:
+        try:
+            return fn()
+        except (ArithmeticError, KeyError, IndexError, ValueError) as exc:
+            return f"[{label} unavailable on partial results: {exc}]"
+
     parts = [
         f"Benchmarks: {', '.join(b.upper() for b in results.benchmarks())} "
         f"(class {results.config['klass']}, {results.config['nprocs']} ranks)",
         "",
-        figure2_activity(results).render(),
+        render("figure 2", lambda: figure2_activity(results).render()),
         "",
-        figure3_error_by_benchmark(results).render(),
+        render("figure 3", lambda: figure3_error_by_benchmark(results).render()),
         "",
-        figure4_good_skeletons(results).render(),
+        render("figure 4", lambda: figure4_good_skeletons(results).render()),
         "",
-        figure5_error_by_size(results).render(),
+        render("figure 5", lambda: figure5_error_by_size(results).render()),
         "",
-        figure6_error_by_scenario(results, results.targets()[0]).render(),
+        render(
+            "figure 6",
+            lambda: figure6_error_by_scenario(
+                results, results.targets()[0]
+            ).render(),
+        ),
         "",
-        figure7_baselines(results).render(),
+        render("figure 7", lambda: figure7_baselines(results).render()),
         "",
-        error_charts(results),
+        render("error charts", lambda: error_charts(results)),
         "",
-        f"Overall average prediction error: "
-        f"{overall_average_error(results):.1f}% "
-        f"(paper reports 6.7%)",
+        render(
+            "overall error",
+            lambda: (
+                f"Overall average prediction error: "
+                f"{overall_average_error(results):.1f}% "
+                f"(paper reports 6.7%)"
+            ),
+        ),
     ]
+    banner = partial_banner(results)
+    if banner:
+        parts = [banner, ""] + parts
     return "\n".join(parts)

@@ -1,4 +1,4 @@
-"""Experiment campaign runner with result caching.
+"""Experiment campaign runner with result caching and crash resilience.
 
 Executes the paper's full matrix:
 
@@ -11,10 +11,24 @@ Executes the paper's full matrix:
 
 Raw measurements are cached as JSON under ``.repro_cache/`` keyed by
 the configuration hash, so all figure benches share one campaign.
+
+Resilience (see :mod:`repro.faults.resilience` and
+:mod:`repro.experiments.journal`):
+
+* every run executes under a :class:`~repro.faults.resilience.RetryPolicy`
+  — wall-clock timeout plus bounded, seed-stable retries of host-level
+  failures;
+* a run that fails permanently becomes a structured record in
+  ``ExperimentResults.failures`` for its benchmark instead of killing
+  the campaign (remaining benchmarks still run);
+* every completed run is journaled (JSON-lines, fsync'd), so a killed
+  campaign resumed with ``run(resume=True)`` re-executes zero
+  completed runs and produces byte-identical results.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -23,15 +37,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
 
-from repro.cluster.scenarios import paper_scenarios
+from repro.cluster.scenarios import paper_scenarios, volatile_scenarios
 from repro.cluster.topology import Cluster, paper_testbed
 from repro.core.construct import build_skeleton
-from repro.errors import ExperimentError, SkeletonQualityWarning
+from repro.errors import ExperimentError, SkeletonQualityWarning, TraceError
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.journal import CampaignJournal
+from repro.faults.resilience import RetryPolicy, resilient_call
 from repro.obs.metrics import get_metrics
 from repro.predict.metrics import prediction_error_percent
+from repro.sim.engine import RunResult
 from repro.sim.program import run_program
 from repro.trace.analysis import activity_breakdown
+from repro.trace.io import read_trace, write_trace
 from repro.trace.tracer import trace_program
 from repro.util.rng import derive_seed
 from repro.workloads import get_program
@@ -41,21 +59,38 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 
 @dataclass
 class ExperimentResults:
-    """All raw measurements of one campaign plus derived errors."""
+    """All raw measurements of one campaign plus derived errors.
+
+    ``failures`` maps each benchmark that could not be completed to a
+    structured failure record (``run`` key, exception type, message);
+    its partial measurements are dropped so every benchmark present in
+    ``apps``/``skeletons``/``class_s`` is complete.
+    """
 
     config: dict
     scenario_names: list[str]
     apps: dict = field(default_factory=dict)
     skeletons: dict = field(default_factory=dict)
     class_s: dict = field(default_factory=dict)
+    failures: dict = field(default_factory=dict)
 
     # -- derived quantities ---------------------------------------------
 
     def benchmarks(self) -> list[str]:
-        return list(self.config["benchmarks"])
+        """Completed benchmarks, in configuration order."""
+        return [
+            b
+            for b in self.config["benchmarks"]
+            if b in self.apps and b in self.skeletons and b in self.class_s
+        ]
 
     def targets(self) -> list[float]:
         return [float(t) for t in self.config["skeleton_targets"]]
+
+    @property
+    def is_partial(self) -> bool:
+        """True when at least one benchmark failed to complete."""
+        return bool(self.failures)
 
     def skeleton_error(self, bench: str, target: float, scenario: str) -> float:
         """Percent error of the skeleton prediction (paper §4.2)."""
@@ -100,6 +135,7 @@ class ExperimentResults:
                 "apps": self.apps,
                 "skeletons": self.skeletons,
                 "class_s": self.class_s,
+                "failures": self.failures,
             },
             indent=1,
         )
@@ -113,6 +149,7 @@ class ExperimentResults:
             apps=obj["apps"],
             skeletons=obj["skeletons"],
             class_s=obj["class_s"],
+            failures=obj.get("failures", {}),
         )
 
 
@@ -145,8 +182,22 @@ class _CampaignProgress:
         )
 
 
+class _RunFailed(Exception):
+    """Internal: one campaign run failed permanently (after retries)."""
+
+    def __init__(self, key: str, cause: BaseException):
+        super().__init__(f"{key}: {type(cause).__name__}: {cause}")
+        self.key = key
+        self.cause = cause
+
+
 class ExperimentRunner:
-    """Runs (or loads) one experiment campaign."""
+    """Runs (or loads) one experiment campaign.
+
+    ``retry_policy`` governs per-run resilience (timeout, retries); it
+    deliberately lives here and not on :class:`ExperimentConfig`, so
+    tuning it never invalidates cached results.
+    """
 
     def __init__(
         self,
@@ -154,20 +205,36 @@ class ExperimentRunner:
         cluster: Optional[Cluster] = None,
         cache_dir: str = DEFAULT_CACHE_DIR,
         verbose: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.config = config or ExperimentConfig()
         self.cluster = cluster or paper_testbed(self.config.nnodes)
         self.cache_dir = Path(cache_dir)
         self.verbose = verbose
+        self.retry_policy = retry_policy or RetryPolicy()
         self.scenarios = paper_scenarios(
             self.config.nnodes, steady=self.config.steady
         )
+        if self.config.include_volatile:
+            self.scenarios += volatile_scenarios(
+                self.config.nnodes, seed=self.config.environment_seed
+            )
+        #: Runs actually executed / reconstructed from the journal in
+        #: the last ``run()`` call (resume accounting, used by tests).
+        self.n_executed = 0
+        self.n_resumed = 0
+        self._journal: Optional[CampaignJournal] = None
+        self._journal_state: dict[str, dict] = {}
 
     # -- cache -----------------------------------------------------------
 
     @property
     def cache_path(self) -> Path:
         return self.cache_dir / f"results-{self.config.key()}.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.cache_dir / f"journal-{self.config.key()}.jsonl"
 
     def load_cached(self) -> Optional[ExperimentResults]:
         path = self.cache_path
@@ -183,6 +250,76 @@ class ExperimentRunner:
         tmp = self.cache_path.with_suffix(".tmp")
         tmp.write_text(results.to_json())
         os.replace(tmp, self.cache_path)
+
+    # -- journal ---------------------------------------------------------
+
+    def _trace_file(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+        return self.cache_dir / "traces" / f"{digest}.trace"
+
+    def _journal_ok(self, key: str, value) -> None:
+        """Journal one successful run (storing its trace, if any)."""
+        if self._journal is None:
+            return
+        traced = isinstance(value, tuple)
+        result: RunResult = value[1] if traced else value
+        entry = {
+            "status": "ok",
+            "result": {
+                "program": result.program_name,
+                "scenario": result.scenario_name,
+                "nranks": result.nranks,
+                "finish_times": list(result.finish_times),
+                "elapsed": result.elapsed,
+                "n_messages": result.n_messages,
+                "n_events": result.n_events,
+            },
+        }
+        if traced:
+            path = self._trace_file(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            write_trace(value[0], path)
+            entry["trace_file"] = str(path.relative_to(self.cache_dir))
+        self._journal.record(key, entry)
+
+    def _journal_failed(self, key: str, exc: BaseException, attempts: int) -> None:
+        if self._journal is None:
+            return
+        self._journal.record(
+            key,
+            {
+                "status": "failed",
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+                "attempts": attempts,
+            },
+        )
+
+    def _reconstruct(self, entry: dict):
+        """Rebuild a run's value from its journal entry, or None if the
+        journaled artifacts are unusable (forces re-execution)."""
+        res = entry.get("result")
+        if not isinstance(res, dict):
+            return None
+        try:
+            result = RunResult(
+                program_name=str(res["program"]),
+                scenario_name=str(res["scenario"]),
+                nranks=int(res["nranks"]),
+                finish_times=tuple(float(t) for t in res["finish_times"]),
+                elapsed=float(res["elapsed"]),
+                n_messages=int(res["n_messages"]),
+                n_events=int(res["n_events"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        if "trace_file" not in entry:
+            return result
+        try:
+            trace = read_trace(self.cache_dir / entry["trace_file"])
+        except (OSError, TraceError):
+            return None
+        return trace, result
 
     # -- execution ---------------------------------------------------------
 
@@ -209,26 +346,151 @@ class ExperimentRunner:
         seed: int,
         fn: Callable,
     ):
-        """Execute one run, emit its structured log line, count it.
+        """Execute one run resiliently, journal it, count it.
 
         ``fn`` returns either a ``RunResult`` or a ``(trace, RunResult)``
-        pair; the value is passed through unchanged.
+        pair; the value is passed through unchanged. Runs already in
+        the loaded journal are reconstructed instead of re-executed.
+        A run that still fails after retries is journaled as a failure
+        and surfaces as :class:`_RunFailed`.
         """
+        key = f"{run_id}::{scenario_name}::{seed}"
+        metrics = get_metrics()
+        entry = self._journal_state.get(key)
+        if entry is not None and entry.get("status") == "ok":
+            value = self._reconstruct(entry)
+            if value is not None:
+                self.n_resumed += 1
+                progress.record()
+                if metrics.enabled:
+                    metrics.counter(
+                        "campaign.resumed", "runs reconstructed from journal"
+                    ).inc()
+                self._log(f"resumed from journal: {key}")
+                return value
+
+        def _on_retry(attempt: int, exc: BaseException) -> None:
+            if metrics.enabled:
+                metrics.counter("campaign.retries", "campaign run retries").inc()
+            self._log(f"retry {attempt} for {key}: {type(exc).__name__}: {exc}")
+
         t0 = time.perf_counter()
-        value = fn()
+        try:
+            value, attempts = resilient_call(
+                fn, self.retry_policy, on_retry=_on_retry
+            )
+        except Exception as exc:
+            if metrics.enabled:
+                metrics.counter("campaign.failures", "campaign runs failed").inc()
+            self._journal_failed(key, exc, self.retry_policy.max_attempts)
+            raise _RunFailed(key, exc) from exc
         wall = time.perf_counter() - t0
         result = value[1] if isinstance(value, tuple) else value
+        self.n_executed += 1
         progress.record()
-        metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("campaign.runs", "campaign runs completed").inc()
             metrics.histogram(
                 "campaign.run_wall_seconds", "wall time per campaign run"
             ).observe(wall)
+        self._journal_ok(key, value)
         self._log(progress.line(run_id, scenario_name, seed, result.elapsed, wall))
         return value
 
-    def run(self, force: bool = False) -> ExperimentResults:
+    def _run_benchmark(
+        self, bench: str, results: ExperimentResults, progress: _CampaignProgress
+    ) -> None:
+        """The full per-benchmark matrix; raises :class:`_RunFailed` on
+        the first run that fails permanently."""
+        cfg = self.config
+        env = cfg.environment_seed
+        program = get_program(bench, cfg.klass, cfg.nprocs, cfg.workload_seed)
+        trace, ded = self._measure(
+            progress, f"{bench}.{cfg.klass}/trace", "dedicated", 0,
+            lambda: trace_program(program, self.cluster),
+        )
+        breakdown = activity_breakdown(trace)
+        app_entry = {
+            "dedicated": ded.elapsed,
+            "mpi_percent": breakdown.mpi_percent,
+            "compute_percent": breakdown.compute_percent,
+            "n_calls": trace.n_calls(),
+            "scenarios": {},
+        }
+        for scen in self.scenarios:
+            seed = derive_seed(env, "app", bench, scen.name)
+            run = self._measure(
+                progress, f"{bench}.{cfg.klass}/app", scen.name, seed,
+                lambda: run_program(program, self.cluster, scen, seed=seed),
+            )
+            app_entry["scenarios"][scen.name] = run.elapsed
+        results.apps[bench] = app_entry
+
+        # Skeletons of every target size.
+        results.skeletons[bench] = {}
+        for target in cfg.skeleton_targets:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", SkeletonQualityWarning)
+                bundle = build_skeleton(trace, target_seconds=target)
+            skel_id = f"{bench}.{cfg.klass}/skel-{target:g}"
+            skel_trace, skel_ded = self._measure(
+                progress, skel_id, "dedicated", 0,
+                lambda: trace_program(bundle.program, self.cluster),
+            )
+            skel_breakdown = activity_breakdown(skel_trace)
+            entry = {
+                "K": bundle.K,
+                "threshold": bundle.signature.threshold,
+                "compression_ratio": bundle.signature.compression_ratio,
+                "dedicated": skel_ded.elapsed,
+                "mpi_percent": skel_breakdown.mpi_percent,
+                "compute_percent": skel_breakdown.compute_percent,
+                "min_good": bundle.goodness.min_good_seconds,
+                "flagged": bundle.flagged,
+                "scenarios": {},
+            }
+            for scen in self.scenarios:
+                seed = derive_seed(env, "skel", bench, target, scen.name)
+                run = self._measure(
+                    progress, skel_id, scen.name, seed,
+                    lambda: run_program(
+                        bundle.program, self.cluster, scen, seed=seed
+                    ),
+                )
+                entry["scenarios"][scen.name] = run.elapsed
+            results.skeletons[bench][f"{target:g}"] = entry
+            self._log(
+                f"  skeleton {target:g}s: K={bundle.K:.1f} "
+                f"dedicated={skel_ded.elapsed:.3f}s"
+            )
+
+        # Class S baseline runs.
+        s_prog = get_program(
+            bench, cfg.baseline_klass, cfg.nprocs, cfg.workload_seed
+        )
+        s_id = f"{bench}.{cfg.baseline_klass}/class-s"
+        s_ded = self._measure(
+            progress, s_id, "dedicated", 0,
+            lambda: run_program(s_prog, self.cluster),
+        )
+        s_entry = {"dedicated": s_ded.elapsed, "scenarios": {}}
+        for scen in self.scenarios:
+            seed = derive_seed(env, "class_s", bench, scen.name)
+            run = self._measure(
+                progress, s_id, scen.name, seed,
+                lambda: run_program(s_prog, self.cluster, scen, seed=seed),
+            )
+            s_entry["scenarios"][scen.name] = run.elapsed
+        results.class_s[bench] = s_entry
+
+    def run(self, force: bool = False, resume: bool = False) -> ExperimentResults:
+        """Run (or load) the campaign.
+
+        ``force`` ignores the results cache; ``resume`` replays the
+        campaign journal of an interrupted run, re-executing nothing
+        already completed. Without ``resume`` any stale journal is
+        discarded and the campaign starts from scratch.
+        """
         if not force:
             cached = self.load_cached()
             if cached is not None:
@@ -236,8 +498,16 @@ class ExperimentRunner:
                 return cached
 
         cfg = self.config
-        env = cfg.environment_seed
         from dataclasses import asdict
+
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        journal = CampaignJournal(self.journal_path)
+        if not resume:
+            journal.remove()
+        self._journal = journal
+        self._journal_state = journal.load() if resume else {}
+        self.n_executed = 0
+        self.n_resumed = 0
 
         results = ExperimentResults(
             config={k: list(v) if isinstance(v, tuple) else v
@@ -251,89 +521,41 @@ class ExperimentRunner:
             f"{len(cfg.skeleton_targets)} skeleton sizes = "
             f"{progress.total} runs"
         )
-
-        for bench in cfg.benchmarks:
-            program = get_program(bench, cfg.klass, cfg.nprocs, cfg.workload_seed)
-            trace, ded = self._measure(
-                progress, f"{bench}.{cfg.klass}/trace", "dedicated", 0,
-                lambda: trace_program(program, self.cluster),
+        if resume and self._journal_state:
+            self._log(
+                f"resuming: journal holds {len(self._journal_state)} "
+                f"completed run(s)"
             )
-            breakdown = activity_breakdown(trace)
-            app_entry = {
-                "dedicated": ded.elapsed,
-                "mpi_percent": breakdown.mpi_percent,
-                "compute_percent": breakdown.compute_percent,
-                "n_calls": trace.n_calls(),
-                "scenarios": {},
-            }
-            for scen in self.scenarios:
-                seed = derive_seed(env, "app", bench, scen.name)
-                run = self._measure(
-                    progress, f"{bench}.{cfg.klass}/app", scen.name, seed,
-                    lambda: run_program(program, self.cluster, scen, seed=seed),
-                )
-                app_entry["scenarios"][scen.name] = run.elapsed
-            results.apps[bench] = app_entry
 
-            # Skeletons of every target size.
-            results.skeletons[bench] = {}
-            for target in cfg.skeleton_targets:
-                with warnings.catch_warnings():
-                    warnings.simplefilter("ignore", SkeletonQualityWarning)
-                    bundle = build_skeleton(trace, target_seconds=target)
-                skel_id = f"{bench}.{cfg.klass}/skel-{target:g}"
-                skel_trace, skel_ded = self._measure(
-                    progress, skel_id, "dedicated", 0,
-                    lambda: trace_program(bundle.program, self.cluster),
-                )
-                skel_breakdown = activity_breakdown(skel_trace)
-                entry = {
-                    "K": bundle.K,
-                    "threshold": bundle.signature.threshold,
-                    "compression_ratio": bundle.signature.compression_ratio,
-                    "dedicated": skel_ded.elapsed,
-                    "mpi_percent": skel_breakdown.mpi_percent,
-                    "compute_percent": skel_breakdown.compute_percent,
-                    "min_good": bundle.goodness.min_good_seconds,
-                    "flagged": bundle.flagged,
-                    "scenarios": {},
-                }
-                for scen in self.scenarios:
-                    seed = derive_seed(env, "skel", bench, target, scen.name)
-                    run = self._measure(
-                        progress, skel_id, scen.name, seed,
-                        lambda: run_program(
-                            bundle.program, self.cluster, scen, seed=seed
-                        ),
-                    )
-                    entry["scenarios"][scen.name] = run.elapsed
-                results.skeletons[bench][f"{target:g}"] = entry
-                self._log(
-                    f"  skeleton {target:g}s: K={bundle.K:.1f} "
-                    f"dedicated={skel_ded.elapsed:.3f}s"
-                )
-
-            # Class S baseline runs.
-            s_prog = get_program(
-                bench, cfg.baseline_klass, cfg.nprocs, cfg.workload_seed
-            )
-            s_id = f"{bench}.{cfg.baseline_klass}/class-s"
-            s_ded = self._measure(
-                progress, s_id, "dedicated", 0,
-                lambda: run_program(s_prog, self.cluster),
-            )
-            s_entry = {"dedicated": s_ded.elapsed, "scenarios": {}}
-            for scen in self.scenarios:
-                seed = derive_seed(env, "class_s", bench, scen.name)
-                run = self._measure(
-                    progress, s_id, scen.name, seed,
-                    lambda: run_program(s_prog, self.cluster, scen, seed=seed),
-                )
-                s_entry["scenarios"][scen.name] = run.elapsed
-            results.class_s[bench] = s_entry
+        try:
+            for bench in cfg.benchmarks:
+                try:
+                    self._run_benchmark(bench, results, progress)
+                except _RunFailed as fail:
+                    # Crash isolation: drop the benchmark's partial
+                    # measurements, keep a structured failure record,
+                    # and carry on with the remaining benchmarks.
+                    results.apps.pop(bench, None)
+                    results.skeletons.pop(bench, None)
+                    results.class_s.pop(bench, None)
+                    results.failures[bench] = {
+                        "run": fail.key,
+                        "error_type": type(fail.cause).__name__,
+                        "error": str(fail.cause),
+                    }
+                    self._log(f"benchmark {bench} FAILED: {fail}")
+        finally:
+            journal.close()
+            self._journal = None
+            self._journal_state = {}
 
         self._store(results)
-        self._log(f"stored results at {self.cache_path}")
+        journal.remove()
+        self._log(
+            f"stored results at {self.cache_path} "
+            f"({self.n_executed} executed, {self.n_resumed} resumed, "
+            f"{len(results.failures)} failed benchmark(s))"
+        )
         return results
 
 
@@ -342,10 +564,16 @@ def run_experiments(
     cluster: Optional[Cluster] = None,
     cache_dir: str = DEFAULT_CACHE_DIR,
     force: bool = False,
+    resume: bool = False,
     verbose: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ExperimentResults:
     """Run or load the experiment campaign for ``config``."""
     runner = ExperimentRunner(
-        config=config, cluster=cluster, cache_dir=cache_dir, verbose=verbose
+        config=config,
+        cluster=cluster,
+        cache_dir=cache_dir,
+        verbose=verbose,
+        retry_policy=retry_policy,
     )
-    return runner.run(force=force)
+    return runner.run(force=force, resume=resume)

@@ -1,0 +1,50 @@
+"""Fault injection and resilience.
+
+Two halves, one theme — surviving unreliable shared infrastructure:
+
+* :mod:`repro.faults.plan` / :mod:`repro.faults.inject` — a
+  deterministic, seed-driven :class:`FaultPlan` of composable events
+  (rank stalls, link degradation/flapping, message drops with a
+  retransmit-latency penalty, node slowdown windows, rank crashes)
+  compiled into time-varying perturbations of the engine's fluid
+  resources. Attach a plan to any
+  :class:`~repro.cluster.contention.Scenario` via its ``fault_plan``
+  field; :func:`repro.cluster.scenarios.volatile_scenarios` provides
+  stock volatile environments.
+* :mod:`repro.faults.resilience` — retry-with-backoff and wall-clock
+  timeout primitives used by the campaign runner
+  (:class:`repro.experiments.runner.ExperimentRunner`) to isolate
+  per-run crashes and support ``--resume``.
+
+See ``docs/ROBUSTNESS.md`` for the user guide.
+"""
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    LinkDegrade,
+    MessageDrop,
+    NodeSlowdown,
+    RankCrash,
+    RankStall,
+    cpu_burst_plan,
+    flapping_link_plan,
+    stock_plans,
+)
+from repro.faults.resilience import RetryPolicy, resilient_call, run_with_timeout
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "LinkDegrade",
+    "MessageDrop",
+    "NodeSlowdown",
+    "RankCrash",
+    "RankStall",
+    "RetryPolicy",
+    "cpu_burst_plan",
+    "flapping_link_plan",
+    "resilient_call",
+    "run_with_timeout",
+    "stock_plans",
+]

@@ -1,0 +1,210 @@
+"""Compile a :class:`~repro.faults.plan.FaultPlan` into engine events.
+
+The :class:`FaultInjector` is created by the engine at the start of a
+run whenever the scenario carries a non-empty fault plan. It arms one
+foreground timer per window edge; each timer mutates the fluid system
+through small engine helpers (``_fault_scale_cpu`` /
+``_fault_scale_nic`` / ``_fault_scale_rank``), so fault windows
+compose with the scenario's static contention and traffic modulation.
+
+Overlapping windows on the same target stack multiplicatively; the
+product is recomputed from the stack (never by dividing back out), so
+repeated apply/revert cycles cannot accumulate float drift.
+
+Observability: every applied window is reported to the engine hook via
+``on_fault`` and counted in the ``faults.events`` metric, labelled by
+event kind.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.errors import InjectedCrashError
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegrade,
+    MessageDrop,
+    NodeSlowdown,
+    RankCrash,
+    RankStall,
+)
+from repro.obs.metrics import get_metrics
+from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class FaultInjector:
+    """Runtime state of one fault plan during one engine run."""
+
+    def __init__(self, engine: "Engine", plan: FaultPlan):
+        self.engine = engine
+        self.plan = plan
+        #: Active multiplicative factor stacks, per node index.
+        self._cpu_stacks: dict[int, list[float]] = {}
+        self._nic_stacks: dict[int, list[float]] = {}
+        #: Active stall depth per rank (stall windows may overlap).
+        self._stall_depth: dict[int, int] = {}
+        self._drops: tuple[MessageDrop, ...] = tuple(
+            ev for ev in plan.events if type(ev) is MessageDrop
+        )
+        self.has_drops = bool(self._drops)
+        self._drop_rng = (
+            make_rng(engine.config.seed, "fault", "drop") if self.has_drops else None
+        )
+        metrics = get_metrics()
+        self._m_enabled = metrics.enabled
+        self._m_events = (
+            metrics.counter("faults.events", "fault events applied")
+            if self._m_enabled
+            else None
+        )
+        self.n_applied = 0
+
+    # -- arming --------------------------------------------------------
+
+    def arm(self) -> None:
+        """Validate the plan and schedule every window edge."""
+        engine = self.engine
+        self.plan.validate_against(engine.cluster.nnodes, len(engine._procs))
+        for ev in self.plan.events:
+            if type(ev) is NodeSlowdown:
+                engine._push_timer(ev.t_start, lambda t, e=ev: self._begin_cpu(e, t))
+                engine._push_timer(
+                    ev.t_start + ev.duration, lambda t, e=ev: self._end_cpu(e, t)
+                )
+            elif type(ev) is LinkDegrade:
+                engine._push_timer(ev.t_start, lambda t, e=ev: self._begin_nic(e, t))
+                engine._push_timer(
+                    ev.t_start + ev.duration, lambda t, e=ev: self._end_nic(e, t)
+                )
+            elif type(ev) is RankStall:
+                engine._push_timer(
+                    ev.t_start, lambda t, e=ev: self._begin_stall(e, t)
+                )
+                engine._push_timer(
+                    ev.t_start + ev.duration,
+                    lambda t, e=ev: self._end_stall(e.rank, t),
+                )
+            elif type(ev) is RankCrash:
+                if ev.restart_delay is None:
+                    engine._push_timer(ev.t, lambda t, e=ev: self._crash(e, t))
+                else:
+                    engine._push_timer(
+                        ev.t, lambda t, e=ev: self._begin_crash_restart(e, t)
+                    )
+                    engine._push_timer(
+                        ev.t + ev.restart_delay,
+                        lambda t, e=ev: self._end_stall(e.rank, t),
+                    )
+            # MessageDrop needs no timers; it is consulted per message.
+
+    # -- window callbacks ----------------------------------------------
+
+    def _emit(
+        self, kind: str, target: str, t_start: float, t_end: float, detail: dict
+    ) -> None:
+        self.n_applied += 1
+        if self._m_enabled:
+            self._m_events.labels(kind=kind).inc()
+        hook = self.engine.hook
+        if hook is not None:
+            hook.on_fault(kind, target, t_start, t_end, detail)
+
+    def _begin_cpu(self, ev: NodeSlowdown, t: float) -> None:
+        stack = self._cpu_stacks.setdefault(ev.node, [])
+        stack.append(ev.factor)
+        self.engine._fault_scale_cpu(ev.node, math.prod(stack))
+        self._emit(
+            ev.kind,
+            f"node {ev.node}",
+            t,
+            ev.t_start + ev.duration,
+            {"factor": ev.factor},
+        )
+
+    def _end_cpu(self, ev: NodeSlowdown, t: float) -> None:
+        stack = self._cpu_stacks[ev.node]
+        stack.remove(ev.factor)
+        self.engine._fault_scale_cpu(ev.node, math.prod(stack))
+
+    def _begin_nic(self, ev: LinkDegrade, t: float) -> None:
+        stack = self._nic_stacks.setdefault(ev.node, [])
+        stack.append(ev.factor)
+        self.engine._fault_scale_nic(ev.node, math.prod(stack))
+        self._emit(
+            ev.kind,
+            f"node {ev.node}",
+            t,
+            ev.t_start + ev.duration,
+            {"factor": ev.factor},
+        )
+
+    def _end_nic(self, ev: LinkDegrade, t: float) -> None:
+        stack = self._nic_stacks[ev.node]
+        stack.remove(ev.factor)
+        self.engine._fault_scale_nic(ev.node, math.prod(stack))
+
+    def _begin_stall(self, ev: RankStall, t: float) -> None:
+        self._stall_rank(ev.rank)
+        self._emit(
+            ev.kind, f"rank {ev.rank}", t, ev.t_start + ev.duration, {}
+        )
+
+    def _begin_crash_restart(self, ev: RankCrash, t: float) -> None:
+        self._stall_rank(ev.rank)
+        self._emit(
+            ev.kind,
+            f"rank {ev.rank}",
+            t,
+            ev.t + ev.restart_delay,
+            {"restart_delay": ev.restart_delay},
+        )
+
+    def _stall_rank(self, rank: int) -> None:
+        depth = self._stall_depth.get(rank, 0) + 1
+        self._stall_depth[rank] = depth
+        if depth == 1:
+            self.engine._fault_scale_rank(rank, 0.0)
+
+    def _end_stall(self, rank: int, t: float) -> None:
+        depth = self._stall_depth[rank] - 1
+        self._stall_depth[rank] = depth
+        if depth == 0:
+            self.engine._fault_scale_rank(rank, 1.0)
+
+    def _crash(self, ev: RankCrash, t: float) -> None:
+        self._emit(ev.kind, f"rank {ev.rank}", t, t, {"fatal": True})
+        raise InjectedCrashError(
+            f"rank {ev.rank} crashed at t={t:.6f}s with no restart "
+            f"(injected by fault plan {self.plan.name or 'unnamed'!r})",
+            rank=ev.rank,
+            t=t,
+        )
+
+    # -- per-message consultation --------------------------------------
+
+    def message_penalty(self, src: int, dst: int, now: float) -> float:
+        """Extra delivery latency for a message entering the network at
+        ``now`` (0.0 when no drop window matches or the dice say no)."""
+        total = 0.0
+        for ev in self._drops:
+            if not ev.t_start <= now < ev.t_start + ev.duration:
+                continue
+            if ev.src is not None and ev.src != src:
+                continue
+            if ev.dst is not None and ev.dst != dst:
+                continue
+            if self._drop_rng.random() < ev.prob:
+                total += ev.penalty
+                self._emit(
+                    ev.kind,
+                    f"{src}->{dst}",
+                    now,
+                    now + ev.penalty,
+                    {"penalty": ev.penalty},
+                )
+        return total

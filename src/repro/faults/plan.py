@@ -1,0 +1,396 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is an ordered tuple of composable fault events,
+each pinned to simulated time. Plans are *compiled data*: any
+randomness (flap cadence, burst lengths) is drawn at plan-construction
+time from an explicit seed, so the same ``(plan, run seed)`` pair
+always produces a byte-identical :class:`~repro.sim.engine.RunResult`.
+The one runtime-random event kind, :class:`MessageDrop`, draws from a
+stream derived from the run's environment seed in deterministic engine
+order.
+
+Event semantics (applied by :mod:`repro.faults.inject`):
+
+* :class:`NodeSlowdown` — the node's CPU capacity is scaled by
+  ``factor`` for the window (external interference bursts, thermal
+  throttling).
+* :class:`LinkDegrade` — the node's NIC TX/RX capacity is scaled by
+  ``factor`` for the window; several short windows model a flapping
+  link.
+* :class:`RankStall` — one rank's compute makes no progress during the
+  window (descheduling, OS noise, paging). In-flight communication
+  still completes, as with a descheduled process whose NIC keeps
+  DMA-ing.
+* :class:`RankCrash` — with ``restart_delay`` the rank freezes for that
+  long and then resumes (checkpoint/restart on the same node, progress
+  preserved); without it the run aborts with
+  :class:`~repro.errors.InjectedCrashError` at the crash time.
+* :class:`MessageDrop` — during the window each matching message is,
+  with probability ``prob``, delivered late by ``penalty`` seconds (one
+  lost transmission recovered by a retransmit timeout).
+
+Overlapping windows on the same resource compose multiplicatively.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import MISSING, asdict, dataclass, fields
+from typing import Optional, Union
+
+from repro.errors import FaultError
+from repro.util.rng import make_rng
+
+
+def _check_window(t_start: float, duration: float) -> None:
+    if not (t_start >= 0 and math.isfinite(t_start)):
+        raise FaultError(f"event start {t_start!r} must be finite and >= 0")
+    if not (duration > 0 and math.isfinite(duration)):
+        raise FaultError(f"event duration {duration!r} must be finite and > 0")
+
+
+def _check_factor(factor: float) -> None:
+    if not (0 < factor and math.isfinite(factor)):
+        raise FaultError(f"capacity factor {factor!r} must be finite and > 0")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown:
+    """Scale a node's total CPU capacity by ``factor`` during a window.
+
+    Capacity semantics (like competing processes, not a clock
+    throttle): ranks on the node only slow down once the scaled
+    capacity falls below their aggregate demand. On a dual-CPU node
+    hosting one rank, ``factor=0.5`` leaves a full CPU and has no
+    effect; ``factor=0.25`` halves the rank's progress. Use
+    :class:`RankStall` for per-rank freezes.
+    """
+
+    node: int
+    t_start: float
+    duration: float
+    factor: float
+
+    kind = "node_slowdown"
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.duration)
+        _check_factor(self.factor)
+
+    def describe(self) -> str:
+        return (
+            f"node {self.node} CPUs x{self.factor:g} during "
+            f"[{self.t_start:g}, {self.t_start + self.duration:g})s"
+        )
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Scale a node's NIC (TX and RX) capacity by ``factor`` during a
+    window."""
+
+    node: int
+    t_start: float
+    duration: float
+    factor: float
+
+    kind = "link_degrade"
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.duration)
+        _check_factor(self.factor)
+
+    def describe(self) -> str:
+        return (
+            f"node {self.node} NIC x{self.factor:g} during "
+            f"[{self.t_start:g}, {self.t_start + self.duration:g})s"
+        )
+
+
+@dataclass(frozen=True)
+class RankStall:
+    """Freeze one rank's compute progress during a window."""
+
+    rank: int
+    t_start: float
+    duration: float
+
+    kind = "rank_stall"
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.duration)
+
+    def describe(self) -> str:
+        return (
+            f"rank {self.rank} stalled during "
+            f"[{self.t_start:g}, {self.t_start + self.duration:g})s"
+        )
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Crash a rank at ``t``; restart after ``restart_delay`` seconds,
+    or abort the whole run when ``restart_delay`` is None."""
+
+    rank: int
+    t: float
+    restart_delay: Optional[float] = None
+
+    kind = "rank_crash"
+
+    def __post_init__(self) -> None:
+        if not (self.t >= 0 and math.isfinite(self.t)):
+            raise FaultError(f"crash time {self.t!r} must be finite and >= 0")
+        if self.restart_delay is not None and not (
+            self.restart_delay > 0 and math.isfinite(self.restart_delay)
+        ):
+            raise FaultError(
+                f"restart_delay {self.restart_delay!r} must be finite and > 0"
+            )
+
+    def describe(self) -> str:
+        if self.restart_delay is None:
+            return f"rank {self.rank} crashes at {self.t:g}s (no restart)"
+        return (
+            f"rank {self.rank} crashes at {self.t:g}s, restarts after "
+            f"{self.restart_delay:g}s"
+        )
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """Drop-and-retransmit: during the window each matching message is
+    delayed by ``penalty`` seconds with probability ``prob``."""
+
+    t_start: float
+    duration: float
+    prob: float
+    penalty: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+    kind = "message_drop"
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.duration)
+        if not 0 < self.prob <= 1:
+            raise FaultError(f"drop probability {self.prob!r} must be in (0, 1]")
+        if not (self.penalty > 0 and math.isfinite(self.penalty)):
+            raise FaultError(f"retransmit penalty {self.penalty!r} must be > 0")
+
+    def describe(self) -> str:
+        scope = []
+        if self.src is not None:
+            scope.append(f"src={self.src}")
+        if self.dst is not None:
+            scope.append(f"dst={self.dst}")
+        sel = f" ({', '.join(scope)})" if scope else ""
+        return (
+            f"messages{sel} dropped with p={self.prob:g} "
+            f"(+{self.penalty * 1e3:g}ms retransmit) during "
+            f"[{self.t_start:g}, {self.t_start + self.duration:g})s"
+        )
+
+
+FaultEvent = Union[NodeSlowdown, LinkDegrade, RankStall, RankCrash, MessageDrop]
+
+_EVENT_KINDS = {
+    cls.kind: cls
+    for cls in (NodeSlowdown, LinkDegrade, RankStall, RankCrash, MessageDrop)
+}
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, serialisable collection of fault events."""
+
+    events: tuple = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for ev in events:
+            if type(ev) not in _EVENT_KINDS.values():
+                raise FaultError(f"not a fault event: {ev!r}")
+        object.__setattr__(self, "events", events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def validate_against(self, nnodes: int, nranks: Optional[int] = None) -> None:
+        """Raise :class:`FaultError` if an event targets a node (or,
+        when ``nranks`` is given, a rank) that does not exist."""
+        for ev in self.events:
+            node = getattr(ev, "node", None)
+            if node is not None and not 0 <= node < nnodes:
+                raise FaultError(
+                    f"{ev.describe()}: node {node} out of range "
+                    f"(cluster has {nnodes} nodes)"
+                )
+            rank = getattr(ev, "rank", None)
+            if rank is not None and nranks is not None and not 0 <= rank < nranks:
+                raise FaultError(
+                    f"{ev.describe()}: rank {rank} out of range "
+                    f"(program has {nranks} ranks)"
+                )
+            for attr in ("src", "dst"):
+                peer = getattr(ev, attr, None)
+                if peer is not None and nranks is not None:
+                    if not 0 <= peer < nranks:
+                        raise FaultError(
+                            f"{ev.describe()}: {attr} rank {peer} out of range"
+                        )
+
+    # -- rendering -----------------------------------------------------
+
+    def describe(self) -> str:
+        label = self.name or "fault plan"
+        return f"{label}: {len(self.events)} event(s)"
+
+    def render(self) -> str:
+        """Multi-line human-readable listing, in time order."""
+        lines = [self.describe()]
+        for ev in sorted(
+            self.events, key=lambda e: getattr(e, "t_start", getattr(e, "t", 0.0))
+        ):
+            lines.append(f"  [{ev.kind:>13}] {ev.describe()}")
+        return "\n".join(lines)
+
+    # -- (de)serialisation ---------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": _FORMAT_VERSION,
+                "name": self.name,
+                "events": [
+                    {"kind": ev.kind, **asdict(ev)} for ev in self.events
+                ],
+            },
+            indent=1,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"bad fault plan JSON: {exc}") from exc
+        if not isinstance(obj, dict) or obj.get("format") != _FORMAT_VERSION:
+            raise FaultError(
+                f"unsupported fault plan format {obj.get('format')!r}"
+                if isinstance(obj, dict)
+                else "fault plan JSON must be an object"
+            )
+        events = []
+        for i, ev in enumerate(obj.get("events", [])):
+            if not isinstance(ev, dict) or "kind" not in ev:
+                raise FaultError(f"event #{i}: not an object with a 'kind'")
+            kind = ev["kind"]
+            cls = _EVENT_KINDS.get(kind)
+            if cls is None:
+                raise FaultError(
+                    f"event #{i}: unknown kind {kind!r} "
+                    f"(known: {sorted(_EVENT_KINDS)})"
+                )
+            names = {f.name for f in fields(cls)}
+            kwargs = {k: v for k, v in ev.items() if k in names}
+            missing = {
+                f.name
+                for f in fields(cls)
+                if f.default is MISSING and f.default_factory is MISSING
+            } - set(kwargs)
+            if missing:
+                raise FaultError(f"event #{i} ({kind}): missing {sorted(missing)}")
+            try:
+                events.append(cls(**kwargs))
+            except TypeError as exc:
+                raise FaultError(f"event #{i} ({kind}): {exc}") from exc
+        return FaultPlan(events=tuple(events), name=str(obj.get("name", "")))
+
+
+# ----------------------------------------------------------------------
+# stock plan generators (seed-driven, randomness resolved at build time)
+# ----------------------------------------------------------------------
+
+
+def flapping_link_plan(
+    node: int = 0,
+    factor: float = 0.1,
+    horizon: float = 300.0,
+    up_range: tuple[float, float] = (0.4, 1.6),
+    down_range: tuple[float, float] = (0.2, 0.9),
+    seed: int = 0,
+) -> FaultPlan:
+    """A flapping link: the node's NIC repeatedly degrades to
+    ``factor`` of its capacity for a ``down_range`` interval, then
+    recovers for an ``up_range`` interval, covering ``[0, horizon)``."""
+    rng = make_rng(seed, "fault", "flapping-link", node)
+    events: list[FaultEvent] = []
+    t = rng.uniform(*up_range)
+    while t < horizon:
+        down = rng.uniform(*down_range)
+        events.append(LinkDegrade(node=node, t_start=t, duration=down, factor=factor))
+        t += down + rng.uniform(*up_range)
+    return FaultPlan(tuple(events), name=f"flapping-link[{node}]")
+
+
+def cpu_burst_plan(
+    node: int = 0,
+    factor: float = 0.4,
+    horizon: float = 300.0,
+    burst_range: tuple[float, float] = (0.3, 1.5),
+    gap_range: tuple[float, float] = (0.5, 2.0),
+    seed: int = 0,
+) -> FaultPlan:
+    """Bursty external CPU interference: the node's CPUs repeatedly
+    drop to ``factor`` of their capacity for a ``burst_range`` window,
+    with ``gap_range`` quiet gaps, covering ``[0, horizon)``."""
+    rng = make_rng(seed, "fault", "cpu-burst", node)
+    events: list[FaultEvent] = []
+    t = rng.uniform(*gap_range)
+    while t < horizon:
+        burst = rng.uniform(*burst_range)
+        events.append(
+            NodeSlowdown(node=node, t_start=t, duration=burst, factor=factor)
+        )
+        t += burst + rng.uniform(*gap_range)
+    return FaultPlan(tuple(events), name=f"cpu-burst[{node}]")
+
+
+def stock_plans(seed: int = 0, horizon: float = 300.0) -> dict[str, FaultPlan]:
+    """Named ready-made plans for the CLI and the volatile scenarios."""
+    return {
+        "flapping-link": flapping_link_plan(seed=seed, horizon=horizon),
+        "cpu-burst": cpu_burst_plan(seed=seed, horizon=horizon),
+        "rank-stall": FaultPlan(
+            (RankStall(rank=0, t_start=horizon / 10.0, duration=horizon / 10.0),),
+            name="rank-stall",
+        ),
+        "crash-restart": FaultPlan(
+            (
+                RankCrash(
+                    rank=0, t=horizon / 10.0, restart_delay=horizon / 20.0
+                ),
+            ),
+            name="crash-restart",
+        ),
+        "lossy-net": FaultPlan(
+            (
+                MessageDrop(
+                    t_start=0.0,
+                    duration=horizon,
+                    prob=0.02,
+                    penalty=0.2,
+                ),
+            ),
+            name="lossy-net",
+        ),
+    }

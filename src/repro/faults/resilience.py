@@ -1,0 +1,110 @@
+"""Retry, backoff, and timeout primitives for long campaigns.
+
+A simulated run is deterministic, so retrying a *model* error
+(deadlock, bad program) is pointless — those fail fast. What retries
+buy is survival of *host-level* trouble on shared machines: transient
+I/O errors, memory pressure, and runaway runs cut short by the
+wall-clock timeout. :class:`RetryPolicy` captures that split; the
+campaign runner (:mod:`repro.experiments.runner`) wraps every run in
+:func:`resilient_call` so one sick run becomes a structured failure
+record instead of a dead campaign.
+
+Timeouts use ``signal.setitimer`` and therefore only engage on the
+main thread of a POSIX process; elsewhere :func:`run_with_timeout`
+degrades to an untimed call (better no watchdog than a wrong one).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import RunTimeoutError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-execute a failing run, and how patiently.
+
+    ``backoff(attempt)`` is ``backoff_base * backoff_factor**(attempt-1)``
+    seconds after the ``attempt``-th failure (1-based). Exceptions not
+    listed in ``retryable`` are never retried. Re-execution is
+    seed-stable: the caller re-invokes the same closure, so a retried
+    simulated run sees exactly the same seeds.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    timeout_seconds: Optional[float] = None
+    retryable: tuple = (OSError, MemoryError, RunTimeoutError)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be > 0 when set")
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+def _timeouts_available() -> bool:
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def run_with_timeout(fn: Callable[[], T], timeout: Optional[float]) -> T:
+    """Call ``fn()``, aborting with :class:`RunTimeoutError` after
+    ``timeout`` wall-clock seconds (None disables the watchdog)."""
+    if timeout is None or not _timeouts_available():
+        return fn()
+
+    def _alarm(signum, frame):
+        raise RunTimeoutError(f"run exceeded {timeout:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def resilient_call(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[T, int]:
+    """Call ``fn`` under ``policy``; return ``(value, attempts_used)``.
+
+    Retryable failures are re-executed up to ``policy.max_attempts``
+    times with exponential backoff (``on_retry(attempt, exc)`` fires
+    before each sleep); the last failure — or any non-retryable one —
+    propagates to the caller.
+    """
+    policy = policy or RetryPolicy()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return run_with_timeout(fn, policy.timeout_seconds), attempt
+        except policy.retryable as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = policy.backoff(attempt)
+            if delay > 0:
+                sleep(delay)

@@ -33,7 +33,7 @@ from repro.obs.metrics import (
 # The timeline recorder subclasses EngineHook, and the engine itself
 # imports repro.obs.metrics — import it lazily to keep the package
 # acyclic regardless of which side is imported first.
-_TIMELINE_NAMES = ("ActivitySpan", "MessageFlight", "TimelineRecorder")
+_TIMELINE_NAMES = ("ActivitySpan", "FaultSpan", "MessageFlight", "TimelineRecorder")
 
 
 def __getattr__(name: str):
@@ -46,6 +46,7 @@ def __getattr__(name: str):
 __all__ = [
     "ActivitySpan",
     "Counter",
+    "FaultSpan",
     "Gauge",
     "Histogram",
     "MessageFlight",

@@ -34,7 +34,7 @@ from typing import Mapping, Optional, Sequence
 from repro.errors import TraceError
 from repro.sim.engine import EngineHook
 
-__all__ = ["ActivitySpan", "MessageFlight", "TimelineRecorder"]
+__all__ = ["ActivitySpan", "FaultSpan", "MessageFlight", "TimelineRecorder"]
 
 #: Span kinds.
 COMPUTE = "compute"
@@ -51,6 +51,21 @@ class ActivitySpan:
     t_start: float
     t_end: float
     args: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class FaultSpan:
+    """One applied fault-plan event (window or delayed message)."""
+
+    kind: str  # e.g. "link_degrade", "rank_stall", "message_drop"
+    target: str  # e.g. "node 0", "rank 2", "0->1"
+    t_start: float
+    t_end: float
+    detail: Optional[dict] = None
 
     @property
     def duration(self) -> float:
@@ -104,6 +119,8 @@ class TimelineRecorder(EngineHook):
         self.record_messages = record_messages
         self.spans: list[ActivitySpan] = []
         self.messages: list[MessageFlight] = []
+        #: Applied fault-plan events (see repro.faults).
+        self.faults: list[FaultSpan] = []
         #: (t, {resource name: utilization fraction}) samples.
         self.samples: list[tuple[float, dict]] = []
         self.finish_times: tuple[float, ...] = ()
@@ -115,6 +132,7 @@ class TimelineRecorder(EngineHook):
     def on_run_start(self, nranks: int, t: float) -> None:
         self.spans = []
         self.messages = []
+        self.faults = []
         self.samples = []
         self.finish_times = ()
         self._last_end = [t] * nranks
@@ -150,6 +168,13 @@ class TimelineRecorder(EngineHook):
 
     def on_sample(self, t: float, utilization: Mapping[str, float]) -> None:
         self.samples.append((t, dict(utilization)))
+
+    def on_fault(
+        self, kind: str, target: str, t_start: float, t_end: float, detail: dict
+    ) -> None:
+        self.faults.append(
+            FaultSpan(kind, target, t_start, t_end, dict(detail) if detail else None)
+        )
 
     def on_run_end(self, finish_times: Sequence[float]) -> None:
         for rank, finish in enumerate(finish_times):
@@ -248,6 +273,42 @@ class TimelineRecorder(EngineHook):
                         "args": {"bytes": msg.nbytes, "tag": msg.tag},
                     }
                 )
+        if self.faults:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 2,
+                    "tid": 0,
+                    "args": {"name": "faults"},
+                }
+            )
+            # One thread track per fault target, in order of appearance.
+            tids: dict[str, int] = {}
+            for fs in self.faults:
+                tid = tids.setdefault(fs.target, len(tids))
+                ev = {
+                    "name": f"{fs.kind} {fs.target}",
+                    "cat": "fault",
+                    "ph": "X",
+                    "ts": fs.t_start * scale,
+                    "dur": fs.duration * scale,
+                    "pid": 2,
+                    "tid": tid,
+                }
+                if fs.detail:
+                    ev["args"] = fs.detail
+                events.append(ev)
+            for target, tid in tids.items():
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 2,
+                        "tid": tid,
+                        "args": {"name": target},
+                    }
+                )
         for t, util in self.samples:
             for resource, frac in util.items():
                 events.append(
@@ -302,6 +363,12 @@ class TimelineRecorder(EngineHook):
                 f"mean flight {sum(flight) / len(flight) * 1e6:.1f}us  "
                 f"max {max(flight) * 1e6:.1f}us"
             )
+        if self.faults:
+            kinds: dict[str, int] = {}
+            for fs in self.faults:
+                kinds[fs.kind] = kinds.get(fs.kind, 0) + 1
+            summary = ", ".join(f"{k} x{n}" for k, n in sorted(kinds.items()))
+            lines.append(f"fault events: {len(self.faults)} ({summary})")
         if self.samples:
             lines.append(f"utilization samples: {len(self.samples)}")
         return "\n".join(lines)

@@ -97,6 +97,10 @@ class EngineHook:
       model (CPUs, NICs, WAN links). Sampling is off while
       ``sample_period`` is 0. Samples piggyback on background events
       and never alter run timing or the reported event count.
+    * ``on_fault(kind, target, t_start, t_end, detail)`` fires when a
+      fault-plan event is applied (see :mod:`repro.faults`): window
+      events fire once at window start with the full window extent,
+      message drops fire per delayed message.
     * ``on_run_end(finish_times)`` fires once after the last rank
       finishes.
 
@@ -128,6 +132,11 @@ class EngineHook:
         pass
 
     def on_sample(self, t: float, utilization: dict) -> None:
+        pass
+
+    def on_fault(
+        self, kind: str, target: str, t_start: float, t_end: float, detail: dict
+    ) -> None:
         pass
 
     def on_run_end(self, finish_times: Sequence[float]) -> None:
@@ -178,6 +187,9 @@ class _Proc:
         "pending_call",
         "coll_seqs",
         "finish_time",
+        "blocked_on",
+        "compute_task",
+        "speed_factor",
     )
 
     def __init__(self, rank: int, node: int, gen: Iterator[Op]):
@@ -194,6 +206,51 @@ class _Proc:
         # them to issue its collectives in the same order.
         self.coll_seqs: dict = {}
         self.finish_time = math.nan
+        # The op the rank is currently blocked in (deadlock diagnostics
+        # only; formatted lazily when a deadlock is actually reported).
+        self.blocked_on: Optional[Op] = None
+        # Live Compute task + fault speed multiplier (rank stalls).
+        self.compute_task: Optional[Task] = None
+        self.speed_factor = 1.0
+
+
+def _describe_request(req: RequestHandle) -> str:
+    return f"{req.kind} peer={req.peer} tag={req.tag} bytes={req.nbytes}"
+
+
+def _describe_blocked(proc: _Proc) -> str:
+    """Human-readable description of what a blocked rank is waiting on
+    (deadlock diagnostics; called only when a deadlock is reported)."""
+    op = proc.blocked_on
+    if op is None:
+        desc = "unknown"
+    elif type(op) is Compute:
+        desc = f"Compute({op.seconds:g}s)"
+    elif type(op) is Send:
+        desc = f"Send(dest={op.dest}, tag={op.tag}, bytes={op.nbytes})"
+    elif type(op) is Recv:
+        desc = f"Recv(source={op.source}, tag={op.tag})"
+    elif type(op) is Sendrecv:
+        desc = (
+            f"Sendrecv(dest={op.dest}, send_tag={op.send_tag}, "
+            f"source={op.source}, recv_tag={op.recv_tag})"
+        )
+    elif type(op) is Wait:
+        desc = f"Wait({_describe_request(op.request)})"
+    elif type(op) is Waitall:
+        pending = [r for r in op.requests if not r.done]
+        first = f"; first: {_describe_request(pending[0])}" if pending else ""
+        desc = f"Waitall({len(pending)}/{len(op.requests)} pending{first})"
+    else:  # pragma: no cover - future op kinds
+        desc = type(op).__name__
+    # Name the enclosing collective when the rank is blocked inside a
+    # collective decomposition.
+    for _, record in reversed(proc.stack[1:]):
+        if record is not None:
+            return f"{record[0]} -> {desc}"
+    if len(proc.stack) > 1:
+        return f"collective -> {desc}"
+    return desc
 
 
 class Engine:
@@ -240,6 +297,13 @@ class Engine:
         self._n_messages = 0
         self._n_events = 0
         self._fg_in_heap = 0
+        # Fault-injection runtime (None unless the scenario carries a
+        # non-empty fault plan; see repro.faults).
+        self._injector = None
+        self._check_drops = False
+        self._cpu_base_cap: list[float] = []
+        self._nic_base_cap: list[float] = []
+        self._fault_nic_scale: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # setup
@@ -250,9 +314,14 @@ class Engine:
         self._cpu_res = []
         self._tx_res = []
         self._rx_res = []
+        self._cpu_base_cap = []
+        self._nic_base_cap = []
+        self._fault_nic_scale = {}
         for i, node in enumerate(cluster.nodes):
             self._cpu_res.append(Resource(f"cpu[{node.name}]", float(node.ncpus)))
+            self._cpu_base_cap.append(float(node.ncpus))
             nic_cap = scenario.nic_caps.get(i, self._net.bandwidth)
+            self._nic_base_cap.append(nic_cap)
             self._tx_res.append(Resource(f"tx[{node.name}]", nic_cap))
             self._rx_res.append(Resource(f"rx[{node.name}]", nic_cap))
         # WAN uplinks: one per site and direction, shared by all of the
@@ -349,6 +418,11 @@ class Engine:
         def tick(t: float) -> None:
             factor = 1.0 + model.swing * (2.0 * rng.random() - 1.0)
             cap = base_cap * factor
+            # Fault windows (LinkDegrade) scale whatever the traffic
+            # model currently allows; remember the pre-fault cap so
+            # window edges can recompute from it.
+            self._nic_base_cap[node_idx] = cap
+            cap *= self._fault_nic_scale.get(node_idx, 1.0)
             self._fluid.sync(self.now)
             tx.set_capacity(cap)
             rx.set_capacity(cap)
@@ -441,6 +515,40 @@ class Engine:
         self._fluid_dirty.update(task.resources)
 
     # ------------------------------------------------------------------
+    # fault application (driven by repro.faults.inject.FaultInjector)
+    # ------------------------------------------------------------------
+
+    def _fault_scale_cpu(self, node: int, scale: float) -> None:
+        """Scale a node's CPU capacity to ``scale`` × its base."""
+        res = self._cpu_res[node]
+        self._fluid.sync(self.now)
+        res.set_capacity(self._cpu_base_cap[node] * scale)
+        self._fluid_dirty.add(res)
+
+    def _fault_scale_nic(self, node: int, scale: float) -> None:
+        """Scale a node's NIC capacity to ``scale`` × its current
+        (traffic-modulated) base."""
+        self._fault_nic_scale[node] = scale
+        cap = self._nic_base_cap[node] * scale
+        tx, rx = self._tx_res[node], self._rx_res[node]
+        self._fluid.sync(self.now)
+        tx.set_capacity(cap)
+        rx.set_capacity(cap)
+        self._fluid_dirty.add(tx)
+        self._fluid_dirty.add(rx)
+
+    def _fault_scale_rank(self, rank: int, factor: float) -> None:
+        """Scale one rank's compute speed (0.0 = fully stalled). The
+        rank's live compute task, if any, is re-paced immediately."""
+        proc = self._procs[rank]
+        proc.speed_factor = factor
+        task = proc.compute_task
+        if task is not None and task.alive:
+            self._fluid.sync(self.now)
+            task.speed = self.cluster.nodes[proc.node].speed * factor
+            self._fluid_dirty.update(task.resources)
+
+    # ------------------------------------------------------------------
     # request / message plumbing
     # ------------------------------------------------------------------
 
@@ -511,6 +619,10 @@ class Engine:
             latency = self._net.wan_latency
             resources.append(self._wan_up[src_site])
             resources.append(self._wan_down[dst_site])
+        if self._check_drops:
+            # Drop-and-retransmit fault: a dropped message is delivered
+            # one retransmit timeout late.
+            latency += self._injector.message_penalty(msg.src, msg.dst, start)
         if msg.nbytes == 0:
             self._push_timer(
                 start + latency, lambda t, m=msg: self._deliver(m, t)
@@ -637,10 +749,12 @@ class Engine:
             node = self.cluster.nodes[proc.node]
             proc.state = _BLOCKED
             proc.wait_count = 0
+            proc.blocked_on = op
 
             def _done(task: Task, t: float, p: _Proc = proc) -> None:
                 # The main loop already removed the task from the fluid
                 # system; just wake the process.
+                p.compute_task = None
                 p.state = _READY
                 self._ready.append((p, None))
 
@@ -649,9 +763,10 @@ class Engine:
                 resources=(self._cpu_res[proc.node],),
                 work=float(op.seconds),
                 cap=1.0,
-                speed=node.speed,
+                speed=node.speed * proc.speed_factor,
                 on_complete=_done,
             )
+            proc.compute_task = task
             self._fluid_add(task)
             return _BLOCK
 
@@ -659,6 +774,7 @@ class Engine:
             params = {"peer": op.dest, "bytes": op.nbytes, "tag": op.tag}
             req = self._post_send(proc, op.dest, op.nbytes, op.tag)
             if self._block_on(proc, (req,)):
+                proc.blocked_on = op
                 if user_level:
                     self._begin_blocking_call(proc, op, params)
                 return _BLOCK
@@ -671,6 +787,7 @@ class Engine:
                 self._begin_blocking_call(proc, op, params)
             req = self._post_recv(proc, op.source, op.tag)
             if self._block_on(proc, (req,)):
+                proc.blocked_on = op
                 return _BLOCK
             self._emit_pending_call(proc)
             return None
@@ -694,6 +811,7 @@ class Engine:
             if user_level:
                 self._begin_blocking_call(proc, op, {"bytes": op.request.nbytes})
             if self._block_on(proc, (op.request,)):
+                proc.blocked_on = op
                 return _BLOCK
             self._emit_pending_call(proc)
             return None
@@ -705,6 +823,7 @@ class Engine:
                     proc, op, {"count": len(op.requests), "bytes": total}
                 )
             if self._block_on(proc, tuple(op.requests)):
+                proc.blocked_on = op
                 return _BLOCK
             self._emit_pending_call(proc)
             return None
@@ -721,6 +840,7 @@ class Engine:
             sreq = self._post_send(proc, op.dest, op.send_nbytes, op.send_tag)
             rreq = self._post_recv(proc, op.source, op.recv_tag)
             if self._block_on(proc, (sreq, rreq)):
+                proc.blocked_on = op
                 return _BLOCK
             self._emit_pending_call(proc)
             return None
@@ -775,6 +895,15 @@ class Engine:
             _Proc(rank, placement[rank], program.make(rank, nranks))
             for rank in range(nranks)
         ]
+        self._injector = None
+        self._check_drops = False
+        plan = self.scenario.fault_plan
+        if plan is not None and not plan.is_empty:
+            from repro.faults.inject import FaultInjector
+
+            self._injector = FaultInjector(self, plan)
+            self._injector.arm()
+            self._check_drops = self._injector.has_drops
         if self.hook is not None:
             self.hook.on_run_start(nranks, 0.0)
         if self._sample_period > 0:
@@ -795,11 +924,16 @@ class Engine:
             if self._fg_in_heap == 0:
                 # Only self-rearming background modulation (or nothing)
                 # remains: no blocked rank can ever be woken again.
-                blocked = [p.rank for p in self._procs if p.state == _BLOCKED]
+                blocked = [p for p in self._procs if p.state == _BLOCKED]
+                blocked_ops = {p.rank: _describe_blocked(p) for p in blocked}
+                detail = "; ".join(
+                    f"rank {rank}: {desc}" for rank, desc in blocked_ops.items()
+                )
                 raise DeadlockError(
                     f"no runnable rank and no pending completion event; "
-                    f"blocked ranks: {blocked}",
-                    blocked_ranks=blocked,
+                    f"blocked: [{detail}]",
+                    blocked_ranks=[p.rank for p in blocked],
+                    blocked_ops=blocked_ops,
                 )
             # Pop the next valid event.
             while heap:

@@ -7,9 +7,14 @@ end of one call and the start of the next. No source modification is
 needed — the tracer is an engine hook.
 """
 
-from repro.trace.records import Trace, TraceRecord
+from repro.trace.records import Trace, TraceRecord, validate_trace
 from repro.trace.tracer import Tracer, trace_program
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import (
+    SalvageReport,
+    read_trace,
+    read_trace_salvage,
+    write_trace,
+)
 from repro.trace.analysis import (
     ActivityBreakdown,
     activity_breakdown,
@@ -31,6 +36,9 @@ __all__ = [
     "Tracer",
     "trace_program",
     "read_trace",
+    "read_trace_salvage",
+    "SalvageReport",
+    "validate_trace",
     "write_trace",
     "ActivityBreakdown",
     "activity_breakdown",

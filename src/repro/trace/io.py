@@ -5,18 +5,44 @@ line is one call record ``{"r": rank, "c": call, "p": params,
 "s": t_start, "e": t_end}``. One file holds the whole run (records of
 all ranks, grouped by rank in order), which keeps experiment artifacts
 manageable while preserving the paper's per-process record structure.
+
+Reading comes in two flavours:
+
+* **strict** (default) — any malformed line raises
+  :class:`~repro.errors.TraceError` pinpointing ``path:lineno``;
+* **salvage** (``strict=False`` or :func:`read_trace_salvage`) — the
+  valid prefix of a truncated or corrupt file is recovered and a
+  :class:`SalvageReport` says exactly what was dropped. A process
+  killed mid-campaign leaves a half-written last line; salvage mode
+  turns that into the complete records that *did* make it to disk.
+
+A corrupt *header* is unrecoverable in both modes — without ``nranks``
+the records cannot be shaped into a :class:`~repro.trace.records.Trace`.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
-from typing import Union
+from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.errors import TraceError
-from repro.trace.records import Trace, TraceRecord
+from repro.trace.records import Trace, TraceRecord, validate_trace
+
+__all__ = [
+    "SalvageReport",
+    "read_trace",
+    "read_trace_salvage",
+    "validate_trace",
+    "write_trace",
+]
 
 _FORMAT_VERSION = 1
+
+#: Keys every record line must carry (params ``"p"`` is optional).
+_REQUIRED_KEYS = ("r", "c", "s", "e")
 
 
 def write_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
@@ -42,45 +68,200 @@ def write_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
                 fh.write(json.dumps(line) + "\n")
 
 
-def read_trace(path: Union[str, os.PathLike]) -> Trace:
-    """Read a trace written by :func:`write_trace`."""
+@dataclass(frozen=True)
+class SalvageReport:
+    """What :func:`read_trace_salvage` recovered and what it dropped."""
+
+    #: Record lines successfully recovered (header not counted).
+    n_recovered: int
+    #: Record lines dropped (the first bad line and everything after).
+    n_dropped: int
+    #: ``path:lineno: reason`` for the first bad line, or ``None`` if
+    #: the whole file parsed cleanly.
+    first_error: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was dropped."""
+        return self.n_dropped == 0 and self.first_error is None
+
+    def describe(self) -> str:
+        if self.clean:
+            return f"clean: all {self.n_recovered} record(s) read"
+        return (
+            f"salvaged {self.n_recovered} record(s), dropped "
+            f"{self.n_dropped} line(s) from the first corrupt line on "
+            f"({self.first_error})"
+        )
+
+
+def _parse_header(header_line: str, path: object) -> Trace:
+    """Parse the header line into an empty, shaped :class:`Trace`."""
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}:1: bad header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise TraceError(f"{path}:1: header is not a JSON object")
+    if header.get("format") != _FORMAT_VERSION:
+        raise TraceError(
+            f"{path}:1: unsupported trace format {header.get('format')!r}"
+        )
+    try:
+        nranks = int(header["nranks"])
+    except KeyError as exc:
+        raise TraceError(f"{path}:1: header missing 'nranks'") from exc
+    except (TypeError, ValueError) as exc:
+        raise TraceError(
+            f"{path}:1: bad 'nranks' {header.get('nranks')!r}: {exc}"
+        ) from exc
+    if nranks < 1:
+        raise TraceError(f"{path}:1: nranks must be >= 1, got {nranks}")
+    try:
+        finish_times = [float(t) for t in header.get("finish_times", [])]
+    except (TypeError, ValueError) as exc:
+        raise TraceError(f"{path}:1: bad 'finish_times': {exc}") from exc
+    if any(not math.isfinite(t) or t < 0 for t in finish_times):
+        raise TraceError(f"{path}:1: bad 'finish_times': {finish_times}")
+    if finish_times and len(finish_times) != nranks:
+        raise TraceError(
+            f"{path}:1: finish_times has {len(finish_times)} entries "
+            f"for {nranks} rank(s)"
+        )
+    return Trace(
+        program_name=str(header.get("program", "")),
+        scenario_name=str(header.get("scenario", "")),
+        nranks=nranks,
+        records=[[] for _ in range(nranks)],
+        finish_times=finish_times,
+    )
+
+
+def _parse_record(line: str, nranks: int, where: str) -> tuple[int, TraceRecord]:
+    """Parse one record line; raise :class:`TraceError` tagged ``where``."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{where}: bad record: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise TraceError(f"{where}: record is not a JSON object")
+    missing = [k for k in _REQUIRED_KEYS if k not in obj]
+    if missing:
+        raise TraceError(f"{where}: record missing key(s) {missing}")
+    try:
+        rank = int(obj["r"])
+        t_start = float(obj["s"])
+        t_end = float(obj["e"])
+    except (TypeError, ValueError) as exc:
+        raise TraceError(f"{where}: non-numeric field: {exc}") from exc
+    if not (math.isfinite(t_start) and math.isfinite(t_end)):
+        raise TraceError(
+            f"{where}: non-finite interval [{t_start}, {t_end}]"
+        )
+    if t_start < 0:
+        raise TraceError(f"{where}: negative start time {t_start}")
+    if not 0 <= rank < nranks:
+        raise TraceError(
+            f"{where}: rank {rank} out of range for {nranks} rank(s)"
+        )
+    params = obj.get("p", {})
+    if not isinstance(params, dict):
+        raise TraceError(f"{where}: params is not a JSON object")
+    try:
+        record = TraceRecord(
+            call=str(obj["c"]),
+            params=dict(params),
+            t_start=t_start,
+            t_end=t_end,
+        )
+    except TraceError as exc:
+        raise TraceError(f"{where}: {exc}") from exc
+    return rank, record
+
+
+def read_trace(path: Union[str, os.PathLike], strict: bool = True) -> Trace:
+    """Read a trace written by :func:`write_trace`.
+
+    In strict mode (the default) any malformed record raises
+    :class:`~repro.errors.TraceError` naming ``path:lineno``. With
+    ``strict=False`` the valid prefix of a corrupt file is returned
+    instead (see :func:`read_trace_salvage` for the accompanying
+    report). Header corruption raises in both modes.
+    """
+    if not strict:
+        trace, _report = read_trace_salvage(path)
+        return trace
     with open(path, "r", encoding="utf-8") as fh:
         header_line = fh.readline()
         if not header_line:
             raise TraceError(f"{path}: empty trace file")
-        try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as exc:
-            raise TraceError(f"{path}: bad header: {exc}") from exc
-        if header.get("format") != _FORMAT_VERSION:
-            raise TraceError(
-                f"{path}: unsupported trace format {header.get('format')!r}"
-            )
-        nranks = int(header["nranks"])
-        trace = Trace(
-            program_name=header.get("program", ""),
-            scenario_name=header.get("scenario", ""),
-            nranks=nranks,
-            records=[[] for _ in range(nranks)],
-            finish_times=[float(t) for t in header.get("finish_times", [])],
-        )
+        trace = _parse_header(header_line, path)
         for lineno, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
                 continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceError(f"{path}:{lineno}: bad record: {exc}") from exc
-            rank = int(obj["r"])
-            if not 0 <= rank < nranks:
-                raise TraceError(f"{path}:{lineno}: rank {rank} out of range")
-            trace.records[rank].append(
-                TraceRecord(
-                    call=str(obj["c"]),
-                    params={k: v for k, v in obj.get("p", {}).items()},
-                    t_start=float(obj["s"]),
-                    t_end=float(obj["e"]),
-                )
-            )
+            rank, record = _parse_record(line, trace.nranks, f"{path}:{lineno}")
+            trace.records[rank].append(record)
     return trace
+
+
+def read_trace_salvage(
+    path: Union[str, os.PathLike],
+) -> tuple[Trace, SalvageReport]:
+    """Recover the valid prefix of a truncated or corrupt trace file.
+
+    Records are accepted up to (not including) the first malformed
+    line; that line and everything after it are dropped, so the result
+    is exactly the prefix that was durably written. On top of the
+    per-record checks this enforces per-rank monotonicity and the
+    header's finish-time bound — a record that jumps backwards in time
+    or past its rank's finish time is treated as corruption — so the
+    returned :class:`~repro.trace.records.Trace` always passes
+    :func:`validate_trace` (a salvaged prefix may legitimately end
+    *before* the recorded finish times).
+
+    Raises :class:`~repro.errors.TraceError` only for an unreadable
+    header (nothing can be recovered without one).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise TraceError(f"{path}: empty trace file")
+        trace = _parse_header(header_line, path)
+        n_recovered = 0
+        n_dropped = 0
+        first_error: Optional[str] = None
+        prev_end = [0.0] * trace.nranks
+        for lineno, line in enumerate(fh, start=2):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if first_error is not None:
+                n_dropped += 1
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                rank, record = _parse_record(stripped, trace.nranks, where)
+                if record.t_start < prev_end[rank] - 1e-9:
+                    raise TraceError(
+                        f"{where}: rank {rank} goes backwards in time "
+                        f"({record.t_start} < {prev_end[rank]})"
+                    )
+                if (
+                    trace.finish_times
+                    and record.t_end > trace.finish_times[rank] + 1e-9
+                ):
+                    raise TraceError(
+                        f"{where}: rank {rank} call ends at {record.t_end} "
+                        f"after its finish time {trace.finish_times[rank]}"
+                    )
+            except TraceError as exc:
+                first_error = str(exc)
+                n_dropped += 1
+                continue
+            trace.records[rank].append(record)
+            prev_end[rank] = max(prev_end[rank], record.t_end)
+            n_recovered += 1
+    return trace, SalvageReport(
+        n_recovered=n_recovered, n_dropped=n_dropped, first_error=first_error
+    )

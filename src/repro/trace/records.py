@@ -8,10 +8,14 @@ list per rank plus run metadata.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.errors import TraceError
+
+#: Slack for float round-trips when comparing recorded timestamps.
+_EPS = 1e-9
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,18 +86,75 @@ class Trace:
         return sum(len(r) for r in self.records)
 
     def validate(self) -> None:
-        """Check per-rank monotonicity of call intervals."""
-        for rank, recs in enumerate(self.records):
-            prev_end = 0.0
-            for rec in recs:
-                if rec.t_start < prev_end - 1e-9:
-                    raise TraceError(
-                        f"rank {rank}: call {rec.call} starts at "
-                        f"{rec.t_start} before previous call ended at {prev_end}"
-                    )
-                prev_end = rec.t_end
-            if self.finish_times and recs:
-                if recs[-1].t_end > self.finish_times[rank] + 1e-9:
-                    raise TraceError(
-                        f"rank {rank}: last call ends after rank finish time"
-                    )
+        """Raise :class:`TraceError` on the first structural problem.
+
+        The full check list lives in :func:`validate_trace`, which
+        returns *every* problem instead of raising.
+        """
+        issues = validate_trace(self)
+        if issues:
+            raise TraceError(issues[0])
+
+
+def validate_trace(trace: Trace) -> list[str]:
+    """Collect every structural problem in ``trace``.
+
+    Returns a list of human-readable issue strings (empty means the
+    trace is valid). Checks, per rank:
+
+    * timestamps are finite and non-negative;
+    * call intervals do not run backwards (``t_end >= t_start`` is
+      already enforced by :class:`TraceRecord`, re-checked here
+      defensively);
+    * calls are monotonic — each starts no earlier than the previous
+      one ended (within float slack);
+    * the last call ends no later than the rank's finish time.
+
+    Plus run-level checks: ``finish_times`` (when present) has exactly
+    one finite, non-negative entry per rank.
+    """
+    issues: list[str] = []
+    if trace.nranks < 1:
+        issues.append(f"trace has nranks={trace.nranks}, expected >= 1")
+    finish = trace.finish_times
+    finish_ok = False
+    if finish:
+        if len(finish) != trace.nranks:
+            issues.append(
+                f"finish_times has {len(finish)} entries for "
+                f"{trace.nranks} rank(s)"
+            )
+        else:
+            finish_ok = True
+        for rank, t in enumerate(finish):
+            if not math.isfinite(t) or t < 0:
+                issues.append(f"rank {rank}: bad finish time {t!r}")
+                finish_ok = False
+    for rank, recs in enumerate(trace.records):
+        prev_end = 0.0
+        for i, rec in enumerate(recs):
+            where = f"rank {rank} call {i} ({rec.call})"
+            if not (math.isfinite(rec.t_start) and math.isfinite(rec.t_end)):
+                issues.append(
+                    f"{where}: non-finite interval "
+                    f"[{rec.t_start}, {rec.t_end}]"
+                )
+                continue
+            if rec.t_start < 0:
+                issues.append(f"{where}: negative start time {rec.t_start}")
+            if rec.t_end < rec.t_start:
+                issues.append(
+                    f"{where}: end {rec.t_end} precedes start {rec.t_start}"
+                )
+            if rec.t_start < prev_end - _EPS:
+                issues.append(
+                    f"{where}: starts at {rec.t_start} before previous "
+                    f"call ended at {prev_end}"
+                )
+            prev_end = max(prev_end, rec.t_end)
+        if finish_ok and recs and recs[-1].t_end > finish[rank] + _EPS:
+            issues.append(
+                f"rank {rank}: last call ends at {recs[-1].t_end} after "
+                f"rank finish time {finish[rank]}"
+            )
+    return issues

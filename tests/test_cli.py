@@ -145,3 +145,89 @@ class TestObservabilityCommands:
             "-o", str(tmp_path / "cg.trace"),
         ])
         assert not get_metrics().enabled
+
+
+class TestRobustnessCommands:
+    @pytest.fixture
+    def trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "cg.trace")
+        assert main(["trace", "cg", "--klass", "S", "-o", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_trace_validate_ok(self, trace_file, capsys):
+        rc = main(["trace", "validate", trace_file])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_trace_validate_spelling_both_ways(self, trace_file):
+        assert main(["trace-validate", trace_file]) == 0
+
+    def test_trace_validate_corrupt_strict_fails(
+        self, trace_file, tmp_path, capsys
+    ):
+        lines = (tmp_path / "cg.trace").read_text().splitlines()
+        bad = tmp_path / "bad.trace"
+        bad.write_text("\n".join(lines[:10]) + "\nGARBAGE\n")
+        rc = main(["trace", "validate", str(bad)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_validate_salvage_writes_recovered(
+        self, trace_file, tmp_path, capsys
+    ):
+        lines = (tmp_path / "cg.trace").read_text().splitlines()
+        bad = tmp_path / "bad.trace"
+        bad.write_text("\n".join(lines[:10]) + "\nGARBAGE\n")
+        fixed = tmp_path / "fixed.trace"
+        rc = main([
+            "trace", "validate", str(bad), "--salvage", "-o", str(fixed),
+        ])
+        assert rc == 1  # corrupt input still reports failure
+        out = capsys.readouterr().out
+        assert "salvaged 9 record(s)" in out
+        assert main(["trace", "validate", str(fixed)]) == 0
+
+    def test_faults_render_stock(self, capsys):
+        rc = main(["faults", "render", "--stock", "rank-stall"])
+        assert rc == 0
+        assert "rank_stall" in capsys.readouterr().out
+
+    def test_faults_render_export_and_reload(self, tmp_path, capsys):
+        plan_file = str(tmp_path / "plan.json")
+        assert main([
+            "faults", "render", "--stock", "lossy-net", "-o", plan_file,
+        ]) == 0
+        capsys.readouterr()
+        rc = main(["faults", "render", "--plan", plan_file])
+        assert rc == 0
+        assert "message_drop" in capsys.readouterr().out
+
+    def test_faults_render_unknown_stock(self, capsys):
+        rc = main(["faults", "render", "--stock", "bogus"])
+        assert rc == 1
+        assert "unknown stock plan" in capsys.readouterr().err
+
+    def test_faults_apply(self, tmp_path, capsys):
+        timeline = tmp_path / "tl.json"
+        rc = main([
+            "faults", "apply", "cg", "--klass", "S",
+            "--stock", "rank-stall", "--timeline", str(timeline),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert timeline.exists()
+
+    def test_timeline_accepts_volatile_scenario(self, tmp_path):
+        rc = main([
+            "timeline", "cg", "--klass", "S", "--scenario", "link-flap",
+            "--samples", "0", "-o", str(tmp_path / "tl.json"),
+        ])
+        assert rc == 0
+
+    def test_experiment_parser_has_resume_and_volatile(self):
+        args = build_parser().parse_args(["experiment", "--resume"])
+        assert args.resume and not args.volatile
+        args = build_parser().parse_args(["experiment", "--volatile"])
+        assert args.volatile and not args.resume

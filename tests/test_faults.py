@@ -1,0 +1,270 @@
+"""Fault-injection subsystem tests: plan model, determinism, and the
+engine-level effect of every event kind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Scenario, paper_testbed, volatile_scenarios
+from repro.cluster.contention import DEDICATED
+from repro.errors import DeadlockError, FaultError, InjectedCrashError
+from repro.faults import (
+    FaultPlan,
+    LinkDegrade,
+    MessageDrop,
+    NodeSlowdown,
+    RankCrash,
+    RankStall,
+    cpu_burst_plan,
+    flapping_link_plan,
+    stock_plans,
+)
+from repro.obs import TimelineRecorder, enabled_metrics
+from repro.sim import Compute, Program, Recv, Send, run_program
+
+
+def pingpong(iters: int = 20, nbytes: int = 100_000) -> Program:
+    def gen(rank: int, size: int):
+        for _ in range(iters):
+            yield Compute(0.05)
+            if rank == 0:
+                yield Send(dest=1, nbytes=nbytes)
+                yield Recv(source=1)
+            else:
+                yield Recv(source=0)
+                yield Send(dest=0, nbytes=nbytes)
+
+    return Program("pp", 2, gen)
+
+
+@pytest.fixture
+def pp_baseline(cluster):
+    return run_program(pingpong(), cluster, seed=7)
+
+
+class TestPlanModel:
+    def test_bad_windows_rejected(self):
+        with pytest.raises(FaultError):
+            RankStall(rank=0, t_start=-1.0, duration=1.0)
+        with pytest.raises(FaultError):
+            NodeSlowdown(node=0, t_start=0.0, duration=0.0, factor=0.5)
+        with pytest.raises(FaultError):
+            LinkDegrade(node=0, t_start=0.0, duration=1.0, factor=0.0)
+        with pytest.raises(FaultError):
+            MessageDrop(t_start=0.0, duration=1.0, prob=1.5, penalty=0.1)
+        with pytest.raises(FaultError):
+            RankCrash(rank=0, t=1.0, restart_delay=-2.0)
+
+    def test_validate_against_cluster_and_ranks(self):
+        plan = FaultPlan(events=(RankStall(rank=5, t_start=0, duration=1),))
+        plan.validate_against(nnodes=4)  # ranks unknown: passes
+        with pytest.raises(FaultError):
+            plan.validate_against(nnodes=4, nranks=4)
+        bad_node = FaultPlan(
+            events=(NodeSlowdown(node=9, t_start=0, duration=1, factor=0.5),)
+        )
+        with pytest.raises(FaultError):
+            bad_node.validate_against(nnodes=4)
+
+    def test_json_round_trip(self):
+        for name, plan in stock_plans(seed=3).items():
+            again = FaultPlan.from_json(plan.to_json())
+            assert again == plan, name
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultError):
+            FaultPlan.from_json("not json")
+        with pytest.raises(FaultError):
+            FaultPlan.from_json('{"format": 1, "events": [{"kind": "bogus"}]}')
+
+    def test_render_and_describe(self):
+        plan = stock_plans()["flapping-link"]
+        text = plan.render()
+        assert "link_degrade" in text
+        assert plan.describe()
+
+    def test_generators_deterministic_in_seed(self):
+        assert flapping_link_plan(seed=5) == flapping_link_plan(seed=5)
+        assert flapping_link_plan(seed=5) != flapping_link_plan(seed=6)
+        assert cpu_burst_plan(seed=5) == cpu_burst_plan(seed=5)
+        assert cpu_burst_plan(seed=5) != cpu_burst_plan(seed=6)
+
+    def test_scenario_carries_plan(self, cluster):
+        for scen in volatile_scenarios():
+            assert not scen.fault_plan.is_empty
+            scen.validate_against(cluster)
+            assert "event" in scen.describe()
+
+
+class TestInjectionEffects:
+    def test_empty_plan_is_byte_identical(self, cluster, pp_baseline):
+        empty = Scenario(name="empty", fault_plan=FaultPlan())
+        run = run_program(pingpong(), cluster, empty, seed=7)
+        assert run.finish_times == pp_baseline.finish_times
+        assert run.n_events == pp_baseline.n_events
+        assert run.n_messages == pp_baseline.n_messages
+
+    def test_rank_stall_adds_its_duration(self, cluster, pp_baseline):
+        plan = FaultPlan(events=(RankStall(rank=0, t_start=0.1, duration=0.5),))
+        run = run_program(
+            pingpong(), cluster, Scenario(name="s", fault_plan=plan), seed=7
+        )
+        assert run.elapsed == pytest.approx(pp_baseline.elapsed + 0.5, rel=1e-6)
+
+    def test_node_slowdown_slows_compute(self, cluster, pp_baseline):
+        # Capacity semantics: the factor must cut below the rank's
+        # 1-CPU demand on the dual-CPU node to bite.
+        plan = FaultPlan(
+            events=(NodeSlowdown(node=0, t_start=0.0, duration=100.0,
+                                 factor=0.25),)
+        )
+        run = run_program(
+            pingpong(), cluster, Scenario(name="s", fault_plan=plan), seed=7
+        )
+        assert run.elapsed > pp_baseline.elapsed * 1.5
+
+    def test_link_degrade_slows_messages(self, cluster, pp_baseline):
+        plan = FaultPlan(
+            events=(LinkDegrade(node=0, t_start=0.0, duration=100.0,
+                                factor=0.01),)
+        )
+        run = run_program(
+            pingpong(), cluster, Scenario(name="s", fault_plan=plan), seed=7
+        )
+        assert run.elapsed > pp_baseline.elapsed * 2
+
+    def test_degrade_window_ends(self, cluster, pp_baseline):
+        """A degrade window entirely after the run changes nothing."""
+        plan = FaultPlan(
+            events=(LinkDegrade(node=0, t_start=1e6, duration=1.0,
+                                factor=0.01),)
+        )
+        run = run_program(
+            pingpong(), cluster, Scenario(name="s", fault_plan=plan), seed=7
+        )
+        assert run.finish_times == pp_baseline.finish_times
+
+    def test_message_drop_penalty(self, cluster, pp_baseline):
+        plan = FaultPlan(
+            events=(MessageDrop(t_start=0.0, duration=1e6, prob=1.0,
+                                penalty=0.2),)
+        )
+        run = run_program(
+            pingpong(), cluster, Scenario(name="s", fault_plan=plan), seed=7
+        )
+        # 40 messages, each delayed by 0.2s on a serial ping-pong chain.
+        assert run.elapsed == pytest.approx(
+            pp_baseline.elapsed + 40 * 0.2, rel=1e-3
+        )
+
+    def test_crash_raises_structured_error(self, cluster):
+        plan = FaultPlan(events=(RankCrash(rank=1, t=0.5),))
+        with pytest.raises(InjectedCrashError) as err:
+            run_program(
+                pingpong(), cluster, Scenario(name="s", fault_plan=plan),
+                seed=7,
+            )
+        assert err.value.rank == 1
+        assert err.value.t == pytest.approx(0.5)
+
+    def test_crash_with_restart_delays_run(self, cluster, pp_baseline):
+        plan = FaultPlan(
+            events=(RankCrash(rank=1, t=0.5, restart_delay=1.0),)
+        )
+        run = run_program(
+            pingpong(), cluster, Scenario(name="s", fault_plan=plan), seed=7
+        )
+        assert run.elapsed == pytest.approx(pp_baseline.elapsed + 1.0, rel=1e-6)
+
+    def test_same_plan_same_seed_identical(self, cluster):
+        scen = Scenario(
+            name="volatile",
+            fault_plan=FaultPlan(
+                name="mix",
+                events=(
+                    RankStall(rank=0, t_start=0.2, duration=0.1),
+                    LinkDegrade(node=1, t_start=0.0, duration=2.0, factor=0.2),
+                    MessageDrop(t_start=0.0, duration=5.0, prob=0.3,
+                                penalty=0.05),
+                ),
+            ),
+        )
+        a = run_program(pingpong(), cluster, scen, seed=11)
+        b = run_program(pingpong(), cluster, scen, seed=11)
+        assert a.finish_times == b.finish_times
+        assert a.n_events == b.n_events
+        c = run_program(pingpong(), cluster, scen, seed=12)
+        assert c.finish_times != a.finish_times  # drop rng follows the seed
+
+    def test_volatile_scenarios_run_and_slow_things_down(self, cluster):
+        base = run_program(pingpong(), cluster, seed=3)
+        for scen in volatile_scenarios(seed=1, horizon=10.0):
+            run = run_program(pingpong(), cluster, scen, seed=3)
+            assert run.elapsed >= base.elapsed
+
+
+class TestObservability:
+    def test_timeline_records_fault_spans(self, cluster):
+        plan = FaultPlan(
+            events=(
+                RankStall(rank=0, t_start=0.1, duration=0.5),
+                LinkDegrade(node=0, t_start=0.0, duration=0.4, factor=0.5),
+            )
+        )
+        rec = TimelineRecorder(program_name="pp")
+        run_program(
+            pingpong(), cluster, Scenario(name="s", fault_plan=plan),
+            hook=rec, seed=7,
+        )
+        kinds = sorted(fs.kind for fs in rec.faults)
+        assert kinds == ["link_degrade", "rank_stall"]
+        chrome = rec.to_chrome_trace()
+        fault_events = [
+            e for e in chrome["traceEvents"] if e.get("cat") == "fault"
+        ]
+        assert len(fault_events) == 2
+        assert all(e["pid"] == 2 for e in fault_events)
+        assert "fault events: 2" in rec.render_summary()
+
+    def test_metrics_count_fault_events(self, cluster):
+        plan = FaultPlan(
+            events=(RankStall(rank=0, t_start=0.1, duration=0.5),)
+        )
+        with enabled_metrics() as registry:
+            run_program(
+                pingpong(), cluster, Scenario(name="s", fault_plan=plan),
+                seed=7,
+            )
+            snap = registry.snapshot()
+        entry = snap["faults.events"]
+        assert entry["labels"] == {"kind=rank_stall": 1.0}
+
+
+class TestDeadlockDiagnostics:
+    def test_deadlock_error_names_pending_ops(self, cluster):
+        def gen(rank: int, size: int):
+            yield Compute(0.01)
+            yield Recv(source=1 - rank)
+
+        with pytest.raises(DeadlockError) as err:
+            run_program(Program("dead", 2, gen), cluster)
+        exc = err.value
+        assert exc.blocked_ranks == [0, 1]
+        assert set(exc.blocked_ops) == {0, 1}
+        assert "Recv(source=1" in exc.blocked_ops[0]
+        assert "Recv(source=0" in str(exc)
+
+    def test_stalled_rank_is_not_a_deadlock(self, cluster):
+        """A fault window must not trip the deadlock detector while
+        every rank is frozen inside it."""
+        plan = FaultPlan(
+            events=(
+                RankStall(rank=0, t_start=0.01, duration=0.3),
+                RankStall(rank=1, t_start=0.01, duration=0.3),
+            )
+        )
+        run = run_program(
+            pingpong(iters=2), cluster, Scenario(name="s", fault_plan=plan),
+            seed=7,
+        )
+        assert run.elapsed > 0.3
