@@ -1,0 +1,83 @@
+"""Warm-cache campaign must recompute nothing (``repro.store``).
+
+A campaign run against a cache directory that already holds every
+artifact must serve **100% of store lookups as hits** — no misses, no
+stage recomputation.  This pins the content-addressed keying scheme:
+any accidental key instability (float formatting drift, dict-order
+leakage, a forgotten parameter) shows up here as a miss on the second
+invocation long before it shows up as wasted CPU on a real campaign.
+
+The assertion is made on the store's own metrics (``store.hits`` /
+``store.misses``, labelled by stage), plus the absence of the
+compression-search counter ``construct.skeletons_built`` — the single
+most expensive stage in the pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.obs.metrics import enabled_metrics
+
+CONFIG = ExperimentConfig(
+    benchmarks=("cg", "is"),
+    klass="S",
+    baseline_klass="S",
+    skeleton_targets=(0.05,),
+    steady=True,
+)
+
+# Stages whose artifacts the warm pass must serve from the store.
+REQUIRED_HIT_STAGES = ("signature", "skeleton", "run", "trace")
+
+
+def _stage_counts(snapshot: dict, metric: str) -> dict:
+    entry = snapshot.get(metric)
+    if entry is None:
+        return {}
+    return {
+        label.split("=", 1)[1]: count
+        for label, count in entry.get("labels", {}).items()
+    }
+
+
+def test_warm_campaign_is_all_hits(tmp_path):
+    cache = tmp_path / "cache"
+
+    t0 = time.perf_counter()
+    with enabled_metrics() as m_cold:
+        cold = ExperimentRunner(CONFIG, cache_dir=str(cache)).run()
+    cold_s = time.perf_counter() - t0
+    cold_snap = m_cold.snapshot()
+    assert not cold.failures
+    cold_misses = _stage_counts(cold_snap, "store.misses")
+    assert cold_misses, "cold campaign should populate the store"
+
+    t0 = time.perf_counter()
+    with enabled_metrics() as m_warm:
+        warm = ExperimentRunner(CONFIG, cache_dir=str(cache)).run(force=True)
+    warm_s = time.perf_counter() - t0
+    warm_snap = m_warm.snapshot()
+
+    hits = _stage_counts(warm_snap, "store.hits")
+    misses = _stage_counts(warm_snap, "store.misses")
+    total_hits = sum(hits.values())
+    total = total_hits + sum(misses.values())
+    hit_rate = total_hits / total if total else 0.0
+    print(
+        f"\ncold {cold_s * 1e3:.0f} ms ({sum(cold_misses.values()):.0f} "
+        f"misses) | warm {warm_s * 1e3:.0f} ms | "
+        f"hit rate {hit_rate:.0%} across {hits}"
+    )
+
+    # 100% hits: not a single artifact recomputed on the warm pass.
+    assert misses == {}, f"warm campaign recomputed stages: {misses}"
+    for stage in REQUIRED_HIT_STAGES:
+        assert hits.get(stage, 0) > 0, f"no store hits for stage {stage!r}"
+    assert hit_rate == 1.0
+
+    # The compression search — the pipeline's dominant cost — never
+    # re-ran, and the warm results are byte-identical to the cold ones.
+    assert "construct.skeletons_built" not in warm_snap
+    assert warm.to_json() == cold.to_json()

@@ -21,6 +21,9 @@ Subcommands mirror the paper's workflow:
   ``--salvage``, recover the valid prefix of a corrupt file.
 * ``faults``    — render a fault plan (``faults render``) or run a
   benchmark under one (``faults apply``); see :mod:`repro.faults`.
+* ``store``     — inspect and maintain the content-addressed artifact
+  store (``ls``, ``verify``, ``gc``, ``prune``); see
+  :mod:`repro.store` and ``docs/SCALING.md``.
 
 Every command also accepts a global ``--metrics-out metrics.json``
 flag that enables the metrics registry for the whole invocation and
@@ -39,6 +42,9 @@ Examples::
     repro-skeleton trace validate cg.trace --salvage -o repaired.trace
     repro-skeleton faults render --stock flapping-link
     repro-skeleton faults apply cg --klass S --stock cpu-burst
+    repro-skeleton experiment --workers 4 -v
+    repro-skeleton store ls
+    repro-skeleton store gc --max-age-days 30 --max-mbytes 512
 """
 
 from __future__ import annotations
@@ -51,7 +57,7 @@ from typing import Optional, Sequence
 from repro.cluster import paper_scenarios, paper_testbed
 from repro.core import build_skeleton, generate_c_source
 from repro.errors import ReproError
-from repro.experiments import ExperimentConfig, run_experiments
+from repro.experiments import ExperimentConfig
 from repro.experiments import figures as fig_mod
 from repro.experiments.report import full_report
 from repro.predict import SkeletonPredictor
@@ -366,10 +372,23 @@ def _cmd_faults_apply(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentRunner
+
     config = ExperimentConfig(include_volatile=args.volatile)
-    results = run_experiments(
-        config, force=args.force, resume=args.resume, verbose=args.verbose
+    runner = ExperimentRunner(
+        config,
+        cache_dir=args.cache_dir,
+        verbose=args.verbose,
+        workers=args.workers,
     )
+    results = runner.run(force=args.force, resume=args.resume)
+    if args.campaign_timeline:
+        n = runner.write_campaign_timeline(args.campaign_timeline)
+        print(
+            f"campaign timeline ({n} task span(s)) written to "
+            f"{args.campaign_timeline} (Perfetto-loadable)",
+            file=sys.stderr,
+        )
     builders = {
         2: fig_mod.figure2_activity,
         3: fig_mod.figure3_error_by_benchmark,
@@ -383,6 +402,68 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         print(builders[args.figure](results).render())
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Inspect / maintain the content-addressed artifact store."""
+    import time as _time
+
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    action = args.store_command
+    if action == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"store at {store.root} is empty")
+            return 0
+        now = _time.time()
+        by_stage: dict[str, int] = {}
+        print(f"{'STAGE':<10} {'DIGEST':<34} {'AGE':>10} {'BYTES':>10}")
+        for e in sorted(entries, key=lambda e: (e["stage"], -e["created"])):
+            flag = "  CORRUPT" if e["corrupt"] else ""
+            print(
+                f"{e['stage']:<10} {e['digest']:<34} "
+                f"{format_duration(max(0.0, now - e['created'])):>10} "
+                f"{e['bytes']:>10}{flag}"
+            )
+            by_stage[e["stage"]] = by_stage.get(e["stage"], 0) + 1
+        summary = ", ".join(f"{n} {s}" for s, n in sorted(by_stage.items()))
+        print(f"\n{len(entries)} artifact(s) ({summary}), "
+              f"{store.total_bytes()} bytes at {store.root}")
+        return 0
+    if action == "verify":
+        issues = store.verify()
+        if not issues:
+            print(f"store at {store.root}: OK "
+                  f"({len(store.entries())} artifact(s) verified)")
+            return 0
+        print(f"store at {store.root}: {len(issues)} issue(s)")
+        for issue in issues:
+            print(f"  - {issue}")
+        return 1
+    if action == "gc":
+        if args.max_age_days is None and args.max_mbytes is None:
+            raise ReproError("gc needs --max-age-days and/or --max-mbytes")
+        evicted = store.gc(
+            max_age_seconds=(
+                None if args.max_age_days is None
+                else args.max_age_days * 86400.0
+            ),
+            max_bytes=(
+                None if args.max_mbytes is None
+                else int(args.max_mbytes * 1024 * 1024)
+            ),
+        )
+        print(f"evicted {len(evicted)} artifact(s); "
+              f"store now {store.total_bytes()} bytes")
+        return 0
+    if action == "prune":
+        removed = store.prune()
+        print(f"removed {removed['objects']} corrupt object(s) and "
+              f"{removed['blobs']} orphan blob(s)")
+        return 0
+    raise ReproError(f"unknown store action {action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -494,9 +575,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--volatile", action="store_true",
                    help="also score skeletons under the volatile "
                    "fault-plan scenarios")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="run the campaign on N worker processes "
+                   "(results are byte-identical to serial)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact store root (default: $REPRO_CACHE_DIR "
+                   "or <project root>/.repro_cache)")
+    p.add_argument("--campaign-timeline", default=None, metavar="PATH",
+                   help="with --workers: write per-worker task spans as "
+                   "a Perfetto-loadable Chrome trace")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="structured per-run progress lines with ETA")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "store", help="inspect / maintain the artifact store"
+    )
+    ssub = p.add_subparsers(dest="store_command", required=True)
+    for name, helptext in (
+        ("ls", "list stored artifacts by stage"),
+        ("verify", "integrity-check every artifact"),
+        ("gc", "evict artifacts by age / size budget"),
+        ("prune", "remove corrupt objects and orphan blobs"),
+    ):
+        sp = ssub.add_parser(name, help=helptext)
+        sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="store root (default: $REPRO_CACHE_DIR or "
+                       "<project root>/.repro_cache)")
+        if name == "gc":
+            sp.add_argument("--max-age-days", type=float, default=None,
+                            help="evict artifacts older than this many days")
+            sp.add_argument("--max-mbytes", type=float, default=None,
+                            help="shrink the store to this many MiB "
+                            "(oldest first)")
+        sp.set_defaults(func=_cmd_store)
 
     p = sub.add_parser(
         "timeline",

@@ -82,5 +82,14 @@ class ExperimentError(ReproError):
     """Experiment configuration or execution failure."""
 
 
+class StoreError(ReproError):
+    """Artifact-store corruption or I/O failure (see :mod:`repro.store`)."""
+
+
+class WorkerCrashError(ExperimentError):
+    """A campaign worker process died (killed or crashed) while holding
+    a task; raised when the task exhausts its re-queue budget."""
+
+
 class WorkloadError(ReproError):
     """Invalid workload parameters (unsupported class, rank count, ...)."""

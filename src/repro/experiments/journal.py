@@ -12,6 +12,14 @@ through JSON — produces byte-identical results.
 The journal is append-only; when the same key appears twice the last
 entry wins. Loading tolerates a truncated or corrupt trailing line
 (the signature of a mid-write kill) by skipping it.
+
+Writes are safe under *concurrent writers*: each entry is appended to
+an ``O_APPEND`` descriptor in a single ``write`` syscall, so lines
+from two processes journaling into the same file never interleave
+mid-line — ``load()`` recovers the union of everything both wrote
+(exercised by ``tests/test_journal_concurrent.py``). The parallel
+campaign scheduler relies on this when re-journaling after a worker
+respawn.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ class CampaignJournal:
 
     def __init__(self, path: Union[str, os.PathLike]):
         self.path = Path(path)
-        self._fh = None
+        self._fd: Optional[int] = None
 
     # -- reading ---------------------------------------------------------
 
@@ -61,19 +69,28 @@ class CampaignJournal:
     # -- writing ---------------------------------------------------------
 
     def record(self, key: str, entry: dict) -> None:
-        """Append one entry and force it to disk before returning."""
-        if self._fh is None:
+        """Append one entry and force it to disk before returning.
+
+        The whole line goes out in one ``os.write`` on an ``O_APPEND``
+        descriptor: atomic with respect to other writers of the same
+        file, so concurrent journaling never corrupts a line.
+        """
+        if self._fd is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(self.path, "a", encoding="utf-8")
+            self._fd = os.open(
+                self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
         payload = {"key": key, **entry}
-        self._fh.write(json.dumps(payload) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        data = (json.dumps(payload) + "\n").encode("utf-8")
+        written = os.write(self._fd, data)
+        while written < len(data):  # pragma: no cover - partial writes
+            written += os.write(self._fd, data[written:])
+        os.fsync(self._fd)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def remove(self) -> None:
         """Delete the journal file (campaign finished or restarted)."""

@@ -1,4 +1,5 @@
-"""Experiment campaign runner with result caching and crash resilience.
+"""Experiment campaign runner with artifact caching, crash resilience,
+and parallel execution.
 
 Executes the paper's full matrix:
 
@@ -9,8 +10,19 @@ Executes the paper's full matrix:
   ratio) and probed under every scenario;
 * Class S runs for the §4.5 baseline.
 
-Raw measurements are cached as JSON under ``.repro_cache/`` keyed by
-the configuration hash, so all figure benches share one campaign.
+Caching (see :mod:`repro.store`): every pipeline stage — traced runs,
+signatures, skeletons, simulated runs, and the assembled campaign
+results — is memoized in the content-addressed artifact store under
+the resolved cache root (``REPRO_CACHE_DIR`` or
+``<project root>/.repro_cache``). A warm store re-runs the campaign
+with zero recomputation; ``force=True`` only bypasses the *results*
+artifact, still reusing per-stage artifacts. Campaign results written
+by older versions as ``results-<key>.json`` are still read (legacy
+shim).
+
+Parallelism (see :mod:`repro.parallel`): ``workers > 1`` fans the
+campaign's runs out over worker processes; results are byte-identical
+to serial execution (same seeds, order-independent aggregation).
 
 Resilience (see :mod:`repro.faults.resilience` and
 :mod:`repro.experiments.journal`):
@@ -35,12 +47,12 @@ import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.cluster.scenarios import paper_scenarios, volatile_scenarios
 from repro.cluster.topology import Cluster, paper_testbed
 from repro.core.construct import build_skeleton
-from repro.errors import ExperimentError, SkeletonQualityWarning, TraceError
+from repro.errors import ExperimentError, SkeletonQualityWarning, StoreError, TraceError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.journal import CampaignJournal
 from repro.faults.resilience import RetryPolicy, resilient_call
@@ -48,13 +60,38 @@ from repro.obs.metrics import get_metrics
 from repro.predict.metrics import prediction_error_percent
 from repro.sim.engine import RunResult
 from repro.sim.program import run_program
+from repro.store.memo import (
+    PipelineCache,
+    skeleton_program_params,
+    workload_params,
+)
+from repro.store.store import ArtifactStore, DEFAULT_CACHE_DIR_NAME, resolve_cache_dir
 from repro.trace.analysis import activity_breakdown
 from repro.trace.io import read_trace, write_trace
 from repro.trace.tracer import trace_program
 from repro.util.rng import derive_seed
 from repro.workloads import get_program
 
-DEFAULT_CACHE_DIR = ".repro_cache"
+#: Kept for backwards compatibility: the cache directory *basename*.
+#: The effective default location is resolved by
+#: :func:`repro.store.store.resolve_cache_dir` (``REPRO_CACHE_DIR`` or
+#: the project root), no longer the bare CWD-relative path.
+DEFAULT_CACHE_DIR = DEFAULT_CACHE_DIR_NAME
+
+
+def campaign_scenarios(config: ExperimentConfig) -> list:
+    """The campaign's scenario list, derived purely from ``config``.
+
+    Module-level (not a runner method) because parallel workers rebuild
+    the identical list from the pickled config — :class:`Scenario`
+    itself is not picklable (frozen ``MappingProxyType`` fields).
+    """
+    scenarios = paper_scenarios(config.nnodes, steady=config.steady)
+    if config.include_volatile:
+        scenarios += volatile_scenarios(
+            config.nnodes, seed=config.environment_seed
+        )
+    return scenarios
 
 
 @dataclass
@@ -127,22 +164,21 @@ class ExperimentResults:
 
     # -- (de)serialisation ------------------------------------------------
 
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "scenario_names": self.scenario_names,
+            "apps": self.apps,
+            "skeletons": self.skeletons,
+            "class_s": self.class_s,
+            "failures": self.failures,
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "config": self.config,
-                "scenario_names": self.scenario_names,
-                "apps": self.apps,
-                "skeletons": self.skeletons,
-                "class_s": self.class_s,
-                "failures": self.failures,
-            },
-            indent=1,
-        )
+        return json.dumps(self.to_dict(), indent=1)
 
     @staticmethod
-    def from_json(text: str) -> "ExperimentResults":
-        obj = json.loads(text)
+    def from_dict(obj: dict) -> "ExperimentResults":
         return ExperimentResults(
             config=obj["config"],
             scenario_names=obj["scenario_names"],
@@ -151,6 +187,10 @@ class ExperimentResults:
             class_s=obj["class_s"],
             failures=obj.get("failures", {}),
         )
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentResults":
+        return ExperimentResults.from_dict(json.loads(text))
 
 
 class _CampaignProgress:
@@ -196,40 +236,59 @@ class ExperimentRunner:
 
     ``retry_policy`` governs per-run resilience (timeout, retries); it
     deliberately lives here and not on :class:`ExperimentConfig`, so
-    tuning it never invalidates cached results.
+    tuning it never invalidates cached results. ``workers > 1``
+    executes the campaign on a multiprocess scheduler
+    (:mod:`repro.parallel`) with byte-identical results. ``use_store``
+    turns stage memoization off (runs still journal and cache results).
     """
 
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         cluster: Optional[Cluster] = None,
-        cache_dir: str = DEFAULT_CACHE_DIR,
+        cache_dir: Union[str, os.PathLike, None] = None,
         verbose: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        workers: int = 1,
+        store: Optional[ArtifactStore] = None,
+        use_store: bool = True,
     ):
         self.config = config or ExperimentConfig()
         self.cluster = cluster or paper_testbed(self.config.nnodes)
-        self.cache_dir = Path(cache_dir)
+        self.cache_dir = resolve_cache_dir(cache_dir)
         self.verbose = verbose
         self.retry_policy = retry_policy or RetryPolicy()
-        self.scenarios = paper_scenarios(
-            self.config.nnodes, steady=self.config.steady
-        )
-        if self.config.include_volatile:
-            self.scenarios += volatile_scenarios(
-                self.config.nnodes, seed=self.config.environment_seed
-            )
+        if workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        self.workers = int(workers)
+        self.store = store or ArtifactStore(self.cache_dir)
+        self.pipeline = PipelineCache(self.store, self.cluster, enabled=use_store)
+        self.scenarios = campaign_scenarios(self.config)
         #: Runs actually executed / reconstructed from the journal in
         #: the last ``run()`` call (resume accounting, used by tests).
         self.n_executed = 0
         self.n_resumed = 0
+        #: Per-task worker spans of the last parallel run (for the
+        #: campaign timeline export); empty after serial runs.
+        self.campaign_spans: list = []
         self._journal: Optional[CampaignJournal] = None
         self._journal_state: dict[str, dict] = {}
 
     # -- cache -----------------------------------------------------------
 
     @property
+    def results_key(self):
+        """Store key of this campaign's assembled results artifact."""
+        return self.store.key("results", {"config": self.config.key()})
+
+    @property
     def cache_path(self) -> Path:
+        """Path of the results artifact in the store."""
+        return self.store.object_path(self.results_key)
+
+    @property
+    def legacy_cache_path(self) -> Path:
+        """Pre-store results location (read-only compatibility shim)."""
         return self.cache_dir / f"results-{self.config.key()}.json"
 
     @property
@@ -237,19 +296,28 @@ class ExperimentRunner:
         return self.cache_dir / f"journal-{self.config.key()}.jsonl"
 
     def load_cached(self) -> Optional[ExperimentResults]:
-        path = self.cache_path
-        if path.exists():
+        """Load the campaign's results artifact, or a legacy
+        ``results-<key>.json`` file when the store has none."""
+        try:
+            artifact = self.store.get(self.results_key, on_error="raise")
+        except StoreError as exc:
+            raise ExperimentError(
+                f"corrupt results artifact {self.cache_path}: {exc}"
+            ) from exc
+        if artifact is not None:
+            return ExperimentResults.from_dict(artifact.content)
+        legacy = self.legacy_cache_path
+        if legacy.exists():
             try:
-                return ExperimentResults.from_json(path.read_text())
+                return ExperimentResults.from_json(legacy.read_text())
             except (json.JSONDecodeError, KeyError) as exc:
-                raise ExperimentError(f"corrupt cache file {path}: {exc}") from exc
+                raise ExperimentError(
+                    f"corrupt cache file {legacy}: {exc}"
+                ) from exc
         return None
 
-    def _store(self, results: ExperimentResults) -> None:
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        tmp = self.cache_path.with_suffix(".tmp")
-        tmp.write_text(results.to_json())
-        os.replace(tmp, self.cache_path)
+    def _store_results(self, results: ExperimentResults) -> None:
+        self.store.put(self.results_key, results.to_dict())
 
     # -- journal ---------------------------------------------------------
 
@@ -338,6 +406,10 @@ class ExperimentRunner:
         )
         return len(cfg.benchmarks) * per_bench
 
+    def _app_params(self, bench: str, klass: str) -> dict:
+        cfg = self.config
+        return workload_params(bench, klass, cfg.nprocs, cfg.workload_seed)
+
     def _measure(
         self,
         progress: _CampaignProgress,
@@ -404,10 +476,14 @@ class ExperimentRunner:
         the first run that fails permanently."""
         cfg = self.config
         env = cfg.environment_seed
+        pipeline = self.pipeline
         program = get_program(bench, cfg.klass, cfg.nprocs, cfg.workload_seed)
+        app_params = self._app_params(bench, cfg.klass)
         trace, ded = self._measure(
             progress, f"{bench}.{cfg.klass}/trace", "dedicated", 0,
-            lambda: trace_program(program, self.cluster),
+            lambda: pipeline.traced_run(
+                app_params, lambda: trace_program(program, self.cluster)
+            ),
         )
         breakdown = activity_breakdown(trace)
         app_entry = {
@@ -421,21 +497,34 @@ class ExperimentRunner:
             seed = derive_seed(env, "app", bench, scen.name)
             run = self._measure(
                 progress, f"{bench}.{cfg.klass}/app", scen.name, seed,
-                lambda: run_program(program, self.cluster, scen, seed=seed),
+                lambda: pipeline.simulated_run(
+                    app_params, scen, seed,
+                    lambda: run_program(program, self.cluster, scen, seed=seed),
+                ),
             )
             app_entry["scenarios"][scen.name] = run.elapsed
         results.apps[bench] = app_entry
 
-        # Skeletons of every target size.
+        # Skeletons of every target size. The skeleton is keyed by the
+        # digest of the trace artifact it derives from.
+        trace_digest = pipeline.trace_key(app_params).digest
         results.skeletons[bench] = {}
         for target in cfg.skeleton_targets:
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", SkeletonQualityWarning)
-                bundle = build_skeleton(trace, target_seconds=target)
+            def _build(trace=trace, target=target):
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", SkeletonQualityWarning)
+                    return build_skeleton(trace, target_seconds=target)
+
+            bundle = pipeline.skeleton(trace_digest, target, _build)
+            skel_digest = pipeline.skeleton_key(trace_digest, target).digest
+            skel_params = skeleton_program_params(skel_digest)
             skel_id = f"{bench}.{cfg.klass}/skel-{target:g}"
             skel_trace, skel_ded = self._measure(
                 progress, skel_id, "dedicated", 0,
-                lambda: trace_program(bundle.program, self.cluster),
+                lambda: pipeline.traced_run(
+                    skel_params,
+                    lambda: trace_program(bundle.program, self.cluster),
+                ),
             )
             skel_breakdown = activity_breakdown(skel_trace)
             entry = {
@@ -453,8 +542,11 @@ class ExperimentRunner:
                 seed = derive_seed(env, "skel", bench, target, scen.name)
                 run = self._measure(
                     progress, skel_id, scen.name, seed,
-                    lambda: run_program(
-                        bundle.program, self.cluster, scen, seed=seed
+                    lambda: pipeline.simulated_run(
+                        skel_params, scen, seed,
+                        lambda: run_program(
+                            bundle.program, self.cluster, scen, seed=seed
+                        ),
                     ),
                 )
                 entry["scenarios"][scen.name] = run.elapsed
@@ -468,28 +560,65 @@ class ExperimentRunner:
         s_prog = get_program(
             bench, cfg.baseline_klass, cfg.nprocs, cfg.workload_seed
         )
+        s_params = self._app_params(bench, cfg.baseline_klass)
         s_id = f"{bench}.{cfg.baseline_klass}/class-s"
+        from repro.cluster.contention import DEDICATED
+
         s_ded = self._measure(
             progress, s_id, "dedicated", 0,
-            lambda: run_program(s_prog, self.cluster),
+            lambda: pipeline.simulated_run(
+                s_params, DEDICATED, 0,
+                lambda: run_program(s_prog, self.cluster),
+            ),
         )
         s_entry = {"dedicated": s_ded.elapsed, "scenarios": {}}
         for scen in self.scenarios:
             seed = derive_seed(env, "class_s", bench, scen.name)
             run = self._measure(
                 progress, s_id, scen.name, seed,
-                lambda: run_program(s_prog, self.cluster, scen, seed=seed),
+                lambda: pipeline.simulated_run(
+                    s_params, scen, seed,
+                    lambda: run_program(s_prog, self.cluster, scen, seed=seed),
+                ),
             )
             s_entry["scenarios"][scen.name] = run.elapsed
         results.class_s[bench] = s_entry
 
+    def _run_serial(self, progress: _CampaignProgress) -> ExperimentResults:
+        cfg = self.config
+        from dataclasses import asdict
+
+        results = ExperimentResults(
+            config={k: list(v) if isinstance(v, tuple) else v
+                    for k, v in asdict(cfg).items()},
+            scenario_names=[s.name for s in self.scenarios],
+        )
+        for bench in cfg.benchmarks:
+            try:
+                self._run_benchmark(bench, results, progress)
+            except _RunFailed as fail:
+                # Crash isolation: drop the benchmark's partial
+                # measurements, keep a structured failure record,
+                # and carry on with the remaining benchmarks.
+                results.apps.pop(bench, None)
+                results.skeletons.pop(bench, None)
+                results.class_s.pop(bench, None)
+                results.failures[bench] = {
+                    "run": fail.key,
+                    "error_type": type(fail.cause).__name__,
+                    "error": str(fail.cause),
+                }
+                self._log(f"benchmark {bench} FAILED: {fail}")
+        return results
+
     def run(self, force: bool = False, resume: bool = False) -> ExperimentResults:
         """Run (or load) the campaign.
 
-        ``force`` ignores the results cache; ``resume`` replays the
-        campaign journal of an interrupted run, re-executing nothing
-        already completed. Without ``resume`` any stale journal is
-        discarded and the campaign starts from scratch.
+        ``force`` ignores the results cache (per-stage artifacts are
+        still reused); ``resume`` replays the campaign journal of an
+        interrupted run, re-executing nothing already completed.
+        Without ``resume`` any stale journal is discarded and the
+        campaign starts from scratch.
         """
         if not force:
             cached = self.load_cached()
@@ -498,8 +627,6 @@ class ExperimentRunner:
                 return cached
 
         cfg = self.config
-        from dataclasses import asdict
-
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         journal = CampaignJournal(self.journal_path)
         if not resume:
@@ -508,18 +635,15 @@ class ExperimentRunner:
         self._journal_state = journal.load() if resume else {}
         self.n_executed = 0
         self.n_resumed = 0
+        self.campaign_spans = []
 
-        results = ExperimentResults(
-            config={k: list(v) if isinstance(v, tuple) else v
-                    for k, v in asdict(cfg).items()},
-            scenario_names=[s.name for s in self.scenarios],
-        )
         progress = _CampaignProgress(self._planned_runs())
         self._log(
             f"campaign: {len(cfg.benchmarks)} benchmarks x "
             f"{len(self.scenarios)} scenarios x "
             f"{len(cfg.skeleton_targets)} skeleton sizes = "
             f"{progress.total} runs"
+            + (f" on {self.workers} workers" if self.workers > 1 else "")
         )
         if resume and self._journal_state:
             self._log(
@@ -528,28 +652,18 @@ class ExperimentRunner:
             )
 
         try:
-            for bench in cfg.benchmarks:
-                try:
-                    self._run_benchmark(bench, results, progress)
-                except _RunFailed as fail:
-                    # Crash isolation: drop the benchmark's partial
-                    # measurements, keep a structured failure record,
-                    # and carry on with the remaining benchmarks.
-                    results.apps.pop(bench, None)
-                    results.skeletons.pop(bench, None)
-                    results.class_s.pop(bench, None)
-                    results.failures[bench] = {
-                        "run": fail.key,
-                        "error_type": type(fail.cause).__name__,
-                        "error": str(fail.cause),
-                    }
-                    self._log(f"benchmark {bench} FAILED: {fail}")
+            if self.workers > 1:
+                from repro.parallel.scheduler import run_parallel_campaign
+
+                results = run_parallel_campaign(self)
+            else:
+                results = self._run_serial(progress)
         finally:
             journal.close()
             self._journal = None
             self._journal_state = {}
 
-        self._store(results)
+        self._store_results(results)
         journal.remove()
         self._log(
             f"stored results at {self.cache_path} "
@@ -558,15 +672,23 @@ class ExperimentRunner:
         )
         return results
 
+    def write_campaign_timeline(self, path: Union[str, os.PathLike]) -> int:
+        """Export the last parallel run's per-worker task spans as a
+        Perfetto-loadable Chrome trace; returns the span count."""
+        from repro.parallel.scheduler import write_campaign_timeline
+
+        return write_campaign_timeline(self.campaign_spans, path)
+
 
 def run_experiments(
     config: Optional[ExperimentConfig] = None,
     cluster: Optional[Cluster] = None,
-    cache_dir: str = DEFAULT_CACHE_DIR,
+    cache_dir: Union[str, os.PathLike, None] = None,
     force: bool = False,
     resume: bool = False,
     verbose: bool = False,
     retry_policy: Optional[RetryPolicy] = None,
+    workers: int = 1,
 ) -> ExperimentResults:
     """Run or load the experiment campaign for ``config``."""
     runner = ExperimentRunner(
@@ -575,5 +697,6 @@ def run_experiments(
         cache_dir=cache_dir,
         verbose=verbose,
         retry_policy=retry_policy,
+        workers=workers,
     )
     return runner.run(force=force, resume=resume)

@@ -55,6 +55,15 @@ class RetryPolicy:
     def backoff(self, attempt: int) -> float:
         return self.backoff_base * self.backoff_factor ** (attempt - 1)
 
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth re-executing under this policy.
+
+        The parallel campaign scheduler uses the same split for worker
+        crashes: a task whose worker died is re-queued until its loss
+        count reaches ``max_attempts``.
+        """
+        return isinstance(exc, self.retryable)
+
 
 def _timeouts_available() -> bool:
     return (

@@ -1,0 +1,21 @@
+"""Multiprocess campaign execution.
+
+* :mod:`repro.parallel.tasks` — flattens a campaign into a dependency-
+  annotated task list with serial-compatible journal keys;
+* :mod:`repro.parallel.scheduler` — runs that list on N worker
+  processes with dead-worker recovery, parent-side journaling, and
+  byte-identical-to-serial result assembly.
+
+Entry point: ``ExperimentRunner(..., workers=N).run()`` or
+``repro-skeleton experiment --workers N``.
+"""
+
+from repro.parallel.tasks import CampaignTask, campaign_tasks
+from repro.parallel.scheduler import run_parallel_campaign, write_campaign_timeline
+
+__all__ = [
+    "CampaignTask",
+    "campaign_tasks",
+    "run_parallel_campaign",
+    "write_campaign_timeline",
+]

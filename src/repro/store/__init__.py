@@ -1,0 +1,54 @@
+"""Content-addressed artifact store and pipeline stage memoization.
+
+Two layers (see ``docs/SCALING.md`` for the full contract):
+
+* :mod:`repro.store.store` — :class:`ArtifactStore`: BLAKE2-keyed,
+  integrity-verified persistence of pipeline artifacts (traces,
+  signatures, skeletons, run results, campaign results) under one
+  cache root, with hit/miss/eviction metrics and ``repro-skeleton
+  store ls|verify|gc|prune`` CLI maintenance;
+* :mod:`repro.store.memo` — :class:`PipelineCache`: memoization
+  wrappers for the compress/construct/simulate hot path, used by the
+  campaign runner (serial and parallel) so a warm cache re-runs the
+  whole pipeline with zero recomputation.
+"""
+
+from repro.store.store import (
+    Artifact,
+    ArtifactStore,
+    CODE_SALT,
+    DEFAULT_CACHE_DIR_NAME,
+    StoreKey,
+    canonical_json,
+    content_digest,
+    find_project_root,
+    resolve_cache_dir,
+)
+from repro.store.memo import (
+    PipelineCache,
+    cluster_fingerprint,
+    runresult_from_dict,
+    runresult_to_dict,
+    scenario_fingerprint,
+    skeleton_program_params,
+    workload_params,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "CODE_SALT",
+    "DEFAULT_CACHE_DIR_NAME",
+    "PipelineCache",
+    "StoreKey",
+    "canonical_json",
+    "cluster_fingerprint",
+    "content_digest",
+    "find_project_root",
+    "resolve_cache_dir",
+    "runresult_from_dict",
+    "runresult_to_dict",
+    "scenario_fingerprint",
+    "skeleton_program_params",
+    "workload_params",
+]

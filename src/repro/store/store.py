@@ -1,0 +1,442 @@
+"""Content-addressed artifact store for pipeline stage outputs.
+
+The paper's workflow — trace → signature → skeleton → simulated runs —
+is a deterministic derivation graph: every stage output is a pure
+function of canonical inputs (program identity, cluster description,
+scenario, seed) plus the code that computes it. This module persists
+those outputs under a single cache root so that repeated pipeline
+invocations recompute *nothing*.
+
+Keying
+------
+
+An artifact is addressed by a BLAKE2b digest over the canonical JSON of
+``{"stage": ..., "params": ..., "salt": ...}``:
+
+* ``stage`` — which pipeline stage produced it (``"trace"``,
+  ``"signature"``, ``"skeleton"``, ``"run"``, ``"results"``);
+* ``params`` — the canonicalized inputs (JSON-serialisable dict; keys
+  are sorted, floats keep exact ``repr`` round-trip);
+* ``salt`` — the code-version salt :data:`CODE_SALT`. Bumping it
+  invalidates every artifact at once; that is the invalidation story
+  when stage semantics change (see ``docs/SCALING.md``).
+
+Upstream artifacts appear in downstream params *by digest* (a skeleton
+is keyed by its trace's digest), so the whole pipeline forms a Merkle
+chain: changing any input changes every downstream key.
+
+Layout and integrity
+--------------------
+
+::
+
+    <cache root>/store/objects/ab/<digest>.json   # JSON envelope
+    <cache root>/store/blobs/<digest>-<name>      # large payloads
+
+The envelope records a digest of its content and of every attached
+blob; :meth:`ArtifactStore.get` verifies both before returning, so a
+torn write or bit-rot reads as a *miss* (or raises
+:class:`~repro.errors.StoreError` with ``on_error="raise"``), never as
+wrong data. Writes are atomic (temp file + ``os.replace``) and safe
+under concurrent writers producing the same key: content-addressing
+makes the race benign — both write identical bytes.
+
+Hit/miss/eviction counts are reported through the
+:mod:`repro.obs.metrics` registry (``store.hits``, ``store.misses``,
+``store.writes``, ``store.corrupt``, ``store.evictions``, each labelled
+by stage).
+
+The cache root resolves in priority order: an explicit argument, the
+``REPRO_CACHE_DIR`` environment variable, then ``.repro_cache`` under
+the nearest ancestor containing ``pyproject.toml``/``setup.py``/
+``.git`` (so CLI invocations from a subdirectory share the project
+cache), and finally ``.repro_cache`` under the working directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Union
+
+from repro.errors import StoreError
+from repro.obs.metrics import get_metrics
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "CODE_SALT",
+    "DEFAULT_CACHE_DIR_NAME",
+    "StoreKey",
+    "canonical_json",
+    "content_digest",
+    "find_project_root",
+    "resolve_cache_dir",
+]
+
+#: Code-version salt mixed into every key. Bump when a stage's
+#: semantics change in a way that invalidates its cached outputs.
+CODE_SALT = "repro-store-v1"
+
+#: Basename of the cache directory (under the project root or CWD).
+DEFAULT_CACHE_DIR_NAME = ".repro_cache"
+
+#: Files whose presence marks a project root for cache anchoring.
+_ROOT_MARKERS = ("pyproject.toml", "setup.py", ".git")
+
+_FORMAT = 1
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace.
+
+    Floats round-trip exactly (shortest-repr), so canonical forms of
+    equal values are byte-identical across processes.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def content_digest(data: Union[bytes, str]) -> str:
+    """BLAKE2b-128 hex digest of raw bytes (or UTF-8 of a string)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def find_project_root(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ancestor of ``start`` (default: CWD) that looks like a
+    project root, or None."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return None
+
+
+def resolve_cache_dir(
+    explicit: Union[str, os.PathLike, None] = None,
+) -> Path:
+    """Resolve the cache root: explicit arg > ``$REPRO_CACHE_DIR`` >
+    ``<project root>/.repro_cache`` > ``<cwd>/.repro_cache``.
+
+    Anchoring at the project root means CLI runs from any subdirectory
+    hit the same cache.
+    """
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    root = find_project_root()
+    base = root if root is not None else Path.cwd()
+    return base / DEFAULT_CACHE_DIR_NAME
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """Address of one artifact: its stage, digest, and the params the
+    digest was derived from (kept for inspection, not identity)."""
+
+    stage: str
+    digest: str
+    params: Mapping = field(default_factory=dict, compare=False, hash=False)
+
+
+@dataclass
+class Artifact:
+    """One artifact read back from the store."""
+
+    stage: str
+    digest: str
+    content: dict
+    blobs: dict[str, Path]
+    params: dict
+    created: float
+    path: Path
+
+
+class ArtifactStore:
+    """Content-addressed artifact store under ``<root>/store/``."""
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None):
+        self.root = resolve_cache_dir(root)
+        self._objects = self.root / "store" / "objects"
+        self._blob_dir = self.root / "store" / "blobs"
+
+    # -- keys ------------------------------------------------------------
+
+    def key(self, stage: str, params: Mapping, salt: str = CODE_SALT) -> StoreKey:
+        """Derive the content-addressed key for ``stage`` + ``params``."""
+        blob = canonical_json({"stage": stage, "params": params, "salt": salt})
+        return StoreKey(stage=stage, digest=content_digest(blob), params=dict(params))
+
+    def object_path(self, key: Union[StoreKey, str]) -> Path:
+        digest = key.digest if isinstance(key, StoreKey) else str(key)
+        return self._objects / digest[:2] / f"{digest}.json"
+
+    def _blob_path(self, digest: str, name: str) -> Path:
+        return self._blob_dir / f"{digest}-{name}"
+
+    def blob_path(self, key: Union[StoreKey, str], name: str) -> Path:
+        """Path a named blob of ``key`` lives at (whether or not it
+        exists yet); blob files sit under the store root, so callers
+        may journal them relative to the cache directory."""
+        digest = key.digest if isinstance(key, StoreKey) else str(key)
+        return self._blob_path(digest, name)
+
+    # -- write -----------------------------------------------------------
+
+    def put(
+        self,
+        key: StoreKey,
+        content: dict,
+        blob_writers: Optional[Mapping[str, Callable[[Path], None]]] = None,
+    ) -> Path:
+        """Store ``content`` (JSON dict) plus optional named blob files.
+
+        Each ``blob_writers[name]`` is called with a temp path to write
+        the payload; the store then digests and registers the file.
+        Atomic: concurrent writers of the same key are benign.
+        """
+        blobs_meta: dict[str, dict] = {}
+        for name, writer in (blob_writers or {}).items():
+            path = self._blob_path(key.digest, name)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            writer(tmp)
+            data = tmp.read_bytes()
+            os.replace(tmp, path)
+            blobs_meta[name] = {
+                "file": str(path.relative_to(self.root)),
+                "digest": content_digest(data),
+                "bytes": len(data),
+            }
+        envelope = {
+            "format": _FORMAT,
+            "stage": key.stage,
+            "digest": key.digest,
+            "params": dict(key.params),
+            "created": time.time(),
+            "content_digest": content_digest(canonical_json(content)),
+            "content": content,
+            "blobs": blobs_meta,
+        }
+        obj_path = self.object_path(key)
+        obj_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = obj_path.with_name(f"{obj_path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(envelope, indent=1), encoding="utf-8")
+        os.replace(tmp, obj_path)
+        metrics = get_metrics()
+        if metrics.enabled:
+            c = metrics.counter("store.writes", "artifacts written to the store")
+            c.inc()
+            c.labels(stage=key.stage).inc()
+        return obj_path
+
+    # -- read ------------------------------------------------------------
+
+    def _load_envelope(self, path: Path) -> dict:
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable store object {path}: {exc}") from exc
+        if not isinstance(envelope, dict) or envelope.get("format") != _FORMAT:
+            raise StoreError(f"unsupported store object format in {path}")
+        return envelope
+
+    def _verify_envelope(self, envelope: dict, path: Path) -> dict[str, Path]:
+        """Integrity-check content and blobs; return blob name → path."""
+        content = envelope.get("content")
+        recorded = envelope.get("content_digest")
+        if content_digest(canonical_json(content)) != recorded:
+            raise StoreError(f"content digest mismatch in {path}")
+        blobs: dict[str, Path] = {}
+        for name, meta in (envelope.get("blobs") or {}).items():
+            blob_path = self.root / meta["file"]
+            try:
+                data = blob_path.read_bytes()
+            except OSError as exc:
+                raise StoreError(
+                    f"missing blob {meta['file']} for {path}: {exc}"
+                ) from exc
+            if content_digest(data) != meta.get("digest"):
+                raise StoreError(f"blob digest mismatch: {meta['file']}")
+            blobs[name] = blob_path
+        return blobs
+
+    def get(
+        self,
+        key: Union[StoreKey, str],
+        on_error: str = "miss",
+    ) -> Optional[Artifact]:
+        """Fetch an artifact, verifying integrity on read.
+
+        Returns None on a miss. A corrupt artifact counts as a miss
+        (``on_error="miss"``, the default — the caller recomputes and
+        overwrites) or raises :class:`StoreError` (``on_error="raise"``).
+        """
+        stage = key.stage if isinstance(key, StoreKey) else ""
+        metrics = get_metrics()
+
+        def _count(name: str, stage_label: str) -> None:
+            if metrics.enabled:
+                c = metrics.counter(f"store.{name}", f"store {name} by stage")
+                c.inc()
+                if stage_label:
+                    c.labels(stage=stage_label).inc()
+
+        path = self.object_path(key)
+        if not path.exists():
+            _count("misses", stage)
+            return None
+        try:
+            envelope = self._load_envelope(path)
+            stage = envelope.get("stage", stage) or stage
+            blobs = self._verify_envelope(envelope, path)
+        except StoreError:
+            _count("corrupt", stage)
+            if on_error == "raise":
+                raise
+            _count("misses", stage)
+            return None
+        _count("hits", stage)
+        return Artifact(
+            stage=stage,
+            digest=envelope["digest"],
+            content=envelope["content"],
+            blobs=blobs,
+            params=envelope.get("params", {}),
+            created=float(envelope.get("created", 0.0)),
+            path=path,
+        )
+
+    def contains(self, key: Union[StoreKey, str]) -> bool:
+        return self.object_path(key).exists()
+
+    # -- index / maintenance --------------------------------------------
+
+    def _object_files(self) -> list[Path]:
+        if not self._objects.exists():
+            return []
+        return sorted(self._objects.glob("*/*.json"))
+
+    def entries(self) -> list[dict]:
+        """Index of stored artifacts (no integrity verification):
+        stage, digest, created, total bytes (object + blobs), params."""
+        out = []
+        for path in self._object_files():
+            try:
+                envelope = self._load_envelope(path)
+            except StoreError:
+                out.append({
+                    "stage": "?", "digest": path.stem, "created": 0.0,
+                    "bytes": path.stat().st_size, "params": {}, "corrupt": True,
+                })
+                continue
+            nbytes = path.stat().st_size
+            for meta in (envelope.get("blobs") or {}).values():
+                nbytes += int(meta.get("bytes", 0))
+            out.append({
+                "stage": envelope.get("stage", "?"),
+                "digest": envelope.get("digest", path.stem),
+                "created": float(envelope.get("created", 0.0)),
+                "bytes": nbytes,
+                "params": envelope.get("params", {}),
+                "corrupt": False,
+            })
+        return out
+
+    def total_bytes(self) -> int:
+        total = 0
+        for base in (self._objects, self._blob_dir):
+            if base.exists():
+                total += sum(
+                    p.stat().st_size for p in base.rglob("*") if p.is_file()
+                )
+        return total
+
+    def verify(self) -> list[str]:
+        """Integrity-check every artifact; return human-readable issues."""
+        issues = []
+        referenced: set[Path] = set()
+        for path in self._object_files():
+            try:
+                envelope = self._load_envelope(path)
+                blobs = self._verify_envelope(envelope, path)
+                referenced.update(blobs.values())
+            except StoreError as exc:
+                issues.append(str(exc))
+        for blob in sorted(self._blob_dir.glob("*")) if self._blob_dir.exists() else []:
+            if blob.is_file() and blob not in referenced:
+                issues.append(f"orphan blob {blob.relative_to(self.root)}")
+        return issues
+
+    def _delete_object(self, path: Path, stage: str) -> None:
+        try:
+            envelope = self._load_envelope(path)
+            for meta in (envelope.get("blobs") or {}).values():
+                try:
+                    (self.root / meta["file"]).unlink()
+                except FileNotFoundError:
+                    pass
+        except StoreError:
+            pass
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        metrics = get_metrics()
+        if metrics.enabled:
+            c = metrics.counter("store.evictions", "artifacts evicted")
+            c.inc()
+            if stage:
+                c.labels(stage=stage).inc()
+
+    def gc(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> list[str]:
+        """Evict artifacts past an age bound and/or shrink the store to
+        a byte budget (oldest-first). Returns evicted digests."""
+        entries = self.entries()
+        evicted: list[str] = []
+        now = time.time()
+        if max_age_seconds is not None:
+            for e in entries:
+                if now - e["created"] > max_age_seconds:
+                    self._delete_object(self.object_path(e["digest"]), e["stage"])
+                    evicted.append(e["digest"])
+            entries = [e for e in entries if e["digest"] not in set(evicted)]
+        if max_bytes is not None:
+            total = sum(e["bytes"] for e in entries)
+            for e in sorted(entries, key=lambda e: e["created"]):
+                if total <= max_bytes:
+                    break
+                self._delete_object(self.object_path(e["digest"]), e["stage"])
+                evicted.append(e["digest"])
+                total -= e["bytes"]
+        return evicted
+
+    def prune(self) -> dict[str, int]:
+        """Remove corrupt objects and orphan blobs; return counts."""
+        removed = {"objects": 0, "blobs": 0}
+        referenced: set[Path] = set()
+        for path in self._object_files():
+            try:
+                envelope = self._load_envelope(path)
+                blobs = self._verify_envelope(envelope, path)
+                referenced.update(blobs.values())
+            except StoreError:
+                self._delete_object(path, "?")
+                removed["objects"] += 1
+        if self._blob_dir.exists():
+            for blob in sorted(self._blob_dir.glob("*")):
+                if blob.is_file() and blob not in referenced:
+                    blob.unlink()
+                    removed["blobs"] += 1
+        return removed

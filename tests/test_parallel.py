@@ -1,0 +1,196 @@
+"""Parallel campaign scheduler tests.
+
+The load-bearing guarantees:
+
+* a parallel campaign's results are **byte-identical** to a serial
+  run of the same config (same seeds, serial-order assembly);
+* a SIGKILLed worker is detected, its task re-queued, a replacement
+  spawned, and the campaign still completes byte-identically;
+* the journal written by a parallel campaign resumes with zero
+  re-execution;
+* a deterministic in-worker failure surfaces as the same structured
+  benchmark failure a serial campaign records.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments.journal import CampaignJournal
+from repro.obs.metrics import enabled_metrics
+from repro.parallel import campaign_tasks, write_campaign_timeline
+from repro.parallel.tasks import KIND_SKEL_BUILD
+
+TINY = ExperimentConfig(
+    benchmarks=("cg",),
+    klass="S",
+    baseline_klass="S",
+    skeleton_targets=(0.05,),
+    steady=True,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method required for monkeypatch inheritance",
+)
+
+
+@pytest.fixture(scope="module")
+def serial_results(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("serial")
+    return ExperimentRunner(TINY, cache_dir=str(cache)).run()
+
+
+class TestCampaignTasks:
+    def test_keys_match_serial_journal_keys(self):
+        runner = ExperimentRunner(TINY, cache_dir="/tmp/unused-keys")
+        tasks = campaign_tasks(TINY, runner.scenarios)
+        keys = [t.key for t in tasks]
+        assert "cg.S/trace::dedicated::0" in keys
+        assert "cg.S/class-s::dedicated::0" in keys
+        # Run-kind task count equals the serial runner's planned runs.
+        assert sum(t.is_run for t in tasks) == runner._planned_runs()
+
+    def test_serial_order_and_deps(self):
+        runner = ExperimentRunner(TINY, cache_dir="/tmp/unused-deps")
+        tasks = campaign_tasks(TINY, runner.scenarios)
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+        by_key = {t.key: t for t in tasks}
+        for task in tasks:
+            for dep in task.deps:
+                assert by_key[dep].index < task.index
+        builds = [t for t in tasks if t.kind == KIND_SKEL_BUILD]
+        assert len(builds) == len(TINY.skeleton_targets)
+        assert all(
+            by_key[b.deps[0]].kind == "trace" for b in builds
+        )
+
+    def test_tasks_are_picklable(self):
+        import pickle
+
+        runner = ExperimentRunner(TINY, cache_dir="/tmp/unused-pickle")
+        tasks = campaign_tasks(TINY, runner.scenarios)
+        assert pickle.loads(pickle.dumps(tasks)) == tasks
+
+
+class TestParallelCampaign:
+    def test_byte_identical_to_serial(self, serial_results, tmp_path):
+        runner = ExperimentRunner(TINY, cache_dir=str(tmp_path), workers=3)
+        results = runner.run()
+        assert not results.failures
+        assert results.to_json() == serial_results.to_json()
+        assert runner.n_executed == runner._planned_runs()
+        assert runner.campaign_spans  # workers reported their spans
+
+    def test_killed_worker_recovers_byte_identically(
+        self, serial_results, tmp_path
+    ):
+        runner = ExperimentRunner(TINY, cache_dir=str(tmp_path), workers=2)
+        runner._campaign_kill_plan = {0: 2}  # SIGKILL on its 2nd task
+        with enabled_metrics() as m:
+            results = runner.run()
+        assert not results.failures
+        assert results.to_json() == serial_results.to_json()
+        snap = m.snapshot()
+        assert snap["campaign.worker_restarts"]["value"] >= 1
+
+    def test_parallel_journal_resumes_with_zero_execution(
+        self, serial_results, tmp_path, monkeypatch
+    ):
+        # Keep the journal after success, as if the campaign had been
+        # killed right before its final cleanup.
+        monkeypatch.setattr(
+            CampaignJournal, "remove", lambda self: self.close()
+        )
+        first = ExperimentRunner(TINY, cache_dir=str(tmp_path), workers=2)
+        first.run()
+        assert first.journal_path.exists()
+        resumed = ExperimentRunner(TINY, cache_dir=str(tmp_path), workers=2)
+        results = resumed.run(force=True, resume=True)
+        assert resumed.n_executed == 0
+        assert resumed.n_resumed == resumed._planned_runs()
+        assert results.to_json() == serial_results.to_json()
+
+    def test_parallel_requires_store(self, tmp_path):
+        runner = ExperimentRunner(
+            TINY, cache_dir=str(tmp_path), workers=2, use_store=False
+        )
+        with pytest.raises(ExperimentError, match="artifact store"):
+            runner.run()
+
+    def test_workers_below_one_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            ExperimentRunner(TINY, cache_dir=str(tmp_path), workers=0)
+
+
+@needs_fork
+class TestParallelCrashIsolation:
+    def test_injected_failure_matches_serial(self, tmp_path):
+        """A deterministic run failure produces the same structured
+        failure record (and results bytes) serial execution records."""
+        import repro.experiments.runner as runner_mod
+        import repro.parallel.scheduler as sched_mod
+        from repro.sim.program import run_program as real_run_program
+
+        def sick(program, cluster, scenario=None, seed=0, **kwargs):
+            if scenario is not None and scenario.name == "link-one":
+                raise ValueError("injected failure")
+            return real_run_program(
+                program, cluster, scenario, seed=seed, **kwargs
+            )
+
+        config = ExperimentConfig(
+            benchmarks=("cg", "is"),
+            klass="S",
+            baseline_klass="S",
+            skeleton_targets=(0.05,),
+            steady=True,
+        )
+        old_serial = runner_mod.run_program
+        old_par = sched_mod.run_program
+        runner_mod.run_program = sick
+        sched_mod.run_program = sick
+        try:
+            serial = ExperimentRunner(
+                config, cache_dir=str(tmp_path / "serial")
+            ).run()
+            parallel = ExperimentRunner(
+                config, cache_dir=str(tmp_path / "par"), workers=2
+            ).run()
+        finally:
+            runner_mod.run_program = old_serial
+            sched_mod.run_program = old_par
+        assert set(serial.failures) == {"cg", "is"}
+        for bench in ("cg", "is"):
+            assert serial.failures[bench]["error_type"] == "ValueError"
+        assert parallel.to_json() == serial.to_json()
+
+
+class TestCampaignTimeline:
+    def test_chrome_trace_export(self, serial_results, tmp_path):
+        runner = ExperimentRunner(TINY, cache_dir=str(tmp_path), workers=2)
+        runner.run()
+        out = tmp_path / "campaign.json"
+        n = runner.write_campaign_timeline(out)
+        assert n == len(runner.campaign_spans) > 0
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        lanes = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert lanes  # one named lane per worker that ran tasks
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == n
+        assert all(e["dur"] >= 0 for e in spans)
+
+    def test_empty_spans_export(self, tmp_path):
+        out = tmp_path / "empty.json"
+        assert write_campaign_timeline([], out) == 0
+        assert json.loads(out.read_text())["traceEvents"]
