@@ -15,6 +15,10 @@ Subcommands mirror the paper's workflow:
 * ``timeline``  — run a benchmark with the timeline recorder attached
   and export a Perfetto-loadable Chrome trace plus a per-rank
   activity summary.
+* ``diagnose``  — time-resolved diagnosis of a benchmark under a
+  scenario: per-rank compute/wait/transfer/collective breakdown with
+  classified wait states, the run's critical path, and the skeleton
+  prediction's divergence report (see :mod:`repro.diagnose`).
 * ``profile``   — run the trace → skeleton pipeline with the metrics
   registry enabled and print the instrumentation report.
 * ``trace validate`` — check a trace file's structure; with
@@ -37,6 +41,7 @@ Examples::
     repro-skeleton predict cg --target 5 --scenario cpu-one-node
     repro-skeleton experiment --figure 7
     repro-skeleton timeline cg --klass S -o cg_timeline.json
+    repro-skeleton diagnose cg --klass S --scenario cpu-one-node
     repro-skeleton profile cg --klass S --scenario cpu-one-node
     repro-skeleton --metrics-out m.json predict cg --target 5
     repro-skeleton trace validate cg.trace --salvage -o repaired.trace
@@ -252,6 +257,68 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    """Time-resolved diagnosis + divergence report for one benchmark."""
+    import json
+
+    from repro.diagnose import (
+        diagnose_run,
+        explain_divergence,
+        extract_critical_path,
+    )
+
+    cluster = paper_testbed()
+    scenario = _resolve_scenario(args.scenario)
+    program = get_program(args.benchmark, args.klass, args.nprocs, args.seed)
+    print(f"tracing {program.name} on the dedicated testbed ...")
+    trace, dedicated = trace_program(program, cluster)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        bundle = build_skeleton(trace, target_seconds=args.target)
+    print(
+        f"diagnosing {program.name} vs its {args.target:g}s skeleton "
+        f"under {scenario.name} ..."
+    )
+    collector, _ = diagnose_run(
+        program, cluster, scenario, seed=args.env_seed
+    )
+    critical = extract_critical_path(collector)
+    report = explain_divergence(
+        program,
+        bundle.program,
+        cluster,
+        scenario,
+        app_dedicated_seconds=dedicated.elapsed,
+        app_seed=args.env_seed,
+    )
+    print()
+    print(collector.render_breakdown())
+    print()
+    print(critical.render())
+    print()
+    print(report.render())
+    if args.output:
+        doc = {
+            "program": program.name,
+            "scenario": scenario.name,
+            "breakdown": {
+                str(r): cats
+                for r, cats in collector.detailed_breakdown().items()
+            },
+            "wait_states": collector.wait_state_totals(),
+            "critical_path": critical.to_dict(),
+            "divergence": report.to_dict(),
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"\ndiagnosis report written to {args.output}")
+    if args.timeline:
+        collector.write_chrome_trace(args.timeline)
+        print(f"timeline (with wait-state tracks) written to {args.timeline}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Run the trace -> skeleton pipeline with metrics enabled."""
     from repro.obs import enabled_metrics, get_metrics, render_metrics
@@ -401,6 +468,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(full_report(results))
     else:
         print(builders[args.figure](results).render())
+    if args.diagnose:
+        from repro.diagnose import (
+            campaign_divergence,
+            render_campaign_divergence,
+        )
+
+        reports = campaign_divergence(runner, results)
+        print()
+        print(render_campaign_divergence(reports))
+        n = sum(len(per_bench) for per_bench in reports.values())
+        print(
+            f"{n} divergence report(s) persisted to the artifact store "
+            f"('diagnosis' stage; see repro-skeleton store ls)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -584,6 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--campaign-timeline", default=None, metavar="PATH",
                    help="with --workers: write per-worker task spans as "
                    "a Perfetto-loadable Chrome trace")
+    p.add_argument("--diagnose", action="store_true",
+                   help="also emit a per-scenario divergence report "
+                   "(prediction-error decomposition; persisted in the "
+                   "artifact store)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="structured per-run progress lines with ETA")
     p.set_defaults(func=_cmd_experiment)
@@ -625,6 +711,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_timeline)
 
     p = sub.add_parser(
+        "diagnose",
+        help="time-resolved diagnosis: breakdown, wait states, critical "
+        "path, and the skeleton's divergence report",
+    )
+    _add_common_bench_args(p)
+    p.add_argument("--scenario", default="cpu-one-node",
+                   help="sharing scenario (default: cpu-one-node)")
+    p.add_argument("--target", type=float, default=1.0,
+                   help="skeleton target size for the divergence report "
+                   "(seconds)")
+    p.add_argument("--env-seed", type=int, default=0,
+                   help="environment randomness seed")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="write the full diagnosis report as JSON")
+    p.add_argument("--timeline", default=None, metavar="PATH",
+                   help="write a Perfetto timeline with wait-state tracks")
+    p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser(
         "profile",
         help="run trace -> skeleton -> probe with the metrics registry on",
     )
@@ -659,6 +764,26 @@ def _normalize_argv(argv: Sequence[str]) -> list[str]:
     return argv
 
 
+def _persist_metrics_snapshot(args: argparse.Namespace, registry) -> None:
+    """Also persist the ``--metrics-out`` snapshot into the artifact
+    store (stage ``metrics``, keyed by the invoked command), so
+    ``store ls`` tracks instrumentation across campaign stages."""
+    from repro.store import ArtifactStore
+
+    try:
+        store = ArtifactStore(getattr(args, "cache_dir", None))
+        key = store.key("metrics", {"command": args.command})
+        store.put(key, {"command": args.command, "metrics": registry.snapshot()})
+        print(
+            f"metrics snapshot persisted to the artifact store "
+            f"({key.digest})",
+            file=sys.stderr,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"warning: metrics snapshot not persisted: {exc}",
+              file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(
@@ -676,6 +801,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if registry is not None:
             registry.write(args.metrics_out)
             print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+            _persist_metrics_snapshot(args, registry)
         return rc
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

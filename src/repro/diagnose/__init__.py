@@ -1,0 +1,66 @@
+"""Time-resolved diagnosis of simulated runs and their predictions.
+
+Three layers on top of the observability stack (PR 1):
+
+* :mod:`repro.diagnose.collector` — a streaming
+  :class:`DiagnosisCollector` engine hook: per-rank time-resolved
+  breakdown (compute / wait / transfer / collective) with
+  Scalasca-style wait-state classification (late-sender,
+  late-receiver, collective-imbalance wait). The per-rank category
+  sums reconcile exactly with ``RunResult`` finish times.
+* :mod:`repro.diagnose.critical_path` — critical-path extraction over
+  the engine's dependency DAG; the path tiles ``[0, makespan]`` so its
+  length equals the makespan.
+* :mod:`repro.diagnose.explain` — a divergence explainer that runs
+  app and skeleton under the same scenario and decomposes the
+  prediction error into named contributions (unscaled latency,
+  collective imbalance, protocol switch, contention skew); campaign
+  integration lives in :mod:`repro.diagnose.campaign`.
+
+CLI: ``repro-skeleton diagnose`` and ``repro-skeleton experiment
+--diagnose``. See ``docs/OBSERVABILITY.md`` ("Diagnosis").
+"""
+
+from repro.diagnose.collector import (
+    COLLECTIVE_CALLS,
+    COLLECTIVE_WAIT,
+    DependencyEdge,
+    DiagnosisCollector,
+    LATE_RECEIVER,
+    LATE_SENDER,
+    WaitSpan,
+)
+from repro.diagnose.critical_path import (
+    CriticalPath,
+    PathSegment,
+    extract_critical_path,
+)
+from repro.diagnose.explain import (
+    CONTRIBUTIONS,
+    DivergenceReport,
+    diagnose_run,
+    explain_divergence,
+)
+from repro.diagnose.campaign import (
+    campaign_divergence,
+    render_campaign_divergence,
+)
+
+__all__ = [
+    "COLLECTIVE_CALLS",
+    "COLLECTIVE_WAIT",
+    "CONTRIBUTIONS",
+    "CriticalPath",
+    "DependencyEdge",
+    "DiagnosisCollector",
+    "DivergenceReport",
+    "LATE_RECEIVER",
+    "LATE_SENDER",
+    "PathSegment",
+    "WaitSpan",
+    "campaign_divergence",
+    "diagnose_run",
+    "explain_divergence",
+    "extract_critical_path",
+    "render_campaign_divergence",
+]

@@ -1,0 +1,144 @@
+"""Campaign-level divergence reports.
+
+Bridges :mod:`repro.diagnose` and :mod:`repro.experiments`: after a
+campaign has run, :func:`campaign_divergence` re-derives each
+benchmark's program and skeleton from the runner's pipeline cache
+(warm hits — nothing is re-traced or re-built), replays the
+*identical* campaign runs with a diagnosis collector attached (same
+seeds via :func:`repro.util.rng.derive_seed`), and explains every
+per-scenario prediction. The explained error therefore equals
+``ExperimentResults.skeleton_error`` for the same cell.
+
+Reports are persisted into the content-addressed store under the
+``diagnosis`` stage (listed by ``repro-skeleton store ls``), so
+re-running ``experiment --diagnose`` is free once warm.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Sequence
+
+from repro.errors import SkeletonQualityWarning
+from repro.store.memo import workload_params
+from repro.util.rng import derive_seed
+from repro.workloads import get_program
+
+from repro.diagnose.explain import DivergenceReport, explain_divergence
+
+__all__ = ["campaign_divergence", "render_campaign_divergence"]
+
+
+def campaign_divergence(
+    runner,
+    results,
+    *,
+    target: Optional[float] = None,
+    scenario_names: Optional[Sequence[str]] = None,
+    persist: bool = True,
+) -> dict[str, dict[str, DivergenceReport]]:
+    """Per-benchmark, per-scenario divergence reports for one campaign.
+
+    ``runner`` is the :class:`~repro.experiments.ExperimentRunner`
+    that produced (or loaded) ``results``; ``target`` selects the
+    skeleton size (default: the campaign's first target). Returns
+    ``{bench: {scenario: DivergenceReport}}`` for every completed
+    benchmark.
+    """
+    cfg = runner.config
+    env = cfg.environment_seed
+    pipeline = runner.pipeline
+    if target is None:
+        target = results.targets()[0]
+    scenarios = [
+        s for s in runner.scenarios
+        if scenario_names is None or s.name in scenario_names
+    ]
+    reports: dict[str, dict[str, DivergenceReport]] = {}
+    for bench in results.benchmarks():
+        app = results.apps[bench]
+        skel = results.skeletons[bench][f"{target:g}"]
+        program = get_program(bench, cfg.klass, cfg.nprocs, cfg.workload_seed)
+        app_params = workload_params(
+            bench, cfg.klass, cfg.nprocs, cfg.workload_seed
+        )
+        bundle = None  # rebuilt lazily, only on a cold diagnosis cell
+        per_bench: dict[str, DivergenceReport] = {}
+        for scen in scenarios:
+            key = runner.store.key(
+                "diagnosis",
+                {
+                    "config": cfg.key(),
+                    "bench": bench,
+                    "target": target,
+                    "scenario": scen.name,
+                },
+            )
+            if persist:
+                artifact = runner.store.get(key)
+                if artifact is not None:
+                    per_bench[scen.name] = DivergenceReport.from_dict(
+                        artifact.content
+                    )
+                    continue
+            if bundle is None:
+                from repro.core.construct import build_skeleton
+                from repro.trace.tracer import trace_program
+
+                trace, _ded = pipeline.traced_run(
+                    app_params,
+                    lambda: trace_program(program, runner.cluster),
+                )
+                trace_digest = pipeline.trace_key(app_params).digest
+
+                def _build(trace=trace, target=target):
+                    with warnings.catch_warnings():
+                        warnings.simplefilter(
+                            "ignore", SkeletonQualityWarning
+                        )
+                        return build_skeleton(trace, target_seconds=target)
+
+                bundle = pipeline.skeleton(trace_digest, target, _build)
+            report = explain_divergence(
+                program,
+                bundle.program,
+                runner.cluster,
+                scen,
+                app_dedicated_seconds=app["dedicated"],
+                skeleton_dedicated_seconds=skel["dedicated"],
+                app_seed=derive_seed(env, "app", bench, scen.name),
+                probe_seed=derive_seed(env, "skel", bench, target, scen.name),
+            )
+            if persist:
+                runner.store.put(key, report.to_dict())
+            per_bench[scen.name] = report
+        reports[bench] = per_bench
+    return reports
+
+
+def render_campaign_divergence(
+    reports: dict[str, dict[str, DivergenceReport]]
+) -> str:
+    """One terminal table over all (benchmark, scenario) cells."""
+    from repro.util.tables import render_table
+
+    rows = []
+    for bench, per_bench in reports.items():
+        for scenario, rep in per_bench.items():
+            rows.append(
+                [
+                    bench,
+                    scenario,
+                    f"{rep.predicted_seconds:.3f}",
+                    f"{rep.actual_seconds:.3f}",
+                    f"{rep.error_percent:.1f}%",
+                    rep.dominant_contribution(),
+                    f"{rep.contributions[rep.dominant_contribution()]:+.4f}",
+                ]
+            )
+    return render_table(
+        "per-scenario divergence (skeleton prediction vs reality)",
+        ["bench", "scenario", "predicted", "actual", "err", "dominant",
+         "seconds"],
+        rows,
+    )

@@ -1,0 +1,516 @@
+"""Streaming wait-state classification of simulated runs.
+
+:class:`DiagnosisCollector` extends the timeline recorder with the
+time-resolved breakdown the Scalasca/Vampir literature builds its
+diagnostics on: every second of every rank's execution is assigned to
+exactly one of four top-level categories
+
+* **compute** — gaps between user-level MPI calls (plus the trailing
+  gap to the rank's finish time);
+* **wait** — the part of a blocking point-to-point call spent waiting
+  for the peer, classified **late-sender** (the receiver blocked
+  before the sender sent) or **late-receiver** (a rendezvous sender
+  blocked before the receiver posted);
+* **transfer** — the remainder of point-to-point calls: handshakes,
+  local copies, and actual data movement, split by protocol
+  (**eager** / **rendezvous**);
+* **collective** — time inside collective calls; the portion every
+  rank spends waiting for the *last* rank to enter the same collective
+  instance is additionally classified **collective-imbalance wait**
+  (a sub-category: it refines, not double-counts, collective time).
+
+Conservation invariant
+----------------------
+
+For every rank, ``compute + wait + transfer + collective`` reconciles
+exactly with the rank's ``RunResult`` finish time — the categories are
+a partition of the same spans whose tiling the timeline recorder
+already guarantees, so nothing is lost or counted twice.
+
+Classification uses the engine's dependency edges (``on_edge``): each
+point-to-point delivery reports who sent when, when the matching
+receive was posted, and which protocol moved the bytes. A blocking
+call released by a delivery at its end time is split into the wait up
+to the releasing gate (send time or receive-post time) and transfer
+after it.
+
+During the run the hook only *streams* the edges (the timeline base
+class already records the spans); classification is derived lazily on
+first query and cached, so attaching the collector perturbs the run
+itself no more than plain timeline recording
+(``benchmarks/bench_diagnose_overhead.py`` pins the budget).
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import NamedTuple, Optional, Sequence
+
+from repro.obs.metrics import get_metrics
+from repro.obs.timeline import COMPUTE, TimelineRecorder
+from repro.sim.ops import COLLECTIVE_TAG_BASE, CollectiveOp, MPI_CALL_NAMES
+
+__all__ = [
+    "COLLECTIVE_CALLS",
+    "DependencyEdge",
+    "DiagnosisCollector",
+    "LATE_RECEIVER",
+    "LATE_SENDER",
+    "COLLECTIVE_WAIT",
+    "WaitSpan",
+]
+
+#: User-level call names that are collectives.
+COLLECTIVE_CALLS = frozenset(
+    name for cls, name in MPI_CALL_NAMES.items() if issubclass(cls, CollectiveOp)
+)
+
+#: Wait-state kinds (Scalasca taxonomy).
+LATE_SENDER = "late-sender"
+LATE_RECEIVER = "late-receiver"
+COLLECTIVE_WAIT = "collective-wait"
+
+#: Leaf categories of the per-rank breakdown; their sum is the rank's
+#: finish time (``collective_wait`` is a refinement of ``collective``
+#: and excluded from the sum).
+LEAF_CATEGORIES = (
+    "compute",
+    "wait_late_sender",
+    "wait_late_receiver",
+    "transfer_eager",
+    "transfer_rendezvous",
+    "collective",
+)
+
+
+class DependencyEdge(NamedTuple):
+    """One delivered point-to-point message, as a DAG edge.
+
+    ``t_recv_posted`` is NaN when the message was delivered before any
+    matching receive existed (the receiver never blocked on it).
+    Edges with ``tag >= COLLECTIVE_TAG_BASE`` belong to a collective
+    decomposition. A named tuple, not a dataclass: one is built per
+    delivered message, on the engine's hot path.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+    t_sent: float
+    t_recv_posted: float
+    t_delivered: float
+    eager: bool
+
+    @property
+    def is_collective(self) -> bool:
+        return self.tag >= COLLECTIVE_TAG_BASE
+
+    @property
+    def flight_time(self) -> float:
+        return self.t_delivered - self.t_sent
+
+
+class WaitSpan(NamedTuple):
+    """One classified interval of waiting on one rank."""
+
+    rank: int
+    kind: str  # LATE_SENDER, LATE_RECEIVER, or COLLECTIVE_WAIT
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class DiagnosisCollector(TimelineRecorder):
+    """Timeline recorder + streaming wait-state classifier.
+
+    Attach like any hook::
+
+        col = DiagnosisCollector(program_name=program.name)
+        result = run_program(program, cluster, scenario, hook=col)
+        print(col.render_breakdown())
+        col.write_chrome_trace("run.json")  # + wait-state tracks
+
+    The collector inherits every timeline feature (spans, message
+    flights, utilization samples, fault spans, Chrome-trace export)
+    and adds :attr:`edges`, :attr:`wait_spans`, :meth:`breakdown`,
+    :meth:`detailed_breakdown`, and :meth:`wait_state_totals`.
+    Recording adds zero *simulated* overhead.
+    """
+
+    def __init__(
+        self,
+        program_name: str = "",
+        scenario_name: str = "",
+        sample_period: float = 0.0,
+        record_messages: bool = True,
+    ):
+        super().__init__(
+            program_name=program_name,
+            scenario_name=scenario_name,
+            sample_period=sample_period,
+            record_messages=record_messages,
+        )
+        # Edges accumulate as plain tuples (the engine delivers
+        # thousands per run; a tuple literal is frame-free where a
+        # NamedTuple constructor is not) and convert lazily on first
+        # access through the `edges` / `wait_spans` properties.
+        # Classification itself is also lazy: the hook only *streams*
+        # the dependency edges during the run — everything the timeline
+        # recorder doesn't already capture — and derives the breakdown
+        # from spans + edges on first query. That keeps the hook's
+        # perturbation of the run itself near zero (pinned by
+        # ``benchmarks/bench_diagnose_overhead.py``).
+        self._raw_edges: list[tuple] = []
+        self._raw_waits: list[tuple] = []
+        self._edges_cache: Optional[list[DependencyEdge]] = None
+        self._waits_cache: Optional[list[WaitSpan]] = None
+        self._rank_edges: list[list[tuple]] = []
+        self._cats: Optional[list[dict]] = None
+        self._coll_wait: list[float] = []
+
+    @property
+    def edges(self) -> list[DependencyEdge]:
+        """Every delivered message as a dependency edge, in delivery
+        order."""
+        if self._edges_cache is None:
+            self._edges_cache = [
+                DependencyEdge._make(e) for e in self._raw_edges
+            ]
+        return self._edges_cache
+
+    @property
+    def wait_spans(self) -> list[WaitSpan]:
+        """Classified wait intervals, sorted by (rank, start, kind)."""
+        self._classify()
+        if self._waits_cache is None:
+            self._waits_cache = [WaitSpan._make(w) for w in self._raw_waits]
+        return self._waits_cache
+
+    # -- EngineHook ------------------------------------------------------
+
+    def on_run_start(self, nranks: int, t: float) -> None:
+        super().on_run_start(nranks, t)
+        self._raw_edges = []
+        self._raw_waits = []
+        self._edges_cache = None
+        self._waits_cache = None
+        self._rank_edges = [[] for _ in range(nranks)]
+        self._cats = None
+        self._coll_wait = [0.0] * nranks
+
+    def on_edge(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: int,
+        t_sent: float,
+        t_recv_posted: float,
+        t_delivered: float,
+        eager: bool,
+    ) -> None:
+        # One shared tuple per delivery (DependencyEdge field order).
+        edge = (src, dst, nbytes, tag, t_sent, t_recv_posted, t_delivered,
+                eager)
+        self._raw_edges.append(edge)
+        # A delivery can release the receiver always, and the sender
+        # only under rendezvous (eager sends complete at the local copy).
+        self._rank_edges[dst].append(edge)
+        if not eager:
+            self._rank_edges[src].append(edge)
+
+    def on_run_end(self, finish_times: Sequence[float]) -> None:
+        super().on_run_end(finish_times)
+        self._cats = None
+        self._waits_cache = None
+        metrics = get_metrics()
+        if metrics.enabled:
+            self._classify()
+            metrics.counter("diagnose.runs", "diagnosed runs completed").inc()
+            totals = self.wait_state_totals()
+            waits = metrics.counter(
+                "diagnose.wait_seconds", "classified wait time by kind"
+            )
+            for kind, seconds in totals.items():
+                if seconds > 0:
+                    waits.labels(kind=kind).inc(seconds)
+            metrics.counter(
+                "diagnose.edges", "dependency edges observed"
+            ).inc(len(self._raw_edges))
+
+    # -- classification ---------------------------------------------------
+
+    def _classify(self) -> None:
+        """Derive the breakdown from recorded spans + edges (lazy).
+
+        Runs once per completed run, on first query. The timeline
+        recorder guarantees every rank's spans tile ``[0, finish]``, so
+        assigning every span to exactly one leaf category preserves the
+        conservation invariant by construction.
+        """
+        if self._cats is not None:
+            return
+        self._require_done()
+        nranks = self.nranks
+        cats_list = [
+            {leaf: 0.0 for leaf in LEAF_CATEGORIES} for _ in range(nranks)
+        ]
+        coll_wait = [0.0] * nranks
+        coll_seq: list[dict] = [{} for _ in range(nranks)]
+        coll_instances: dict = {}
+        rank_edges = self._rank_edges
+        ptrs = [0] * nranks
+        waits: list[tuple] = []
+        for span in self.spans:
+            rank = span.rank
+            t_start = span.t_start
+            t_end = span.t_end
+            dur = t_end - t_start
+            cats = cats_list[rank]
+            if span.kind == COMPUTE:
+                cats["compute"] += dur
+                continue
+            # Pending edges at this call: every delivery that involved
+            # this rank since its previous call, up to this call's
+            # completion (per-rank edge lists are in delivery order).
+            edges = rank_edges[rank]
+            i = ptrs[rank]
+            n = len(edges)
+            begin = i
+            while i < n and edges[i][6] <= t_end:
+                i += 1
+            ptrs[rank] = i
+            name = span.name
+            if name in COLLECTIVE_CALLS:
+                cats["collective"] += dur
+                group = span.args.get("group") if span.args else None
+                comm_key = tuple(group) if group is not None else None
+                seqs = coll_seq[rank]
+                seq = seqs.get(comm_key, 0)
+                seqs[comm_key] = seq + 1
+                coll_instances.setdefault((comm_key, seq), []).append(
+                    (rank, t_start, t_end)
+                )
+                continue
+            if dur <= 0.0:
+                continue
+            # Point-to-point blocking call: the releasing edge is one
+            # delivered exactly at the call's end (delivery and call
+            # completion happen at the same engine timestamp). When
+            # several complete together (Waitall, Sendrecv) the binding
+            # dependency is the one that implies the longest wait.
+            wait = 0.0
+            kind = None
+            eager_protocol = True
+            for j in range(begin, i):
+                edge = edges[j]
+                if edge[6] != t_end:  # t_delivered
+                    continue
+                if edge[1] == rank:  # dst
+                    gate = edge[4]  # t_sent
+                    edge_kind = LATE_SENDER
+                else:
+                    gate = edge[5]  # t_recv_posted
+                    edge_kind = LATE_RECEIVER
+                    if gate != gate:  # NaN: receiver already posted
+                        gate = t_start
+                edge_wait = gate - t_start
+                if edge_wait < 0.0:
+                    edge_wait = 0.0
+                elif edge_wait > dur:
+                    edge_wait = dur
+                if kind is None or edge_wait > wait:
+                    wait = edge_wait
+                    kind = edge_kind
+                    eager_protocol = edge[7]
+            if wait > 0.0 and kind is not None:
+                if kind == LATE_SENDER:
+                    cats["wait_late_sender"] += wait
+                else:
+                    cats["wait_late_receiver"] += wait
+                waits.append((rank, kind, t_start, t_start + wait))
+            transfer = dur - wait
+            if transfer > 0.0:
+                if eager_protocol:
+                    cats["transfer_eager"] += transfer
+                else:
+                    cats["transfer_rendezvous"] += transfer
+        # Collective imbalance: within each collective instance (same
+        # communicator, same per-rank sequence number), every rank that
+        # entered before the last one waited for it.
+        for entries in coll_instances.values():
+            if len(entries) < 2:
+                continue
+            last_enter = max(t0 for _, t0, _ in entries)
+            for rank, t0, t1 in entries:
+                w = min(last_enter, t1) - t0
+                if w > 0.0:
+                    coll_wait[rank] += w
+                    waits.append((rank, COLLECTIVE_WAIT, t0, t0 + w))
+        # Raw tuples are (rank, kind, t_start, t_end); sort like the
+        # public view: by (rank, t_start, kind).
+        waits.sort(key=itemgetter(0, 2, 1))
+        self._raw_waits = waits
+        self._waits_cache = None
+        self._coll_wait = coll_wait
+        self._cats = cats_list
+
+    # -- derived views ---------------------------------------------------
+
+    def detailed_breakdown(self) -> dict[int, dict[str, float]]:
+        """Per-rank leaf categories plus the ``collective_wait``
+        refinement. The leaves (without ``collective_wait``) sum to the
+        rank's finish time."""
+        self._classify()
+        out: dict[int, dict[str, float]] = {}
+        for rank in range(self.nranks):
+            cats = dict(self._cats[rank])
+            cats["collective_wait"] = self._coll_wait[rank]
+            out[rank] = cats
+        return out
+
+    def breakdown(self) -> dict[int, dict[str, float]]:
+        """Per-rank top-level categories.
+
+        Conservation: ``compute + wait + transfer + collective`` equals
+        the rank's ``RunResult`` finish time.
+        """
+        self._classify()
+        out: dict[int, dict[str, float]] = {}
+        for rank in range(self.nranks):
+            c = self._cats[rank]
+            out[rank] = {
+                "compute": c["compute"],
+                "wait": c["wait_late_sender"] + c["wait_late_receiver"],
+                "transfer": c["transfer_eager"] + c["transfer_rendezvous"],
+                "collective": c["collective"],
+            }
+        return out
+
+    def wait_state_totals(self) -> dict[str, float]:
+        """Total classified wait seconds across ranks, by kind."""
+        totals = {LATE_SENDER: 0.0, LATE_RECEIVER: 0.0, COLLECTIVE_WAIT: 0.0}
+        for ws in self.wait_spans:
+            totals[ws.kind] += ws.duration
+        return totals
+
+    # -- Chrome trace export ---------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Timeline export plus wait-state spans (``pid 3``) and a
+        ``waiting ranks`` counter track."""
+        doc = super().to_chrome_trace()
+        if not self.wait_spans:
+            return doc
+        scale = 1e6
+        events = doc["traceEvents"]
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 3,
+                "tid": 0,
+                "args": {"name": "wait states"},
+            }
+        )
+        ranks = sorted({ws.rank for ws in self.wait_spans})
+        for rank in ranks:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 3,
+                    "tid": rank,
+                    "args": {"name": f"rank {rank} waits"},
+                }
+            )
+        for ws in self.wait_spans:
+            events.append(
+                {
+                    "name": ws.kind,
+                    "cat": "wait",
+                    "ph": "X",
+                    "ts": ws.t_start * scale,
+                    "dur": ws.duration * scale,
+                    "pid": 3,
+                    "tid": ws.rank,
+                }
+            )
+        # How many ranks sit in a classified wait state over time.
+        deltas: list[tuple[float, int]] = []
+        for ws in self.wait_spans:
+            deltas.append((ws.t_start, 1))
+            deltas.append((ws.t_end, -1))
+        deltas.sort()
+        count = 0
+        previous: Optional[float] = None
+        for t, d in deltas:
+            if previous is not None and t > previous:
+                events.append(
+                    {
+                        "name": "waiting ranks",
+                        "cat": "wait",
+                        "ph": "C",
+                        "ts": previous * scale,
+                        "pid": 3,
+                        "tid": 0,
+                        "args": {"ranks": count},
+                    }
+                )
+            count += d
+            previous = t
+        if previous is not None:
+            events.append(
+                {
+                    "name": "waiting ranks",
+                    "cat": "wait",
+                    "ph": "C",
+                    "ts": previous * scale,
+                    "pid": 3,
+                    "tid": 0,
+                    "args": {"ranks": count},
+                }
+            )
+        return doc
+
+    # -- terminal rendering ----------------------------------------------
+
+    def render_breakdown(self) -> str:
+        """Per-rank category table plus wait-state totals."""
+        from repro.util.tables import render_table
+
+        self._require_done()
+        breakdown = self.breakdown()
+        detail = self.detailed_breakdown()
+        rows = []
+        for rank in range(self.nranks):
+            b = breakdown[rank]
+            rows.append(
+                [
+                    f"rank {rank}",
+                    f"{b['compute']:.4f}",
+                    f"{b['wait']:.4f}",
+                    f"{b['transfer']:.4f}",
+                    f"{b['collective']:.4f}",
+                    f"{detail[rank]['collective_wait']:.4f}",
+                    f"{self.finish_times[rank]:.4f}",
+                ]
+            )
+        title = "time-resolved breakdown (seconds)"
+        if self.program_name:
+            title = f"{self.program_name}: {title}"
+        table = render_table(
+            title,
+            ["rank", "compute", "wait", "transfer", "collective",
+             "(coll wait)", "finish"],
+            rows,
+        )
+        totals = self.wait_state_totals()
+        footer = "  ".join(
+            f"{kind}: {seconds:.4f}s" for kind, seconds in totals.items()
+        )
+        return f"{table}\nwait states: {footer}"

@@ -1,0 +1,225 @@
+"""Critical-path extraction over the engine's dependency DAG.
+
+The critical path of a run is the chain of activity that determines
+the makespan: start at the last-finishing rank's finish time and walk
+backwards; inside a rank, time flows through its (gap-free) activity
+spans; an MPI span that was released by a message delivery hands the
+chain to the message's flight and then to the sender (for incoming
+edges) or to the receive post (for outgoing rendezvous edges, whose
+sender was gated on the receiver).
+
+The extracted path tiles ``[0, makespan]`` with no gaps or overlaps,
+so ``CriticalPath.length == makespan`` exactly — optimising anything
+*off* this path cannot shorten the run.
+
+Attribution: each path segment carries the rank, the span kind and
+name, and (via :meth:`CriticalPath.by_location`) the call-level trace
+location (``MPI_Call@rankN`` — traces record no source files, so the
+call name + rank *is* the source location in this model).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.obs.timeline import MPI
+
+__all__ = ["CriticalPath", "PathSegment", "extract_critical_path"]
+
+#: Segment kind for time on the wire (between ranks).
+MESSAGE = "message"
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One interval of the critical path.
+
+    ``kind`` is ``"compute"``, ``"mpi"``, or ``"message"``; message
+    segments are attributed to the *sending* rank and named
+    ``src->dst``.
+    """
+
+    rank: int
+    kind: str
+    name: str
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The extracted path, in chronological order."""
+
+    segments: tuple[PathSegment, ...]
+    makespan: float
+
+    @property
+    def length(self) -> float:
+        """Sum of segment durations; equals :attr:`makespan`."""
+        return sum(s.duration for s in self.segments)
+
+    def by_op(self) -> dict[str, float]:
+        """Critical-path seconds per operation name (``compute``, the
+        MPI call names, and ``message`` for wire time)."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            key = MESSAGE if seg.kind == MESSAGE else seg.name
+            out[key] = out.get(key, 0.0) + seg.duration
+        return out
+
+    def by_rank(self) -> dict[int, float]:
+        """Critical-path seconds per rank (message time charged to the
+        sender)."""
+        out: dict[int, float] = {}
+        for seg in self.segments:
+            out[seg.rank] = out.get(seg.rank, 0.0) + seg.duration
+        return out
+
+    def by_location(self) -> dict[str, float]:
+        """Critical-path seconds per trace location: the call name at
+        the rank it executed on (``MPI_Send@rank2``), wire time as
+        ``wire src->dst``."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            if seg.kind == MESSAGE:
+                key = f"wire {seg.name}"
+            else:
+                key = f"{seg.name}@rank{seg.rank}"
+            out[key] = out.get(key, 0.0) + seg.duration
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "makespan": self.makespan,
+            "length": self.length,
+            "n_segments": len(self.segments),
+            "by_op": self.by_op(),
+            "by_rank": {str(r): s for r, s in self.by_rank().items()},
+            "top_locations": dict(
+                sorted(
+                    self.by_location().items(),
+                    key=lambda kv: (-kv[1], kv[0]),
+                )[:10]
+            ),
+        }
+
+    def render(self, top: int = 8) -> str:
+        """Terminal table of the heaviest critical-path contributors."""
+        from repro.util.tables import render_table
+
+        ranked = sorted(
+            self.by_location().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        rows = [
+            [loc, f"{seconds:.4f}", f"{100.0 * seconds / self.makespan:.1f}%"]
+            for loc, seconds in ranked[:top]
+        ]
+        table = render_table(
+            f"critical path ({self.makespan:.4f}s, "
+            f"{len(self.segments)} segments)",
+            ["location", "seconds", "share"],
+            rows,
+        )
+        return table
+
+
+def extract_critical_path(collector) -> CriticalPath:
+    """Extract the critical path from a completed
+    :class:`~repro.diagnose.collector.DiagnosisCollector`."""
+    collector._require_done()
+    finish = collector.finish_times
+    nranks = len(finish)
+    makespan = max(finish)
+
+    spans_by_rank: list[list] = [[] for _ in range(nranks)]
+    for span in collector.spans:
+        if span.duration > 0:
+            spans_by_rank[span.rank].append(span)
+    starts: list[list[float]] = []
+    for spans in spans_by_rank:
+        spans.sort(key=lambda s: s.t_start)
+        starts.append([s.t_start for s in spans])
+
+    incoming: list[list] = [[] for _ in range(nranks)]
+    outgoing: list[list] = [[] for _ in range(nranks)]
+    for edge in collector.edges:
+        incoming[edge.dst].append(edge)
+        if not edge.eager:
+            outgoing[edge.src].append(edge)
+    in_td: list[list[float]] = []
+    out_td: list[list[float]] = []
+    for edges in incoming:
+        edges.sort(key=lambda e: e.t_delivered)
+        in_td.append([e.t_delivered for e in edges])
+    for edges in outgoing:
+        edges.sort(key=lambda e: e.t_delivered)
+        out_td.append([e.t_delivered for e in edges])
+
+    def latest_edge(edges, tds, lo_t, hi_t):
+        """Latest edge with ``lo_t < t_delivered <= hi_t``, or None."""
+        hi = bisect_right(tds, hi_t) - 1
+        if hi < 0 or tds[hi] <= lo_t:
+            return None
+        return edges[hi]
+
+    # Start at the rank that finishes last (first such rank on ties).
+    rank = max(range(nranks), key=lambda r: (finish[r], -r))
+    t = makespan
+    segments: list[PathSegment] = []
+    max_steps = 4 * (len(collector.spans) + len(collector.edges)) + 16
+
+    for _ in range(max_steps):
+        if t <= 0.0:
+            break
+        idx = bisect_left(starts[rank], t) - 1
+        if idx < 0:
+            # Before the rank's first span: a start-of-run gap (only
+            # reachable through zero-time jumps); attribute as compute.
+            segments.append(PathSegment(rank, "compute", "compute", 0.0, t))
+            t = 0.0
+            break
+        span = spans_by_rank[rank][idx]
+        best = None  # (t_delivered, incoming?, edge, jump_rank, jump_t)
+        if span.kind == MPI:
+            e = latest_edge(incoming[rank], in_td[rank], span.t_start, t)
+            if e is not None and e.t_sent < t:
+                best = (e.t_delivered, True, e, e.src, e.t_sent)
+            e = latest_edge(outgoing[rank], out_td[rank], span.t_start, t)
+            if (
+                e is not None
+                and not math.isnan(e.t_recv_posted)
+                and e.t_recv_posted < t
+                and (best is None or e.t_delivered > best[0])
+            ):
+                best = (e.t_delivered, False, e, e.dst, e.t_recv_posted)
+        if best is None:
+            segments.append(
+                PathSegment(rank, span.kind, span.name, span.t_start, t)
+            )
+            t = span.t_start
+            continue
+        td, _is_in, edge, jump_rank, jump_t = best
+        if td < t:
+            segments.append(PathSegment(rank, span.kind, span.name, td, t))
+        if jump_t < td:
+            segments.append(
+                PathSegment(
+                    edge.src, MESSAGE, f"{edge.src}->{edge.dst}", jump_t, td
+                )
+            )
+        rank, t = jump_rank, jump_t
+    else:
+        raise TraceError(
+            "critical-path walk did not converge "
+            f"(t={t}, rank={rank}, {len(segments)} segments)"
+        )
+
+    segments.reverse()
+    return CriticalPath(segments=tuple(segments), makespan=makespan)

@@ -1,0 +1,268 @@
+"""Prediction-error decomposition: *why* was the skeleton wrong?
+
+The paper's predictor multiplies the skeleton's probed time under a
+scenario by the measured dedicated-time ratio ``K``. When the
+prediction misses, the error must come from execution phases whose
+time does **not** scale by ``K`` between skeleton and application.
+:func:`explain_divergence` runs both programs under the same scenario
+with a :class:`~repro.diagnose.collector.DiagnosisCollector`, takes
+the makespan rank's time-resolved breakdown on each side, and assigns
+each category's scaling residual ``K·skeleton − app`` to a named
+contribution:
+
+======================  ================================================
+contribution            category whose residual it is
+======================  ================================================
+``contention_skew``     compute (CPU contention hit the two runs
+                        differently than ``K`` assumes)
+``p2p_wait_skew``       blocked wait (late-sender + late-receiver)
+``unscaled_latency``    eager transfer — per-message latency and copy
+                        costs, the paper's known unscalable error source
+``protocol_switch``     rendezvous transfer — message-size scaling moved
+                        traffic across the eager/rendezvous boundary
+``collective_imbalance``  collective time (incl. imbalance waits)
+======================  ================================================
+
+Because each side's categories sum exactly to its elapsed time, the
+contributions sum to the total signed prediction error
+``predicted − actual`` — the decomposition is complete, not a sample.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.contention import DEDICATED, Scenario
+from repro.errors import ReproError
+from repro.predict.metrics import prediction_error_percent
+from repro.sim.program import Program, run_program
+from repro.util.rng import derive_seed
+
+from repro.diagnose.collector import DiagnosisCollector
+from repro.diagnose.critical_path import extract_critical_path
+
+__all__ = [
+    "CONTRIBUTIONS",
+    "DivergenceReport",
+    "diagnose_run",
+    "explain_divergence",
+]
+
+#: Contribution name -> the breakdown leaves it aggregates.
+CONTRIBUTIONS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("contention_skew", ("compute",)),
+    ("p2p_wait_skew", ("wait_late_sender", "wait_late_receiver")),
+    ("unscaled_latency", ("transfer_eager",)),
+    ("protocol_switch", ("transfer_rendezvous",)),
+    ("collective_imbalance", ("collective",)),
+)
+
+
+def diagnose_run(
+    program: Program,
+    cluster,
+    scenario: Scenario = DEDICATED,
+    *,
+    seed: int = 0,
+    placement=None,
+    sample_period: float = 0.0,
+):
+    """Run ``program`` with a :class:`DiagnosisCollector` attached;
+    return ``(collector, RunResult)``."""
+    collector = DiagnosisCollector(
+        program_name=program.name,
+        scenario_name=scenario.name,
+        sample_period=sample_period,
+    )
+    result = run_program(
+        program, cluster, scenario, hook=collector,
+        placement=placement, seed=seed,
+    )
+    return collector, result
+
+
+def _makespan_leaves(collector: DiagnosisCollector) -> dict[str, float]:
+    """Leaf categories of the rank that determines the makespan."""
+    finish = collector.finish_times
+    rank = max(range(len(finish)), key=lambda r: (finish[r], -r))
+    return dict(collector.detailed_breakdown()[rank])
+
+
+@dataclass
+class DivergenceReport:
+    """One explained prediction for one (app, skeleton, scenario)."""
+
+    app_name: str
+    skeleton_name: str
+    scenario_name: str
+    ratio: float
+    probe_seconds: float
+    predicted_seconds: float
+    actual_seconds: float
+    #: Signed error (``predicted - actual``); contributions sum to it.
+    error_seconds: float
+    #: The paper's metric: ``|predicted - actual| / actual × 100``.
+    error_percent: float
+    #: Named contributions, in :data:`CONTRIBUTIONS` order.
+    contributions: dict = field(default_factory=dict)
+    #: Makespan-rank leaf breakdowns (app as measured; skeleton raw,
+    #: i.e. *before* scaling by ``ratio``).
+    app_phases: dict = field(default_factory=dict)
+    skeleton_phases: dict = field(default_factory=dict)
+    #: Cross-rank wait-state totals of the app run.
+    app_wait_states: dict = field(default_factory=dict)
+    #: Critical-path summary of the app run (None when skipped).
+    app_critical_path: Optional[dict] = None
+
+    def dominant_contribution(self) -> str:
+        """The contribution with the largest magnitude."""
+        return max(
+            self.contributions.items(), key=lambda kv: (abs(kv[1]), kv[0])
+        )[0]
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app_name,
+            "skeleton": self.skeleton_name,
+            "scenario": self.scenario_name,
+            "ratio": self.ratio,
+            "probe_seconds": self.probe_seconds,
+            "predicted_seconds": self.predicted_seconds,
+            "actual_seconds": self.actual_seconds,
+            "error_seconds": self.error_seconds,
+            "error_percent": self.error_percent,
+            "contributions": self.contributions,
+            "app_phases": self.app_phases,
+            "skeleton_phases": self.skeleton_phases,
+            "app_wait_states": self.app_wait_states,
+            "app_critical_path": self.app_critical_path,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @staticmethod
+    def from_dict(obj: dict) -> "DivergenceReport":
+        return DivergenceReport(
+            app_name=obj["app"],
+            skeleton_name=obj["skeleton"],
+            scenario_name=obj["scenario"],
+            ratio=obj["ratio"],
+            probe_seconds=obj["probe_seconds"],
+            predicted_seconds=obj["predicted_seconds"],
+            actual_seconds=obj["actual_seconds"],
+            error_seconds=obj["error_seconds"],
+            error_percent=obj["error_percent"],
+            contributions=obj["contributions"],
+            app_phases=obj["app_phases"],
+            skeleton_phases=obj["skeleton_phases"],
+            app_wait_states=obj.get("app_wait_states", {}),
+            app_critical_path=obj.get("app_critical_path"),
+        )
+
+    def render(self) -> str:
+        """Terminal table: the error and its named contributions."""
+        from repro.util.tables import render_table
+
+        rows = []
+        for name, _leaves in CONTRIBUTIONS:
+            seconds = self.contributions.get(name, 0.0)
+            share = (
+                100.0 * seconds / self.error_seconds
+                if self.error_seconds else 0.0
+            )
+            rows.append([name, f"{seconds:+.4f}", f"{share:.0f}%"])
+        rows.append(["total", f"{self.error_seconds:+.4f}", "100%"])
+        table = render_table(
+            f"{self.app_name} vs {self.skeleton_name} "
+            f"under {self.scenario_name}",
+            ["contribution", "seconds", "share"],
+            rows,
+        )
+        head = (
+            f"predicted {self.predicted_seconds:.4f}s  "
+            f"actual {self.actual_seconds:.4f}s  "
+            f"error {self.error_percent:.1f}%  "
+            f"(ratio K={self.ratio:.2f}, probe {self.probe_seconds:.4f}s)"
+        )
+        return f"{head}\n{table}"
+
+
+def explain_divergence(
+    app_program: Program,
+    skeleton_program: Program,
+    cluster,
+    scenario: Scenario,
+    *,
+    app_dedicated_seconds: Optional[float] = None,
+    skeleton_dedicated_seconds: Optional[float] = None,
+    app_seed: int = 0,
+    probe_seed: Optional[int] = None,
+    placement=None,
+    include_critical_path: bool = True,
+) -> DivergenceReport:
+    """Run app and skeleton under ``scenario`` and decompose the
+    prediction error into named contributions.
+
+    The dedicated times (for the scaling ratio ``K``) are measured
+    when not supplied. ``app_seed`` picks the environment sample the
+    application experiences; ``probe_seed`` defaults to the
+    predictor's convention ``derive_seed(app_seed, "probe", scenario)``
+    so the probe never sees the app's exact contention timeline.
+    """
+    if app_dedicated_seconds is None:
+        app_dedicated_seconds = run_program(
+            app_program, cluster, DEDICATED, placement=placement
+        ).elapsed
+    if skeleton_dedicated_seconds is None:
+        skeleton_dedicated_seconds = run_program(
+            skeleton_program, cluster, DEDICATED, placement=placement
+        ).elapsed
+    if app_dedicated_seconds <= 0 or skeleton_dedicated_seconds <= 0:
+        raise ReproError("dedicated times must be positive")
+    ratio = app_dedicated_seconds / skeleton_dedicated_seconds
+    if probe_seed is None:
+        probe_seed = derive_seed(app_seed, "probe", scenario.name)
+
+    app_col, app_res = diagnose_run(
+        app_program, cluster, scenario, seed=app_seed, placement=placement
+    )
+    skel_col, skel_res = diagnose_run(
+        skeleton_program, cluster, scenario,
+        seed=probe_seed, placement=placement,
+    )
+
+    app_leaves = _makespan_leaves(app_col)
+    skel_leaves = _makespan_leaves(skel_col)
+    contributions = {
+        name: sum(
+            ratio * skel_leaves[leaf] - app_leaves[leaf] for leaf in leaves
+        )
+        for name, leaves in CONTRIBUTIONS
+    }
+
+    predicted = ratio * skel_res.elapsed
+    actual = app_res.elapsed
+    critical = (
+        extract_critical_path(app_col).to_dict()
+        if include_critical_path
+        else None
+    )
+    return DivergenceReport(
+        app_name=app_program.name,
+        skeleton_name=skeleton_program.name,
+        scenario_name=scenario.name,
+        ratio=ratio,
+        probe_seconds=skel_res.elapsed,
+        predicted_seconds=predicted,
+        actual_seconds=actual,
+        error_seconds=predicted - actual,
+        error_percent=prediction_error_percent(predicted, actual),
+        contributions=contributions,
+        app_phases=app_leaves,
+        skeleton_phases=skel_leaves,
+        app_wait_states=app_col.wait_state_totals(),
+        app_critical_path=critical,
+    )

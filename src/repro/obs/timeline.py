@@ -16,6 +16,10 @@ Everything exports to the Chrome trace-event JSON format — the
   thread track per rank;
 * message flights: complete events on ``pid 1``, tracked per source
   rank, named ``src->dst``;
+* message causality: flow events (``ph: "s"`` at the send on the
+  source rank's track, ``ph: "f"`` at delivery on the destination
+  rank's track) so Perfetto draws send→recv arrows between the rank
+  spans;
 * utilization samples: counter events (``ph: "C"``), one counter track
   per resource.
 
@@ -260,7 +264,7 @@ class TimelineRecorder(EngineHook):
                     "args": {"name": "messages"},
                 }
             )
-            for msg in self.messages:
+            for i, msg in enumerate(self.messages):
                 events.append(
                     {
                         "name": f"{msg.src}->{msg.dst}",
@@ -271,6 +275,31 @@ class TimelineRecorder(EngineHook):
                         "pid": 1,
                         "tid": msg.src,
                         "args": {"bytes": msg.nbytes, "tag": msg.tag},
+                    }
+                )
+                # Flow events pair each send with its delivery on the
+                # rank tracks, so Perfetto draws the causality arrow.
+                events.append(
+                    {
+                        "name": f"{msg.src}->{msg.dst}",
+                        "cat": "message",
+                        "ph": "s",
+                        "id": i,
+                        "ts": msg.t_sent * scale,
+                        "pid": 0,
+                        "tid": msg.src,
+                    }
+                )
+                events.append(
+                    {
+                        "name": f"{msg.src}->{msg.dst}",
+                        "cat": "message",
+                        "ph": "f",
+                        "bp": "e",
+                        "id": i,
+                        "ts": msg.t_delivered * scale,
+                        "pid": 0,
+                        "tid": msg.dst,
                     }
                 )
         if self.faults:

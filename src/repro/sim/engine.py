@@ -92,6 +92,15 @@ class EngineHook:
       envelope and the send/delivery times. Only dispatched when the
       hook class overrides it — the engine never pays for unobserved
       messages.
+    * ``on_edge`` fires at each point-to-point delivery (including the
+      internal messages of collective decompositions) with the full
+      dependency edge: envelope, send time, the time the matching
+      receive was posted (NaN when the message was delivered before a
+      receive existed), delivery time, and the protocol used. These
+      edges are the engine's event dependency DAG, consumed by
+      :mod:`repro.diagnose` for wait-state classification and
+      critical-path extraction. Like ``on_message``, only dispatched
+      when overridden.
     * ``on_sample`` fires every ``sample_period`` simulated seconds
       with ``{resource name: utilization fraction}`` from the fluid
       model (CPUs, NICs, WAN links). Sampling is off while
@@ -128,6 +137,19 @@ class EngineHook:
         tag: int,
         t_sent: float,
         t_delivered: float,
+    ) -> None:
+        pass
+
+    def on_edge(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: int,
+        t_sent: float,
+        t_recv_posted: float,
+        t_delivered: float,
+        eager: bool,
     ) -> None:
         pass
 
@@ -274,6 +296,10 @@ class Engine:
         self._emit_messages = (
             hook is not None
             and type(hook).on_message is not EngineHook.on_message
+        )
+        self._emit_edges = (
+            hook is not None
+            and type(hook).on_edge is not EngineHook.on_edge
         )
         self._sample_period = (
             float(getattr(hook, "sample_period", 0.0)) if hook is not None else 0.0
@@ -594,6 +620,18 @@ class Engine:
             self.hook.on_message(
                 msg.src, msg.dst, msg.nbytes, msg.tag, msg.t_sent, t
             )
+        if self._emit_edges:
+            rr = msg.recv_req
+            self.hook.on_edge(
+                msg.src,
+                msg.dst,
+                msg.nbytes,
+                msg.tag,
+                msg.t_sent,
+                rr.t_posted if rr is not None else math.nan,
+                t,
+                msg.eager,
+            )
         if msg.recv_req is not None:
             self._complete_request(msg.recv_req, t)
         if not msg.eager and msg.send_req is not None:
@@ -655,6 +693,7 @@ class Engine:
         msg = Message(proc.rank, dest, tag, int(nbytes), eager)
         msg.t_sent = self.now
         req = RequestHandle("send", dest, tag, int(nbytes))
+        req.t_posted = self.now
         req.msg = msg
         msg.send_req = req
 
@@ -682,6 +721,7 @@ class Engine:
 
     def _post_recv(self, proc: _Proc, source: int, tag: int) -> RequestHandle:
         req = RequestHandle("recv", source, tag, 0)
+        req.t_posted = self.now
         mailbox = self._mailboxes[proc.rank]
         msg = mailbox.match_recv(source, tag)
         if msg is None:

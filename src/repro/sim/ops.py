@@ -32,7 +32,17 @@ class RequestHandle:
     :class:`Wait` / :class:`Waitall`.
     """
 
-    __slots__ = ("kind", "peer", "tag", "nbytes", "done", "t_done", "waiters", "msg")
+    __slots__ = (
+        "kind",
+        "peer",
+        "tag",
+        "nbytes",
+        "done",
+        "t_done",
+        "t_posted",
+        "waiters",
+        "msg",
+    )
 
     def __init__(self, kind: str, peer: int, tag: int, nbytes: int):
         self.kind = kind  # "send" | "recv"
@@ -41,6 +51,7 @@ class RequestHandle:
         self.nbytes = nbytes
         self.done = False
         self.t_done = float("nan")
+        self.t_posted = float("nan")
         self.waiters: list = []
         self.msg = None
 

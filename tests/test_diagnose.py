@@ -1,0 +1,404 @@
+"""Diagnosis subsystem tests: conservation invariant, wait-state
+classification, critical-path extraction, divergence explanation,
+campaign integration, and determinism."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.cluster import paper_scenarios, paper_testbed
+from repro.core import build_skeleton
+from repro.diagnose import (
+    COLLECTIVE_WAIT,
+    DiagnosisCollector,
+    DivergenceReport,
+    LATE_RECEIVER,
+    LATE_SENDER,
+    campaign_divergence,
+    diagnose_run,
+    explain_divergence,
+    extract_critical_path,
+)
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.obs.metrics import enabled_metrics
+from repro.sim import Barrier, Compute, Program, Recv, Send, run_program
+from repro.trace import trace_program
+from repro.workloads import available_benchmarks, get_program
+
+NAS = ("bt", "cg", "is", "lu", "mg", "sp")
+
+#: Comfortably above the eager threshold: forces rendezvous.
+RENDEZVOUS_BYTES = 10 * 1024 * 1024
+
+
+def scenario(name: str):
+    return {s.name: s for s in paper_scenarios(steady=True)}[name]
+
+
+def late_sender_program() -> Program:
+    """Rank 1 posts its receive long before rank 0 sends."""
+
+    def gen(rank: int, size: int):
+        if rank == 0:
+            yield Compute(0.05)
+            yield Send(dest=1, nbytes=100, tag=1)
+        else:
+            yield Recv(source=0, tag=1)
+
+    return Program("late-sender", 2, gen)
+
+
+def late_receiver_program() -> Program:
+    """Rank 0's rendezvous send blocks on rank 1's late receive."""
+
+    def gen(rank: int, size: int):
+        if rank == 0:
+            yield Send(dest=1, nbytes=RENDEZVOUS_BYTES, tag=1)
+        else:
+            yield Compute(0.05)
+            yield Recv(source=0, tag=1)
+
+    return Program("late-receiver", 2, gen)
+
+
+def imbalanced_barrier_program() -> Program:
+    """Rank 0 arrives at the barrier 50 ms after everyone else."""
+
+    def gen(rank: int, size: int):
+        if rank == 0:
+            yield Compute(0.05)
+        yield Barrier()
+
+    return Program("imbalanced-barrier", 4, gen)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("bench", NAS)
+    def test_all_nas_workloads(self, cluster, bench):
+        """compute + wait + transfer + collective == finish, per rank."""
+        program = get_program(bench, "S", 4)
+        collector, result = diagnose_run(program, cluster)
+        breakdown = collector.breakdown()
+        for rank in range(result.nranks):
+            total = sum(breakdown[rank].values())
+            assert total == pytest.approx(
+                result.finish_times[rank], abs=1e-9
+            )
+            assert all(v >= 0 for v in breakdown[rank].values())
+
+    def test_under_contention(self, cluster):
+        program = get_program("cg", "S", 4)
+        collector, result = diagnose_run(
+            program, cluster, scenario("cpu-one-node"), seed=7
+        )
+        breakdown = collector.breakdown()
+        for rank in range(result.nranks):
+            assert sum(breakdown[rank].values()) == pytest.approx(
+                result.finish_times[rank], abs=1e-9
+            )
+
+    def test_detailed_leaves_sum_to_top_level(self, cluster):
+        program = get_program("lu", "S", 4)
+        collector, _ = diagnose_run(program, cluster)
+        top = collector.breakdown()
+        detail = collector.detailed_breakdown()
+        for rank, cats in detail.items():
+            assert top[rank]["wait"] == pytest.approx(
+                cats["wait_late_sender"] + cats["wait_late_receiver"]
+            )
+            assert top[rank]["transfer"] == pytest.approx(
+                cats["transfer_eager"] + cats["transfer_rendezvous"]
+            )
+            # The imbalance refinement never exceeds collective time.
+            assert cats["collective_wait"] <= cats["collective"] + 1e-12
+
+    def test_recording_does_not_alter_run(self, cluster):
+        program = get_program("mg", "S", 4)
+        baseline = run_program(program, cluster)
+        _, recorded = diagnose_run(program, cluster)
+        assert recorded == baseline
+
+
+class TestWaitStates:
+    def test_late_sender_classified(self, cluster):
+        collector, _ = diagnose_run(late_sender_program(), cluster)
+        detail = collector.detailed_breakdown()
+        assert detail[1]["wait_late_sender"] == pytest.approx(0.05, rel=0.05)
+        assert detail[1]["wait_late_receiver"] == 0.0
+        kinds = {ws.kind for ws in collector.wait_spans}
+        assert LATE_SENDER in kinds
+
+    def test_late_receiver_classified(self, cluster):
+        collector, _ = diagnose_run(late_receiver_program(), cluster)
+        detail = collector.detailed_breakdown()
+        assert detail[0]["wait_late_receiver"] == pytest.approx(0.05, rel=0.05)
+        assert detail[0]["transfer_rendezvous"] > 0
+        kinds = {ws.kind for ws in collector.wait_spans}
+        assert LATE_RECEIVER in kinds
+
+    def test_collective_imbalance_classified(self, cluster):
+        collector, _ = diagnose_run(imbalanced_barrier_program(), cluster)
+        totals = collector.wait_state_totals()
+        # Ranks 1-3 each wait ~50ms for rank 0 to reach the barrier.
+        assert totals[COLLECTIVE_WAIT] == pytest.approx(0.15, rel=0.05)
+        detail = collector.detailed_breakdown()
+        assert detail[0]["collective_wait"] == pytest.approx(0.0, abs=1e-6)
+        for rank in (1, 2, 3):
+            assert detail[rank]["collective_wait"] == pytest.approx(
+                0.05, rel=0.05
+            )
+
+    def test_edges_cover_all_messages(self, cluster):
+        program = get_program("cg", "S", 4)
+        collector, result = diagnose_run(program, cluster)
+        assert len(collector.edges) == result.n_messages
+        for edge in collector.edges:
+            assert edge.t_delivered >= edge.t_sent >= 0
+
+    def test_metrics_emitted(self, cluster):
+        with enabled_metrics() as m:
+            diagnose_run(late_sender_program(), cluster)
+        snap = m.snapshot()
+        assert snap["diagnose.runs"]["value"] == 1
+        assert snap["diagnose.edges"]["value"] >= 1
+        labels = snap["diagnose.wait_seconds"]["labels"]
+        assert any(LATE_SENDER in k for k in labels)
+
+
+class TestCriticalPath:
+    @pytest.mark.parametrize("bench", NAS)
+    def test_length_equals_makespan(self, cluster, bench):
+        program = get_program(bench, "S", 4)
+        collector, result = diagnose_run(program, cluster)
+        path = extract_critical_path(collector)
+        assert path.makespan == result.elapsed
+        assert path.length == pytest.approx(result.elapsed, abs=1e-9)
+
+    def test_segments_tile_chronologically(self, cluster):
+        collector, result = diagnose_run(
+            get_program("cg", "S", 4), cluster, scenario("link-one"), seed=2
+        )
+        path = extract_critical_path(collector)
+        cursor = 0.0
+        for seg in path.segments:
+            assert seg.t_start == pytest.approx(cursor, abs=1e-9)
+            assert seg.duration > 0
+            cursor = seg.t_end
+        assert cursor == pytest.approx(result.elapsed, abs=1e-9)
+
+    def test_attribution_views_conserve_length(self, cluster):
+        collector, result = diagnose_run(get_program("mg", "S", 4), cluster)
+        path = extract_critical_path(collector)
+        for view in (path.by_op(), path.by_rank(), path.by_location()):
+            assert sum(view.values()) == pytest.approx(
+                result.elapsed, abs=1e-9
+            )
+
+    def test_zero_latency_network_terminates(self, fast_network_cluster):
+        """Zero-latency flights must not hang the backward walk."""
+        program = get_program("cg", "S", 4)
+        collector, result = diagnose_run(program, fast_network_cluster)
+        path = extract_critical_path(collector)
+        assert path.length == pytest.approx(result.elapsed, abs=1e-9)
+
+    def test_render_lists_top_locations(self, cluster):
+        collector, _ = diagnose_run(get_program("cg", "S", 4), cluster)
+        text = extract_critical_path(collector).render()
+        assert "critical path" in text and "@rank" in text
+
+
+class TestChromeTraceMerge:
+    def test_wait_state_tracks_exported(self, cluster):
+        from tests.test_obs_timeline import assert_chrome_schema
+
+        collector, _ = diagnose_run(
+            late_sender_program(), cluster
+        )
+        trace = collector.to_chrome_trace()
+        assert_chrome_schema(trace)
+        events = trace["traceEvents"]
+        wait_spans = [
+            e for e in events if e["ph"] == "X" and e.get("cat") == "wait"
+        ]
+        assert wait_spans and all(e["pid"] == 3 for e in wait_spans)
+        counters = [e for e in events if e["name"] == "waiting ranks"]
+        assert counters
+        assert {e["args"]["ranks"] for e in counters} >= {0, 1}
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "wait states" in names
+
+
+class TestDivergence:
+    @pytest.fixture(scope="class")
+    def explained(self):
+        cluster = paper_testbed()
+        program = get_program("cg", "S", 4)
+        trace, dedicated = trace_program(program, cluster)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            bundle = build_skeleton(trace, target_seconds=0.05)
+        report = explain_divergence(
+            program,
+            bundle.program,
+            cluster,
+            scenario("cpu-one-node"),
+            app_dedicated_seconds=dedicated.elapsed,
+        )
+        return program, bundle, dedicated, report
+
+    def test_contributions_sum_to_error(self, explained):
+        _, _, _, report = explained
+        assert sum(report.contributions.values()) == pytest.approx(
+            report.error_seconds, abs=1e-9
+        )
+        assert report.error_seconds == pytest.approx(
+            report.predicted_seconds - report.actual_seconds, abs=1e-12
+        )
+
+    def test_contribution_names(self, explained):
+        _, _, _, report = explained
+        assert set(report.contributions) == {
+            "contention_skew",
+            "p2p_wait_skew",
+            "unscaled_latency",
+            "protocol_switch",
+            "collective_imbalance",
+        }
+
+    def test_deterministic_and_roundtrips(self, explained, cluster):
+        program, bundle, dedicated, report = explained
+        again = explain_divergence(
+            program,
+            bundle.program,
+            cluster,
+            scenario("cpu-one-node"),
+            app_dedicated_seconds=dedicated.elapsed,
+        )
+        assert again.to_json() == report.to_json()
+        restored = DivergenceReport.from_dict(
+            json.loads(report.to_json())
+        )
+        assert restored.to_json() == report.to_json()
+
+    def test_render(self, explained):
+        _, _, _, report = explained
+        text = report.render()
+        assert "contribution" in text and "total" in text
+        assert "K=" in text
+
+    def test_critical_path_summary_present(self, explained):
+        _, _, _, report = explained
+        cp = report.app_critical_path
+        assert cp is not None
+        assert cp["length"] == pytest.approx(cp["makespan"], abs=1e-9)
+
+
+class TestCampaignDivergence:
+    CONFIG = ExperimentConfig(
+        benchmarks=("cg",),
+        klass="S",
+        baseline_klass="S",
+        skeleton_targets=(0.05,),
+        steady=True,
+    )
+
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("diag-campaign")
+        runner = ExperimentRunner(self.CONFIG, cache_dir=str(cache))
+        results = runner.run()
+        return runner, results
+
+    def test_explained_error_matches_results(self, campaign):
+        runner, results = campaign
+        reports = campaign_divergence(runner, results)
+        assert set(reports) == {"cg"}
+        assert set(reports["cg"]) == set(results.scenario_names)
+        for scen, report in reports["cg"].items():
+            assert report.error_percent == pytest.approx(
+                results.skeleton_error("cg", 0.05, scen), abs=1e-9
+            )
+            assert report.actual_seconds == pytest.approx(
+                results.apps["cg"]["scenarios"][scen], abs=1e-12
+            )
+            assert sum(report.contributions.values()) == pytest.approx(
+                report.error_seconds, abs=1e-9
+            )
+
+    def test_reports_persisted_and_listed(self, campaign):
+        runner, results = campaign
+        campaign_divergence(runner, results)
+        stages = {e["stage"] for e in runner.store.entries()}
+        assert "diagnosis" in stages
+        # Warm reload returns byte-identical reports without rerunning.
+        first = campaign_divergence(runner, results)
+        second = campaign_divergence(runner, results)
+        for bench in first:
+            for scen in first[bench]:
+                assert (
+                    first[bench][scen].to_json()
+                    == second[bench][scen].to_json()
+                )
+
+
+class TestCLI:
+    def test_diagnose_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "diag.json"
+        timeline = tmp_path / "tl.json"
+        rc = main(
+            [
+                "diagnose", "cg", "--klass", "S",
+                "--target", "0.05",
+                "-o", str(out), "--timeline", str(timeline),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "time-resolved breakdown" in text
+        assert "critical path" in text
+        doc = json.loads(out.read_text())
+        assert set(doc) >= {
+            "breakdown", "wait_states", "critical_path", "divergence"
+        }
+        contributions = doc["divergence"]["contributions"]
+        assert sum(contributions.values()) == pytest.approx(
+            doc["divergence"]["error_seconds"], abs=1e-9
+        )
+        tl = json.loads(timeline.read_text())
+        assert any(
+            e.get("cat") == "wait" for e in tl["traceEvents"]
+        )
+
+    def test_metrics_out_persists_snapshot(self, tmp_path, capsys,
+                                           monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        rc = main(
+            [
+                "--metrics-out", str(tmp_path / "m.json"),
+                "timeline", "cg", "--klass", "S", "--samples", "0",
+                "-o", str(tmp_path / "t.json"),
+            ]
+        )
+        assert rc == 0
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "cache")
+        stages = {e["stage"] for e in store.entries()}
+        assert "metrics" in stages
+        err = capsys.readouterr().err
+        assert "metrics snapshot persisted" in err
+
+
+def test_benchmarks_available():
+    assert set(NAS) <= set(available_benchmarks())

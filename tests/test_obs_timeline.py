@@ -17,8 +17,9 @@ from repro.workloads import get_program
 
 GOLDEN = Path(__file__).parent / "data" / "pingpong_timeline.json"
 
-#: Valid Chrome trace event phases used by the exporter.
-_PHASES = {"X", "M", "C"}
+#: Valid Chrome trace event phases used by the exporter
+#: (X complete, M metadata, C counter, s/f flow start/finish).
+_PHASES = {"X", "M", "C", "s", "f"}
 
 
 def golden_program() -> Program:
@@ -64,6 +65,10 @@ def assert_chrome_schema(trace: dict) -> None:
             assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
         if ev["ph"] == "C":
             assert ev["args"], "counter events need a value"
+        if ev["ph"] in ("s", "f"):
+            assert isinstance(ev["id"], int)
+            if ev["ph"] == "f":
+                assert ev["bp"] == "e"
 
 
 class TestReconciliation:
@@ -137,6 +142,26 @@ class TestChromeTraceExport:
             assert total_us / 1e6 == pytest.approx(
                 result.finish_times[rank], abs=1e-6
             )
+
+    def test_flow_events_connect_send_to_recv(self):
+        """Every message yields a flow pair: ``s`` on the source rank's
+        track at send time, ``f`` on the destination rank's track at
+        delivery, sharing an id."""
+        program = get_program("cg", "S", 4)
+        recorder, result = record_run(program)
+        events = recorder.to_chrome_trace()["traceEvents"]
+        starts = {e["id"]: e for e in events if e["ph"] == "s"}
+        finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+        assert len(starts) == len(finishes) == result.n_messages
+        assert set(starts) == set(finishes)
+        for i, msg in enumerate(recorder.messages):
+            s, f = starts[i], finishes[i]
+            assert s["pid"] == f["pid"] == 0  # on the rank tracks
+            assert s["tid"] == msg.src and f["tid"] == msg.dst
+            assert s["ts"] == pytest.approx(msg.t_sent * 1e6)
+            assert f["ts"] == pytest.approx(msg.t_delivered * 1e6)
+            assert s["name"] == f["name"] == f"{msg.src}->{msg.dst}"
+            assert f["bp"] == "e"
 
     def test_write_round_trip(self, tmp_path):
         recorder, _ = record_run(golden_program())

@@ -194,3 +194,49 @@ class TestCampaignTimeline:
         out = tmp_path / "empty.json"
         assert write_campaign_timeline([], out) == 0
         assert json.loads(out.read_text())["traceEvents"]
+
+
+class TestParallelDiagnosis:
+    """Diagnosis output must not depend on how the campaign executed."""
+
+    def test_diagnosis_byte_identical_serial_vs_parallel(
+        self, serial_results, tmp_path
+    ):
+        from repro.diagnose import campaign_divergence
+
+        cache_s = tmp_path / "serial"
+        cache_p = tmp_path / "parallel"
+        runner_s = ExperimentRunner(TINY, cache_dir=str(cache_s))
+        res_s = runner_s.run()
+        runner_p = ExperimentRunner(TINY, cache_dir=str(cache_p), workers=2)
+        res_p = runner_p.run()
+        assert res_s.to_json() == res_p.to_json()
+
+        diag_s = campaign_divergence(runner_s, res_s)
+        diag_p = campaign_divergence(runner_p, res_p)
+        assert set(diag_s) == set(diag_p) == {"cg"}
+        for bench in diag_s:
+            assert set(diag_s[bench]) == set(diag_p[bench])
+            for scen in diag_s[bench]:
+                assert (
+                    diag_s[bench][scen].to_json()
+                    == diag_p[bench][scen].to_json()
+                )
+        # The persisted artifacts hit the store on reload and stay
+        # byte-identical too.
+        warm = campaign_divergence(runner_p, res_p)
+        for bench in diag_p:
+            for scen in diag_p[bench]:
+                assert (
+                    warm[bench][scen].to_json()
+                    == diag_p[bench][scen].to_json()
+                )
+
+    def test_campaign_timeline_deterministic_lanes(self, tmp_path):
+        runner = ExperimentRunner(TINY, cache_dir=str(tmp_path), workers=2)
+        runner.run()
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert runner.write_campaign_timeline(first) == \
+            runner.write_campaign_timeline(second) > 0
+        assert first.read_bytes() == second.read_bytes()
