@@ -28,6 +28,10 @@ Subcommands mirror the paper's workflow:
 * ``store``     — inspect and maintain the content-addressed artifact
   store (``ls``, ``verify``, ``gc``, ``prune``); see
   :mod:`repro.store` and ``docs/SCALING.md``.
+* ``doctor``    — scan-and-repair the cache and campaign journals:
+  quarantine corrupt objects, truncate torn journal lines, enforce a
+  byte quota with LRU eviction (:mod:`repro.store.fsck`; see
+  ``docs/ROBUSTNESS.md``).
 
 Every command also accepts a global ``--metrics-out metrics.json``
 flag that enables the metrics registry for the whole invocation and
@@ -48,8 +52,10 @@ Examples::
     repro-skeleton faults render --stock flapping-link
     repro-skeleton faults apply cg --klass S --stock cpu-burst
     repro-skeleton experiment --workers 4 -v
+    repro-skeleton experiment --workers 4 --task-timeout 300
     repro-skeleton store ls
     repro-skeleton store gc --max-age-days 30 --max-mbytes 512
+    repro-skeleton doctor --max-cache-bytes 536870912
 """
 
 from __future__ import annotations
@@ -440,6 +446,7 @@ def _cmd_faults_apply(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentRunner
+    from repro.parallel.supervisor import SupervisorConfig
 
     config = ExperimentConfig(include_volatile=args.volatile)
     runner = ExperimentRunner(
@@ -447,6 +454,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         verbose=args.verbose,
         workers=args.workers,
+        supervisor=SupervisorConfig(task_timeout=args.task_timeout),
+        journal_durability=args.journal_durability,
     )
     results = runner.run(force=args.force, resume=args.resume)
     if args.campaign_timeline:
@@ -542,10 +551,36 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
     if action == "prune":
         removed = store.prune()
-        print(f"removed {removed['objects']} corrupt object(s) and "
-              f"{removed['blobs']} orphan blob(s)")
+        print(f"removed {removed['objects']} corrupt object(s), "
+              f"{removed['blobs']} orphan blob(s), and "
+              f"{removed['tmp']} stale temp file(s)")
         return 0
     raise ReproError(f"unknown store action {action!r}")
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Scan-and-repair the artifact store and campaign journals."""
+    import json
+
+    from repro.store import ArtifactStore, fsck
+
+    store = ArtifactStore(args.cache_dir)
+    report = fsck(
+        store,
+        repair=not args.dry_run,
+        max_cache_bytes=args.max_cache_bytes,
+    )
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"fsck report written to {args.report}", file=sys.stderr)
+    # Dry run: issues found means a non-zero exit so scripts can gate
+    # on it; after a repair the tree is healthy again, so exit 0.
+    if args.dry_run and not report.clean:
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -660,6 +695,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="run the campaign on N worker processes "
                    "(results are byte-identical to serial)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="with --workers: hard wall-clock cap per task; "
+                   "a worker past it is presumed hung, cancelled, and "
+                   "its task re-queued (an adaptive p95-based soft "
+                   "deadline applies either way)")
+    p.add_argument("--journal-durability", choices=("fsync", "flush"),
+                   default="fsync",
+                   help="fsync every journal line (default, survives "
+                   "power loss) or only flush to the OS (faster; "
+                   "survives process crashes)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="artifact store root (default: $REPRO_CACHE_DIR "
                    "or <project root>/.repro_cache)")
@@ -695,6 +741,24 @@ def build_parser() -> argparse.ArgumentParser:
                             help="shrink the store to this many MiB "
                             "(oldest first)")
         sp.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser(
+        "doctor",
+        help="scan-and-repair the artifact store and campaign journals",
+    )
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="store root (default: $REPRO_CACHE_DIR or "
+                   "<project root>/.repro_cache)")
+    p.add_argument("--max-cache-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="evict least-recently-used artifacts until the "
+                   "store fits this byte budget")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report issues without repairing; exit 1 if any "
+                   "are found")
+    p.add_argument("-o", "--report", default=None, metavar="PATH",
+                   help="also write the FsckReport as JSON")
+    p.set_defaults(func=_cmd_doctor)
 
     p = sub.add_parser(
         "timeline",

@@ -91,5 +91,13 @@ class WorkerCrashError(ExperimentError):
     a task; raised when the task exhausts its re-queue budget."""
 
 
+class TaskTimeoutError(ExperimentError):
+    """A campaign task exceeded its supervision deadline: the worker
+    holding it was hung (alive but making no progress) and was
+    cancelled by the :class:`repro.parallel.supervisor.Supervisor`.
+    Recorded as the failure cause when the task exhausts its re-queue
+    budget."""
+
+
 class WorkloadError(ReproError):
     """Invalid workload parameters (unsupported class, rank count, ...)."""

@@ -53,6 +53,29 @@ def overall_average_error(results: ExperimentResults) -> float:
     return sum(errors) / len(errors)
 
 
+def format_failure_record(bench: str, info: dict) -> str:
+    """One uniform line for any benchmark failure record.
+
+    Every cause — model errors (``DeadlockError``), host trouble,
+    worker crashes (``WorkerCrashError``), supervision timeouts
+    (``TaskTimeoutError``) — renders the same way: cause class, run id,
+    scenario, seed, attempt count, message. The run key is the
+    journal's ``run_id::scenario::seed``.
+    """
+    key = str(info.get("run", "?"))
+    parts = key.split("::")
+    if len(parts) == 3:
+        run_id, scenario, seed = parts
+        where = f"{run_id} [scenario {scenario}, seed {seed}]"
+    else:
+        where = key
+    attempts = info.get("attempts", 1)
+    return (
+        f"{bench}: {info.get('error_type', 'error')} in {where} "
+        f"after {attempts} attempt(s): {info.get('error', '')}"
+    )
+
+
 def partial_banner(results: ExperimentResults) -> str:
     """A prominent banner describing failed benchmarks, or ``""``."""
     if not results.is_partial:
@@ -63,10 +86,7 @@ def partial_banner(results: ExperimentResults) -> str:
         f"and are excluded below",
     ]
     for bench, info in sorted(results.failures.items()):
-        lines.append(
-            f"  {bench}: {info.get('error_type', 'error')} in "
-            f"{info.get('run', '?')}: {info.get('error', '')}"
-        )
+        lines.append("  " + format_failure_record(bench, info))
     lines.append("=" * 64)
     return "\n".join(lines)
 

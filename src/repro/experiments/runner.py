@@ -252,12 +252,22 @@ class ExperimentRunner:
         workers: int = 1,
         store: Optional[ArtifactStore] = None,
         use_store: bool = True,
+        supervisor=None,
+        journal_durability: str = "fsync",
     ):
+        # Deferred import: repro.parallel pulls in this module's package.
+        from repro.parallel.supervisor import SupervisorConfig
+
         self.config = config or ExperimentConfig()
         self.cluster = cluster or paper_testbed(self.config.nnodes)
         self.cache_dir = resolve_cache_dir(cache_dir)
         self.verbose = verbose
         self.retry_policy = retry_policy or RetryPolicy()
+        #: Hang-detection tuning for parallel campaigns
+        #: (:class:`repro.parallel.supervisor.SupervisorConfig`).
+        self.supervisor = supervisor or SupervisorConfig()
+        #: Journal durability mode (``"fsync"`` or ``"flush"``).
+        self.journal_durability = journal_durability
         if workers < 1:
             raise ExperimentError("workers must be >= 1")
         self.workers = int(workers)
@@ -454,7 +464,10 @@ class ExperimentRunner:
         except Exception as exc:
             if metrics.enabled:
                 metrics.counter("campaign.failures", "campaign runs failed").inc()
-            self._journal_failed(key, exc, self.retry_policy.max_attempts)
+            self._journal_failed(
+                key, exc,
+                getattr(exc, "attempts", self.retry_policy.max_attempts),
+            )
             raise _RunFailed(key, exc) from exc
         wall = time.perf_counter() - t0
         result = value[1] if isinstance(value, tuple) else value
@@ -607,6 +620,9 @@ class ExperimentRunner:
                     "run": fail.key,
                     "error_type": type(fail.cause).__name__,
                     "error": str(fail.cause),
+                    "attempts": getattr(
+                        fail.cause, "attempts", self.retry_policy.max_attempts
+                    ),
                 }
                 self._log(f"benchmark {bench} FAILED: {fail}")
         return results
@@ -628,7 +644,9 @@ class ExperimentRunner:
 
         cfg = self.config
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        journal = CampaignJournal(self.journal_path)
+        journal = CampaignJournal(
+            self.journal_path, durability=self.journal_durability
+        )
         if not resume:
             journal.remove()
         self._journal = journal
@@ -689,6 +707,8 @@ def run_experiments(
     verbose: bool = False,
     retry_policy: Optional[RetryPolicy] = None,
     workers: int = 1,
+    supervisor=None,
+    journal_durability: str = "fsync",
 ) -> ExperimentResults:
     """Run or load the experiment campaign for ``config``."""
     runner = ExperimentRunner(
@@ -698,5 +718,7 @@ def run_experiments(
         verbose=verbose,
         retry_policy=retry_policy,
         workers=workers,
+        supervisor=supervisor,
+        journal_durability=journal_durability,
     )
     return runner.run(force=force, resume=resume)

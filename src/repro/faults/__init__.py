@@ -15,6 +15,11 @@ Two halves, one theme — surviving unreliable shared infrastructure:
   timeout primitives used by the campaign runner
   (:class:`repro.experiments.runner.ExperimentRunner`) to isolate
   per-run crashes and support ``--resume``.
+* :mod:`repro.faults.io` — a deterministic OS-level IO fault harness
+  (:class:`IOFaultPlan`): ENOSPC/short/torn writes, EIO reads, rename
+  and fsync failures, and injected hangs, installed via the file-op
+  shims the artifact store and campaign journal route through. Powers
+  the chaos test suite and the ``repro doctor`` self-healing story.
 
 See ``docs/ROBUSTNESS.md`` for the user guide.
 """
@@ -31,11 +36,20 @@ from repro.faults.plan import (
     flapping_link_plan,
     stock_plans,
 )
+from repro.faults.io import (
+    IO_FAULT_KINDS,
+    IOFault,
+    IOFaultPlan,
+    random_plan as random_io_plan,
+)
 from repro.faults.resilience import RetryPolicy, resilient_call, run_with_timeout
 
 __all__ = [
     "FaultEvent",
     "FaultPlan",
+    "IO_FAULT_KINDS",
+    "IOFault",
+    "IOFaultPlan",
     "LinkDegrade",
     "MessageDrop",
     "NodeSlowdown",
@@ -44,6 +58,7 @@ __all__ = [
     "RetryPolicy",
     "cpu_burst_plan",
     "flapping_link_plan",
+    "random_io_plan",
     "resilient_call",
     "run_with_timeout",
     "stock_plans",

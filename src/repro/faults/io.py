@@ -1,0 +1,375 @@
+"""Deterministic OS-level IO fault harness for the store/journal stack.
+
+:mod:`repro.faults.plan` perturbs the *simulated* testbed; this module
+perturbs the real one — the filesystem operations the artifact store
+(:mod:`repro.store.store`) and campaign journal
+(:mod:`repro.experiments.journal`) depend on. Both modules route every
+file operation through the shim functions defined here
+(:func:`read_text`, :func:`read_bytes`, :func:`write_text`,
+:func:`write_fd`, :func:`replace`, :func:`fsync`), so a test can
+install an :class:`IOFaultPlan` and observe how the stack behaves when
+the disk fills up, a read returns ``EIO``, a rename fails, or an
+``fsync`` is refused — without any real disk trouble, and perfectly
+reproducibly.
+
+Fault kinds (``IOFault.kind``):
+
+``enospc-write``
+    the matching write raises ``OSError(ENOSPC)`` before writing a
+    byte (disk full);
+``short-write``
+    a *partial* write: file writes persist only a prefix and raise
+    ``OSError(EIO)``; descriptor writes (:func:`write_fd`) write the
+    prefix and return its length without raising, exercising the
+    caller's short-write loop;
+``torn-write``
+    like ``short-write`` but always raises after the partial write —
+    the canonical torn-file scenario for both paths;
+``eio-read``
+    the matching read raises ``OSError(EIO)`` (bit rot, bad sector);
+``rename-fail``
+    the matching ``os.replace`` raises ``OSError(EIO)`` without
+    renaming (the atomic-publish step fails);
+``fsync-fail``
+    the matching ``fsync`` raises ``OSError(EIO)`` (durability not
+    guaranteed);
+``hang``
+    the matching operation sleeps ``seconds`` before proceeding (an
+    NFS stall / hung device) — in a campaign worker this produces a
+    real hang for the :class:`repro.parallel.supervisor.Supervisor`
+    to detect and cancel.
+
+Every fault is pinned to the N-th operation matching its kind and
+``path_glob`` (a :mod:`fnmatch` pattern over the path's basename), and
+fires exactly once, so a given ``IOFaultPlan`` produces the same
+injection sequence on every run. :func:`random_plan` derives a plan
+deterministically from a seed for randomized sweeps.
+
+Usage::
+
+    plan = IOFaultPlan(faults=(IOFault("enospc-write", op_index=2),))
+    with plan.install() as log:
+        run_campaign(...)          # the 3rd store/journal write fails
+    assert log.events[0]["kind"] == "enospc-write"
+
+Installation is process-global (the shims consult one active plan) and
+not re-entrant; chaos tests install one plan at a time.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import FaultError
+
+__all__ = [
+    "IO_FAULT_KINDS",
+    "IOFault",
+    "IOFaultLog",
+    "IOFaultPlan",
+    "fsync",
+    "random_plan",
+    "read_bytes",
+    "read_text",
+    "replace",
+    "write_fd",
+    "write_text",
+]
+
+_FORMAT = 1
+
+#: Every supported fault kind, and the file operation it intercepts.
+_KIND_OPS = {
+    "enospc-write": "write",
+    "short-write": "write",
+    "torn-write": "write",
+    "eio-read": "read",
+    "rename-fail": "replace",
+    "fsync-fail": "fsync",
+    "hang": "*",
+}
+
+IO_FAULT_KINDS = tuple(_KIND_OPS)
+
+
+@dataclass(frozen=True)
+class IOFault:
+    """One injected fault: fire on the ``op_index``-th operation (0-based)
+    whose kind and basename match.
+
+    ``seconds`` is only meaningful for ``hang``; ``op`` restricts a
+    ``hang`` to one operation type (``write``/``read``/``replace``/
+    ``fsync``; empty matches any).
+    """
+
+    kind: str
+    op_index: int = 0
+    path_glob: str = "*"
+    seconds: float = 0.0
+    op: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_OPS:
+            raise FaultError(
+                f"unknown IO fault kind {self.kind!r}; "
+                f"choose from {sorted(_KIND_OPS)}"
+            )
+        if self.op_index < 0:
+            raise FaultError("op_index must be >= 0")
+        if self.kind == "hang" and self.seconds < 0:
+            raise FaultError("hang seconds must be >= 0")
+
+    def matches(self, op: str, path: str) -> bool:
+        want = self.op or _KIND_OPS[self.kind]
+        if want not in ("*", op):
+            return False
+        return fnmatch(os.path.basename(path), self.path_glob)
+
+
+class IOFaultLog:
+    """Record of every fault an installed plan actually injected."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def record(self, fault: IOFault, op: str, path: str) -> None:
+        self.events.append(
+            {
+                "kind": fault.kind,
+                "op": op,
+                "path": str(path),
+                "op_index": fault.op_index,
+                "t": time.time(),
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class IOFaultPlan:
+    """An immutable, JSON-serialisable schedule of IO faults."""
+
+    name: str = ""
+    faults: tuple[IOFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"IO fault plan {self.name or '<unnamed>'}: no faults"
+        lines = [f"IO fault plan {self.name or '<unnamed>'}:"]
+        for f in self.faults:
+            extra = f" sleep={f.seconds:g}s" if f.kind == "hang" else ""
+            lines.append(
+                f"  {f.kind} on op #{f.op_index} matching "
+                f"{f.path_glob!r}{extra}"
+            )
+        return "\n".join(lines)
+
+    # -- (de)serialisation ------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": _FORMAT,
+                "name": self.name,
+                "faults": [
+                    {
+                        "kind": f.kind,
+                        "op_index": f.op_index,
+                        "path_glob": f.path_glob,
+                        "seconds": f.seconds,
+                        "op": f.op,
+                    }
+                    for f in self.faults
+                ],
+            },
+            indent=1,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "IOFaultPlan":
+        obj = json.loads(text)
+        if obj.get("format") != _FORMAT:
+            raise FaultError("unsupported IO fault plan format")
+        return IOFaultPlan(
+            name=str(obj.get("name", "")),
+            faults=tuple(
+                IOFault(
+                    kind=str(f["kind"]),
+                    op_index=int(f.get("op_index", 0)),
+                    path_glob=str(f.get("path_glob", "*")),
+                    seconds=float(f.get("seconds", 0.0)),
+                    op=str(f.get("op", "")),
+                )
+                for f in obj.get("faults", [])
+            ),
+        )
+
+    # -- installation ------------------------------------------------------
+
+    @contextmanager
+    def install(self) -> Iterator[IOFaultLog]:
+        """Arm this plan for the duration of the context; yields the
+        injection log. Process-global, not re-entrant."""
+        global _active
+        if _active is not None:
+            raise FaultError("an IOFaultPlan is already installed")
+        armed = _ArmedPlan(self)
+        _active = armed
+        try:
+            yield armed.log
+        finally:
+            _active = None
+
+
+def random_plan(
+    seed: int,
+    n_faults: int = 3,
+    kinds: tuple[str, ...] = (
+        "enospc-write", "short-write", "torn-write",
+        "eio-read", "rename-fail", "fsync-fail",
+    ),
+    max_op_index: int = 30,
+    name: Optional[str] = None,
+) -> IOFaultPlan:
+    """A deterministic, seed-derived plan for randomized chaos sweeps.
+
+    The same seed always yields the same plan (``random.Random(seed)``
+    is platform-stable), so a failing sweep seed is a reproducer.
+    """
+    rng = random.Random(seed)
+    faults = tuple(
+        IOFault(kind=rng.choice(list(kinds)), op_index=rng.randrange(max_op_index))
+        for _ in range(n_faults)
+    )
+    return IOFaultPlan(name=name or f"random-{seed}", faults=faults)
+
+
+class _ArmedPlan:
+    """Runtime state of an installed plan: per-fault match counters."""
+
+    def __init__(self, plan: IOFaultPlan):
+        self.plan = plan
+        self.log = IOFaultLog()
+        self._seen = [0] * len(plan.faults)
+        self._fired = [False] * len(plan.faults)
+
+    def check(self, op: str, path: Union[str, os.PathLike]) -> Optional[IOFault]:
+        """Count this operation against every fault; return the first
+        fault that fires on it (at most one per operation)."""
+        path = str(path)
+        hit: Optional[IOFault] = None
+        for i, fault in enumerate(self.plan.faults):
+            if not fault.matches(op, path):
+                continue
+            seen = self._seen[i]
+            self._seen[i] = seen + 1
+            if hit is None and not self._fired[i] and seen == fault.op_index:
+                self._fired[i] = True
+                self.log.record(fault, op, path)
+                hit = fault
+        return hit
+
+
+_active: Optional[_ArmedPlan] = None
+
+
+def _hit(op: str, path: Union[str, os.PathLike]) -> Optional[IOFault]:
+    if _active is None:
+        return None
+    fault = _active.check(op, path)
+    if fault is not None and fault.kind == "hang":
+        time.sleep(fault.seconds)
+        return None
+    return fault
+
+
+# ---------------------------------------------------------------------------
+# File-operation shims. The store and journal call these instead of the
+# raw OS primitives; with no plan installed they are thin pass-throughs.
+# ---------------------------------------------------------------------------
+
+
+def read_text(path: Union[str, os.PathLike], encoding: str = "utf-8") -> str:
+    """``Path.read_text`` with fault injection (``eio-read``)."""
+    if _hit("read", path) is not None:
+        raise OSError(errno.EIO, f"injected read error: {path}")
+    return Path(path).read_text(encoding=encoding)
+
+
+def read_bytes(path: Union[str, os.PathLike]) -> bytes:
+    """``Path.read_bytes`` with fault injection (``eio-read``)."""
+    if _hit("read", path) is not None:
+        raise OSError(errno.EIO, f"injected read error: {path}")
+    return Path(path).read_bytes()
+
+
+def write_text(
+    path: Union[str, os.PathLike], text: str, encoding: str = "utf-8"
+) -> None:
+    """``Path.write_text`` with fault injection.
+
+    ``enospc-write`` fails before writing; ``short-write`` and
+    ``torn-write`` persist a prefix and raise — the file is torn, and
+    it is the *caller's* atomic-publish discipline (temp file +
+    rename) that must keep torn bytes from ever being served.
+    """
+    fault = _hit("write", path)
+    if fault is not None:
+        if fault.kind == "enospc-write":
+            raise OSError(errno.ENOSPC, f"injected disk full: {path}")
+        data = text.encode(encoding)
+        Path(path).write_bytes(data[: max(1, len(data) // 2)])
+        raise OSError(errno.EIO, f"injected {fault.kind}: {path}")
+    Path(path).write_text(text, encoding=encoding)
+
+
+def write_fd(
+    fd: int, data: bytes, path: Union[str, os.PathLike] = ""
+) -> int:
+    """``os.write`` with fault injection; ``path`` is the descriptor's
+    file, used only for fault matching.
+
+    ``short-write`` returns a partial count *without* raising —
+    exactly what POSIX permits — so callers must loop;
+    ``torn-write`` writes the prefix and then raises.
+    """
+    fault = _hit("write", path)
+    if fault is not None:
+        if fault.kind == "enospc-write":
+            raise OSError(errno.ENOSPC, f"injected disk full: {path}")
+        prefix = data[: max(1, len(data) // 2)]
+        written = os.write(fd, prefix)
+        if fault.kind == "torn-write":
+            raise OSError(errno.EIO, f"injected torn write: {path}")
+        return written
+    return os.write(fd, data)
+
+
+def replace(
+    src: Union[str, os.PathLike], dst: Union[str, os.PathLike]
+) -> None:
+    """``os.replace`` with fault injection (``rename-fail``)."""
+    if _hit("replace", dst) is not None:
+        raise OSError(errno.EIO, f"injected rename failure: {dst}")
+    os.replace(src, dst)
+
+
+def fsync(fd: int, path: Union[str, os.PathLike] = "") -> None:
+    """``os.fsync`` with fault injection (``fsync-fail``)."""
+    if _hit("fsync", path) is not None:
+        raise OSError(errno.EIO, f"injected fsync failure: {path}")
+    os.fsync(fd)

@@ -101,7 +101,9 @@ def resilient_call(
     Retryable failures are re-executed up to ``policy.max_attempts``
     times with exponential backoff (``on_retry(attempt, exc)`` fires
     before each sleep); the last failure — or any non-retryable one —
-    propagates to the caller.
+    propagates to the caller, annotated with an ``attempts`` attribute
+    recording how many executions it survived (failure reports show
+    the retry count).
     """
     policy = policy or RetryPolicy()
     attempt = 0
@@ -109,8 +111,12 @@ def resilient_call(
         attempt += 1
         try:
             return run_with_timeout(fn, policy.timeout_seconds), attempt
-        except policy.retryable as exc:
-            if attempt >= policy.max_attempts:
+        except Exception as exc:
+            if not policy.is_retryable(exc) or attempt >= policy.max_attempts:
+                try:
+                    exc.attempts = attempt
+                except AttributeError:  # slotted/frozen exceptions
+                    pass
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)

@@ -4,7 +4,9 @@
   annotated task list with serial-compatible journal keys;
 * :mod:`repro.parallel.scheduler` — runs that list on N worker
   processes with dead-worker recovery, parent-side journaling, and
-  byte-identical-to-serial result assembly.
+  byte-identical-to-serial result assembly;
+* :mod:`repro.parallel.supervisor` — heartbeat- and deadline-based
+  hang detection for those workers (``--task-timeout``).
 
 Entry point: ``ExperimentRunner(..., workers=N).run()`` or
 ``repro-skeleton experiment --workers N``.
@@ -12,9 +14,12 @@ Entry point: ``ExperimentRunner(..., workers=N).run()`` or
 
 from repro.parallel.tasks import CampaignTask, campaign_tasks
 from repro.parallel.scheduler import run_parallel_campaign, write_campaign_timeline
+from repro.parallel.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
     "CampaignTask",
+    "Supervisor",
+    "SupervisorConfig",
     "campaign_tasks",
     "run_parallel_campaign",
     "write_campaign_timeline",

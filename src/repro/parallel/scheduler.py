@@ -20,6 +20,13 @@ processes:
   ``RetryPolicy.max_attempts`` losses, then the benchmark fails with
   :class:`~repro.errors.WorkerCrashError`) and a fresh worker is
   respawned in its place (``campaign.worker_restarts`` metric);
+* a worker that *hangs* (alive but stuck) is detected by the
+  :class:`~repro.parallel.supervisor.Supervisor` — workers heartbeat
+  through the result queue, and each task carries a soft deadline
+  derived from the p95 of completed walls plus an optional hard
+  ``--task-timeout``. Overdue workers are cancelled (SIGTERM→SIGKILL),
+  respawned, and their task re-queued like a crash, failing with
+  :class:`~repro.errors.TaskTimeoutError` on exhaustion;
 * results are assembled in serial iteration order from the reported
   payloads, so a parallel campaign's results are **byte-identical**
   to a serial run's (the simulator is deterministic and floats
@@ -39,6 +46,7 @@ import multiprocessing
 import os
 import queue
 import signal
+import threading
 import time
 import warnings
 from typing import Optional, Union
@@ -49,6 +57,7 @@ from repro.errors import ExperimentError, SkeletonQualityWarning, TraceError
 from repro.experiments.journal import CampaignJournal
 from repro.faults.resilience import RetryPolicy, resilient_call
 from repro.obs.metrics import get_metrics
+from repro.parallel.supervisor import Supervisor, SupervisorConfig
 from repro.parallel.tasks import (
     KIND_APP_RUN,
     KIND_CLASS_S_DED,
@@ -282,16 +291,41 @@ def _execute_task(state: _WorkerState, task: CampaignTask, policy) -> dict:
 
 
 def _worker_main(
-    worker_id, config, cluster, cache_dir, policy, kill_at, task_q, result_q
+    worker_id, config, cluster, cache_dir, policy, heartbeat_interval,
+    kill_at, hang_at, task_q, result_q,
 ):
     """Worker process: pull tasks, execute, report payloads.
 
-    ``kill_at`` (test hook) makes the worker SIGKILL itself upon
+    A daemon thread heartbeats through ``result_q`` every
+    ``heartbeat_interval`` seconds (``<= 0`` disables) so the parent's
+    supervisor can tell a frozen process from a busy one — the daemon
+    keeps beating even while the main thread is stuck in a task.
+
+    Test hooks: ``kill_at`` makes the worker SIGKILL itself upon
     *receiving* its N-th task — before executing or reporting it — to
-    exercise the parent's dead-worker recovery deterministically.
+    exercise dead-worker recovery; ``hang_at`` (``(n, seconds)``)
+    makes it sleep ``seconds`` while *holding* its n-th task, to
+    exercise hang detection. Both are deterministic.
     """
     state = _WorkerState(config, cluster, cache_dir)
     received = 0
+    seq = 0
+
+    def _beat() -> None:
+        nonlocal seq
+        while True:
+            time.sleep(heartbeat_interval)
+            seq += 1
+            try:
+                result_q.put({"hb": True, "worker": worker_id, "seq": seq})
+            except Exception:  # queue torn down: parent is gone
+                return
+
+    if heartbeat_interval is not None and heartbeat_interval > 0:
+        threading.Thread(
+            target=_beat, name=f"heartbeat-{worker_id}", daemon=True
+        ).start()
+
     while True:
         task = task_q.get()
         if task is None:
@@ -299,6 +333,8 @@ def _worker_main(
         received += 1
         if kill_at is not None and received >= kill_at:
             os.kill(os.getpid(), signal.SIGKILL)
+        if hang_at is not None and received == hang_at[0]:
+            time.sleep(hang_at[1])
         t0 = time.time()
         try:
             payload = _execute_task(state, task, policy)
@@ -308,7 +344,7 @@ def _worker_main(
                 "status": "failed",
                 "error": str(exc),
                 "error_type": type(exc).__name__,
-                "attempts": policy.max_attempts,
+                "attempts": getattr(exc, "attempts", policy.max_attempts),
             }
         payload.update(
             key=task.key,
@@ -329,13 +365,18 @@ class _WorkerHandle:
     """Parent's view of one worker: process, its task queue, and the
     task it currently holds (None when idle)."""
 
-    def __init__(self, ctx, worker_id, spawn_args, result_q, kill_at):
+    def __init__(self, ctx, worker_id, spawn_args, result_q, kill_at,
+                 hang_at=None):
         self.worker_id = worker_id
         self.task_q = ctx.SimpleQueue()
         self.current: Optional[CampaignTask] = None
+        self.t_dispatch = 0.0
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(worker_id, *spawn_args, kill_at, self.task_q, result_q),
+            args=(
+                worker_id, *spawn_args, kill_at, hang_at,
+                self.task_q, result_q,
+            ),
             name=f"campaign-worker-{worker_id}",
             daemon=True,
         )
@@ -347,7 +388,18 @@ class _WorkerHandle:
 
     def dispatch(self, task: CampaignTask) -> None:
         self.current = task
+        self.t_dispatch = time.time()
         self.task_q.put(task)
+
+    def cancel(self, grace: float) -> None:
+        """Cancel a hung worker: SIGTERM, wait ``grace``, escalate to
+        SIGKILL."""
+        if self.alive:
+            self.proc.terminate()
+            self.proc.join(timeout=grace)
+        if self.alive:
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
 
     def shutdown(self) -> None:
         if self.alive:
@@ -428,6 +480,7 @@ def _assemble(runner, scenarios, payloads: dict, bench_failures: dict):
                 "run": fail["key"],
                 "error_type": fail.get("error_type", "Exception"),
                 "error": fail.get("error", ""),
+                "attempts": fail.get("attempts", 1),
             }
             continue
         trace_p = payloads[f"{bench}.{cfg.klass}/trace::dedicated::0"]
@@ -482,13 +535,19 @@ def _assemble(runner, scenarios, payloads: dict, bench_failures: dict):
     return results
 
 
-def run_parallel_campaign(runner, kill_plan: Optional[dict] = None):
+def run_parallel_campaign(
+    runner,
+    kill_plan: Optional[dict] = None,
+    hang_plan: Optional[dict] = None,
+):
     """Execute ``runner``'s campaign on ``runner.workers`` processes.
 
     Called by :meth:`ExperimentRunner.run` (which owns the journal
     lifecycle and the results artifact). ``kill_plan`` is a test hook:
     ``{worker_id: n}`` SIGKILLs that worker on its n-th task — applied
     to the first incarnation only, so recovery always converges.
+    ``hang_plan`` (``{worker_id: (n, seconds)}``) instead stalls the
+    worker on its n-th task, exercising the supervisor.
     """
     from repro.experiments.runner import _CampaignProgress
 
@@ -500,10 +559,15 @@ def run_parallel_campaign(runner, kill_plan: Optional[dict] = None):
     kill_plan = dict(
         kill_plan or getattr(runner, "_campaign_kill_plan", None) or {}
     )
+    hang_plan = dict(
+        hang_plan or getattr(runner, "_campaign_hang_plan", None) or {}
+    )
     cfg = runner.config
     policy = runner.retry_policy
     scenarios = runner.scenarios
     metrics = get_metrics()
+    sup_cfg = getattr(runner, "supervisor", None) or SupervisorConfig()
+    supervisor = Supervisor(sup_cfg)
     journal: Optional[CampaignJournal] = runner._journal
     tasks = campaign_tasks(cfg, scenarios)
     progress = _CampaignProgress(sum(1 for t in tasks if t.is_run))
@@ -616,35 +680,50 @@ def run_parallel_campaign(runner, kill_plan: Optional[dict] = None):
 
     ctx = _preferred_context()
     result_q = ctx.Queue()
-    spawn_args = (cfg, runner.cluster, str(runner.cache_dir), policy)
+    spawn_args = (
+        cfg, runner.cluster, str(runner.cache_dir), policy,
+        sup_cfg.heartbeat_interval,
+    )
     workers = [
-        _WorkerHandle(ctx, i, spawn_args, result_q, kill_plan.pop(i, None))
+        _WorkerHandle(
+            ctx, i, spawn_args, result_q,
+            kill_plan.pop(i, None), hang_plan.pop(i, None),
+        )
         for i in range(runner.workers)
     ]
 
-    def _respawn(handle: _WorkerHandle) -> _WorkerHandle:
+    def _respawn(handle: _WorkerHandle, why: str = "died") -> _WorkerHandle:
         if metrics.enabled:
             metrics.counter(
                 "campaign.worker_restarts", "campaign workers respawned"
             ).inc()
-        runner._log(f"worker {handle.worker_id} died; respawning")
+        runner._log(f"worker {handle.worker_id} {why}; respawning")
         return _WorkerHandle(
             ctx, handle.worker_id, spawn_args, result_q, None
         )
 
-    def _lose_task(task: CampaignTask) -> None:
+    def _lose_task(task: CampaignTask, cause: str = "crash") -> None:
         lost[task.key] = lost.get(task.key, 0) + 1
         if lost[task.key] >= policy.max_attempts:
+            if cause == "timeout":
+                error_type = "TaskTimeoutError"
+                error = (
+                    f"task {task.key} exceeded its supervision deadline "
+                    f"{lost[task.key]} time(s); worker cancelled"
+                )
+            else:
+                error_type = "WorkerCrashError"
+                error = (
+                    f"worker died {lost[task.key]} time(s) while "
+                    f"running {task.key}"
+                )
             _handle(
                 {
                     "key": task.key,
                     "kind": task.kind,
                     "status": "failed",
-                    "error": (
-                        f"worker died {lost[task.key]} time(s) while "
-                        f"running {task.key}"
-                    ),
-                    "error_type": "WorkerCrashError",
+                    "error": error,
+                    "error_type": error_type,
                     "attempts": lost[task.key],
                 }
             )
@@ -678,29 +757,84 @@ def run_parallel_campaign(runner, kill_plan: Optional[dict] = None):
             for handle in workers:
                 if handle.current is None and handle.alive and ready:
                     handle.dispatch(ready.pop(0))
+                    supervisor.task_started(
+                        handle.worker_id, handle.current.key
+                    )
             try:
                 payload = result_q.get(timeout=_POLL_SECONDS)
             except queue.Empty:
                 payload = None
-            if payload is not None:
+            if payload is not None and payload.get("hb"):
+                # Heartbeat, not a result: refresh liveness and fall
+                # through to the supervision checks — a steady beat
+                # must never starve hang detection.
+                supervisor.heartbeat(payload["worker"])
+                if metrics.enabled:
+                    c = metrics.counter(
+                        "supervisor.heartbeats", "worker heartbeats received"
+                    )
+                    c.inc()
+                    c.labels(worker=str(payload["worker"])).inc()
+            elif payload is not None:
                 for handle in workers:
                     if (
                         handle.current is not None
                         and handle.current.key == payload["key"]
                     ):
                         handle.current = None
+                        supervisor.task_finished(handle.worker_id)
                         break
+                if "t_start" in payload:
+                    supervisor.observe_wall(
+                        payload["t_end"] - payload["t_start"]
+                    )
                 _handle(payload)
                 continue
-            # No result: check for dead workers holding tasks.
+            # No task result this round: check for dead workers holding
+            # tasks, then for live-but-hung ones.
             for i, handle in enumerate(workers):
                 if handle.alive:
                     continue
                 task = handle.current
                 handle.current = None
+                supervisor.task_finished(handle.worker_id)
                 workers[i] = _respawn(handle)
                 if task is not None and not _settled(task):
                     _lose_task(task)
+            for worker_id, key, runtime, reason in supervisor.overdue():
+                i, handle = next(
+                    (i, h) for i, h in enumerate(workers)
+                    if h.worker_id == worker_id
+                )
+                task = handle.current
+                if task is None or task.key != key:
+                    continue  # result arrived between checks
+                if metrics.enabled:
+                    c = metrics.counter(
+                        "supervisor.timeouts", "hung workers cancelled"
+                    )
+                    c.inc()
+                    c.labels(reason=reason).inc()
+                runner._log(
+                    f"worker {worker_id} hung on {key} "
+                    f"({reason}, {runtime:.1f}s); cancelling"
+                )
+                spans.append(
+                    {
+                        "worker": worker_id,
+                        "key": key,
+                        "kind": task.kind,
+                        "t_start": handle.t_dispatch,
+                        "t_end": time.time(),
+                        "status": "timeout",
+                        "reason": reason,
+                    }
+                )
+                handle.cancel(sup_cfg.grace_seconds)
+                handle.current = None
+                workers[i] = _respawn(handle, why="hung; cancelled")
+                if not _settled(task):
+                    _lose_task(task, cause="timeout")
             if not ready and not backlog and not any(
                 h.current for h in workers
             ):
@@ -724,7 +858,13 @@ def write_campaign_timeline(
     spans: list, path: Union[str, os.PathLike]
 ) -> int:
     """Export per-worker campaign task spans as a Chrome trace (one
-    thread lane per worker, Perfetto-loadable); returns the span count."""
+    thread lane per worker, Perfetto-loadable); returns the span count.
+
+    Timed-out task spans (``status == "timeout"``) are drawn on pid 2
+    — the fault lane, matching the
+    :class:`repro.obs.timeline.TimelineRecorder` convention — so hangs
+    stand out against the ordinary worker lanes.
+    """
     scale = 1e6
     t0 = min((s["t_start"] for s in spans), default=0.0)
     events: list[dict] = [
@@ -736,6 +876,16 @@ def write_campaign_timeline(
             "args": {"name": "campaign workers"},
         }
     ]
+    if any(s["status"] == "timeout" for s in spans):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 2,
+                "tid": 0,
+                "args": {"name": "faults"},
+            }
+        )
     for worker in sorted({s["worker"] for s in spans}):
         events.append(
             {
@@ -754,9 +904,15 @@ def write_campaign_timeline(
                 "ph": "X",
                 "ts": (s["t_start"] - t0) * scale,
                 "dur": (s["t_end"] - s["t_start"]) * scale,
-                "pid": 0,
+                "pid": 2 if s["status"] == "timeout" else 0,
                 "tid": s["worker"],
-                "args": {"status": s["status"]},
+                "args": {
+                    "status": s["status"],
+                    **(
+                        {"reason": s["reason"]}
+                        if s.get("reason") is not None else {}
+                    ),
+                },
             }
         )
     with open(path, "w", encoding="utf-8") as fh:

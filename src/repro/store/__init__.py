@@ -11,13 +11,19 @@ Two layers (see ``docs/SCALING.md`` for the full contract):
   wrappers for the compress/construct/simulate hot path, used by the
   campaign runner (serial and parallel) so a warm cache re-runs the
   whole pipeline with zero recomputation.
+* :mod:`repro.store.fsck` — :func:`fsck` / :class:`FsckReport`:
+  scan-and-repair for the cache and campaign journals (quarantine,
+  journal truncation, LRU quota), behind the ``repro-skeleton doctor``
+  CLI.
 """
 
+from repro.store.fsck import FsckReport, fsck
 from repro.store.store import (
     Artifact,
     ArtifactStore,
     CODE_SALT,
     DEFAULT_CACHE_DIR_NAME,
+    DEFAULT_ORPHAN_GRACE_SECONDS,
     StoreKey,
     canonical_json,
     content_digest,
@@ -39,12 +45,15 @@ __all__ = [
     "ArtifactStore",
     "CODE_SALT",
     "DEFAULT_CACHE_DIR_NAME",
+    "DEFAULT_ORPHAN_GRACE_SECONDS",
+    "FsckReport",
     "PipelineCache",
     "StoreKey",
     "canonical_json",
     "cluster_fingerprint",
     "content_digest",
     "find_project_root",
+    "fsck",
     "resolve_cache_dir",
     "runresult_from_dict",
     "runresult_to_dict",

@@ -59,11 +59,13 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Optional, Union
 
 from repro.errors import StoreError
+from repro.faults import io as _fio
 from repro.obs.metrics import get_metrics
 
 __all__ = [
@@ -71,6 +73,7 @@ __all__ = [
     "ArtifactStore",
     "CODE_SALT",
     "DEFAULT_CACHE_DIR_NAME",
+    "DEFAULT_ORPHAN_GRACE_SECONDS",
     "StoreKey",
     "canonical_json",
     "content_digest",
@@ -89,6 +92,24 @@ DEFAULT_CACHE_DIR_NAME = ".repro_cache"
 _ROOT_MARKERS = ("pyproject.toml", "setup.py", ".git")
 
 _FORMAT = 1
+
+#: How long maintenance (``verify``/``prune``/``fsck``) leaves an
+#: unreferenced blob or ``.tmp`` file alone before treating it as
+#: garbage. Protects the window between a concurrent writer's blob
+#: write and its envelope publish (see ``tests/test_io_chaos.py``).
+DEFAULT_ORPHAN_GRACE_SECONDS = 300.0
+
+
+def _is_tmp(path: Path) -> bool:
+    """True for an in-progress atomic-write temp file (``*.tmp<pid>``)."""
+    return ".tmp" in path.name
+
+
+def _older_than(path: Path, seconds: float) -> bool:
+    try:
+        return time.time() - path.stat().st_mtime > seconds
+    except OSError:
+        return False
 
 
 def canonical_json(obj: object) -> str:
@@ -166,6 +187,10 @@ class ArtifactStore:
         self.root = resolve_cache_dir(root)
         self._objects = self.root / "store" / "objects"
         self._blob_dir = self.root / "store" / "blobs"
+        self._quarantine = self.root / "store" / "quarantine"
+        #: True once a write has failed and the store fell back to
+        #: cache-bypass (see :meth:`put`); campaigns keep running.
+        self.degraded = False
 
     # -- keys ------------------------------------------------------------
 
@@ -195,21 +220,59 @@ class ArtifactStore:
         key: StoreKey,
         content: dict,
         blob_writers: Optional[Mapping[str, Callable[[Path], None]]] = None,
-    ) -> Path:
+    ) -> Optional[Path]:
         """Store ``content`` (JSON dict) plus optional named blob files.
 
         Each ``blob_writers[name]`` is called with a temp path to write
         the payload; the store then digests and registers the file.
         Atomic: concurrent writers of the same key are benign.
+
+        A write failure (disk full, unwritable cache directory, torn
+        write) never aborts the caller: the store **degrades to
+        cache-bypass** — the failed artifact simply stays a miss, a
+        warning is issued once, the ``store.degraded`` metric counts
+        the event, and ``None`` is returned instead of the object
+        path. Campaigns keep running without the cache.
         """
+        try:
+            return self._put(key, content, blob_writers)
+        except OSError as exc:
+            self._degrade(key, exc)
+            return None
+
+    def _degrade(self, key: StoreKey, exc: OSError) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            c = metrics.counter(
+                "store.degraded", "store writes dropped (cache-bypass)"
+            )
+            c.inc()
+            c.labels(stage=key.stage).inc()
+        if not self.degraded:
+            self.degraded = True
+            warnings.warn(
+                f"artifact store at {self.root} is degraded to "
+                f"cache-bypass ({type(exc).__name__}: {exc}); campaign "
+                f"continues without caching — run `repro-skeleton "
+                f"doctor` to repair",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _put(
+        self,
+        key: StoreKey,
+        content: dict,
+        blob_writers: Optional[Mapping[str, Callable[[Path], None]]] = None,
+    ) -> Path:
         blobs_meta: dict[str, dict] = {}
         for name, writer in (blob_writers or {}).items():
             path = self._blob_path(key.digest, name)
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
             writer(tmp)
-            data = tmp.read_bytes()
-            os.replace(tmp, path)
+            data = _fio.read_bytes(tmp)
+            _fio.replace(tmp, path)
             blobs_meta[name] = {
                 "file": str(path.relative_to(self.root)),
                 "digest": content_digest(data),
@@ -228,8 +291,8 @@ class ArtifactStore:
         obj_path = self.object_path(key)
         obj_path.parent.mkdir(parents=True, exist_ok=True)
         tmp = obj_path.with_name(f"{obj_path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(envelope, indent=1), encoding="utf-8")
-        os.replace(tmp, obj_path)
+        _fio.write_text(tmp, json.dumps(envelope, indent=1))
+        _fio.replace(tmp, obj_path)
         metrics = get_metrics()
         if metrics.enabled:
             c = metrics.counter("store.writes", "artifacts written to the store")
@@ -241,7 +304,7 @@ class ArtifactStore:
 
     def _load_envelope(self, path: Path) -> dict:
         try:
-            envelope = json.loads(path.read_text(encoding="utf-8"))
+            envelope = json.loads(_fio.read_text(path))
         except (OSError, json.JSONDecodeError) as exc:
             raise StoreError(f"unreadable store object {path}: {exc}") from exc
         if not isinstance(envelope, dict) or envelope.get("format") != _FORMAT:
@@ -258,7 +321,7 @@ class ArtifactStore:
         for name, meta in (envelope.get("blobs") or {}).items():
             blob_path = self.root / meta["file"]
             try:
-                data = blob_path.read_bytes()
+                data = _fio.read_bytes(blob_path)
             except OSError as exc:
                 raise StoreError(
                     f"missing blob {meta['file']} for {path}: {exc}"
@@ -304,6 +367,10 @@ class ArtifactStore:
             _count("misses", stage)
             return None
         _count("hits", stage)
+        try:
+            os.utime(path)  # LRU recency for quota eviction (fsck)
+        except OSError:
+            pass
         return Artifact(
             stage=stage,
             digest=envelope["digest"],
@@ -359,8 +426,15 @@ class ArtifactStore:
                 )
         return total
 
-    def verify(self) -> list[str]:
-        """Integrity-check every artifact; return human-readable issues."""
+    def verify(
+        self, grace_seconds: float = DEFAULT_ORPHAN_GRACE_SECONDS
+    ) -> list[str]:
+        """Integrity-check every artifact; return human-readable issues.
+
+        In-progress atomic writes are not issues: ``.tmp`` files and
+        unreferenced blobs younger than ``grace_seconds`` are skipped —
+        a concurrent writer may be about to publish their envelope.
+        """
         issues = []
         referenced: set[Path] = set()
         for path in self._object_files():
@@ -371,8 +445,11 @@ class ArtifactStore:
             except StoreError as exc:
                 issues.append(str(exc))
         for blob in sorted(self._blob_dir.glob("*")) if self._blob_dir.exists() else []:
-            if blob.is_file() and blob not in referenced:
-                issues.append(f"orphan blob {blob.relative_to(self.root)}")
+            if not blob.is_file() or blob in referenced:
+                continue
+            if _is_tmp(blob) or not _older_than(blob, grace_seconds):
+                continue
+            issues.append(f"orphan blob {blob.relative_to(self.root)}")
         return issues
 
     def _delete_object(self, path: Path, stage: str) -> None:
@@ -400,9 +477,18 @@ class ArtifactStore:
         self,
         max_age_seconds: Optional[float] = None,
         max_bytes: Optional[int] = None,
+        order: str = "created",
     ) -> list[str]:
         """Evict artifacts past an age bound and/or shrink the store to
-        a byte budget (oldest-first). Returns evicted digests."""
+        a byte budget. Returns evicted digests.
+
+        ``order`` picks the byte-budget eviction victim ordering:
+        ``"created"`` (oldest write first) or ``"lru"`` (least recently
+        *read* first — reads touch the object's mtime). ``fsck`` quota
+        enforcement uses ``"lru"``.
+        """
+        if order not in ("created", "lru"):
+            raise StoreError(f"unknown gc order {order!r}")
         entries = self.entries()
         evicted: list[str] = []
         now = time.time()
@@ -413,8 +499,16 @@ class ArtifactStore:
                     evicted.append(e["digest"])
             entries = [e for e in entries if e["digest"] not in set(evicted)]
         if max_bytes is not None:
+            def _recency(e) -> float:
+                if order == "created":
+                    return e["created"]
+                try:
+                    return self.object_path(e["digest"]).stat().st_mtime
+                except OSError:
+                    return 0.0
+
             total = sum(e["bytes"] for e in entries)
-            for e in sorted(entries, key=lambda e: e["created"]):
+            for e in sorted(entries, key=_recency):
                 if total <= max_bytes:
                     break
                 self._delete_object(self.object_path(e["digest"]), e["stage"])
@@ -422,9 +516,20 @@ class ArtifactStore:
                 total -= e["bytes"]
         return evicted
 
-    def prune(self) -> dict[str, int]:
-        """Remove corrupt objects and orphan blobs; return counts."""
-        removed = {"objects": 0, "blobs": 0}
+    def prune(
+        self, grace_seconds: float = DEFAULT_ORPHAN_GRACE_SECONDS
+    ) -> dict[str, int]:
+        """Remove corrupt objects, orphan blobs, and stale temp files;
+        return counts.
+
+        Safe against a concurrent writer: in-progress ``.tmp`` files
+        and unreferenced blobs younger than ``grace_seconds`` are left
+        alone — an object mid-publish (blob written, envelope not yet
+        renamed in) is never deleted out from under its writer
+        (``tests/test_io_chaos.py`` interleaves prune with a write to
+        pin this).
+        """
+        removed = {"objects": 0, "blobs": 0, "tmp": 0}
         referenced: set[Path] = set()
         for path in self._object_files():
             try:
@@ -434,9 +539,22 @@ class ArtifactStore:
             except StoreError:
                 self._delete_object(path, "?")
                 removed["objects"] += 1
+        for base in (self._objects, self._blob_dir):
+            if not base.exists():
+                continue
+            for tmp in sorted(base.rglob("*")):
+                if tmp.is_file() and _is_tmp(tmp) and _older_than(tmp, grace_seconds):
+                    try:
+                        tmp.unlink()
+                        removed["tmp"] += 1
+                    except FileNotFoundError:
+                        pass
         if self._blob_dir.exists():
             for blob in sorted(self._blob_dir.glob("*")):
-                if blob.is_file() and blob not in referenced:
-                    blob.unlink()
-                    removed["blobs"] += 1
+                if not blob.is_file() or blob in referenced or _is_tmp(blob):
+                    continue
+                if not _older_than(blob, grace_seconds):
+                    continue
+                blob.unlink()
+                removed["blobs"] += 1
         return removed

@@ -1,0 +1,399 @@
+"""IO chaos suite: deterministic OS-level fault injection against the
+store/journal stack.
+
+Invariants pinned here, for every fault kind the harness supports:
+
+* the store never serves a torn or half-written object — a damaged
+  artifact reads as a miss (or a quarantine case for fsck), never as
+  wrong data;
+* journal replay never yields a corrupt entry, whatever instant the
+  fault struck;
+* a campaign interrupted by an injected failure resumes to
+  byte-identical results;
+* an unwritable cache degrades to cache-bypass instead of killing the
+  campaign;
+* ``prune``/``gc`` racing a concurrent writer never deletes an
+  in-flight write (the orphan grace period).
+
+The randomized sweep at the bottom is seed-driven (``REPRO_CHAOS_SEED``)
+and runs in the CI ``chaos`` job; it dumps its ``FsckReport`` to
+``REPRO_CHAOS_REPORT`` for artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.errors import FaultError, StoreError
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments.journal import CampaignJournal
+from repro.faults import io as fio
+from repro.faults.io import IO_FAULT_KINDS, IOFault, IOFaultPlan, random_plan
+from repro.obs.metrics import enabled_metrics
+from repro.store import ArtifactStore, fsck
+
+TINY = ExperimentConfig(
+    benchmarks=("cg",),
+    klass="S",
+    baseline_klass="S",
+    skeleton_targets=(0.05,),
+    steady=True,
+)
+
+
+def _put_one(store: ArtifactStore, n: int = 0):
+    """Store one artifact with a blob; return its key."""
+    key = store.key("trace", {"n": n})
+    store.put(
+        key,
+        {"v": n},
+        blob_writers={"data": lambda p: p.write_bytes(b"payload-%d" % n)},
+    )
+    return key
+
+
+class TestPlans:
+    def test_random_plan_is_deterministic(self):
+        assert random_plan(7) == random_plan(7)
+        assert random_plan(7) != random_plan(8)
+
+    def test_json_roundtrip(self):
+        plan = IOFaultPlan(
+            name="demo",
+            faults=(
+                IOFault("torn-write", op_index=2, path_glob="*.json.tmp*"),
+                IOFault("hang", op_index=1, seconds=0.5, op="fsync"),
+            ),
+        )
+        assert IOFaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            IOFault("disk-on-fire")
+
+    def test_describe_names_every_fault(self):
+        plan = random_plan(3, n_faults=4)
+        text = plan.describe()
+        for f in plan.faults:
+            assert f.kind in text
+
+    def test_install_is_not_reentrant(self):
+        plan = IOFaultPlan(faults=(IOFault("eio-read"),))
+        with plan.install():
+            with pytest.raises(FaultError):
+                with plan.install():
+                    pass
+
+    def test_every_kind_is_installable(self, tmp_path):
+        for kind in IO_FAULT_KINDS:
+            plan = IOFaultPlan(faults=(IOFault(kind, seconds=0.0),))
+            with plan.install():
+                pass
+
+
+class TestStoreInvariants:
+    @pytest.mark.parametrize(
+        "kind", ["enospc-write", "short-write", "torn-write", "rename-fail"]
+    )
+    def test_write_fault_never_serves_torn_object(self, tmp_path, kind):
+        """A failed put is a miss, never a torn read; retry heals it."""
+        store = ArtifactStore(tmp_path)
+        plan = IOFaultPlan(name=kind, faults=(IOFault(kind),))
+        with plan.install() as log:
+            with pytest.warns(RuntimeWarning, match="cache-bypass"):
+                key = _put_one(store)
+            assert len(log) == 1
+            assert store.get(key) is None  # torn bytes never served
+        assert store.degraded
+        # The plan is spent: the rewrite succeeds and verifies.
+        _put_one(store)
+        art = store.get(key)
+        assert art is not None and art.content == {"v": 0}
+        assert art.blobs["data"].read_bytes() == b"payload-0"
+
+    def test_eio_read_is_a_miss_or_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = _put_one(store)
+        with IOFaultPlan(faults=(IOFault("eio-read"),)).install():
+            assert store.get(key) is None
+        with IOFaultPlan(faults=(IOFault("eio-read"),)).install():
+            with pytest.raises(StoreError):
+                store.get(key, on_error="raise")
+        assert store.get(key) is not None  # undamaged on disk
+
+    def test_hang_delays_but_completes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        plan = IOFaultPlan(faults=(IOFault("hang", seconds=0.2, op="write"),))
+        t0 = time.monotonic()
+        with plan.install() as log:
+            key = _put_one(store)
+        assert time.monotonic() - t0 >= 0.2
+        assert len(log) == 1
+        assert store.get(key) is not None
+
+    def test_unwritable_cache_degrades_to_bypass(self, tmp_path, monkeypatch):
+        """A persistently unwritable cache directory never aborts the
+        caller: every put becomes a warn-once no-op, counted by the
+        ``store.degraded`` metric."""
+        def _denied(path, text, encoding="utf-8"):
+            raise PermissionError(13, f"injected unwritable cache: {path}")
+
+        monkeypatch.setattr(fio, "write_text", _denied)
+        store = ArtifactStore(tmp_path)
+        with enabled_metrics() as m:
+            with pytest.warns(RuntimeWarning, match="doctor"):
+                key = _put_one(store)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # second failure: no re-warn
+                _put_one(store)
+        assert store.degraded
+        assert store.get(key) is None
+        assert m.snapshot()["store.degraded"]["value"] == 2
+
+    def test_campaign_survives_unwritable_cache(self, tmp_path, monkeypatch):
+        """End-to-end degrade: the whole TINY campaign completes (and
+        matches a cached-path run) with artifact writes failing."""
+        clean = ExperimentRunner(
+            TINY, cache_dir=str(tmp_path / "clean")
+        ).run()
+
+        def _denied(path, text, encoding="utf-8"):
+            raise PermissionError(13, f"injected unwritable cache: {path}")
+
+        monkeypatch.setattr(fio, "write_text", _denied)
+        with pytest.warns(RuntimeWarning, match="cache-bypass"):
+            degraded = ExperimentRunner(
+                TINY, cache_dir=str(tmp_path / "degraded")
+            ).run()
+        assert not degraded.failures
+        assert degraded.to_json() == clean.to_json()
+
+
+class TestJournalInvariants:
+    def test_short_write_loop_completes_the_line(self, tmp_path):
+        """``write_fd`` may legally write a prefix; the journal's write
+        loop must finish the line."""
+        path = tmp_path / "journal-x.jsonl"
+        j = CampaignJournal(path)
+        plan = IOFaultPlan(
+            faults=(IOFault("short-write", path_glob="journal-*.jsonl"),)
+        )
+        with plan.install() as log:
+            j.record("k1", {"status": "ok", "value": 1.25})
+        j.close()
+        assert len(log) == 1
+        assert j.load()["k1"]["value"] == 1.25
+
+    @pytest.mark.parametrize("kind", ["enospc-write", "torn-write", "fsync-fail"])
+    def test_raising_fault_never_corrupts_replay(self, tmp_path, kind):
+        path = tmp_path / "journal-x.jsonl"
+        j = CampaignJournal(path)
+        j.record("before", {"status": "ok"})
+        plan = IOFaultPlan(
+            faults=(IOFault(kind, path_glob="journal-*.jsonl"),)
+        )
+        with plan.install():
+            with pytest.raises(OSError):
+                j.record("during", {"status": "ok"})
+        j.close()
+        entries = j.load()
+        assert entries["before"]["status"] == "ok"
+        # A torn line is skipped entirely; a fully-written line whose
+        # fsync failed is still durable here. Either way: never corrupt.
+        if "during" in entries:
+            assert entries["during"]["status"] == "ok"
+
+        # The repair path: doctor truncates a torn tail (no-op when
+        # nothing tore), after which appends are safe again.
+        fsck(ArtifactStore(tmp_path))
+        j2 = CampaignJournal(path)
+        j2.record("after", {"status": "ok"})
+        j2.close()
+        entries = j2.load()
+        assert entries["before"]["status"] == "ok"
+        assert entries["after"]["status"] == "ok"
+
+    def test_flush_durability_never_fsyncs(self, tmp_path):
+        plan = IOFaultPlan(
+            faults=(IOFault("fsync-fail", path_glob="journal-*.jsonl"),)
+        )
+        path = tmp_path / "journal-x.jsonl"
+        with plan.install() as log:
+            j = CampaignJournal(path, durability="flush")
+            j.record("k", {"status": "ok"})
+            j.close()
+        assert len(log) == 0  # no fsync issued, fault never matched
+        assert j.load()["k"]["status"] == "ok"
+
+    def test_unknown_durability_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CampaignJournal(tmp_path / "j.jsonl", durability="yolo")
+
+
+class TestCampaignResume:
+    @pytest.fixture(scope="class")
+    def clean_results(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("chaos-clean")
+        return ExperimentRunner(TINY, cache_dir=str(cache)).run()
+
+    @pytest.mark.parametrize("kind", ["enospc-write", "torn-write", "fsync-fail"])
+    def test_resume_after_journal_fault_is_byte_identical(
+        self, tmp_path, clean_results, kind
+    ):
+        """Kill a campaign with an injected journal fault mid-run, then
+        ``--resume``: zero completed work re-runs and the final results
+        are byte-identical to an undisturbed campaign."""
+        runner = ExperimentRunner(TINY, cache_dir=str(tmp_path))
+        plan = IOFaultPlan(
+            name=f"campaign-{kind}",
+            faults=(IOFault(kind, op_index=3, path_glob="journal-*.jsonl"),),
+        )
+        with plan.install() as log:
+            with pytest.raises(OSError):
+                runner.run()
+        assert len(log) == 1
+        assert runner.journal_path.exists()
+
+        # Whatever the fault tore, replay must only see intact entries.
+        durable = CampaignJournal(runner.journal_path).load()
+        assert all("status" in e for e in durable.values())
+
+        resumed = ExperimentRunner(TINY, cache_dir=str(tmp_path)).run(
+            resume=True
+        )
+        assert resumed.to_json() == clean_results.to_json()
+
+    def test_doctor_then_resume_after_torn_journal(
+        self, tmp_path, clean_results
+    ):
+        """The belt-and-braces path: fsck truncates the torn journal
+        line before the resume; results still byte-identical."""
+        runner = ExperimentRunner(TINY, cache_dir=str(tmp_path))
+        plan = IOFaultPlan(
+            faults=(IOFault("torn-write", op_index=2,
+                            path_glob="journal-*.jsonl"),),
+        )
+        with plan.install():
+            with pytest.raises(OSError):
+                runner.run()
+        report = fsck(ArtifactStore(tmp_path))
+        assert report.journals_scanned >= 1
+        assert report.partial_lines_dropped >= 1
+        resumed = ExperimentRunner(TINY, cache_dir=str(tmp_path)).run(
+            resume=True
+        )
+        assert resumed.to_json() == clean_results.to_json()
+
+
+class TestMaintenanceRaces:
+    def test_prune_during_blob_write_spares_the_tmp(self, tmp_path):
+        """A prune interleaved inside a writer's blob callback must not
+        delete the writer's in-flight ``.tmp`` file — but must still
+        collect genuinely stale garbage."""
+        store = ArtifactStore(tmp_path)
+        stale = store._blob_dir / "deadbeef-old.tmp999"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_bytes(b"crashed writer leftovers")
+        os.utime(stale, (time.time() - 3600, time.time() - 3600))
+
+        removed = {}
+
+        def writer(p):
+            p.write_bytes(b"fresh payload")
+            removed.update(store.prune())  # the race, made deterministic
+
+        key = store.key("trace", {"race": 1})
+        assert store.put(key, {"v": 1}, blob_writers={"data": writer}) is not None
+        assert removed["tmp"] == 1 and not stale.exists()
+        art = store.get(key)
+        assert art is not None
+        assert art.blobs["data"].read_bytes() == b"fresh payload"
+
+    def test_prune_and_gc_between_blob_publish_and_envelope_publish(
+        self, tmp_path, monkeypatch
+    ):
+        """The widest race window: the blob is published but its
+        envelope is not yet renamed in, so the blob is unreferenced.
+        ``prune`` (grace) must spare it; ``gc`` must not touch it."""
+        store = ArtifactStore(tmp_path)
+        _put_one(store, n=99)  # pre-existing artifact for gc to chew on
+        real_replace = fio.replace
+        ran = {}
+
+        def racing_replace(src, dst):
+            if str(dst).endswith(".json") and "race" not in ran:
+                ran["race"] = True
+                ran["prune"] = store.prune()
+                ran["gc"] = store.gc(max_bytes=0)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(fio, "replace", racing_replace)
+        key = store.key("trace", {"race": 2})
+        path = store.put(
+            key, {"v": 2},
+            blob_writers={"data": lambda p: p.write_bytes(b"window")},
+        )
+        assert path is not None and ran["prune"]["blobs"] == 0
+        art = store.get(key)
+        assert art is not None and art.blobs["data"].read_bytes() == b"window"
+
+    def test_prune_with_zero_grace_is_the_unsafe_baseline(self, tmp_path):
+        """Documents *why* the grace period exists: with grace 0 a
+        fresh unreferenced blob is treated as garbage."""
+        store = ArtifactStore(tmp_path)
+        blob = store._blob_dir / "cafef00d-data"
+        blob.parent.mkdir(parents=True, exist_ok=True)
+        blob.write_bytes(b"unreferenced")
+        assert store.prune()["blobs"] == 0  # default grace spares it
+        assert store.prune(grace_seconds=0.0)["blobs"] == 1
+
+
+@pytest.mark.tier2
+def test_randomized_chaos_sweep(tmp_path):
+    """Seed-driven randomized sweep (CI ``chaos`` job): hammer the
+    store and a journal under a random plan, then assert the global
+    invariants and that one doctor pass reaches a clean state."""
+    seed = int(os.environ.get("REPRO_CHAOS_SEED", "101"))
+    plan = random_plan(seed, n_faults=6, max_op_index=40)
+    store = ArtifactStore(tmp_path)
+    journal = CampaignJournal(tmp_path / "journal-sweep.jsonl")
+    contents = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with plan.install() as log:
+            for n in range(25):
+                key = _put_one(store, n)
+                contents[key.digest] = n
+                art = store.get(key)
+                # Served artifacts are always intact, never torn.
+                assert art is None or art.content == {"v": n}
+                try:
+                    journal.record(f"run-{n}", {"status": "ok", "n": n})
+                except OSError:
+                    pass
+    journal.close()
+
+    # Replay only ever yields intact entries.
+    for key_name, entry in journal.load().items():
+        assert entry["status"] == "ok"
+
+    report = fsck(store, repair=True)
+    report_path = os.environ.get("REPRO_CHAOS_REPORT")
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"seed": seed, "plan": json.loads(plan.to_json()),
+                 "injected": log.events, "fsck": report.to_dict()},
+                fh, indent=1,
+            )
+    second = fsck(store, repair=True)
+    assert second.clean, second.render()
+    # Everything still present after repair verifies end to end.
+    for digest, n in contents.items():
+        art = store.get(digest)
+        assert art is None or art.content == {"v": n}

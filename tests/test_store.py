@@ -190,12 +190,26 @@ class TestArtifactStore:
         orphan.parent.mkdir(parents=True, exist_ok=True)
         orphan.write_bytes(b"junk")
         path.write_text("{broken")
-        issues = store.verify()
+        # With grace=0 the fresh orphan is reportable immediately.
+        issues = store.verify(grace_seconds=0.0)
         assert any("unreadable" in i for i in issues)
         assert any("orphan" in i for i in issues)
-        removed = store.prune()
-        assert removed == {"objects": 1, "blobs": 1}
+        removed = store.prune(grace_seconds=0.0)
+        assert removed == {"objects": 1, "blobs": 1, "tmp": 0}
+        assert store.verify(grace_seconds=0.0) == []
+
+    def test_verify_and_prune_spare_fresh_orphans(self, tmp_path):
+        """Default grace protects a concurrent writer's in-flight blob."""
+        store = ArtifactStore(tmp_path)
+        orphan = store.blob_path("deadbeef", "trace")
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"mid-write")
+        tmp = orphan.with_name(orphan.name + ".tmp123")
+        tmp.write_bytes(b"partial")
         assert store.verify() == []
+        removed = store.prune()
+        assert removed == {"objects": 0, "blobs": 0, "tmp": 0}
+        assert orphan.exists() and tmp.exists()
 
 
 class TestPipelineCache:

@@ -1,0 +1,250 @@
+"""Campaign supervision tests: heartbeats, soft deadlines, and
+hang-detection end to end.
+
+The acceptance guarantee: a worker stalled by an injected hang is
+detected (deadline or heartbeat silence), cancelled (SIGTERM→SIGKILL),
+its task re-queued, and the campaign's final results stay
+byte-identical to a clean serial run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments.report import format_failure_record
+from repro.faults.resilience import RetryPolicy
+from repro.obs.metrics import enabled_metrics
+from repro.parallel import Supervisor, SupervisorConfig, write_campaign_timeline
+
+TINY = ExperimentConfig(
+    benchmarks=("cg",),
+    klass="S",
+    baseline_klass="S",
+    skeleton_targets=(0.05,),
+    steady=True,
+)
+
+#: Fast supervision for tests: hard 2 s cap, quick escalation/beats.
+FAST = SupervisorConfig(
+    task_timeout=2.0, grace_seconds=0.5, heartbeat_interval=0.2
+)
+
+
+@pytest.fixture(scope="module")
+def serial_results(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("serial")
+    return ExperimentRunner(TINY, cache_dir=str(cache)).run()
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestSupervisorConfig:
+    def test_defaults_valid(self):
+        cfg = SupervisorConfig()
+        assert cfg.task_timeout is None
+        assert cfg.stall_seconds == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(task_timeout=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(soft_floor=100.0, soft_ceiling=1.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(min_samples=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(heartbeat_timeout_factor=1.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(max_wall_factor=1.0)
+
+    def test_disabled_heartbeats_disable_stall(self):
+        assert SupervisorConfig(heartbeat_interval=0.0).stall_seconds is None
+
+
+class TestSupervisorUnit:
+    def test_soft_deadline_needs_warmup(self):
+        s = Supervisor(SupervisorConfig(min_samples=3), clock=FakeClock())
+        s.observe_wall(1.0)
+        s.observe_wall(2.0)
+        assert s.soft_deadline() is None
+        assert s.deadline() is None
+        s.observe_wall(3.0)
+        # p95 of [1, 2, 3] is 3; 8x3 = 24 s beats 3x3 = 9 s and the floor.
+        assert s.soft_deadline() == pytest.approx(24.0)
+
+    def test_max_wall_guard_covers_slow_task_families(self):
+        """A p95 dominated by fast tasks must not under-budget a
+        legitimately slow family: the largest completed wall sets a
+        lower bound on the soft deadline."""
+        s = Supervisor(SupervisorConfig(min_samples=5), clock=FakeClock())
+        for _ in range(19):
+            s.observe_wall(1.0)
+        s.observe_wall(20.0)  # one healthy slow task completed
+        # p95 of the sample is 1.0 -> 8 s; the guard demands 3x20 = 60 s.
+        assert s.soft_deadline() == pytest.approx(60.0)
+
+    def test_soft_deadline_clamped(self):
+        cfg = SupervisorConfig(
+            min_samples=1, soft_floor=5.0, soft_ceiling=8.0
+        )
+        s = Supervisor(cfg, clock=FakeClock())
+        s.observe_wall(0.001)
+        assert s.soft_deadline() == pytest.approx(5.0)  # floor
+        s = Supervisor(cfg, clock=FakeClock())
+        s.observe_wall(100.0)
+        assert s.soft_deadline() == pytest.approx(8.0)  # ceiling
+
+    def test_deadline_is_min_of_soft_and_hard(self):
+        cfg = SupervisorConfig(min_samples=1, task_timeout=7.0)
+        s = Supervisor(cfg, clock=FakeClock())
+        assert s.deadline() == pytest.approx(7.0)  # hard only, cold sample
+        s.observe_wall(1.0)  # soft = clamp(max(8*1, 3*1)) = 10 (floor)
+        assert s.deadline() == pytest.approx(7.0)
+        s2 = Supervisor(
+            SupervisorConfig(min_samples=1, task_timeout=30.0),
+            clock=FakeClock(),
+        )
+        s2.observe_wall(1.0)
+        assert s2.deadline() == pytest.approx(10.0)  # soft floor wins
+
+    def test_overdue_by_deadline(self):
+        clock = FakeClock()
+        s = Supervisor(SupervisorConfig(task_timeout=5.0), clock=clock)
+        s.task_started(0, "k1")
+        clock.t = 4.0
+        s.heartbeat(0)
+        assert s.overdue() == []
+        clock.t = 5.5
+        assert s.overdue() == [(0, "k1", 5.5, "deadline")]
+        # Popped once reported: the scheduler owns the enforcement.
+        assert s.overdue() == []
+        assert s.n_timeouts == 1
+
+    def test_overdue_by_heartbeat_stall(self):
+        clock = FakeClock()
+        cfg = SupervisorConfig(
+            heartbeat_interval=1.0, heartbeat_timeout_factor=3.0
+        )
+        s = Supervisor(cfg, clock=clock)
+        s.task_started(1, "k2")
+        clock.t = 2.0
+        s.heartbeat(1)
+        clock.t = 4.9
+        assert s.overdue() == []  # silence 2.9 s < 3 s
+        clock.t = 5.1
+        assert s.overdue() == [(1, "k2", 5.1, "heartbeat-stall")]
+
+    def test_finished_task_never_overdue(self):
+        clock = FakeClock()
+        s = Supervisor(SupervisorConfig(task_timeout=1.0), clock=clock)
+        s.task_started(0, "k")
+        s.task_finished(0)
+        clock.t = 100.0
+        assert s.overdue() == []
+
+
+class TestHungWorkerRecovery:
+    def test_hung_worker_detected_and_byte_identical(
+        self, serial_results, tmp_path
+    ):
+        """The tentpole acceptance: injected hang -> detect, kill,
+        re-run -> results byte-identical to a clean serial campaign."""
+        runner = ExperimentRunner(
+            TINY, cache_dir=str(tmp_path), workers=2, supervisor=FAST
+        )
+        runner._campaign_hang_plan = {0: (2, 3600.0)}  # 2nd task: 1 h stall
+        with enabled_metrics() as m:
+            results = runner.run()
+        assert not results.failures
+        assert results.to_json() == serial_results.to_json()
+        snap = m.snapshot()
+        assert snap["supervisor.timeouts"]["value"] >= 1
+        assert snap["supervisor.heartbeats"]["value"] >= 1
+        assert snap["campaign.worker_restarts"]["value"] >= 1
+        timed_out = [
+            s for s in runner.campaign_spans if s["status"] == "timeout"
+        ]
+        assert timed_out and all(s["t_end"] >= s["t_start"] for s in timed_out)
+
+    def test_timeout_exhaustion_records_structured_failure(self, tmp_path):
+        """When re-queue budget is exhausted by hangs, the benchmark
+        fails with a TaskTimeoutError record, not a stuck campaign."""
+        runner = ExperimentRunner(
+            TINY,
+            cache_dir=str(tmp_path),
+            workers=2,
+            supervisor=FAST,
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        runner._campaign_hang_plan = {0: (1, 3600.0), 1: (1, 3600.0)}
+        results = runner.run()
+        assert set(results.failures) == {"cg"}
+        info = results.failures["cg"]
+        assert info["error_type"] == "TaskTimeoutError"
+        assert info["attempts"] == 1
+        line = format_failure_record("cg", info)
+        assert "TaskTimeoutError" in line
+        assert "attempt" in line
+
+    def test_timeline_draws_timeouts_on_fault_lane(self, tmp_path):
+        spans = [
+            {"worker": 0, "key": "a", "kind": "app", "t_start": 0.0,
+             "t_end": 1.0, "status": "ok"},
+            {"worker": 1, "key": "b", "kind": "app", "t_start": 0.5,
+             "t_end": 3.0, "status": "timeout"},
+        ]
+        out = tmp_path / "tl.json"
+        assert write_campaign_timeline(spans, out) == 2
+        events = json.loads(out.read_text())["traceEvents"]
+        slices = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert slices["a"]["pid"] == 0
+        assert slices["b"]["pid"] == 2  # fault lane
+        fault_meta = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "process_name" and e["pid"] == 2
+        ]
+        assert fault_meta and fault_meta[0]["args"]["name"] == "faults"
+
+    def test_timeline_without_timeouts_has_no_fault_lane(self, tmp_path):
+        spans = [
+            {"worker": 0, "key": "a", "kind": "app", "t_start": 0.0,
+             "t_end": 1.0, "status": "ok"},
+        ]
+        out = tmp_path / "tl.json"
+        write_campaign_timeline(spans, out)
+        events = json.loads(out.read_text())["traceEvents"]
+        assert all(e["pid"] != 2 for e in events)
+
+
+class TestFailureRecordFormatting:
+    def test_every_cause_renders_uniformly(self):
+        cases = [
+            {"run": "cg.S/app::link-one::7", "error_type": "DeadlockError",
+             "error": "no progress", "attempts": 1},
+            {"run": "cg.S/trace::dedicated::0",
+             "error_type": "WorkerCrashError",
+             "error": "worker died", "attempts": 3},
+            {"run": "cg.S/skel-0.05::cpu-all::3",
+             "error_type": "TaskTimeoutError",
+             "error": "deadline exceeded", "attempts": 2},
+        ]
+        for info in cases:
+            line = format_failure_record("cg", info)
+            run_id, scenario, seed = info["run"].split("::")
+            assert info["error_type"] in line
+            assert run_id in line
+            assert f"scenario {scenario}" in line
+            assert f"seed {seed}" in line
+            assert f"{info['attempts']} attempt(s)" in line
+
+    def test_unparseable_run_key_falls_back(self):
+        line = format_failure_record("cg", {"run": "weird", "error": "x"})
+        assert "weird" in line and "cg" in line
