@@ -1,0 +1,147 @@
+"""Cold-construction scaling benchmark: signature construction speed
+across all six NAS Class S workloads, dendrogram search vs. the
+paper-literal linear sweep.
+
+This seeds the repo's performance trajectory for the construction
+pipeline: every run writes a machine-readable ``BENCH_construct.json``
+at the repository root (uploaded as a CI artifact by the perf-smoke
+job) with cold events/s for both search strategies and the measured
+speedup.
+
+Two scenarios per workload:
+
+* **single-pass** (Q = 2): the target ratio is met at threshold 0, so
+  both searches pay exactly one cluster+fold pass — pins "no
+  regression when there is nothing to save";
+* **cold sweep** (Q = ∞): the target is unreachable, so the legacy
+  sweep recomputes the full trace at every grid step until patience or
+  the threshold cap, while the dendrogram search pays one pass per
+  distinct clustering outcome — the paper's worst-case construction
+  cost (up to ~26 passes) and the campaign's cold-cache cost.
+
+Floor asserts are generous (≳30% regression fails, not noise): the
+speedup floors are machine-independent ratios; the absolute events/s
+floors are an order of magnitude below a 2024 laptop core.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.cluster import paper_testbed
+from repro.core.compress import CompressionOptions, compress_trace
+from repro.trace import trace_program
+from repro.workloads import get_program
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_construct.json"
+
+WORKLOADS = ("bt", "cg", "is", "lu", "mg", "sp")
+
+#: Unreachable compression target: forces the full threshold sweep.
+SWEEP_TARGET = 1e9
+#: Modest target met at threshold 0: a single cluster+fold pass.
+SINGLE_PASS_TARGET = 2.0
+
+REPEATS = 3
+
+#: Generous floors. Speedups are same-machine ratios (noise-robust);
+#: the ≥5x LU floor is the headline acceptance number. Sweep-heavy
+#: point-to-point workloads (many grid steps on one plateau) must keep
+#: most of it; collective/plateau-poor ones must merely never regress.
+SPEEDUP_FLOORS = {"lu": 5.0, "bt": 3.0, "cg": 3.0, "sp": 3.0,
+                  "mg": 2.0, "is": 1.5}
+SINGLE_PASS_FLOOR = 0.6  # no-sweep case: parity modulo timing noise
+EVENTS_PER_S_FLOOR = 3_000  # absolute cold-sweep floor, any workload
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _bench_workload(name: str, cluster) -> dict:
+    trace, _ = trace_program(get_program(name, "S", 4), cluster)
+    linear = CompressionOptions(search="linear")
+    dendro = CompressionOptions(search="dendrogram")
+    sig = compress_trace(trace, SWEEP_TARGET, dendro)
+
+    sweep_legacy = _best_of(
+        lambda: compress_trace(trace, SWEEP_TARGET, linear)
+    )
+    sweep_dendro = _best_of(
+        lambda: compress_trace(trace, SWEEP_TARGET, dendro)
+    )
+    single_legacy = _best_of(
+        lambda: compress_trace(trace, SINGLE_PASS_TARGET, linear)
+    )
+    single_dendro = _best_of(
+        lambda: compress_trace(trace, SINGLE_PASS_TARGET, dendro)
+    )
+    events = sig.trace_events
+    return {
+        "workload": name,
+        "klass": "S",
+        "nranks": 4,
+        "trace_events": events,
+        "threshold": sig.threshold,
+        "compression_ratio": sig.compression_ratio,
+        "sweep": {
+            "legacy_s": sweep_legacy,
+            "dendrogram_s": sweep_dendro,
+            "legacy_events_per_s": events / sweep_legacy,
+            "dendrogram_events_per_s": events / sweep_dendro,
+            "speedup": sweep_legacy / sweep_dendro,
+        },
+        "single_pass": {
+            "legacy_s": single_legacy,
+            "dendrogram_s": single_dendro,
+            "speedup": single_legacy / single_dendro,
+        },
+    }
+
+
+def test_construct_scale_trajectory():
+    cluster = paper_testbed()
+    rows = [_bench_workload(name, cluster) for name in WORKLOADS]
+
+    print("\ncold construction (Q=inf sweep), Class S x 4 ranks:")
+    for row in rows:
+        sweep = row["sweep"]
+        print(
+            f"  {row['workload']:>3}: {row['trace_events']:>6} events | "
+            f"legacy {sweep['legacy_events_per_s']:>10,.0f} ev/s | "
+            f"dendrogram {sweep['dendrogram_events_per_s']:>10,.0f} ev/s | "
+            f"{sweep['speedup']:.1f}x "
+            f"(single-pass {row['single_pass']['speedup']:.2f}x)"
+        )
+
+    payload = {
+        "bench": "construct_scale",
+        "schema": 1,
+        "sweep_target_ratio": SWEEP_TARGET,
+        "single_pass_target_ratio": SINGLE_PASS_TARGET,
+        "repeats": REPEATS,
+        "workloads": rows,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"  wrote {OUT_PATH.name}")
+
+    for row in rows:
+        name = row["workload"]
+        assert row["sweep"]["speedup"] >= SPEEDUP_FLOORS[name], (
+            f"{name}: cold-sweep speedup {row['sweep']['speedup']:.2f}x "
+            f"below the {SPEEDUP_FLOORS[name]}x floor"
+        )
+        assert row["single_pass"]["speedup"] >= SINGLE_PASS_FLOOR, (
+            f"{name}: single-pass construction regressed "
+            f"({row['single_pass']['speedup']:.2f}x)"
+        )
+        assert row["sweep"]["dendrogram_events_per_s"] >= EVENTS_PER_S_FLOOR

@@ -17,9 +17,14 @@ Pipeline::
 """
 
 from repro.core.events import ExecEvent, RankStream, trace_to_streams
-from repro.core.clustering import ClusterSpace, cluster_stream
+from repro.core.clustering import (
+    ClusterSpace,
+    StreamDendrogram,
+    ThresholdBand,
+    cluster_stream,
+)
 from repro.core.signature import EventStats, LoopNode, RankSignature, Signature
-from repro.core.compress import compress_trace
+from repro.core.compress import CompressionOptions, compress_trace
 from repro.core.scale import scale_signature
 from repro.core.skeleton import skeleton_program, check_alignment
 from repro.core.goodness import GoodnessReport, shortest_good_skeleton
@@ -33,7 +38,10 @@ __all__ = [
     "RankStream",
     "trace_to_streams",
     "ClusterSpace",
+    "StreamDendrogram",
+    "ThresholdBand",
     "cluster_stream",
+    "CompressionOptions",
     "EventStats",
     "LoopNode",
     "RankSignature",

@@ -47,6 +47,19 @@ def _norm_diff(a: float, b: float, scale: float) -> float:
     return abs(a - b) / scale
 
 
+def scalar_dissimilarity(a: float, b: float, scale: float) -> float:
+    """1-D fast path of :func:`dissimilarity`.
+
+    Bit-identical to ``dissimilarity((a,), (b,), (scale,))`` — the same
+    expression, minus the tuple/zip machinery — so hot clustering loops
+    (one comparison per event per candidate cluster) can use it without
+    perturbing threshold semantics.
+    """
+    if scale <= 0.0:
+        return 0.0 if a == b else float("inf")
+    return abs(a - b) / scale
+
+
 def dissimilarity(
     vec_a: Sequence[float], vec_b: Sequence[float], scales: Sequence[float]
 ) -> float:

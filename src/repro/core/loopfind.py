@@ -15,6 +15,18 @@ block comparison is integer-list comparison; a work budget bounds the
 pathological (non-cyclic) case, where folding simply stops early and
 the signature stays partially compressed — a compression-quality
 fallback, never a correctness issue.
+
+Two constant-factor accelerations keep the per-period rescans cheap
+without changing any output:
+
+* a Rabin–Karp rolling hash over the signature string filters repeat
+  candidates in O(1) before the exact ``sigs[i:i+p]`` comparison runs
+  (hash inequality proves the windows differ; hash equality is always
+  confirmed exactly, so collisions cannot fold anything wrong);
+* the work *budget* is still charged as if every candidate comparison
+  ran element-by-element (the legacy cost model), so budget-exhaustion
+  behaviour — and therefore the folded output — is independent of the
+  hash filter.
 """
 
 from __future__ import annotations
@@ -34,6 +46,12 @@ DEFAULT_MAX_PERIOD = 2048
 #: Bound on total element comparisons across all passes.
 DEFAULT_WORK_BUDGET = 200_000_000
 
+#: Rolling-hash modulus/base (Mersenne prime 2^61-1; base coprime and
+#: far from any symbol magnitude). Collisions are ~2^-61 per pair and
+#: harmless anyway — every hash match is confirmed exactly.
+_HASH_MOD = (1 << 61) - 1
+_HASH_BASE = 1_000_003
+
 
 @dataclass
 class _Interner:
@@ -51,16 +69,64 @@ class _Interner:
         return sig
 
 
-def _merge_nodes(a: Node, b: Node) -> Node:
-    """Position-wise merge of two structurally identical nodes."""
-    if isinstance(a, EventStats):
-        assert isinstance(b, EventStats)
-        return a.merged_with(b)
-    assert isinstance(b, LoopNode) and a.count == b.count
+def _prefix_hashes(sigs: list[int]) -> tuple[list[int], list[int]]:
+    """Rabin–Karp prefix hashes of ``sigs`` plus base powers.
+
+    ``hashes[i]`` is the polynomial hash of ``sigs[:i]``; the hash of
+    any window then derives in O(1), so window equality can be
+    *refuted* in O(1) instead of O(period).
+    """
+    n = len(sigs)
+    hashes = [0] * (n + 1)
+    pows = [1] * (n + 1)
+    h = 0
+    p = 1
+    for i, s in enumerate(sigs):
+        h = (h * _HASH_BASE + s) % _HASH_MOD
+        hashes[i + 1] = h
+        p = (p * _HASH_BASE) % _HASH_MOD
+        pows[i + 1] = p
+    return hashes, pows
+
+
+def _windows_equal(
+    hashes: list[int],
+    pows: list[int],
+    sigs: list[int],
+    i: int,
+    j: int,
+    length: int,
+) -> bool:
+    """Exact equality of ``sigs[i:i+length]`` and ``sigs[j:j+length]``,
+    with the rolling hash as a cheap refutation filter."""
+    mod = _HASH_MOD
+    pw = pows[length]
+    if (hashes[i + length] - hashes[i] * pw) % mod != (
+        hashes[j + length] - hashes[j] * pw
+    ) % mod:
+        return False
+    return sigs[i : i + length] == sigs[j : j + length]
+
+
+def _merge_run(run: list[Node]) -> Node:
+    """Position-wise merge of one position across all repetitions.
+
+    Equivalent to left-folding pairwise merges (identical float
+    recurrences), but leaf gap samples concatenate once
+    (:meth:`EventStats.merge_run`) instead of once per repetition.
+    """
+    head = run[0]
+    if isinstance(head, EventStats):
+        return EventStats.merge_run(run)
+    assert all(
+        isinstance(node, LoopNode) and node.count == head.count
+        for node in run
+    )
+    body_len = len(head.body)
     merged = [
-        _merge_nodes(x, y) for x, y in zip(a.body, b.body)
+        _merge_run([node.body[p] for node in run]) for p in range(body_len)
     ]
-    return LoopNode(body=merged, count=a.count)
+    return LoopNode(body=merged, count=head.count)
 
 
 def _fold_period(
@@ -68,10 +134,13 @@ def _fold_period(
     sigs: list[int],
     period: int,
     interner: _Interner,
+    hashes: list[int],
+    pows: list[int],
 ) -> tuple[list[Node], list[int], bool, int]:
     """One left-to-right pass folding tandem repeats of ``period``.
 
-    Returns (nodes, sigs, changed, comparisons_done).
+    Returns (nodes, sigs, changed, comparisons_charged). ``hashes`` /
+    ``pows`` must be the prefix hashes of ``sigs``.
     """
     n = len(nodes)
     out_nodes: list[Node] = []
@@ -80,22 +149,22 @@ def _fold_period(
     work = 0
     i = 0
     while i < n:
-        if i + 2 * period <= n and sigs[i : i + period] == sigs[i + period : i + 2 * period]:
+        if i + 2 * period <= n and _windows_equal(
+            hashes, pows, sigs, i, i + period, period
+        ):
             work += period
             reps = 2
-            while (
-                i + (reps + 1) * period <= n
-                and sigs[i : i + period] == sigs[i + reps * period : i + (reps + 1) * period]
+            while i + (reps + 1) * period <= n and _windows_equal(
+                hashes, pows, sigs, i, i + reps * period, period
             ):
                 work += period
                 reps += 1
             work += period
             # Merge the reps iterations position-wise into one body.
-            body: list[Node] = list(nodes[i : i + period])
-            for r in range(1, reps):
-                base = i + r * period
-                for p in range(period):
-                    body[p] = _merge_nodes(body[p], nodes[base + p])
+            body: list[Node] = [
+                _merge_run([nodes[i + r * period + p] for r in range(reps)])
+                for p in range(period)
+            ]
             loop = LoopNode(body=body, count=reps)
             out_nodes.append(loop)
             out_sigs.append(
@@ -131,18 +200,22 @@ def fold_symbols(
     n_passes = 0
     n_folds = 0
 
+    hashes, pows = _prefix_hashes(sigs)
     changed_any = True
     while changed_any and budget > 0:
         changed_any = False
         period = 1
         while period <= min(max_period, len(nodes) // 2) and budget > 0:
             before = len(nodes)
-            nodes, sigs, changed, work = _fold_period(nodes, sigs, period, interner)
+            nodes, sigs, changed, work = _fold_period(
+                nodes, sigs, period, interner, hashes, pows
+            )
             budget -= work
             n_passes += 1
             if changed:
                 n_folds += before - len(nodes)
                 changed_any = True
+                hashes, pows = _prefix_hashes(sigs)
                 # Re-scan small periods: folding may create new runs.
                 period = 1
             else:

@@ -77,6 +77,61 @@ class TestThresholdSearch:
             compress_trace(trace, target_ratio=1.0)
 
 
+class TestSearchStrategies:
+    def test_default_is_dendrogram(self):
+        assert CompressionOptions().search == "dendrogram"
+
+    def test_linear_reference_still_available(self):
+        trace = varying_size_trace([100, 200] * 10)
+        sig = compress_trace(
+            trace, 2.0, CompressionOptions(search="linear")
+        )
+        assert sig.trace_events == 20
+
+    def test_unknown_search_rejected(self):
+        trace = varying_size_trace([1, 2, 3])
+        with pytest.raises(SignatureError):
+            compress_trace(trace, 1.0, CompressionOptions(search="grid"))
+
+    def test_probes_never_exceed_iterations(self):
+        """The dendrogram search pays at most one cluster+fold pass per
+        grid step — and on plateau-heavy traces, far fewer."""
+        from repro.obs.metrics import MetricsRegistry, set_metrics
+
+        sizes = [10_000, 9_800, 10_100, 9_900, 10_050, 9_950] * 5
+        trace = varying_size_trace(sizes)
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            compress_trace(trace, 1e9)
+        finally:
+            set_metrics(previous)
+        iterations = registry["construct.threshold_iterations"].value
+        probes = registry["construct.threshold_probes"].value
+        assert 0 < probes <= iterations
+
+    def test_fold_cache_metrics_reported(self, cg_s_trace):
+        from repro.obs.metrics import MetricsRegistry, set_metrics
+
+        trace, _ = cg_s_trace
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            compress_trace(trace, 1e9)
+        finally:
+            set_metrics(previous)
+        hits = registry["construct.fold_cache_hits"].value
+        misses = registry["construct.fold_cache_misses"].value
+        assert misses >= trace.nranks  # every rank folded at least once
+        probes = registry["construct.threshold_probes"].value
+        assert hits + misses == probes * trace.nranks
+        assert registry["construct.dendrogram_seconds"].count == 1
+        if hits + misses:
+            assert registry[
+                "construct.fold_cache_hit_ratio"
+            ].value == pytest.approx(hits / (hits + misses))
+
+
 class TestCoordinatedCollectives:
     def test_is_like_pattern_stays_aligned(self, cluster):
         """Collectives with per-rank-varying payloads must get the same

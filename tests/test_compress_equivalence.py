@@ -1,0 +1,152 @@
+"""Dendrogram-search equivalence pins (the byte-identity contract).
+
+The dendrogram threshold search exists purely as an execution strategy:
+for every trace and every option set it must pick the same threshold
+and produce the same signature — byte-identical through the store's
+canonical JSON encoding — as the paper-literal linear sweep. These
+tests pin that contract on all six NAS Class S workloads and on
+hand-built edge-case traces; tests/test_compress_property.py fuzzes it
+(tier2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core.compress import CompressionOptions, compress_trace
+from repro.core.sigio import signature_to_dict
+from repro.store import canonical_json
+from repro.trace import trace_program
+from repro.trace.records import Trace, TraceRecord
+from repro.workloads import get_program
+
+NAS_BENCHMARKS = ("bt", "cg", "is", "lu", "mg", "sp")
+
+#: Targets spanning "trivially met at threshold 0" through "sweep runs
+#: to patience / the threshold cap".
+TARGET_RATIOS = (2.0, 8.0, 1e9)
+
+
+def canonical(sig) -> str:
+    """The store's canonical encoding of a signature (byte identity)."""
+    return canonical_json(signature_to_dict(sig))
+
+
+def both_searches(trace, target_ratio, **option_kwargs):
+    legacy = compress_trace(
+        trace,
+        target_ratio,
+        CompressionOptions(search="linear", **option_kwargs),
+    )
+    fast = compress_trace(
+        trace,
+        target_ratio,
+        CompressionOptions(search="dendrogram", **option_kwargs),
+    )
+    return legacy, fast
+
+
+@pytest.fixture(scope="module")
+def nas_traces():
+    cluster = paper_testbed()
+    traces = {}
+    for name in NAS_BENCHMARKS:
+        trace, _ = trace_program(get_program(name, "S", 4), cluster)
+        traces[name] = trace
+    return traces
+
+
+class TestNASByteIdentity:
+    @pytest.mark.parametrize("name", NAS_BENCHMARKS)
+    def test_signature_byte_identical(self, nas_traces, name):
+        trace = nas_traces[name]
+        for target in TARGET_RATIOS:
+            legacy, fast = both_searches(trace, target)
+            assert canonical(fast) == canonical(legacy), (
+                f"{name} at Q={target}: dendrogram search diverged from "
+                f"the linear sweep"
+            )
+
+    @pytest.mark.parametrize("name", NAS_BENCHMARKS)
+    def test_chosen_threshold_and_ratio_match(self, nas_traces, name):
+        """Spot-check the fields the campaign consumes directly (also
+        covered by byte identity; kept for a readable failure)."""
+        legacy, fast = both_searches(nas_traces[name], 1e9)
+        assert fast.threshold == legacy.threshold
+        assert fast.compression_ratio == legacy.compression_ratio
+        assert fast.trace_events == legacy.trace_events
+        assert fast.n_leaves() == legacy.n_leaves()
+
+
+def varying_size_trace(sizes, nranks=1):
+    trace = Trace(program_name="var", scenario_name="d", nranks=nranks)
+    finish = []
+    for rank in range(nranks):
+        t = 0.0
+        recs = []
+        for s in sizes:
+            recs.append(
+                TraceRecord(
+                    "MPI_Send", {"peer": 1, "bytes": s, "tag": 0},
+                    t + 0.01, t + 0.011,
+                )
+            )
+            t += 0.011
+        trace.records[rank] = recs
+        finish.append(t)
+    trace.finish_times = finish
+    return trace
+
+
+class TestEdgeCaseEquivalence:
+    def test_patience_path(self):
+        """A sweep that stops on patience, mid-plateau."""
+        trace = varying_size_trace([100, 200] * 10)
+        legacy, fast = both_searches(
+            trace, 1e9, threshold_step=0.01, patience=3, max_threshold=0.25
+        )
+        assert canonical(fast) == canonical(legacy)
+
+    def test_threshold_cap_path(self):
+        """A sweep that runs all the way to max_threshold."""
+        trace = varying_size_trace([10 ** (i % 7) for i in range(20)])
+        legacy, fast = both_searches(
+            trace, 1000.0, max_threshold=0.2, patience=100
+        )
+        assert canonical(fast) == canonical(legacy)
+        assert fast.threshold <= 0.2
+
+    def test_nonzero_start_threshold(self):
+        """The alignment-repair loop restarts the search above zero."""
+        trace = varying_size_trace(
+            [10_000, 9_800, 10_100, 9_900, 10_050, 9_950] * 5
+        )
+        legacy, fast = both_searches(
+            trace, 10.0, start_threshold=0.03, max_threshold=0.25
+        )
+        assert canonical(fast) == canonical(legacy)
+
+    def test_dense_merge_thresholds(self):
+        """Sizes spread so nearly every grid step lands in a new band
+        (worst case for the dendrogram: probes ≈ steps)."""
+        sizes = [1000 + 7 * i for i in range(40)]
+        trace = varying_size_trace(sizes)
+        legacy, fast = both_searches(trace, 1e9, patience=30)
+        assert canonical(fast) == canonical(legacy)
+
+    def test_tight_fold_budget(self):
+        """Budget-exhausted folding must stay identical too (the hash
+        filter charges the legacy cost model)."""
+        trace = varying_size_trace([100, 150, 100, 150, 200] * 8)
+        legacy, fast = both_searches(trace, 1e9, work_budget=64)
+        assert canonical(fast) == canonical(legacy)
+
+    def test_unknown_search_rejected(self):
+        from repro.errors import SignatureError
+
+        trace = varying_size_trace([1, 2, 3])
+        with pytest.raises(SignatureError):
+            compress_trace(
+                trace, 1.0, CompressionOptions(search="bisect")
+            )

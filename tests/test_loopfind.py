@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.events import ExecEvent
-from repro.core.loopfind import fold_symbols
+from repro.core.loopfind import _prefix_hashes, _windows_equal, fold_symbols
 from repro.core.signature import EventStats, LoopNode
 
 
@@ -157,6 +157,65 @@ class TestBudget:
         s = list(range(100)) * 2
         nodes = fold(s, max_period=10)
         assert leaf_symbols(nodes) == s  # cannot fold, still correct
+
+
+class TestRollingHash:
+    def test_window_equality_matches_slices(self):
+        # Mix of leaf symbols, interner-style negatives, and
+        # collective-namespace magnitudes (~2^40).
+        sigs = [0, 1, -3, 1 << 40, 0, 1, -3, 1 << 40, 5, 5]
+        hashes, pows = _prefix_hashes(sigs)
+        for length in range(1, len(sigs) // 2 + 1):
+            for i in range(len(sigs) - length + 1):
+                for j in range(len(sigs) - length + 1):
+                    assert _windows_equal(
+                        hashes, pows, sigs, i, j, length
+                    ) == (sigs[i : i + length] == sigs[j : j + length])
+
+    def test_budget_charging_is_hash_independent(self):
+        """The hash filter must not change what the work budget sees:
+        a budget that stops folding must stop it at the same place as
+        the pre-hash implementation (element-count cost model)."""
+        s = list(range(50)) * 4
+        # Generous budget folds fully; the exact legacy charge for a
+        # period-50 triple-extension scan is well above 150.
+        full = fold(s, max_period=64)
+        assert len(full) == 1 and full[0].count == 4
+        # A 10-unit budget is spent on period-1 scans before period 50
+        # is ever reached — nothing folds (same as the seed behaviour).
+        starved = fold(s, max_period=64, work_budget=10)
+        assert leaf_symbols(starved) == s
+        assert all(isinstance(n, EventStats) for n in starved)
+
+
+class TestMergeRunEquivalence:
+    def test_long_run_means_match_pairwise_fold(self):
+        """merge_run must reproduce the left-fold recurrence exactly
+        (bit-identical means), not just approximately."""
+        gaps = [0.1 * (i % 7) + 0.01 for i in range(200)]
+        stats = [
+            EventStats.from_event(
+                ExecEvent("MPI_Send", 1, 0, 100.0 + i % 3, 1e-4, g)
+            )
+            for i, g in enumerate(gaps)
+        ]
+        folded = stats[0]
+        for s in stats[1:]:
+            folded = folded.merged_with(s)
+        ran = EventStats.merge_run(list(stats))
+        assert ran.mean_gap == folded.mean_gap  # exact, not approx
+        assert ran.mean_bytes == folded.mean_bytes
+        assert ran.mean_duration == folded.mean_duration
+        assert ran.count == folded.count
+        assert ran.gap_samples == folded.gap_samples
+
+    def test_incompatible_events_rejected(self):
+        from repro.errors import SignatureError
+
+        a = EventStats.from_event(ExecEvent("MPI_Send", 1, 0, 1.0, 1e-4, 0.0))
+        b = EventStats.from_event(ExecEvent("MPI_Recv", 1, 0, 1.0, 1e-4, 0.0))
+        with pytest.raises(SignatureError):
+            EventStats.merge_run([a, b])
 
 
 @settings(max_examples=100, deadline=None)
