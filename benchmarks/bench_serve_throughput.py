@@ -1,0 +1,177 @@
+"""Warm-hit serving throughput over the real TCP stack (``repro.serve``).
+
+The service's contract is that a *warm* prediction — every pipeline
+artifact already in the store — is a cache reconstruction, not a
+simulation. This benchmark publishes one workload, then drives the
+full stack (client socket → asyncio server → executor →
+PredictionService → PipelineCache) with sequential and concurrent
+warm requests, and records throughput and latency percentiles into
+``BENCH_serve.json``.
+
+Floors are deliberately loose (shared CI machines), but they pin the
+order of magnitude: a warm request must be milliseconds, not a
+simulation's tens-to-hundreds of milliseconds, and the server must
+sustain tens of requests per second through a single connection-per-
+call client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import PredictionServer, PredictionService, ServiceClient
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+WORKLOAD = {"bench": "cg", "klass": "S", "nprocs": 4, "target": 0.05}
+SCENARIO = "cpu-one-node"
+
+SEQUENTIAL_CALLS = 60
+CONCURRENT_CALLS = 60
+FANOUT = 6
+
+#: Loose CI-safe floors; the point is the order of magnitude.
+WARM_RPS_FLOOR = 20.0
+WARM_P99_CEILING_S = 0.5
+
+
+class _ServerThread:
+    def __init__(self, service: PredictionService):
+        self.server = PredictionServer(
+            service, port=0, max_pending=64, max_concurrency=4
+        )
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.drain()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10)
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(15)
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def _drive(port: int, n: int, fanout: int) -> dict:
+    latencies = []
+    lock = threading.Lock()
+    failures = []
+
+    def one(seq: int) -> None:
+        client = ServiceClient(port=port, timeout=30)
+        t0 = time.perf_counter()
+        reply = client.call(
+            "predict", {"alias": "bench.cg", "scenario": SCENARIO}
+        )
+        dt = time.perf_counter() - t0
+        with lock:
+            latencies.append(dt)
+            if not reply.get("ok"):
+                failures.append(reply)
+
+    t0 = time.perf_counter()
+    if fanout <= 1:
+        for i in range(n):
+            one(i)
+    else:
+        batches = [list(range(i, n, fanout)) for i in range(fanout)]
+
+        def run_batch(seqs):
+            for s in seqs:
+                one(s)
+
+        threads = [
+            threading.Thread(target=run_batch, args=(b,)) for b in batches
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    wall = time.perf_counter() - t0
+
+    assert not failures, failures[:3]
+    latencies.sort()
+    return {
+        "calls": n,
+        "fanout": fanout,
+        "wall_s": round(wall, 4),
+        "rps": round(n / wall, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p90_ms": round(_percentile(latencies, 0.90) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def test_warm_serving_throughput(tmp_path):
+    service = PredictionService(cache_dir=str(tmp_path / "store"))
+
+    t0 = time.perf_counter()
+    service.handle("publish", {"alias": "bench.cg", **WORKLOAD})
+    publish_s = time.perf_counter() - t0
+
+    # One cold predict fills the probe/run artifacts; everything after
+    # is warm by construction.
+    t0 = time.perf_counter()
+    cold = service.handle(
+        "predict", {"alias": "bench.cg", "scenario": SCENARIO}
+    )
+    cold_s = time.perf_counter() - t0
+    assert cold["ok"], cold
+
+    with _ServerThread(service) as st:
+        port = st.server.port
+        sequential = _drive(port, SEQUENTIAL_CALLS, fanout=1)
+        concurrent = _drive(port, CONCURRENT_CALLS, fanout=FANOUT)
+
+    payload = {
+        "benchmark": "serve-throughput",
+        "workload": WORKLOAD,
+        "scenario": SCENARIO,
+        "publish_s": round(publish_s, 4),
+        "cold_predict_s": round(cold_s, 4),
+        "sequential": sequential,
+        "concurrent": concurrent,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(
+        f"\nwarm serve: sequential {sequential['rps']} rps "
+        f"(p99 {sequential['p99_ms']} ms) | "
+        f"fanout-{FANOUT} {concurrent['rps']} rps "
+        f"(p99 {concurrent['p99_ms']} ms)"
+    )
+    print(f"  wrote {OUT_PATH.name}")
+
+    for label, stats in (("sequential", sequential),
+                         ("concurrent", concurrent)):
+        assert stats["rps"] >= WARM_RPS_FLOOR, (
+            f"{label}: warm throughput {stats['rps']} rps below the "
+            f"{WARM_RPS_FLOOR} rps floor"
+        )
+        assert stats["p99_ms"] / 1e3 <= WARM_P99_CEILING_S, (
+            f"{label}: warm p99 {stats['p99_ms']} ms above the "
+            f"{WARM_P99_CEILING_S * 1e3:.0f} ms ceiling"
+        )

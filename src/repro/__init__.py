@@ -74,7 +74,37 @@ from repro.predict import ClassSPredictor, SkeletonPredictor, select_nodes
 from repro.workloads import available_benchmarks, get_program
 from repro.experiments import ExperimentConfig, run_experiments
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Package version with ``pyproject.toml`` as the single source.
+
+    Installed environments read the distribution metadata (which
+    setuptools copied from ``pyproject.toml``); ``PYTHONPATH=src``
+    checkouts fall back to parsing the checkout's ``pyproject.toml``
+    directly (guarded by its ``name`` so a stray file is never
+    trusted).
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        pass
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return "0.0.0+unknown"
+    if re.search(r'^name\s*=\s*"repro"', text, re.M):
+        match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.M)
+        if match:
+            return match.group(1)
+    return "0.0.0+unknown"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "__version__",

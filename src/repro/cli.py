@@ -32,6 +32,10 @@ Subcommands mirror the paper's workflow:
   quarantine corrupt objects, truncate torn journal lines, enforce a
   byte quota with LRU eviction (:mod:`repro.store.fsck`; see
   ``docs/ROBUSTNESS.md``).
+* ``serve`` / ``publish`` / ``call`` — the online prediction service:
+  a JSON-over-TCP daemon answering skeleton predictions from the
+  artifact store, a registry publisher, and a one-shot client
+  (:mod:`repro.serve`; see ``docs/SERVING.md``).
 
 Every command also accepts a global ``--metrics-out metrics.json``
 flag that enables the metrics registry for the whole invocation and
@@ -56,6 +60,9 @@ Examples::
     repro-skeleton store ls
     repro-skeleton store gc --max-age-days 30 --max-mbytes 512
     repro-skeleton doctor --max-cache-bytes 536870912
+    repro-skeleton serve --port 7077 --workers 2
+    repro-skeleton publish cg.s4 cg --klass S --target 0.05
+    repro-skeleton call predict --params '{"alias": "cg.s4"}'
 """
 
 from __future__ import annotations
@@ -65,13 +72,12 @@ import sys
 import warnings
 from typing import Optional, Sequence
 
-from repro.cluster import paper_scenarios, paper_testbed
+from repro.cluster import paper_testbed
 from repro.core import build_skeleton, generate_c_source
 from repro.errors import ReproError
 from repro.experiments import ExperimentConfig
 from repro.experiments import figures as fig_mod
 from repro.experiments.report import full_report
-from repro.predict import SkeletonPredictor
 from repro.sim import run_program
 from repro.trace import read_trace, trace_program, write_trace
 from repro.util.timebase import format_duration
@@ -87,18 +93,9 @@ def _add_common_bench_args(p: argparse.ArgumentParser) -> None:
 
 def _resolve_scenario(name: str):
     """Scenario by name, or the dedicated baseline for 'dedicated'."""
-    from repro.cluster import volatile_scenarios
-    from repro.cluster.contention import DEDICATED
+    from repro.cluster import resolve_scenario
 
-    if name in (DEDICATED.name, "dedicated"):
-        return DEDICATED
-    scenarios = {s.name: s for s in paper_scenarios() + volatile_scenarios()}
-    if name not in scenarios:
-        raise ReproError(
-            f"unknown scenario {name!r}; "
-            f"choose from {sorted(scenarios) + [DEDICATED.name]}"
-        )
-    return scenarios[name]
+    return resolve_scenario(name)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -185,26 +182,49 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.cluster import resolve_scenario
+    from repro.predict.metrics import prediction_error_percent
+    from repro.predict.online import compute_prediction, normalize_request
+    from repro.store import ArtifactStore, PipelineCache, canonical_json
+
     cluster = paper_testbed()
-    scenarios = {s.name: s for s in paper_scenarios()}
-    if args.scenario not in scenarios:
-        raise ReproError(
-            f"unknown scenario {args.scenario!r}; "
-            f"choose from {sorted(scenarios)}"
-        )
-    scenario = scenarios[args.scenario]
-    program = get_program(args.benchmark, args.klass, args.nprocs, args.seed)
-    print(f"tracing {program.name} on the dedicated testbed ...")
-    trace, dedicated = trace_program(program, cluster)
-    bundle = build_skeleton(trace, target_seconds=args.target)
-    predictor = SkeletonPredictor(bundle.program, dedicated.elapsed, cluster)
-    prediction = predictor.predict(scenario)
-    print(f"skeleton probe   : {format_duration(prediction.probe_seconds)}")
-    print(f"predicted time   : {format_duration(prediction.predicted_seconds)}")
+    params = normalize_request(
+        args.benchmark,
+        args.klass,
+        args.nprocs,
+        args.seed,
+        target=args.target,
+        scenario=args.scenario,
+        env_seed=args.env_seed,
+    )
+    cache = PipelineCache(
+        ArtifactStore(args.cache_dir), cluster, enabled=not args.no_cache
+    )
+    if not args.json:
+        print(f"predicting {args.benchmark}.{args.klass} under "
+              f"{args.scenario} (store-backed pipeline) ...")
+    payload = compute_prediction(params, cache, cluster)
+    if args.json:
+        # Canonical JSON: byte-identical to a served prediction for the
+        # same inputs (tests/test_serve.py pins this).
+        print(canonical_json(payload))
+        return 0
+    print(f"app dedicated    : "
+          f"{format_duration(payload['app_dedicated_seconds'])}")
+    print(f"skeleton probe   : {format_duration(payload['probe_seconds'])}")
+    print(f"predicted time   : "
+          f"{format_duration(payload['predicted_seconds'])}")
     if args.verify:
+        scenario = resolve_scenario(args.scenario)
+        program = get_program(
+            args.benchmark, args.klass, args.nprocs, args.seed
+        )
         actual = run_program(program, cluster, scenario, seed=1).elapsed
+        error = prediction_error_percent(
+            payload["predicted_seconds"], actual
+        )
         print(f"measured time    : {format_duration(actual)}")
-        print(f"prediction error : {prediction.error_percent(actual):.1f}%")
+        print(f"prediction error : {error:.1f}%")
     return 0
 
 
@@ -504,14 +524,26 @@ def _cmd_store(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.cache_dir)
     action = args.store_command
     if action == "ls":
-        entries = store.entries()
+        from repro.store import canonical_json
+
+        # Deterministic order: stage, newest first, digest as the
+        # total-order tiebreak (equal timestamps are common on fast
+        # writes). The registry's `list` verb and --json consumers
+        # rely on it being stable across invocations.
+        entries = sorted(
+            store.entries(),
+            key=lambda e: (e["stage"], -e["created"], e["digest"]),
+        )
+        if args.json:
+            print(canonical_json(entries))
+            return 0
         if not entries:
             print(f"store at {store.root} is empty")
             return 0
         now = _time.time()
         by_stage: dict[str, int] = {}
         print(f"{'STAGE':<10} {'DIGEST':<34} {'AGE':>10} {'BYTES':>10}")
-        for e in sorted(entries, key=lambda e: (e["stage"], -e["created"])):
+        for e in entries:
             flag = "  CORRUPT" if e["corrupt"] else ""
             print(
                 f"{e['stage']:<10} {e['digest']:<34} "
@@ -558,6 +590,79 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise ReproError(f"unknown store action {action!r}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online prediction service (see docs/SERVING.md)."""
+    from repro.obs import MetricsRegistry, get_metrics, set_metrics
+    from repro.parallel.supervisor import SupervisorConfig
+    from repro.serve import PredictionServer, PredictionService, WorkerPool
+
+    # metricz must answer with real numbers even without --metrics-out.
+    if not get_metrics().enabled:
+        set_metrics(MetricsRegistry(enabled=True))
+    pool = None
+    if args.workers > 0:
+        pool = WorkerPool(
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            supervisor=SupervisorConfig(task_timeout=args.task_timeout),
+        )
+    service = PredictionService(cache_dir=args.cache_dir, pool=pool)
+    server = PredictionServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        max_concurrency=args.concurrency,
+        default_deadline=args.deadline,
+        drain_grace=args.drain_grace,
+    )
+    print(f"store: {service.store.root}", file=sys.stderr, flush=True)
+    server.run()
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    """Build (or load) a workload's skeleton and register an alias."""
+    from repro.serve import PredictionService
+
+    service = PredictionService(cache_dir=args.cache_dir)
+    reply = service.handle("publish", {
+        "alias": args.alias,
+        "bench": args.benchmark,
+        "klass": args.klass,
+        "nprocs": args.nprocs,
+        "workload_seed": args.seed,
+        "target": args.target,
+    })
+    if not reply["ok"]:
+        print(f"error: {reply['error']['message']}", file=sys.stderr)
+        return 1
+    entry = reply["result"]
+    print(f"published {entry['alias']} "
+          f"({entry['workload']['bench']}.{entry['workload']['klass']} "
+          f"x{entry['workload']['nprocs']}, target {entry['target']:g}s)")
+    print(f"  trace    {entry['trace_digest']}")
+    print(f"  skeleton {entry['skeleton_digest']}")
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    """One client request against a running service; prints the reply
+    as canonical JSON and exits non-zero on a non-ok reply."""
+    import json
+
+    from repro.serve import ServiceClient
+    from repro.store import canonical_json
+
+    params = json.loads(args.params) if args.params else {}
+    if not isinstance(params, dict):
+        raise ReproError("--params must be a JSON object")
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    reply = client.call(args.verb, params, deadline_ms=args.deadline_ms)
+    print(canonical_json(reply))
+    return 0 if reply.get("ok") else 1
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     """Scan-and-repair the artifact store and campaign journals."""
     import json
@@ -588,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-skeleton",
         description="Automatic construction and evaluation of performance "
         "skeletons (IPPS 2005 reproduction)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     parser.add_argument(
         "--metrics-out",
@@ -635,8 +747,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_bench_args(p)
     p.add_argument("--target", type=float, default=5.0)
     p.add_argument("--scenario", default="cpu-one-node")
+    p.add_argument("--env-seed", type=int, default=0,
+                   help="environment randomness seed")
     p.add_argument("--verify", action="store_true",
                    help="also measure the application and report the error")
+    p.add_argument("--json", action="store_true",
+                   help="print the prediction payload as canonical JSON "
+                   "(byte-identical to the served result)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact store root (default: $REPRO_CACHE_DIR "
+                   "or <project root>/.repro_cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the artifact store (recompute everything)")
     p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser(
@@ -734,6 +856,9 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="store root (default: $REPRO_CACHE_DIR or "
                        "<project root>/.repro_cache)")
+        if name == "ls":
+            sp.add_argument("--json", action="store_true",
+                            help="print the entry index as canonical JSON")
         if name == "gc":
             sp.add_argument("--max-age-days", type=float, default=None,
                             help="evict artifacts older than this many days")
@@ -759,6 +884,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--report", default=None, metavar="PATH",
                    help="also write the FsckReport as JSON")
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the online prediction service (JSON-over-TCP daemon)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7077,
+                   help="TCP port (0 picks a free one; the ready line "
+                   "reports the choice)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="cold predictions run on N supervised worker "
+                   "processes (0: compute inline, no isolation)")
+    p.add_argument("--max-pending", type=int, default=16,
+                   help="bounded admission: heavy requests beyond this "
+                   "are refused with an explicit 503 overload reply")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="admitted requests executing at once")
+    p.add_argument("--deadline", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="default per-request deadline (clients may "
+                   "lower it per call via deadline_ms)")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="SIGTERM drain: wait this long for in-flight "
+                   "requests before exiting")
+    p.add_argument("--task-timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="hard wall-clock cap per worker prediction; a "
+                   "worker past it is presumed hung, cancelled, and "
+                   "respawned")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact store root (default: $REPRO_CACHE_DIR "
+                   "or <project root>/.repro_cache)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "publish",
+        help="build a workload's skeleton and register a named alias",
+    )
+    p.add_argument("alias",
+                   help="registry alias: NAME (auto-versioned) or NAME@vN")
+    _add_common_bench_args(p)
+    p.add_argument("--target", type=float, default=5.0,
+                   help="skeleton target size (seconds)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact store root (default: $REPRO_CACHE_DIR "
+                   "or <project root>/.repro_cache)")
+    p.set_defaults(func=_cmd_publish)
+
+    p = sub.add_parser(
+        "call",
+        help="send one request to a running service, print the reply",
+    )
+    p.add_argument("verb",
+                   help="protocol verb: ping, healthz, metricz, resolve, "
+                   "list, publish, predict")
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="request parameters as a JSON object")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7077)
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="client socket timeout (seconds)")
+    p.add_argument("--deadline-ms", type=int, default=None,
+                   help="server-side deadline for this request")
+    p.set_defaults(func=_cmd_call)
 
     p = sub.add_parser(
         "timeline",

@@ -10,6 +10,7 @@ from repro.cluster.scenarios import (
     link_all,
     link_one,
     paper_scenarios,
+    resolve_scenario,
     volatile_scenarios,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "link_all",
     "link_one",
     "paper_scenarios",
+    "resolve_scenario",
     "volatile_scenarios",
 ]

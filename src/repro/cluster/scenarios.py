@@ -146,3 +146,42 @@ def volatile_scenarios(
             fault_plan=flapping_link_plan(node=0, seed=seed, horizon=horizon),
         ),
     ]
+
+
+#: Memoized scenario catalogs, keyed by (nnodes, steady).
+_CATALOG: dict = {}
+
+
+def resolve_scenario(name: str, nnodes: int = 4, steady: bool = False):
+    """A scenario by name: ``"dedicated"`` (or the baseline's own
+    name), any of :func:`paper_scenarios`, or a volatile scenario.
+
+    Shared by the CLI and the prediction service so both resolve the
+    same name to the same scenario object (and therefore the same
+    scenario fingerprint in the artifact store). Raises
+    :class:`~repro.errors.ReproError` for unknown names, listing the
+    choices.
+    """
+    from repro.cluster.contention import DEDICATED
+    from repro.errors import ReproError
+
+    if name in (DEDICATED.name, "dedicated"):
+        return DEDICATED
+    # Scenarios (and their fault plans) are frozen dataclasses, so the
+    # catalog is memoized — the serving hot path resolves names on
+    # every request and must not rebuild every fault plan each time.
+    cache_key = (int(nnodes), bool(steady))
+    scenarios = _CATALOG.get(cache_key)
+    if scenarios is None:
+        scenarios = {
+            s.name: s
+            for s in paper_scenarios(nnodes, steady=steady)
+            + volatile_scenarios(nnodes)
+        }
+        _CATALOG[cache_key] = scenarios
+    if name not in scenarios:
+        raise ReproError(
+            f"unknown scenario {name!r}; "
+            f"choose from {sorted(scenarios) + [DEDICATED.name]}"
+        )
+    return scenarios[name]

@@ -101,3 +101,20 @@ class TaskTimeoutError(ExperimentError):
 
 class WorkloadError(ReproError):
     """Invalid workload parameters (unsupported class, rank count, ...)."""
+
+
+class ServeError(ReproError):
+    """Prediction-service failure: bad request, unknown alias, or a
+    registry publish that could not be persisted (see :mod:`repro.serve`)."""
+
+
+class RemoteComputeError(ServeError):
+    """A prediction computed in a serve worker process failed; carries
+    the worker-side exception class name and the retry count so the
+    client-visible error reply matches a campaign failure record."""
+
+    def __init__(self, message: str, error_type: str = "RemoteComputeError",
+                 attempts: int = 1):
+        super().__init__(message)
+        self.error_type = error_type
+        self.attempts = attempts

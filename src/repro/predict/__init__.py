@@ -2,6 +2,12 @@
 baselines (sections 4.2, 4.5)."""
 
 from repro.predict.metrics import Prediction, prediction_error_percent
+from repro.predict.online import (
+    compute_prediction,
+    is_warm,
+    normalize_request,
+    request_key,
+)
 from repro.predict.predictor import SkeletonPredictor
 from repro.predict.baselines import average_prediction_errors, ClassSPredictor
 from repro.predict.selection import select_nodes
@@ -17,6 +23,10 @@ __all__ = [
     "SkeletonPredictor",
     "average_prediction_errors",
     "ClassSPredictor",
+    "compute_prediction",
+    "is_warm",
+    "normalize_request",
+    "request_key",
     "select_nodes",
     "ValidationCell",
     "ValidationReport",

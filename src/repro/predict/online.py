@@ -1,0 +1,229 @@
+"""One-shot, store-backed skeleton prediction (the serving hot path).
+
+The paper's end product is the prediction ``T_app(scenario) ≈
+T_skel(scenario) × R``. This module packages that computation as a
+single pure function over a *normalized request* — workload identity,
+skeleton target, scenario name, environment seed — memoized stage by
+stage through a :class:`~repro.store.memo.PipelineCache`:
+
+* the traced dedicated run, the signature/skeleton pair, the
+  skeleton's dedicated run, and the scenario probe each hit the
+  content-addressed store when warm, so a fully warm request touches
+  no simulation at all;
+* every float is produced by exactly the operations
+  :class:`~repro.predict.predictor.SkeletonPredictor` performs, so the
+  payload is **byte-identical** (canonical JSON) whether computed by
+  the offline ``repro-skeleton predict`` CLI, a serve worker process,
+  or the online service (``tests/test_serve.py`` pins this).
+
+Both the CLI (``predict --json``) and :mod:`repro.serve` call
+:func:`compute_prediction`; neither keeps a private prediction path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Mapping, MutableMapping, Optional
+
+from repro.cluster.contention import DEDICATED
+from repro.cluster.scenarios import resolve_scenario
+from repro.cluster.topology import Cluster
+from repro.core.construct import build_skeleton
+from repro.errors import ServeError, SkeletonQualityWarning
+from repro.sim.program import run_program
+from repro.store.memo import (
+    PipelineCache,
+    skeleton_program_params,
+    workload_params,
+)
+from repro.store.store import canonical_json, content_digest
+from repro.trace.tracer import trace_program
+from repro.util.rng import derive_seed
+from repro.workloads import available_benchmarks, get_program
+
+__all__ = [
+    "compute_prediction",
+    "is_warm",
+    "normalize_request",
+    "request_key",
+]
+
+
+def normalize_request(
+    bench: str,
+    klass: str = "S",
+    nprocs: int = 4,
+    workload_seed: int = 12345,
+    target: float = 5.0,
+    scenario: str = "cpu-one-node",
+    env_seed: int = 0,
+) -> dict:
+    """Validate and canonicalize one prediction request.
+
+    The returned dict is the request's *identity*: two requests with
+    equal normalized forms coalesce into one computation in the
+    service (:func:`request_key` hashes this dict).
+    """
+    if bench not in available_benchmarks():
+        raise ServeError(
+            f"unknown benchmark {bench!r}; "
+            f"choose from {list(available_benchmarks())}"
+        )
+    if nprocs < 1:
+        raise ServeError("nprocs must be >= 1")
+    target = float(target)
+    if not target > 0:
+        raise ServeError("target must be > 0 seconds")
+    # Resolve eagerly so an unknown scenario fails at admission, not
+    # in a worker; only the *name* participates in request identity.
+    resolve_scenario(str(scenario))
+    return {
+        "bench": str(bench),
+        "klass": str(klass),
+        "nprocs": int(nprocs),
+        "workload_seed": int(workload_seed),
+        "target": target,
+        "scenario": str(scenario),
+        "env_seed": int(env_seed),
+    }
+
+
+def request_key(params: Mapping) -> str:
+    """Digest identifying one normalized request (single-flight key)."""
+    return content_digest(canonical_json(dict(params)))
+
+
+def is_warm(params: Mapping, cache: PipelineCache) -> bool:
+    """Whether every artifact a request needs is already in the store.
+
+    Warm requests are answered inline from the
+    :class:`PipelineCache` (no simulation, no worker dispatch); cold
+    ones go to the service's worker pool. Presence checks only — the
+    read path still integrity-verifies, so a corrupt artifact simply
+    turns the request cold at compute time.
+    """
+    bench, klass = params["bench"], params["klass"]
+    nprocs, wl_seed = int(params["nprocs"]), int(params["workload_seed"])
+    target = float(params["target"])
+    env_seed = int(params["env_seed"])
+    scenario = resolve_scenario(str(params["scenario"]))
+    app_params = workload_params(bench, klass, nprocs, wl_seed)
+    trace_key = cache.trace_key(app_params)
+    trace_digest = trace_key.digest
+    skel_params = skeleton_program_params(
+        cache.skeleton_key(trace_digest, target).digest
+    )
+    probe_seed = derive_seed(env_seed, "probe", scenario.name)
+    keys = (
+        trace_key,
+        cache.skeleton_key(trace_digest, target),
+        cache.signature_key(trace_digest, target),
+        cache.run_key(skel_params, DEDICATED, env_seed),
+        cache.run_key(skel_params, scenario, probe_seed),
+    )
+    return all(cache.store.contains(k) for k in keys)
+
+
+def compute_prediction(
+    params: Mapping,
+    cache: PipelineCache,
+    cluster: Cluster,
+    bundle_cache: Optional[MutableMapping] = None,
+) -> dict:
+    """Compute (or reconstruct from the store) one prediction payload.
+
+    ``params`` is a :func:`normalize_request` dict. ``bundle_cache``,
+    when given, is a mapping (typically the registry's LRU) consulted
+    by skeleton digest before deserialising the signature from the
+    store — the in-memory fast path for repeat aliases.
+
+    The float arithmetic mirrors
+    :class:`~repro.predict.predictor.SkeletonPredictor` exactly:
+    ``ratio = T_app_ded / T_skel_ded`` then ``predicted = probe ×
+    ratio``, with the probe seed derived as ``derive_seed(env_seed,
+    "probe", scenario.name)``.
+    """
+    bench = params["bench"]
+    klass = params["klass"]
+    nprocs = int(params["nprocs"])
+    wl_seed = int(params["workload_seed"])
+    target = float(params["target"])
+    env_seed = int(params["env_seed"])
+    scenario = resolve_scenario(str(params["scenario"]))
+
+    app_params = workload_params(bench, klass, nprocs, wl_seed)
+    trace_digest = cache.trace_key(app_params).digest
+    skel_digest = cache.skeleton_key(trace_digest, target).digest
+
+    # The trace blob is large (one record per traced event) but only
+    # skeleton *construction* consumes it; a warm request needs just
+    # the dedicated RunResult from the envelope. Deserialize lazily so
+    # the hot path never pays for records it will not read.
+    traced: dict = {}
+
+    def _traced_run():
+        if not traced:
+            program = get_program(bench, klass, nprocs, wl_seed)
+            traced["trace"], traced["dedicated"] = cache.traced_run(
+                app_params, lambda: trace_program(program, cluster)
+            )
+        return traced["trace"], traced["dedicated"]
+
+    dedicated = cache.traced_run_result(app_params)
+    if dedicated is None:
+        _, dedicated = _traced_run()
+
+    bundle = None
+    if bundle_cache is not None:
+        bundle = bundle_cache.get(skel_digest)
+    if bundle is None:
+        def _build():
+            trace, _ = _traced_run()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", SkeletonQualityWarning)
+                return build_skeleton(trace, target_seconds=target)
+
+        bundle = cache.skeleton(trace_digest, target, _build)
+        if bundle_cache is not None:
+            bundle_cache[skel_digest] = bundle
+
+    skel_params = skeleton_program_params(skel_digest)
+    skel_ded = cache.simulated_run(
+        skel_params, DEDICATED, env_seed,
+        lambda: run_program(
+            bundle.program, cluster, DEDICATED, seed=env_seed
+        ),
+    )
+    if skel_ded.elapsed <= 0:
+        raise ServeError("skeleton executed in zero time")
+    ratio = dedicated.elapsed / skel_ded.elapsed
+    probe_seed = derive_seed(env_seed, "probe", scenario.name)
+    probe = cache.simulated_run(
+        skel_params, scenario, probe_seed,
+        lambda: run_program(
+            bundle.program, cluster, scenario, seed=probe_seed
+        ),
+    )
+    return {
+        "workload": {
+            "bench": bench,
+            "klass": klass,
+            "nprocs": nprocs,
+            "seed": wl_seed,
+        },
+        "scenario": scenario.name,
+        "target": target,
+        "env_seed": env_seed,
+        "app_dedicated_seconds": dedicated.elapsed,
+        "skeleton_dedicated_seconds": skel_ded.elapsed,
+        "scaling_ratio": ratio,
+        "probe_seconds": probe.elapsed,
+        "predicted_seconds": probe.elapsed * ratio,
+        "K": bundle.K,
+        "threshold": bundle.signature.threshold,
+        "compression_ratio": bundle.signature.compression_ratio,
+        "min_good_seconds": bundle.goodness.min_good_seconds,
+        "flagged": bundle.flagged,
+        "trace_digest": trace_digest,
+        "skeleton_digest": skel_digest,
+    }

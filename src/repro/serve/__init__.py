@@ -1,0 +1,31 @@
+"""Online skeleton-prediction serving (see ``docs/SERVING.md``).
+
+Three layers, composable and individually testable:
+
+* :class:`~repro.serve.registry.SkeletonRegistry` — named, versioned
+  aliases over the content-addressed store, with an LRU of
+  deserialized skeletons;
+* :class:`~repro.serve.service.PredictionService` — verb dispatch,
+  warm-path cache answers, single-flight request coalescing, and the
+  supervised :class:`~repro.serve.pool.WorkerPool` for cold compute;
+* :class:`~repro.serve.server.PredictionServer` /
+  :class:`~repro.serve.client.ServiceClient` — newline-delimited
+  JSON-over-TCP with bounded admission, per-request deadlines,
+  explicit overload replies, and graceful SIGTERM drain.
+"""
+
+from repro.serve.client import ServiceClient
+from repro.serve.pool import WorkerPool
+from repro.serve.registry import LRUCache, RegistryEntry, SkeletonRegistry
+from repro.serve.server import PredictionServer
+from repro.serve.service import PredictionService
+
+__all__ = [
+    "LRUCache",
+    "PredictionServer",
+    "PredictionService",
+    "RegistryEntry",
+    "ServiceClient",
+    "SkeletonRegistry",
+    "WorkerPool",
+]

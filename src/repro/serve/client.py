@@ -1,0 +1,73 @@
+"""Minimal synchronous client for the serving protocol.
+
+One TCP connection per call — deliberately boring, so tests, CI, and
+``repro-skeleton call`` exercise exactly the wire protocol a real
+client would (connect, one JSON line out, one JSON line back).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Mapping, Optional
+
+from repro.errors import ServeError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking JSON-lines client: ``call(verb, params) -> reply``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    def call(
+        self,
+        verb: str,
+        params: Optional[Mapping] = None,
+        deadline_ms: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> dict:
+        """Send one request, return the decoded reply envelope.
+
+        Transport trouble (refused connection, timeout, truncated
+        reply) raises :class:`ServeError`; protocol-level failures
+        come back as normal ``ok=False`` replies.
+        """
+        request: dict = {"verb": str(verb), "params": dict(params or {})}
+        if deadline_ms is not None:
+            request["deadline_ms"] = int(deadline_ms)
+        if request_id is not None:
+            request["id"] = request_id
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            ) as sock:
+                sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+                with sock.makefile("rb") as fh:
+                    line = fh.readline()
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach prediction service at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        if not line:
+            raise ServeError(
+                f"prediction service at {self.host}:{self.port} closed "
+                f"the connection without replying"
+            )
+        try:
+            reply = json.loads(line.decode("utf-8"))
+        except ValueError as exc:
+            raise ServeError(f"malformed reply from service: {exc}") from exc
+        if not isinstance(reply, dict):
+            raise ServeError("malformed reply from service: not an object")
+        return reply

@@ -1,0 +1,360 @@
+"""Process pool for cold predictions, supervised against hangs.
+
+Cold requests run real simulations; running them in the serving
+process would couple request latency to simulation time and let one
+pathological run (an NFS stall inside the store, a runaway workload)
+wedge the whole service. The pool keeps compute in child processes
+and re-uses the campaign machinery for safety:
+
+* each worker pushes monotonic **heartbeats** through the shared
+  result queue from a daemon thread (it survives a hung main thread);
+* the parent-side collector drives the same
+  :class:`~repro.parallel.supervisor.Supervisor` the campaign
+  scheduler uses — per-task soft/hard deadlines plus heartbeat-stall
+  detection — and cancels offenders with SIGTERM → SIGKILL
+  escalation, respawning a fresh worker;
+* a worker-side failure is shipped back as ``(type, message,
+  attempts)`` — the ``attempts`` annotation from
+  :func:`~repro.faults.resilience.resilient_call` — and re-raised in
+  the parent as :class:`~repro.errors.RemoteComputeError`, so the
+  service's error reply carries the true worker-side cause and retry
+  count.
+
+Workers write into the same artifact store as the parent (atomic
+writes make concurrent producers benign), so a cold computation warms
+the cache for every later request.
+
+Tests monkeypatch :func:`repro.predict.online.compute_prediction`
+*before* constructing the pool: workers are forked, so they inherit
+the patched module attribute — that is how the hung-worker paths are
+exercised without a genuinely slow simulation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Optional
+
+from repro.errors import (
+    RemoteComputeError,
+    ServeError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.faults.resilience import RetryPolicy, resilient_call
+from repro.parallel.supervisor import Supervisor, SupervisorConfig
+
+__all__ = ["WorkerPool"]
+
+
+def _worker_main(
+    worker_id: int,
+    cache_dir: Optional[str],
+    tasks,
+    results,
+    heartbeat_interval: float,
+    retry_policy: RetryPolicy,
+) -> None:
+    """Worker loop: pull a request, compute, ship the payload back."""
+    if heartbeat_interval > 0:
+
+        def _beat() -> None:
+            while True:
+                results.put(("beat", worker_id, None, None))
+                time.sleep(heartbeat_interval)
+
+        threading.Thread(target=_beat, daemon=True).start()
+
+    from repro.cluster.topology import paper_testbed
+    from repro.predict import online
+    from repro.store.memo import PipelineCache
+    from repro.store.store import ArtifactStore
+
+    cluster = paper_testbed()
+    cache = PipelineCache(ArtifactStore(cache_dir), cluster)
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        task_id, params = item
+        results.put(("start", worker_id, task_id, None))
+        try:
+            # Resolved through the module so a patch installed in the
+            # parent before fork takes effect here too.
+            value, _ = resilient_call(
+                lambda: online.compute_prediction(params, cache, cluster),
+                retry_policy,
+            )
+            results.put(("ok", worker_id, task_id, value))
+        except BaseException as exc:  # ship, never kill the loop
+            results.put((
+                "err",
+                worker_id,
+                task_id,
+                {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "attempts": int(getattr(exc, "attempts", 1)),
+                },
+            ))
+
+
+class WorkerPool:
+    """Forked prediction workers with supervision and respawn.
+
+    :meth:`submit` blocks until the prediction payload is back (the
+    service calls it from its executor threads), raising
+    :class:`RemoteComputeError`, :class:`TaskTimeoutError`, or
+    :class:`WorkerCrashError` on the corresponding failure.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+        supervisor: Optional[SupervisorConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        if workers < 1:
+            raise ServeError("worker pool needs at least 1 worker")
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._cache_dir = cache_dir
+        self._retry_policy = retry_policy or RetryPolicy()
+        self._config = supervisor or SupervisorConfig(task_timeout=120.0)
+        self.supervisor = Supervisor(self._config)
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._futures: dict[int, Future] = {}
+        #: worker id -> task id it is currently running.
+        self._running: dict[int, int] = {}
+        #: task id -> params, until a worker reports it started. A
+        #: worker can die between dequeueing a task and flushing its
+        #: "start" notification (the queue feeder thread dies with the
+        #: process), leaving the task unattributable; these are
+        #: resubmitted on such a death. Duplicate execution is benign:
+        #: compute is idempotent against the content-addressed store.
+        self._unstarted: dict[int, dict] = {}
+        self._requeued: dict[int, int] = {}
+        self._max_requeues = 1
+        self._lock = threading.Lock()
+        self._next_task = 0
+        self._next_worker = 0
+        self._closed = False
+        self.n_crashes = 0
+        for _ in range(workers):
+            self._spawn()
+        self._collector = threading.Thread(
+            target=self._collect, name="serve-pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spawn(self) -> None:
+        worker_id = self._next_worker
+        self._next_worker += 1
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._cache_dir,
+                self._tasks,
+                self._results,
+                self._config.heartbeat_interval,
+                self._retry_policy,
+            ),
+            daemon=True,
+            name=f"serve-worker-{worker_id}",
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+
+    def _kill(self, worker_id: int) -> None:
+        proc = self._procs.pop(worker_id, None)
+        if proc is None:
+            return
+        proc.terminate()
+        proc.join(self._config.grace_seconds)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(1.0)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, params: dict) -> dict:
+        """Run one normalized request in a worker; block for the result."""
+        if self._closed:
+            raise ServeError("worker pool is closed")
+        with self._lock:
+            task_id = self._next_task
+            self._next_task += 1
+            fut: Future = Future()
+            self._futures[task_id] = fut
+            self._unstarted[task_id] = dict(params)
+        self._tasks.put((task_id, dict(params)))
+        return fut.result()
+
+    # -- parent-side collection ------------------------------------------
+
+    def _collect(self) -> None:
+        while not self._closed:
+            try:
+                kind, wid, task_id, payload = self._results.get(timeout=0.2)
+            except queue.Empty:
+                self._reap()
+                self._enforce()
+                continue
+            if kind == "beat":
+                self.supervisor.heartbeat(wid)
+            elif kind == "start":
+                self.supervisor.task_started(wid, str(task_id))
+                with self._lock:
+                    self._running[wid] = task_id
+                    self._unstarted.pop(task_id, None)
+            elif kind in ("ok", "err"):
+                _, started_at = self.supervisor._tasks.get(
+                    wid, (None, None)
+                )
+                self.supervisor.task_finished(wid)
+                if started_at is not None:
+                    self.supervisor.observe_wall(
+                        time.monotonic() - started_at
+                    )
+                with self._lock:
+                    self._running.pop(wid, None)
+                    self._unstarted.pop(task_id, None)
+                    self._requeued.pop(task_id, None)
+                    fut = self._futures.pop(task_id, None)
+                if fut is None:
+                    continue
+                if kind == "ok":
+                    fut.set_result(payload)
+                else:
+                    fut.set_exception(
+                        RemoteComputeError(
+                            payload["message"],
+                            error_type=payload["type"],
+                            attempts=payload["attempts"],
+                        )
+                    )
+            self._enforce()
+
+    def _enforce(self) -> None:
+        """Cancel overdue workers; fail their futures; respawn."""
+        for wid, key, runtime, reason in self.supervisor.overdue():
+            self._fail_worker_task(
+                wid,
+                TaskTimeoutError(
+                    f"prediction task hung in worker {wid} "
+                    f"({reason} after {runtime:.1f}s); worker cancelled"
+                ),
+            )
+            self._kill(wid)
+            if not self._closed:
+                self._spawn()
+
+    def _reap(self) -> None:
+        """Detect workers that died while holding a task."""
+        if self._closed:
+            return
+        dead = [
+            wid for wid, proc in list(self._procs.items())
+            if not proc.is_alive()
+        ]
+        for wid in dead:
+            self._procs.pop(wid, None)
+            self.n_crashes += 1
+            self.supervisor.task_finished(wid)
+            with self._lock:
+                had_task = wid in self._running
+            if had_task:
+                self._fail_worker_task(
+                    wid,
+                    WorkerCrashError(
+                        f"serve worker {wid} died while computing "
+                        f"a prediction"
+                    ),
+                )
+            else:
+                self._requeue_unstarted()
+            if not self._closed:
+                self._spawn()
+
+    def _requeue_unstarted(self) -> None:
+        """A worker died without an attributable task: anything not yet
+        visibly started may have gone down with it. Resubmit those
+        tasks — at most :attr:`_max_requeues` times each, so a
+        deterministic crasher surfaces as :class:`WorkerCrashError`
+        instead of a crash/respawn loop."""
+        with self._lock:
+            items = list(self._unstarted.items())
+        for task_id, params in items:
+            if self._requeued.get(task_id, 0) >= self._max_requeues:
+                with self._lock:
+                    self._unstarted.pop(task_id, None)
+                    self._requeued.pop(task_id, None)
+                    fut = self._futures.pop(task_id, None)
+                if fut is not None and not fut.done():
+                    fut.set_exception(
+                        WorkerCrashError(
+                            f"prediction task {task_id} lost to "
+                            f"crashing workers "
+                            f"{self._max_requeues + 1} times; giving up"
+                        )
+                    )
+            else:
+                self._requeued[task_id] = (
+                    self._requeued.get(task_id, 0) + 1
+                )
+                self._tasks.put((task_id, params))
+
+    def _fail_worker_task(self, wid: int, exc: Exception) -> None:
+        with self._lock:
+            task_id = self._running.pop(wid, None)
+            fut = (
+                self._futures.pop(task_id, None)
+                if task_id is not None
+                else None
+            )
+        if fut is not None and not fut.done():
+            fut.set_exception(exc)
+
+    # -- introspection / shutdown ----------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            busy = len(self._running)
+        return {
+            "alive": sum(1 for p in self._procs.values() if p.is_alive()),
+            "busy": busy,
+            "timeouts": self.supervisor.n_timeouts,
+            "crashes": self.n_crashes,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._procs:
+            self._tasks.put(None)
+        for proc in list(self._procs.values()):
+            proc.join(self._config.grace_seconds)
+        for wid in list(self._procs):
+            self._kill(wid)
+        with self._lock:
+            futures = list(self._futures.values())
+            self._futures.clear()
+        for fut in futures:
+            if not fut.done():
+                fut.set_exception(ServeError("worker pool closed"))
+        self._collector.join(2.0)
+        self._tasks.close()
+        self._results.close()

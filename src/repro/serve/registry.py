@@ -1,0 +1,251 @@
+"""Named, versioned skeleton aliases over the content-addressed store.
+
+The store addresses artifacts by digest — perfect for integrity,
+useless for humans. The registry maps mutable, versioned **aliases**
+(``lu.4r.k16@v3``) onto the immutable skeleton artifacts a prediction
+needs: the workload identity, the skeleton target, and the trace /
+skeleton digests of the Merkle chain.
+
+Persistence rides :mod:`repro.store` (stage ``"registry"``), so every
+store guarantee applies for free: writes are atomic (temp file +
+rename — a torn publish is never *served*, it reads as a miss),
+reads are integrity-verified, and ``fsck``/``doctor``/``gc`` maintain
+registry objects like any other artifact. A registry object's store
+key is derived from its alias alone, which makes the alias a mutable
+pointer with content-verified reads — re-publishing an alias
+atomically replaces it.
+
+Alias grammar: ``name`` or ``name@vN`` where ``name`` is
+``[A-Za-z0-9._-]+``. Publishing a bare ``name`` auto-assigns the next
+version and also updates the bare alias as a *latest* pointer;
+resolving a bare ``name`` follows that pointer.
+
+An in-memory LRU (:class:`LRUCache`) of deserialized skeleton bundles
+sits in front of the store so repeat requests for a hot alias skip
+signature deserialisation entirely (``serve.bundle_lru_*`` metrics).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ServeError
+from repro.obs.metrics import get_metrics
+from repro.store.store import ArtifactStore, StoreKey
+
+__all__ = ["LRUCache", "RegistryEntry", "SkeletonRegistry", "REGISTRY_STAGE"]
+
+#: The store stage registry objects are filed under.
+REGISTRY_STAGE = "registry"
+
+_ALIAS_RE = re.compile(r"^(?P<name>[A-Za-z0-9._-]+?)(?:@v(?P<version>\d+))?$")
+
+
+def split_alias(alias: str) -> tuple[str, Optional[int]]:
+    """``"lu.4r@v3"`` → ``("lu.4r", 3)``; ``"lu.4r"`` → ``("lu.4r", None)``."""
+    m = _ALIAS_RE.match(alias or "")
+    if m is None:
+        raise ServeError(
+            f"invalid alias {alias!r}: expected NAME or NAME@vN with NAME "
+            f"of [A-Za-z0-9._-]"
+        )
+    version = m.group("version")
+    return m.group("name"), None if version is None else int(version)
+
+
+class LRUCache:
+    """A tiny thread-unsafe LRU mapping (the service serialises access
+    through its single-flight lock). ``capacity <= 0`` disables it."""
+
+    def __init__(self, capacity: int = 32):
+        self.capacity = int(capacity)
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, default=None):
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def __setitem__(self, key, value) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One published alias: naming plus the digests a prediction needs."""
+
+    alias: str
+    name: str
+    version: int
+    workload: dict
+    target: float
+    trace_digest: str
+    skeleton_digest: str
+    app_dedicated_seconds: float
+    created: float
+
+    def to_dict(self) -> dict:
+        return {
+            "alias": self.alias,
+            "name": self.name,
+            "version": self.version,
+            "workload": dict(self.workload),
+            "target": self.target,
+            "trace_digest": self.trace_digest,
+            "skeleton_digest": self.skeleton_digest,
+            "app_dedicated_seconds": self.app_dedicated_seconds,
+            "created": self.created,
+        }
+
+
+class SkeletonRegistry:
+    """Publish/resolve/list named skeletons, persisted in the store."""
+
+    def __init__(self, store: ArtifactStore, lru_size: int = 32):
+        self.store = store
+        #: skeleton digest -> deserialized SkeletonBundle (LRU).
+        self.bundles = LRUCache(lru_size)
+
+    def key(self, alias: str) -> StoreKey:
+        """Store key of an alias (derived from the alias alone)."""
+        return self.store.key(REGISTRY_STAGE, {"alias": alias})
+
+    # -- publish ---------------------------------------------------------
+
+    def publish(
+        self,
+        alias: str,
+        workload: dict,
+        target: float,
+        trace_digest: str,
+        skeleton_digest: str,
+        app_dedicated_seconds: float,
+    ) -> RegistryEntry:
+        """Publish (or replace) an alias.
+
+        A bare ``name`` auto-assigns the next version; an explicit
+        ``name@vN`` publishes exactly that version. Either way the bare
+        ``name`` pointer is updated when the published version is the
+        newest. Raises :class:`ServeError` if the store cannot persist
+        the entry (degraded cache) — a publish must never silently
+        vanish.
+        """
+        name, version = split_alias(alias)
+        existing = [e.version for e in self.list() if e.name == name]
+        if version is None:
+            version = (max(existing) + 1) if existing else 1
+        entry = RegistryEntry(
+            alias=f"{name}@v{version}",
+            name=name,
+            version=version,
+            workload=dict(workload),
+            target=float(target),
+            trace_digest=trace_digest,
+            skeleton_digest=skeleton_digest,
+            app_dedicated_seconds=float(app_dedicated_seconds),
+            created=time.time(),
+        )
+        content = entry.to_dict()
+        self._put(entry.alias, content)
+        if not existing or version >= max(existing):
+            self._put(name, content)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "serve.published", "registry aliases published"
+            ).inc()
+        return entry
+
+    def _put(self, alias: str, content: dict) -> None:
+        if self.store.put(self.key(alias), content) is None:
+            raise ServeError(
+                f"could not publish alias {alias!r}: artifact store at "
+                f"{self.store.root} is degraded (run `repro-skeleton "
+                f"doctor`)"
+            )
+
+    # -- resolve / list --------------------------------------------------
+
+    def resolve(self, alias: str) -> RegistryEntry:
+        """Resolve an alias to its entry (a bare name follows the
+        latest pointer). A missing *or corrupt* entry raises
+        :class:`ServeError` — a torn publish is never served."""
+        split_alias(alias)  # validate grammar
+        artifact = self.store.get(self.key(alias))
+        if artifact is None:
+            raise ServeError(f"unknown alias {alias!r}")
+        return self._entry_from_content(artifact.content)
+
+    @staticmethod
+    def _entry_from_content(content: dict) -> RegistryEntry:
+        try:
+            return RegistryEntry(
+                alias=str(content["alias"]),
+                name=str(content["name"]),
+                version=int(content["version"]),
+                workload=dict(content["workload"]),
+                target=float(content["target"]),
+                trace_digest=str(content["trace_digest"]),
+                skeleton_digest=str(content["skeleton_digest"]),
+                app_dedicated_seconds=float(
+                    content["app_dedicated_seconds"]
+                ),
+                created=float(content.get("created", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed registry entry: {exc}") from exc
+
+    def list(self) -> list[RegistryEntry]:
+        """Every published *versioned* entry, deterministically ordered
+        by ``(name, version)``. Bare latest pointers are folded in (a
+        pointer and its versioned entry carry identical content);
+        corrupt objects are skipped — the read path never serves them.
+        """
+        out: dict[str, RegistryEntry] = {}
+        for meta in self.store.entries():
+            if meta.get("stage") != REGISTRY_STAGE or meta.get("corrupt"):
+                continue
+            artifact = self.store.get(meta["digest"])
+            if artifact is None:
+                continue
+            try:
+                entry = self._entry_from_content(artifact.content)
+            except ServeError:
+                continue
+            out[entry.alias] = entry
+        return sorted(out.values(), key=lambda e: (e.name, e.version))
+
+    # -- deserialized-bundle LRU ----------------------------------------
+
+    def cached_bundle(self, skeleton_digest: str):
+        """LRU lookup of a deserialized bundle (None on miss); counts
+        ``serve.bundle_lru_hits`` / ``serve.bundle_lru_misses``."""
+        bundle = self.bundles.get(skeleton_digest)
+        metrics = get_metrics()
+        if metrics.enabled:
+            which = "hits" if bundle is not None else "misses"
+            metrics.counter(
+                f"serve.bundle_lru_{which}",
+                "deserialized-skeleton LRU lookups",
+            ).inc()
+        return bundle

@@ -1,0 +1,235 @@
+"""Newline-delimited JSON-over-TCP transport with backpressure.
+
+Protocol (see ``docs/SERVING.md``): one request per line,
+``{"id"?, "verb", "params"?, "deadline_ms"?}``; one reply per line,
+``{"id", "ok", "code", "result" | "error" [, "failure_record"]}``.
+Replies may arrive out of request order on a pipelined connection —
+the echoed ``id`` is the correlation key. Codes follow HTTP idiom:
+200 success, 400 bad request, 500 compute failure, 503 overload or
+draining, 504 deadline exceeded.
+
+Backpressure is explicit, not emergent: heavy verbs (``predict``,
+``publish``) pass through a **bounded admission count** —
+``max_pending`` requests admitted (queued + running) — and anything
+beyond that is *immediately* refused with a 503 ``Overloaded`` reply
+(``serve.overload``), so saturation shows up as cheap explicit sheds
+instead of unbounded latency growth. Admitted work runs on a
+``max_concurrency``-thread executor with a per-request deadline
+(``deadline_ms``, default ``default_deadline``) enforced by
+``asyncio.wait_for`` → 504. Cheap verbs (``ping``, ``healthz``,
+``metricz``, ``resolve``, ``list``) bypass admission so operability
+endpoints stay responsive under overload.
+
+SIGTERM/SIGINT triggers a graceful drain: stop accepting connections,
+refuse new heavy work with 503 ``Draining``, wait up to
+``drain_grace`` seconds for in-flight requests, then exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Optional
+
+from repro.obs.metrics import get_metrics
+from repro.serve.service import PredictionService
+from repro.store.store import canonical_json
+
+__all__ = ["PredictionServer", "CHEAP_VERBS"]
+
+#: Verbs answered inline, outside the admission queue.
+CHEAP_VERBS = frozenset(("ping", "healthz", "metricz", "resolve", "list"))
+
+
+class PredictionServer:
+    """Asyncio front end over a :class:`PredictionService`."""
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 16,
+        max_concurrency: int = 2,
+        default_deadline: float = 120.0,
+        drain_grace: float = 10.0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_pending = int(max_pending)
+        self.max_concurrency = int(max_concurrency)
+        self.default_deadline = float(default_deadline)
+        self.drain_grace = float(drain_grace)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor = None
+        self._pending = 0
+        self._draining = False
+        self._inflight: set = set()
+        self.n_overloads = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrency,
+            thread_name_prefix="serve-exec",
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight work finish, shut down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._inflight:
+            await asyncio.wait(
+                self._inflight, timeout=self.drain_grace
+            )
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        self.service.close()
+
+    def run(self, ready_stream=None) -> None:
+        """Serve until SIGTERM/SIGINT, then drain; blocks the caller.
+
+        Prints exactly ``serving on HOST:PORT`` to ``ready_stream``
+        (default stdout) once accepting — scripts and CI parse it.
+        """
+        asyncio.run(self._main(ready_stream or sys.stdout))
+
+    async def _main(self, ready_stream) -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platform without support
+        await self.start()
+        print(f"serving on {self.host}:{self.port}",
+              file=ready_stream, flush=True)
+        await stop.wait()
+        print("draining ...", file=sys.stderr, flush=True)
+        await self.drain()
+        print("drained, bye", file=sys.stderr, flush=True)
+
+    # -- connection handling ---------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(stripped, writer)
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                # Loop shutdown cancels idle connection handlers mid
+                # wait_closed; there is nothing left to clean up.
+                pass
+
+    async def _serve_line(self, raw: bytes, writer) -> None:
+        try:
+            request = json.loads(raw.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            await self._reply(writer, {
+                "id": None, "ok": False, "code": 400,
+                "error": {"type": "BadRequest",
+                          "message": f"invalid request line: {exc}",
+                          "attempts": 1},
+            })
+            return
+        reply = await self._process(request)
+        reply["id"] = request.get("id")
+        await self._reply(writer, reply)
+
+    async def _process(self, request: dict) -> dict:
+        verb = str(request.get("verb", ""))
+        params = request.get("params") or {}
+        if verb in CHEAP_VERBS:
+            return self.service.handle(verb, params)
+        if self._draining:
+            return self._refusal("Draining", "server is draining")
+        if self._pending >= self.max_pending:
+            self.n_overloads += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "serve.overload", "requests shed at admission"
+                ).inc()
+            return self._refusal(
+                "Overloaded",
+                f"admission queue full ({self.max_pending} pending); "
+                f"retry later",
+            )
+        deadline = self.default_deadline
+        if request.get("deadline_ms") is not None:
+            deadline = max(0.001, float(request["deadline_ms"]) / 1000.0)
+        loop = asyncio.get_running_loop()
+        self._pending += 1
+        self._set_depth()
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor, self.service.handle, verb, params
+                ),
+                timeout=deadline,
+            )
+        except asyncio.TimeoutError:
+            # The executor thread keeps running (its artifacts still
+            # land in the store); only the *reply* gives up.
+            return {
+                "ok": False, "code": 504,
+                "error": {"type": "DeadlineExceeded",
+                          "message": f"request exceeded {deadline:g}s "
+                                     f"deadline",
+                          "attempts": 1},
+            }
+        finally:
+            self._pending -= 1
+            self._set_depth()
+
+    @staticmethod
+    def _refusal(kind: str, message: str) -> dict:
+        return {
+            "ok": False, "code": 503,
+            "error": {"type": kind, "message": message, "attempts": 1},
+        }
+
+    def _set_depth(self) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(
+                "serve.queue_depth", "admitted heavy requests"
+            ).set(self._pending)
+
+    @staticmethod
+    async def _reply(writer, reply: dict) -> None:
+        try:
+            writer.write(canonical_json(reply).encode("utf-8") + b"\n")
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass

@@ -1,0 +1,336 @@
+"""The prediction service: request → prediction, warm or cold.
+
+:class:`PredictionService` is the transport-free core of
+:mod:`repro.serve` — the asyncio server (:mod:`repro.serve.server`)
+and the tests drive the same :meth:`~PredictionService.handle` entry
+point, so every protocol semantic lives here and is unit-testable
+without sockets.
+
+Request handling:
+
+* **warm path** — if :func:`~repro.predict.online.is_warm` says every
+  artifact is in the store, the prediction is reconstructed inline
+  from the :class:`~repro.store.memo.PipelineCache` (microseconds of
+  JSON, no simulation);
+* **cold path** — the computation is dispatched to the
+  :class:`~repro.serve.pool.WorkerPool` (when attached) so a hung
+  simulation cannot wedge the serving process; the pool's Supervisor
+  cancels and respawns stuck workers;
+* **single flight** — identical concurrent requests (same
+  :func:`~repro.predict.online.request_key`) coalesce: one leader
+  computes, followers share the same result future
+  (``serve.coalesced``).
+
+Error replies carry the retry count from
+:func:`~repro.faults.resilience.resilient_call`'s ``attempts``
+annotation and a ``failure_record`` line rendered by
+:func:`~repro.experiments.report.format_failure_record`, so a
+client-visible serving failure reads exactly like a campaign failure
+record.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Mapping, Optional
+
+from repro.cluster.topology import Cluster, paper_testbed
+from repro.errors import RemoteComputeError, ReproError, ServeError
+from repro.experiments.report import format_failure_record
+from repro.faults.resilience import RetryPolicy, resilient_call
+from repro.obs.metrics import get_metrics
+from repro.predict import online
+from repro.serve.registry import RegistryEntry, SkeletonRegistry
+from repro.store.memo import PipelineCache, workload_params
+from repro.store.store import ArtifactStore
+from repro.trace.tracer import trace_program
+from repro.workloads import get_program
+
+__all__ = ["PredictionService", "VERBS"]
+
+#: Protocol verbs, cheap ones first (the server answers these inline).
+VERBS = ("ping", "healthz", "metricz", "resolve", "list", "publish",
+         "predict")
+
+
+class PredictionService:
+    """Verb dispatcher over a store, a registry, and an optional pool.
+
+    Thread-safe: :meth:`handle` may be called from any number of
+    threads (the server drives it from an executor). ``pool=None``
+    computes cold requests inline — the single-process mode used by
+    most tests.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        cluster: Optional[Cluster] = None,
+        pool=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        lru_size: int = 32,
+    ):
+        self.cluster = cluster if cluster is not None else paper_testbed()
+        self.store = ArtifactStore(cache_dir)
+        self.cache = PipelineCache(self.store, self.cluster)
+        self.registry = SkeletonRegistry(self.store, lru_size=lru_size)
+        self.pool = pool
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        # Injectable for tests (e.g. to simulate slow/failing computes).
+        self._compute = online.compute_prediction
+
+    # -- public entry point ---------------------------------------------
+
+    def handle(self, verb: str, params: Optional[Mapping] = None) -> dict:
+        """Execute one verb; always returns a reply envelope
+        (``{"ok", "code", "result" | "error" [, "failure_record"]}``)
+        — protocol errors become replies, never exceptions."""
+        params = dict(params or {})
+        metrics = get_metrics()
+        t0 = time.perf_counter()
+        if metrics.enabled:
+            metrics.counter("serve.requests", "requests by verb").labels(
+                verb=str(verb)
+            ).inc()
+        try:
+            result = self._dispatch(str(verb), params)
+            reply = {"ok": True, "code": 200, "result": result}
+        except RemoteComputeError as exc:
+            reply = self._error_reply(500, exc, params)
+        except ServeError as exc:
+            reply = self._error_reply(400, exc, params)
+        except ReproError as exc:
+            reply = self._error_reply(500, exc, params)
+        except Exception as exc:  # never let a bug take the server down
+            reply = self._error_reply(500, exc, params)
+        if metrics.enabled:
+            metrics.histogram(
+                "serve.latency_seconds", "request latency"
+            ).observe(time.perf_counter() - t0)
+            if not reply["ok"]:
+                metrics.counter("serve.errors", "error replies").labels(
+                    code=reply["code"]
+                ).inc()
+        return reply
+
+    def _dispatch(self, verb: str, params: dict):
+        if verb == "ping":
+            return {"pong": True}
+        if verb == "healthz":
+            return self.healthz()
+        if verb == "metricz":
+            return get_metrics().snapshot()
+        if verb == "resolve":
+            return self.registry.resolve(
+                self._require(params, "alias")
+            ).to_dict()
+        if verb == "list":
+            return {"entries": [e.to_dict() for e in self.registry.list()]}
+        if verb == "publish":
+            return self.publish(params).to_dict()
+        if verb == "predict":
+            return self.predict(params)
+        raise ServeError(
+            f"unknown verb {verb!r}; choose from {list(VERBS)}"
+        )
+
+    @staticmethod
+    def _require(params: Mapping, name: str):
+        value = params.get(name)
+        if value is None:
+            raise ServeError(f"missing required parameter {name!r}")
+        return value
+
+    def _error_reply(self, code: int, exc: Exception, params: dict) -> dict:
+        # RemoteComputeError carries the *worker-side* class name; local
+        # failures use their own. Either way the attempts annotation
+        # from resilient_call reaches the client.
+        error_type = getattr(exc, "error_type", type(exc).__name__)
+        attempts = int(getattr(exc, "attempts", 1))
+        bench = str(params.get("bench", params.get("alias", "?")))
+        klass = str(params.get("klass", "S"))
+        info = {
+            "run": (
+                f"{bench}.{klass}/serve"
+                f"::{params.get('scenario', '?')}"
+                f"::{params.get('env_seed', 0)}"
+            ),
+            "error_type": error_type,
+            "error": str(exc),
+            "attempts": attempts,
+        }
+        return {
+            "ok": False,
+            "code": code,
+            "error": {
+                "type": error_type,
+                "message": str(exc),
+                "attempts": attempts,
+            },
+            "failure_record": format_failure_record(bench, info),
+        }
+
+    # -- verbs -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness + the two degradation signals operators care about:
+        a degraded (read-only) store and the worker-pool state."""
+        degraded = bool(getattr(self.store, "degraded", False))
+        pool_state = self.pool.stats() if self.pool is not None else None
+        pool_ok = pool_state is None or pool_state.get("alive", 0) > 0
+        return {
+            "status": "ok" if not degraded and pool_ok else "degraded",
+            "store": {"root": str(self.store.root), "degraded": degraded},
+            "pool": pool_state,
+            "inflight": len(self._inflight),
+        }
+
+    def publish(self, params: Mapping) -> "RegistryEntry":
+        """Build (or load from the store) a workload's skeleton and
+        register it under an alias.
+
+        Runs the trace → skeleton stages through the
+        :class:`PipelineCache`, so publishing also *warms* the store:
+        a subsequent predict for the same workload only needs the two
+        cheap skeleton runs.
+        """
+        alias = str(self._require(params, "alias"))
+        req = online.normalize_request(
+            bench=str(self._require(params, "bench")),
+            klass=str(params.get("klass", "S")),
+            nprocs=int(params.get("nprocs", 4)),
+            workload_seed=int(params.get("workload_seed", 12345)),
+            target=float(params.get("target", 5.0)),
+            scenario="dedicated",
+            env_seed=int(params.get("env_seed", 0)),
+        )
+        app_params = workload_params(
+            req["bench"], req["klass"], req["nprocs"], req["workload_seed"]
+        )
+        program = get_program(
+            req["bench"], req["klass"], req["nprocs"], req["workload_seed"]
+        )
+        trace, dedicated = self.cache.traced_run(
+            app_params, lambda: trace_program(program, self.cluster)
+        )
+        trace_digest = self.cache.trace_key(app_params).digest
+        skel_digest = self.cache.skeleton_key(
+            trace_digest, req["target"]
+        ).digest
+        bundle = self.registry.bundles.get(skel_digest)
+        if bundle is None:
+            import warnings as _warnings
+
+            from repro.core.construct import build_skeleton
+            from repro.errors import SkeletonQualityWarning
+
+            def _build():
+                with _warnings.catch_warnings():
+                    _warnings.simplefilter("ignore", SkeletonQualityWarning)
+                    return build_skeleton(
+                        trace, target_seconds=req["target"]
+                    )
+
+            bundle = self.cache.skeleton(trace_digest, req["target"], _build)
+            self.registry.bundles[skel_digest] = bundle
+        return self.registry.publish(
+            alias,
+            workload={
+                "bench": req["bench"],
+                "klass": req["klass"],
+                "nprocs": req["nprocs"],
+                "seed": req["workload_seed"],
+            },
+            target=req["target"],
+            trace_digest=trace_digest,
+            skeleton_digest=skel_digest,
+            app_dedicated_seconds=dedicated.elapsed,
+        )
+
+    def predict(self, params: Mapping) -> dict:
+        """One prediction, single-flighted.
+
+        ``params`` names the workload either directly (``bench`` /
+        ``klass`` / ``nprocs`` / ``workload_seed`` / ``target``) or via
+        a registry ``alias``; plus ``scenario`` and ``env_seed``.
+        """
+        req = self._normalize(params)
+        key = online.request_key(req)
+        metrics = get_metrics()
+        with self._lock:
+            fut = self._inflight.get(key)
+            leader = fut is None
+            if leader:
+                fut = Future()
+                self._inflight[key] = fut
+        if not leader:
+            if metrics.enabled:
+                metrics.counter(
+                    "serve.coalesced",
+                    "requests answered by an in-flight twin",
+                ).inc()
+            return fut.result()
+        try:
+            payload = self._execute(req)
+            fut.set_result(payload)
+            return payload
+        except BaseException as exc:
+            fut.set_exception(exc)
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            # A Future nobody awaits must not warn about an unretrieved
+            # exception; the leader re-raises it to its own caller.
+            fut.exception()
+
+    def _normalize(self, params: Mapping) -> dict:
+        alias = params.get("alias")
+        if alias is not None:
+            entry = self.registry.resolve(str(alias))
+            return online.normalize_request(
+                bench=entry.workload["bench"],
+                klass=entry.workload["klass"],
+                nprocs=entry.workload["nprocs"],
+                workload_seed=entry.workload["seed"],
+                target=entry.target,
+                scenario=str(params.get("scenario", "cpu-one-node")),
+                env_seed=int(params.get("env_seed", 0)),
+            )
+        return online.normalize_request(
+            bench=str(self._require(params, "bench")),
+            klass=str(params.get("klass", "S")),
+            nprocs=int(params.get("nprocs", 4)),
+            workload_seed=int(params.get("workload_seed", 12345)),
+            target=float(params.get("target", 5.0)),
+            scenario=str(params.get("scenario", "cpu-one-node")),
+            env_seed=int(params.get("env_seed", 0)),
+        )
+
+    def _execute(self, req: dict) -> dict:
+        metrics = get_metrics()
+        warm = online.is_warm(req, self.cache)
+        if metrics.enabled:
+            which = "hits" if warm else "misses"
+            metrics.counter(
+                f"serve.cache_{which}", "warm/cold request split"
+            ).inc()
+        if warm or self.pool is None:
+            value, _attempts = resilient_call(
+                lambda: self._compute(
+                    req, self.cache, self.cluster, self.registry.bundles
+                ),
+                self.retry_policy,
+            )
+            return value
+        return self.pool.submit(req)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()

@@ -202,6 +202,22 @@ class PipelineCache:
         )
         return trace, result
 
+    def traced_run_result(self, program_params: dict) -> Optional[RunResult]:
+        """Just the :class:`RunResult` of a cached traced run, or
+        ``None`` on a miss.
+
+        Reads only the JSON envelope — the trace blob (tens of
+        thousands of records) is never deserialized. This is the
+        serving hot path: a warm prediction needs the dedicated
+        elapsed time, not the events that produced it.
+        """
+        if not self.enabled:
+            return None
+        artifact = self.store.get(self.trace_key(program_params))
+        if artifact is None:
+            return None
+        return runresult_from_dict(artifact.content["result"])
+
     def skeleton(
         self,
         trace_digest: str,

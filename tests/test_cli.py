@@ -231,3 +231,94 @@ class TestRobustnessCommands:
         assert args.resume and not args.volatile
         args = build_parser().parse_args(["experiment", "--volatile"])
         assert args.volatile and not args.resume
+
+
+class TestServeCommands:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert capsys.readouterr().out.strip() == (
+            f"repro-skeleton {__version__}"
+        )
+
+    def test_version_matches_pyproject(self):
+        """The package version has a single source of truth."""
+        import re
+        from pathlib import Path
+
+        from repro import __version__
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.M
+        )
+        assert match and match.group(1) == __version__
+
+    def test_predict_json_is_canonical(self, tmp_path, capsys):
+        from repro.store import canonical_json
+
+        argv = [
+            "predict", "cg", "--klass", "S", "--target", "0.05",
+            "--scenario", "cpu-one-node", "--json",
+            "--cache-dir", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out.strip()
+        import json
+
+        assert out == canonical_json(json.loads(out))
+
+    def test_store_ls_json_is_deterministic(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "store")
+        assert main([
+            "predict", "cg", "--klass", "S", "--target", "0.05",
+            "--scenario", "cpu-one-node", "--json", "--cache-dir", cache,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--json", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(["store", "ls", "--json", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        entries = json.loads(first)
+        assert entries and all("digest" in e for e in entries)
+        # Deterministic order: grouped by stage, newest first.
+        stages = [e["stage"] for e in entries]
+        assert stages == sorted(stages)
+
+    def test_publish_and_call_parsers(self):
+        args = build_parser().parse_args([
+            "publish", "cg.s4", "cg", "--klass", "S", "--target", "0.05",
+        ])
+        assert args.alias == "cg.s4" and args.benchmark == "cg"
+        args = build_parser().parse_args([
+            "call", "predict", "--params", "{}", "--port", "7070",
+        ])
+        assert args.verb == "predict" and args.port == 7070
+        args = build_parser().parse_args(["serve", "--workers", "0"])
+        assert args.workers == 0 and args.port == 7077
+
+    def test_publish_command(self, tmp_path, capsys):
+        cache = str(tmp_path / "store")
+        rc = main([
+            "publish", "cg.s4", "cg", "--klass", "S",
+            "--target", "0.05", "--cache-dir", cache,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "published cg.s4@v1" in out
+        # Publishing warmed the store: the same workload now predicts
+        # from cache and the registry resolves the alias.
+        from repro.serve import PredictionService
+
+        service = PredictionService(cache_dir=cache)
+        assert service.registry.resolve("cg.s4").version == 1
+        reply = service.handle(
+            "predict", {"alias": "cg.s4", "scenario": "cpu-one-node"}
+        )
+        assert reply["ok"] and reply["result"]["predicted_seconds"] > 0

@@ -1,0 +1,127 @@
+"""IO chaos against the serving registry: publish/resolve under faults.
+
+The registry is plain store objects, so it inherits the store's
+torn-file discipline — these tests pin the *serving-level* corollaries:
+
+* a fault mid-publish never leaves a resolvable half-alias — the
+  publish fails loudly (pointing at ``doctor``), the alias stays
+  unknown, and a later retry lands cleanly;
+* a read fault during resolve is a miss, never wrong data;
+* a corrupt alias object on disk is skipped by resolve/list, is
+  quarantined by ``fsck``, and re-publishing on top of the wreckage
+  yields the next version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.faults.io import IOFault, IOFaultPlan
+from repro.serve import PredictionService
+from repro.store import fsck
+
+CG_S = {"bench": "cg", "klass": "S", "nprocs": 4, "target": 0.05}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = PredictionService(cache_dir=str(tmp_path / "store"))
+    # Warm the trace/skeleton stages so that a later publish of the
+    # same workload only touches registry objects — which lets a
+    # first-write fault strike the registry write deterministically.
+    svc.publish({"alias": "warmup", **CG_S})
+    return svc
+
+
+class TestPublishUnderWriteFaults:
+    @pytest.mark.parametrize(
+        "kind", ["torn-write", "enospc-write", "short-write"]
+    )
+    def test_failed_publish_is_never_resolvable(self, service, kind):
+        plan = IOFaultPlan(
+            name=f"registry-{kind}",
+            faults=(IOFault(kind, path_glob="*.json.tmp*"),),
+        )
+        with plan.install() as log:
+            with pytest.warns(RuntimeWarning, match="cache-bypass"):
+                with pytest.raises(ServeError, match="doctor"):
+                    service.publish({"alias": "casualty", **CG_S})
+        assert len(log) == 1
+        # The torn alias must read as unknown, not as partial data.
+        with pytest.raises(ServeError, match="unknown alias"):
+            service.registry.resolve("casualty")
+        assert all(
+            e.name != "casualty" for e in service.registry.list()
+        )
+        # The store admits it is degraded; health reflects that.
+        assert service.handle("healthz")["result"]["status"] == "degraded"
+        # The plan is spent — a retry publishes cleanly.
+        entry = service.publish({"alias": "casualty", **CG_S})
+        assert entry.version == 1
+        assert service.registry.resolve("casualty").version == 1
+
+    def test_fault_between_version_and_latest_pointer(self, service):
+        """The versioned object lands but the bare latest pointer is
+        torn: the publish still fails loudly, and the next publish
+        repairs the pointer rather than serving a stale one."""
+        plan = IOFaultPlan(
+            name="torn-latest-pointer",
+            faults=(
+                IOFault("torn-write", op_index=1,
+                        path_glob="*.json.tmp*"),
+            ),
+        )
+        with plan.install() as log:
+            with pytest.warns(RuntimeWarning, match="cache-bypass"):
+                with pytest.raises(ServeError, match="doctor"):
+                    service.publish({"alias": "halfway", **CG_S})
+        assert len(log) == 1
+        # The versioned alias survived; only the bare pointer is gone.
+        assert service.registry.resolve("halfway@v1").version == 1
+        with pytest.raises(ServeError, match="unknown alias"):
+            service.registry.resolve("halfway")
+        entry = service.publish({"alias": "halfway", **CG_S})
+        assert entry.version == 2
+        assert service.registry.resolve("halfway").version == 2
+
+
+class TestResolveUnderReadFaults:
+    def test_read_fault_is_a_miss_never_wrong_data(self, service):
+        service.publish({"alias": "steady", **CG_S})
+        with IOFaultPlan(
+            name="eio-resolve", faults=(IOFault("eio-read"),)
+        ).install() as log:
+            with pytest.raises(ServeError, match="unknown alias"):
+                service.registry.resolve("steady")
+        assert len(log) == 1
+        # Once the fault passes, the same alias resolves fine.
+        assert service.registry.resolve("steady").name == "steady"
+
+
+class TestCorruptAliasObjects:
+    def test_doctor_quarantines_and_republish_heals(self, service):
+        service.publish({"alias": "patient", **CG_S})
+        pointer = service.store.object_path(
+            service.registry.key("patient")
+        )
+        pointer.write_text("{this is not an alias")
+        # Corrupt bare pointer: bare resolve fails, versioned is fine,
+        # list skips the wreck.
+        with pytest.raises(ServeError, match="unknown alias"):
+            service.registry.resolve("patient")
+        assert service.registry.resolve("patient@v1").version == 1
+        assert [
+            e.alias for e in service.registry.list()
+            if e.name == "patient"
+        ] == ["patient@v1"]
+
+        report = fsck(service.store, repair=True)
+        assert report.corrupt_objects and report.quarantined
+        assert not pointer.exists()
+
+        # Publishing again mints v2 and restores the latest pointer.
+        entry = service.publish({"alias": "patient", **CG_S})
+        assert entry.version == 2
+        assert service.registry.resolve("patient").version == 2
+        assert fsck(service.store, repair=False).clean
