@@ -35,7 +35,11 @@ Subcommands mirror the paper's workflow:
 * ``serve`` / ``publish`` / ``call`` — the online prediction service:
   a JSON-over-TCP daemon answering skeleton predictions from the
   artifact store, a registry publisher, and a one-shot client
-  (:mod:`repro.serve`; see ``docs/SERVING.md``).
+  (:mod:`repro.serve`; see ``docs/SERVING.md``). ``call --trace``
+  prints the server-side span tree for the request.
+* ``trace-dump`` — inspect a flight-recorder dump written by the
+  daemon (span trees, slowest requests, Perfetto export); see
+  :mod:`repro.obs.tracing` and ``docs/OBSERVABILITY.md``.
 
 Every command also accepts a global ``--metrics-out metrics.json``
 flag that enables the metrics registry for the whole invocation and
@@ -61,8 +65,11 @@ Examples::
     repro-skeleton store gc --max-age-days 30 --max-mbytes 512
     repro-skeleton doctor --max-cache-bytes 536870912
     repro-skeleton serve --port 7077 --workers 2
+    repro-skeleton serve --flight-recorder flight.json --access-log
     repro-skeleton publish cg.s4 cg --klass S --target 0.05
     repro-skeleton call predict --params '{"alias": "cg.s4"}'
+    repro-skeleton call predict --params '{"alias": "cg.s4"}' --trace
+    repro-skeleton trace-dump flight.json --slowest 5
 """
 
 from __future__ import annotations
@@ -593,12 +600,22 @@ def _cmd_store(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the online prediction service (see docs/SERVING.md)."""
     from repro.obs import MetricsRegistry, get_metrics, set_metrics
+    from repro.obs.tracing import Tracer, set_tracer
     from repro.parallel.supervisor import SupervisorConfig
     from repro.serve import PredictionServer, PredictionService, WorkerPool
 
-    # metricz must answer with real numbers even without --metrics-out.
+    # metricz must answer with real numbers even without --metrics-out,
+    # and tracez/slowz likewise need a live tracer: the flight recorder
+    # is always on in the daemon (bounded ring, O(1) per span).
     if not get_metrics().enabled:
         set_metrics(MetricsRegistry(enabled=True))
+    if not args.no_trace:
+        # Install before the pool forks so workers inherit the tracer.
+        set_tracer(Tracer(
+            enabled=True,
+            capacity=args.trace_ring,
+            dump_path=args.flight_recorder,
+        ))
     pool = None
     if args.workers > 0:
         pool = WorkerPool(
@@ -615,6 +632,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrency=args.concurrency,
         default_deadline=args.deadline,
         drain_grace=args.drain_grace,
+        access_log=args.access_log,
     )
     print(f"store: {service.store.root}", file=sys.stderr, flush=True)
     server.run()
@@ -658,9 +676,74 @@ def _cmd_call(args: argparse.Namespace) -> int:
     if not isinstance(params, dict):
         raise ReproError("--params must be a JSON object")
     client = ServiceClient(args.host, args.port, timeout=args.timeout)
-    reply = client.call(args.verb, params, deadline_ms=args.deadline_ms)
+    trace_ctx = None
+    if args.trace:
+        from repro.obs.tracing import new_root_context
+
+        trace_ctx = new_root_context().to_dict()
+    reply = client.call(
+        args.verb, params,
+        deadline_ms=args.deadline_ms,
+        trace=trace_ctx,
+    )
+    # The span tree goes to stderr and the trace payload is stripped,
+    # so stdout stays byte-identical with or without --trace.
+    trace_reply = reply.pop("trace", None)
     print(canonical_json(reply))
+    if args.trace:
+        from repro.obs.tracing import render_span_tree
+
+        spans = (trace_reply or {}).get("spans") or []
+        print(render_span_tree(spans), file=sys.stderr)
     return 0 if reply.get("ok") else 1
+
+
+def _cmd_trace_dump(args: argparse.Namespace) -> int:
+    """Inspect a flight-recorder dump file (span trees, slowest
+    requests); optionally convert it to a Perfetto-loadable trace."""
+    import json
+
+    from repro.obs.tracing import (
+        FlightRecorder,
+        render_span_tree,
+        spans_to_chrome_trace,
+    )
+
+    with open(args.dump, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    spans = [s for s in data.get("spans", []) if isinstance(s, dict)]
+    if args.trace_id:
+        spans = [s for s in spans if s.get("trace_id") == args.trace_id]
+    print(f"flight recorder dump: {args.dump}")
+    print(f"  reason   : {data.get('reason', '?')}")
+    print(f"  spans    : {len(spans)} retained, "
+          f"{data.get('dropped_spans', 0)} dropped "
+          f"(ring capacity {data.get('capacity', '?')})")
+    events = data.get("events", [])
+    if events:
+        print(f"  events   : {len(events)} "
+              f"(last: {events[-1].get('name', '?')})")
+    print()
+    print(render_span_tree(spans))
+    if args.slowest:
+        recorder = FlightRecorder(capacity=max(1, len(spans)))
+        recorder.record_remote(spans)
+        print()
+        print(f"slowest {args.slowest} request(s):")
+        for entry in recorder.slowest(args.slowest):
+            root = entry["span"]
+            print(f"  {root['name']} {entry['seconds'] * 1e3:.1f}ms "
+                  f"[{root.get('status', '?')}] "
+                  f"trace={root.get('trace_id', '?')}")
+            for name, stage in entry["stages"].items():
+                print(f"    {name}: {stage['seconds'] * 1e3:.1f}ms "
+                      f"x{stage['count']}")
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(spans_to_chrome_trace(spans), fh)
+            fh.write("\n")
+        print(f"chrome trace written to {args.chrome}", file=sys.stderr)
+    return 0
 
 
 def _cmd_doctor(args: argparse.Namespace) -> int:
@@ -917,6 +1000,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="artifact store root (default: $REPRO_CACHE_DIR "
                    "or <project root>/.repro_cache)")
+    p.add_argument("--flight-recorder", default=None, metavar="PATH",
+                   help="dump the flight recorder (recent spans/events) "
+                   "to PATH on error replies, worker trouble, and drain")
+    p.add_argument("--trace-ring", type=int, default=2048, metavar="N",
+                   help="flight-recorder capacity: completed spans kept "
+                   "in the in-memory ring")
+    p.add_argument("--access-log", action="store_true",
+                   help="log one structured JSON line per request to "
+                   "stderr (verb, code, latency, trace id)")
+    p.add_argument("--no-trace", action="store_true",
+                   help="disable request tracing and the flight recorder")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -938,8 +1032,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="send one request to a running service, print the reply",
     )
     p.add_argument("verb",
-                   help="protocol verb: ping, healthz, metricz, resolve, "
-                   "list, publish, predict")
+                   help="protocol verb: ping, healthz, metricz, tracez, "
+                   "slowz, resolve, list, publish, predict")
     p.add_argument("--params", default=None, metavar="JSON",
                    help="request parameters as a JSON object")
     p.add_argument("--host", default="127.0.0.1")
@@ -948,7 +1042,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="client socket timeout (seconds)")
     p.add_argument("--deadline-ms", type=int, default=None,
                    help="server-side deadline for this request")
+    p.add_argument("--trace", action="store_true",
+                   help="send a trace context with the request and "
+                   "print the server's span tree to stderr")
     p.set_defaults(func=_cmd_call)
+
+    p = sub.add_parser(
+        "trace-dump",
+        help="inspect a flight-recorder dump (span trees, slowest "
+        "requests, Perfetto export)",
+    )
+    p.add_argument("dump", help="flight-recorder JSON dump file")
+    p.add_argument("--trace-id", default=None,
+                   help="show only this trace's spans")
+    p.add_argument("--slowest", type=int, default=0, metavar="K",
+                   help="also list the K slowest requests with "
+                   "per-stage breakdown")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="write the spans as a Perfetto-loadable Chrome "
+                   "trace")
+    p.set_defaults(func=_cmd_trace_dump)
 
     p = sub.add_parser(
         "timeline",

@@ -11,13 +11,20 @@ Three pieces, designed in rather than bolted on:
   captures per-rank compute/blocked spans, message flights, and
   sampled resource utilization, exporting Chrome-trace-event JSON that
   Perfetto loads directly.
+* :mod:`repro.obs.tracing` — **distributed tracing** for the serving
+  stack (:mod:`repro.serve`): propagated trace contexts, a per-process
+  span recorder (the **flight recorder**, a bounded always-on ring),
+  and Perfetto export of serve spans joined by flow events.
+* :mod:`repro.obs.log` — **structured JSON logging** with automatic
+  trace correlation, replacing bare prints in the serving stack.
 * CLI surface — ``repro-skeleton profile``, ``repro-skeleton
-  timeline`` and the global ``--metrics-out`` flag (see
-  :mod:`repro.cli`).
+  timeline``, ``repro-skeleton trace-dump``, ``call --trace``, and the
+  global ``--metrics-out`` flag (see :mod:`repro.cli`).
 
 See ``docs/OBSERVABILITY.md`` for the user guide.
 """
 
+from repro.obs.log import StructuredLogger, get_logger, set_log_stream
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -28,6 +35,19 @@ from repro.obs.metrics import (
     get_metrics,
     render_metrics,
     set_metrics,
+)
+from repro.obs.tracing import (
+    FlightRecorder,
+    NULL_TRACER,
+    Span,
+    TraceContext,
+    Tracer,
+    enabled_tracing,
+    get_tracer,
+    new_root_context,
+    render_span_tree,
+    set_tracer,
+    spans_to_chrome_trace,
 )
 
 # The timeline recorder subclasses EngineHook, and the engine itself
@@ -47,14 +67,28 @@ __all__ = [
     "ActivitySpan",
     "Counter",
     "FaultSpan",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MessageFlight",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Span",
+    "StructuredLogger",
     "TimelineRecorder",
+    "TraceContext",
+    "Tracer",
     "enabled_metrics",
+    "enabled_tracing",
+    "get_logger",
     "get_metrics",
+    "get_tracer",
+    "new_root_context",
     "render_metrics",
+    "render_span_tree",
+    "set_log_stream",
     "set_metrics",
+    "set_tracer",
+    "spans_to_chrome_trace",
 ]

@@ -1,0 +1,113 @@
+"""Structured JSON logging with trace correlation (``repro.obs``).
+
+The serving stack logs *events*, not prose: one JSON object per line,
+machine-greppable, and automatically stamped with the ambient
+``trace_id``/``span_id`` from :mod:`repro.obs.tracing` so a log line
+and the flight-recorder span it happened under join on one key.
+
+Line shape (field order is fixed so logs diff cleanly)::
+
+    {"ts": 1754650000.123, "level": "info", "component": "serve.server",
+     "event": "drain", "msg": "draining ...", "trace_id": "...", ...}
+
+Design notes:
+
+* stdlib-only and synchronous — a lifecycle event every few seconds,
+  not a hot path (the per-request access log is opt-in);
+* lines go to one process-wide stream (default ``sys.stderr``,
+  swappable via :func:`set_log_stream` for tests and capture);
+* never raises: a closed stream or unserialisable field degrades to
+  ``repr`` / silent drop — logging must not take the server down.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Optional, TextIO
+
+__all__ = [
+    "StructuredLogger",
+    "get_log_stream",
+    "get_logger",
+    "set_log_stream",
+]
+
+_stream: Optional[TextIO] = None  # None -> sys.stderr at emit time
+_stream_lock = threading.Lock()
+
+
+def set_log_stream(stream: Optional[TextIO]) -> Optional[TextIO]:
+    """Redirect all structured logs (``None`` restores stderr);
+    returns the previous stream setting."""
+    global _stream
+    previous = _stream
+    _stream = stream
+    return previous
+
+
+def get_log_stream() -> TextIO:
+    return _stream if _stream is not None else sys.stderr
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+class StructuredLogger:
+    """One component's JSON-lines logger (``get_logger("serve.pool")``)."""
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str):
+        self.component = component
+
+    def log(self, level: str, event: str, msg: str = "", **fields) -> None:
+        from repro.obs.tracing import get_tracer
+
+        record: dict = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        if msg:
+            record["msg"] = msg
+        span = get_tracer().current()
+        if span is not None and span.context is not None:
+            record["trace_id"] = span.context.trace_id
+            record["span_id"] = span.context.span_id
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        try:
+            line = json.dumps(record, separators=(", ", ": "))
+        except (TypeError, ValueError):
+            return
+        try:
+            with _stream_lock:
+                stream = get_log_stream()
+                stream.write(line + "\n")
+                stream.flush()
+        except (OSError, ValueError):
+            pass  # closed/broken stream: drop, never raise
+
+    def info(self, event: str, msg: str = "", **fields) -> None:
+        self.log("info", event, msg, **fields)
+
+    def warning(self, event: str, msg: str = "", **fields) -> None:
+        self.log("warning", event, msg, **fields)
+
+    def error(self, event: str, msg: str = "", **fields) -> None:
+        self.log("error", event, msg, **fields)
+
+
+def get_logger(component: str) -> StructuredLogger:
+    return StructuredLogger(component)

@@ -184,6 +184,34 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0 <= q <= 1) from the buckets.
+
+        Linear interpolation over the cumulative bucket counts — the
+        standard histogram-quantile estimate — with the result clamped
+        to the observed ``[min, max]`` so a coarse first/last bucket
+        cannot report a value outside what was actually seen. Returns
+        ``None`` when nothing has been observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q!r}")
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        lo = self.min  # lower edge of the current bucket
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if n:
+                if cumulative + n >= rank:
+                    fraction = (rank - cumulative) / n
+                    value = lo + fraction * (bound - lo)
+                    return min(max(value, self.min), self.max)
+                cumulative += n
+            lo = bound
+        # The remaining mass lives in the implicit +inf bucket; its
+        # only honest point estimate is the observed maximum.
+        return self.max
+
     def snapshot(self) -> dict:
         return {
             "type": "histogram",
@@ -192,6 +220,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": self._cumulative_buckets(),
         }
 
@@ -227,6 +258,9 @@ class _NullInstrument:
 
     def labels(self, **labels: object) -> "_NullInstrument":
         return self
+
+    def quantile(self, q: float) -> None:
+        return None
 
     @property
     def value(self) -> float:
@@ -371,6 +405,10 @@ def render_metrics(registry: MetricsRegistry) -> str:
     """
     from repro.util.tables import render_table
 
+    def _q(inst: dict, key: str, fmt: str) -> str:
+        value = inst.get(key)
+        return format(value, fmt) if value is not None else "-"
+
     scalars: list[tuple] = []
     timings: list[tuple] = []
     distributions: list[tuple] = []
@@ -380,11 +418,15 @@ def render_metrics(registry: MetricsRegistry) -> str:
             scalars.append((name, kind, f"{inst['value']:g}"))
         elif name.endswith("_seconds"):
             timings.append(
-                (name, inst["count"], f"{inst['mean']:.4f}", f"{inst['sum']:.4f}")
+                (name, inst["count"], f"{inst['mean']:.4f}",
+                 _q(inst, "p50", ".4f"), _q(inst, "p95", ".4f"),
+                 _q(inst, "p99", ".4f"), f"{inst['sum']:.4f}")
             )
         else:
             distributions.append(
-                (name, inst["count"], f"{inst['mean']:.2f}", f"{inst['max']:g}")
+                (name, inst["count"], f"{inst['mean']:.2f}",
+                 _q(inst, "p50", ".2f"), _q(inst, "p95", ".2f"),
+                 _q(inst, "p99", ".2f"), f"{inst['max']:g}")
             )
     parts: list[str] = []
     if scalars:
@@ -393,14 +435,17 @@ def render_metrics(registry: MetricsRegistry) -> str:
         parts.append(
             render_table(
                 "stage timings (seconds)",
-                ("stage", "count", "mean s", "total s"),
+                ("stage", "count", "mean s", "p50 s", "p95 s", "p99 s",
+                 "total s"),
                 timings,
             )
         )
     if distributions:
         parts.append(
             render_table(
-                "distributions", ("name", "count", "mean", "max"), distributions
+                "distributions",
+                ("name", "count", "mean", "p50", "p95", "p99", "max"),
+                distributions,
             )
         )
     if not parts:

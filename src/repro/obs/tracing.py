@@ -1,0 +1,675 @@
+"""Distributed tracing and the flight recorder (``repro.obs``).
+
+A ``predict`` request crosses four layers — the asyncio TCP server,
+the verb dispatcher, the (optionally coalescing) prediction service,
+and a forked worker — and a slow or failed request must be
+reconstructible after the fact from any of them. This module gives
+the serving stack span-level visibility on the same design budget as
+the metrics registry (:mod:`repro.obs.metrics`): stdlib-only, near
+zero cost when disabled, O(1) per span when enabled.
+
+Three pieces:
+
+* :class:`TraceContext` — the propagated identity of a request:
+  ``trace_id`` / ``span_id`` / ``parent_id``. Child spans derive
+  their ids *deterministically* (BLAKE2b of the parent span id, the
+  child name, and a per-span child counter), so two processes that
+  agree on a parent context agree on its children. On the wire the
+  context travels as a ``trace`` field in the JSON-lines protocol
+  (``docs/SERVING.md``); across the fork boundary it rides the worker
+  task tuple.
+* :class:`Tracer` — the process-wide span factory, installed like a
+  metrics registry (:func:`get_tracer` / :func:`set_tracer` /
+  :func:`enabled_tracing`). ``tracer.span(...)`` is a context manager
+  that opens a child of the ambient (thread-local) current span;
+  ``start_span``/``finish`` is the manual form for the asyncio server,
+  where interleaved requests share one thread and must not touch the
+  ambient stack. A disabled tracer hands out one shared null span.
+* :class:`FlightRecorder` — a bounded ring buffer of *completed*
+  spans and structured events that is always on while tracing is
+  enabled. It answers the ``tracez``/``slowz`` service verbs (recent
+  span trees; top-K slowest roots with per-stage breakdown) and is
+  dumped as JSON on error replies, worker crash/timeout, and SIGTERM
+  drain — the post-hoc record that makes a production problem
+  diagnosable without reproducing it.
+
+Span dicts are plain data (``canonical_json``-able); see
+``docs/OBSERVABILITY.md`` ("Request tracing & flight recorder").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Iterator, Mapping, Optional, Sequence
+
+__all__ = [
+    "FlightRecorder",
+    "NULL_TRACER",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "enabled_tracing",
+    "get_tracer",
+    "new_root_context",
+    "render_span_tree",
+    "set_tracer",
+    "spans_to_chrome_trace",
+]
+
+#: Default flight-recorder capacity (completed spans kept).
+DEFAULT_RING = 2048
+
+#: Chrome-trace process lanes for serve spans. Disjoint from the run
+#: timeline's pids (0 ranks, 1 messages, 2 faults, 3 wait states), so
+#: a serve trace and a run timeline merge into one Perfetto view.
+COMPONENT_PIDS = {"server": 4, "service": 5, "worker": 6, "predict": 7}
+_OTHER_PID = 8
+
+
+def _digest(text: str) -> str:
+    return blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+
+
+# Per-process entropy so concurrently started processes mint disjoint
+# root trace ids; overridable (seed) for deterministic tests.
+_PROCESS_ENTROPY = os.urandom(8).hex()
+_root_counter = 0
+_root_lock = threading.Lock()
+
+
+def new_root_context(seed: Optional[str] = None) -> TraceContext:
+    """Mint a fresh root context (no parent).
+
+    Root ids are unique per process by construction (entropy + pid +
+    counter); pass ``seed`` to derive a reproducible context instead
+    (tests, replay tooling).
+    """
+    global _root_counter
+    if seed is not None:
+        trace_id = _digest(f"seed:{seed}")
+    else:
+        with _root_lock:
+            _root_counter += 1
+            n = _root_counter
+        trace_id = _digest(f"{_PROCESS_ENTROPY}:{os.getpid()}:{n}")
+    return TraceContext(trace_id=trace_id, span_id=_digest(f"{trace_id}/0"))
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one request: who am I, who called me."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def child(self, name: str, index: int) -> "TraceContext":
+        """Deterministic child context: both sides of a process
+        boundary derive the same ids from the same (name, index)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_digest(f"{self.span_id}/{name}/{index}"),
+            parent_id=self.span_id,
+        )
+
+    def to_dict(self) -> dict:
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        return out
+
+    @staticmethod
+    def from_dict(data: object) -> Optional["TraceContext"]:
+        """Parse a wire ``trace`` field; garbage yields ``None`` (an
+        untraced request), never an exception."""
+        if not isinstance(data, Mapping):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        parent = data.get("parent_id")
+        return TraceContext(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent if isinstance(parent, str) else None,
+        )
+
+
+class Span:
+    """One in-progress operation; becomes a plain dict when finished.
+
+    Wall-clock timestamps (``time.time``) are the recorded times so
+    spans from different processes line up on one axis; duration is
+    measured with ``perf_counter`` for sub-millisecond fidelity.
+    """
+
+    __slots__ = ("name", "context", "component", "attrs", "events",
+                 "status", "ts", "_t0", "_children", "_recorder")
+
+    def __init__(
+        self,
+        name: str,
+        context: TraceContext,
+        component: str = "",
+        attrs: Optional[dict] = None,
+        recorder: Optional["FlightRecorder"] = None,
+    ):
+        self.name = name
+        self.context = context
+        self.component = component
+        self.attrs = dict(attrs) if attrs else {}
+        self.events: list[dict] = []
+        self.status = "ok"
+        self.ts = time.time()
+        self._t0 = time.perf_counter()
+        self._children = 0
+        self._recorder = recorder
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def add_event(self, name: str, **fields: object) -> None:
+        self.events.append({"name": name, "dt": self.elapsed(), **fields})
+
+    def child_context(self, name: str) -> TraceContext:
+        self._children += 1
+        return self.context.child(name, self._children)
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def finish(self, status: Optional[str] = None) -> dict:
+        """Close the span, record it, and return its dict form.
+        Idempotent close is the caller's job (each span ends once)."""
+        if status is not None:
+            self.status = status
+        data = {
+            "name": self.name,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.context.parent_id,
+            "component": self.component,
+            "ts": self.ts,
+            "dur": self.elapsed(),
+            "status": self.status,
+        }
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        if self.events:
+            data["events"] = list(self.events)
+        if self._recorder is not None:
+            self._recorder.record(data)
+        return data
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by disabled tracers. Also a
+    no-op context manager, so ``with tracer.span(...)`` costs one
+    method call when tracing is off."""
+
+    __slots__ = ()
+
+    context = None
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+    def add_event(self, name: str, **fields: object) -> None:
+        pass
+
+    def finish(self, status: Optional[str] = None) -> dict:
+        return {}
+
+    def elapsed(self) -> float:
+        return 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class FlightRecorder:
+    """Bounded ring of completed spans + structured events.
+
+    Appends are O(1) (``deque`` with ``maxlen``); everything else —
+    tree assembly, top-K, dumps — is on-demand and scans at most the
+    ring. ``dropped_spans`` counts what the ring forgot, so a dump is
+    honest about truncation.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING,
+                 dump_path: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("flight recorder needs capacity >= 1")
+        self.capacity = int(capacity)
+        self.dump_path = dump_path
+        self._spans: deque = deque(maxlen=self.capacity)
+        self._events: deque = deque(maxlen=self.capacity)
+        self.n_spans = 0
+        self.n_events = 0
+        self.n_dumps = 0
+        self._dump_lock = threading.Lock()
+
+    # -- recording (hot path) -------------------------------------------
+
+    def record(self, span: dict) -> None:
+        self._spans.append(span)
+        self.n_spans += 1
+
+    def record_remote(self, spans: Sequence[dict]) -> None:
+        """Adopt completed spans shipped from another process (serve
+        workers ship theirs back with each result)."""
+        for span in spans:
+            if isinstance(span, dict):
+                self.record(span)
+
+    def record_event(self, name: str, **fields: object) -> None:
+        self._events.append({"name": name, "ts": time.time(), **fields})
+        self.n_events += 1
+
+    # -- queries (tracez / slowz) ---------------------------------------
+
+    @property
+    def dropped_spans(self) -> int:
+        return max(0, self.n_spans - len(self._spans))
+
+    def spans(self) -> list[dict]:
+        """All retained spans, oldest first."""
+        return list(self._spans)
+
+    def recent(self, limit: int = 64) -> list[dict]:
+        """The newest ``limit`` spans, newest first."""
+        spans = list(self._spans)
+        return spans[::-1][: max(0, int(limit))]
+
+    def trace_spans(self, trace_id: str) -> list[dict]:
+        """Every retained span of one trace, oldest first."""
+        return [s for s in self._spans if s.get("trace_id") == trace_id]
+
+    def span_tree(self, trace_id: str) -> list[dict]:
+        """The trace's spans as a parent→children forest (a span whose
+        parent fell out of the ring, or lives in the client, roots its
+        own tree)."""
+        return build_span_forest(self.trace_spans(trace_id))
+
+    def slowest(self, k: int = 10) -> list[dict]:
+        """Top-K slowest *root* requests with a per-stage breakdown.
+
+        A root is a span with no retained parent. Stages aggregate the
+        root's descendants by span name (total seconds + count), so a
+        slow request answers "where did the time go" at a glance.
+        """
+        spans = list(self._spans)
+        by_id = {s["span_id"]: s for s in spans}
+        children: dict[str, list[dict]] = {}
+        for s in spans:
+            parent = s.get("parent_id")
+            if parent in by_id:
+                children.setdefault(parent, []).append(s)
+        roots = [s for s in spans if s.get("parent_id") not in by_id]
+        roots.sort(key=lambda s: s.get("dur", 0.0), reverse=True)
+        out = []
+        for root in roots[: max(0, int(k))]:
+            stages: dict[str, dict] = {}
+            stack = list(children.get(root["span_id"], ()))
+            while stack:
+                s = stack.pop()
+                st = stages.setdefault(
+                    s["name"], {"seconds": 0.0, "count": 0}
+                )
+                st["seconds"] += s.get("dur", 0.0)
+                st["count"] += 1
+                stack.extend(children.get(s["span_id"], ()))
+            out.append({
+                "span": root,
+                "seconds": root.get("dur", 0.0),
+                "stages": {
+                    name: stages[name] for name in sorted(stages)
+                },
+            })
+        return out
+
+    def snapshot(self, limit: int = 64) -> dict:
+        """The ``tracez`` reply body: recent spans + events + loss."""
+        return {
+            "spans": self.recent(limit),
+            "events": list(self._events)[::-1][: max(0, int(limit))],
+            "recorded_spans": self.n_spans,
+            "dropped_spans": self.dropped_spans,
+            "capacity": self.capacity,
+        }
+
+    # -- dumps -----------------------------------------------------------
+
+    def dump(self, reason: str) -> dict:
+        """The full retained state as one JSON-ready dict."""
+        return {
+            "reason": reason,
+            "written_unix": time.time(),
+            "capacity": self.capacity,
+            "recorded_spans": self.n_spans,
+            "dropped_spans": self.dropped_spans,
+            "spans": self.spans(),
+            "events": list(self._events),
+        }
+
+    def maybe_dump(self, reason: str) -> Optional[str]:
+        """Write the dump to ``dump_path`` if one is configured.
+
+        Best-effort and never raises: the flight recorder must not be
+        able to take the serving path down. Returns the path written,
+        or ``None``.
+        """
+        path = self.dump_path
+        if not path:
+            return None
+        try:
+            with self._dump_lock:
+                tmp = f"{path}.tmp{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(self.dump(reason), fh, indent=1)
+                    fh.write("\n")
+                os.replace(tmp, path)
+                self.n_dumps += 1
+        except OSError:
+            return None
+        from repro.obs.metrics import get_metrics
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "obs.flight_dumps", "flight-recorder dumps written"
+            ).labels(reason=reason).inc()
+        return path
+
+
+class _SpanScope:
+    """``with tracer.span(...)`` — pushes the span onto the tracer's
+    thread-local ambient stack so nested instrumentation (e.g.
+    ``compute_prediction`` stages) parents correctly without plumbing
+    a context through every signature."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self._span)
+        if exc_type is not None and self._span.status == "ok":
+            self._span.set_attr("error", f"{exc_type.__name__}: {exc}")
+            self._span.finish("error")
+        else:
+            self._span.finish()
+
+
+class Tracer:
+    """Process-wide span factory + its flight recorder.
+
+    Mirrors :class:`~repro.obs.metrics.MetricsRegistry`: the default
+    active tracer is disabled and hands out one shared null span, so
+    instrumented code pays a module-global read and an attribute check
+    when tracing is off (hot loops hoist ``tracer.enabled``).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: int = DEFAULT_RING,
+        dump_path: Optional[str] = None,
+    ):
+        self.enabled = bool(enabled)
+        self.recorder = FlightRecorder(capacity, dump_path=dump_path)
+        self._ambient = threading.local()
+
+    # -- ambient (thread-local) span stack -------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._ambient, "stack", None)
+        if stack is None:
+            stack = self._ambient.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._ambient, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def current(self) -> Optional[Span]:
+        """The innermost open ambient span of *this thread* (or None)."""
+        stack = getattr(self._ambient, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- span creation ---------------------------------------------------
+
+    def _derive(self, name: str, parent) -> TraceContext:
+        if isinstance(parent, Span):
+            return parent.child_context(name)
+        if isinstance(parent, TraceContext):
+            # A wire/cross-process parent has no live child counter;
+            # salt with the recorder's running span count so sibling
+            # children of the same remote context stay distinct.
+            return parent.child(name, self.recorder.n_spans + 1)
+        ambient = self.current()
+        if ambient is not None:
+            return ambient.child_context(name)
+        ctx = new_root_context()
+        return TraceContext(ctx.trace_id, ctx.span_id)
+
+    def start_span(
+        self,
+        name: str,
+        parent=None,
+        component: str = "",
+        attrs: Optional[dict] = None,
+    ):
+        """Manual span (caller must ``finish()``); does not touch the
+        ambient stack — the form the asyncio server uses, where
+        interleaved requests share one thread."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(
+            name,
+            self._derive(name, parent),
+            component=component,
+            attrs=attrs,
+            recorder=self.recorder,
+        )
+
+    def span(
+        self,
+        name: str,
+        parent=None,
+        component: str = "",
+        attrs: Optional[dict] = None,
+    ):
+        """Context-manager span, parented to ``parent`` or the ambient
+        current span; finishes (and records) on exit."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanScope(self, self.start_span(
+            name, parent=parent, component=component, attrs=attrs
+        ))
+
+
+#: The always-disabled tracer active by default.
+NULL_TRACER = Tracer(enabled=False, capacity=1)
+
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer (disabled null one by default)."""
+    return _active
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` as the active one; returns the previous.
+    Passing ``None`` restores the default disabled tracer."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def enabled_tracing(
+    tracer: Optional[Tracer] = None,
+    capacity: int = DEFAULT_RING,
+    dump_path: Optional[str] = None,
+) -> Iterator[Tracer]:
+    """Scope with tracing on; yields the active tracer and restores
+    the previous one on exit (mirror of ``enabled_metrics``)."""
+    t = tracer if tracer is not None else Tracer(
+        enabled=True, capacity=capacity, dump_path=dump_path
+    )
+    previous = set_tracer(t)
+    try:
+        yield t
+    finally:
+        set_tracer(previous)
+
+
+# -- presentation helpers (CLI `call --trace`, `trace-dump`) ------------
+
+
+def build_span_forest(spans: Sequence[dict]) -> list[dict]:
+    """Nest flat span dicts into ``{"span": ..., "children": [...]}``
+    trees. Spans whose parent is absent (client-side root, or rotated
+    out of the ring) become roots. Children sort by start time."""
+    by_id = {s["span_id"]: {"span": s, "children": []} for s in spans}
+    roots = []
+    for s in sorted(spans, key=lambda s: s.get("ts", 0.0)):
+        node = by_id[s["span_id"]]
+        parent = s.get("parent_id")
+        if parent in by_id and parent != s["span_id"]:
+            by_id[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def render_span_tree(spans: Sequence[dict]) -> str:
+    """Terminal rendering of a span forest::
+
+        server.request [server] 102.4ms ok  trace=1f2e...
+          service.predict [service] 101.9ms ok
+            worker.compute [worker] 99.1ms timeout
+    """
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        s = node["span"]
+        dur = s.get("dur", 0.0) * 1e3
+        status = s.get("status", "ok")
+        head = f"{'  ' * depth}{s['name']} [{s.get('component') or '-'}]"
+        line = f"{head} {dur:.1f}ms {status}"
+        if depth == 0:
+            line += f"  trace={s.get('trace_id', '?')}"
+        coalesced = (s.get("attrs") or {}).get("coalesced")
+        if coalesced:
+            line += " (coalesced)"
+        lines.append(line)
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in build_span_forest(spans):
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(no spans)"
+
+
+def spans_to_chrome_trace(spans: Sequence[dict]) -> dict:
+    """Serve spans as Chrome trace events, Perfetto-loadable.
+
+    One process lane per component (pid 4 server, 5 service, 6 worker,
+    7 predict — disjoint from the run timeline's pids 0–3, so both
+    exports merge into one Perfetto view), one thread track per trace,
+    and flow events (``ph s/f``, the same idiom the run timeline uses
+    for message causality) joining each parent span to its children
+    across lanes.
+    """
+    scale = 1e6
+    t0 = min((s.get("ts", 0.0) for s in spans), default=0.0)
+    events: list[dict] = []
+    trace_tids: dict[str, int] = {}
+    used_pids: dict[int, str] = {}
+    by_id = {s["span_id"]: s for s in spans}
+
+    def pid_of(span: dict) -> int:
+        pid = COMPONENT_PIDS.get(span.get("component"), _OTHER_PID)
+        used_pids.setdefault(
+            pid, str(span.get("component") or "other")
+        )
+        return pid
+
+    for s in spans:
+        tid = trace_tids.setdefault(s.get("trace_id", "?"), len(trace_tids))
+        ev = {
+            "name": s["name"],
+            "cat": s.get("component") or "span",
+            "ph": "X",
+            "ts": (s.get("ts", 0.0) - t0) * scale,
+            "dur": s.get("dur", 0.0) * scale,
+            "pid": pid_of(s),
+            "tid": tid,
+            "args": {
+                "trace_id": s.get("trace_id"),
+                "span_id": s.get("span_id"),
+                "status": s.get("status"),
+                **(s.get("attrs") or {}),
+            },
+        }
+        events.append(ev)
+        parent = by_id.get(s.get("parent_id"))
+        if parent is not None and pid_of(parent) != pid_of(s):
+            flow_id = int(s["span_id"][:8], 16)
+            events.append({
+                "name": f"{parent['name']}->{s['name']}",
+                "cat": "span-flow",
+                "ph": "s",
+                "id": flow_id,
+                "ts": (parent.get("ts", 0.0) - t0) * scale,
+                "pid": pid_of(parent),
+                "tid": tid,
+            })
+            events.append({
+                "name": f"{parent['name']}->{s['name']}",
+                "cat": "span-flow",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "ts": (s.get("ts", 0.0) - t0) * scale,
+                "pid": pid_of(s),
+                "tid": tid,
+            })
+    for pid, name in sorted(used_pids.items()):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"serve {name}"},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"n_spans": len(spans), "n_traces": len(trace_tids)},
+    }

@@ -30,6 +30,7 @@ from repro.cluster.scenarios import resolve_scenario
 from repro.cluster.topology import Cluster
 from repro.core.construct import build_skeleton
 from repro.errors import ServeError, SkeletonQualityWarning
+from repro.obs.tracing import get_tracer
 from repro.sim.program import run_program
 from repro.store.memo import (
     PipelineCache,
@@ -142,7 +143,32 @@ def compute_prediction(
     ``ratio = T_app_ded / T_skel_ded`` then ``predicted = probe ×
     ratio``, with the probe seed derived as ``derive_seed(env_seed,
     "probe", scenario.name)``.
+
+    With tracing enabled the computation runs under an ambient
+    ``predict.compute`` span with one child span per pipeline stage
+    (``predict.traced_run`` / ``predict.skeleton`` /
+    ``predict.skel_dedicated`` / ``predict.probe``) — visible in
+    ``slowz``, ``call --trace``, and flight-recorder dumps. The spans
+    never touch the payload: bytes stay identical with tracing on.
     """
+    with get_tracer().span(
+        "predict.compute",
+        component="predict",
+        attrs={
+            "bench": str(params.get("bench", "?")),
+            "scenario": str(params.get("scenario", "?")),
+        },
+    ):
+        return _compute_payload(params, cache, cluster, bundle_cache)
+
+
+def _compute_payload(
+    params: Mapping,
+    cache: PipelineCache,
+    cluster: Cluster,
+    bundle_cache: Optional[MutableMapping] = None,
+) -> dict:
+    tracer = get_tracer()
     bench = params["bench"]
     klass = params["klass"]
     nprocs = int(params["nprocs"])
@@ -163,10 +189,11 @@ def compute_prediction(
 
     def _traced_run():
         if not traced:
-            program = get_program(bench, klass, nprocs, wl_seed)
-            traced["trace"], traced["dedicated"] = cache.traced_run(
-                app_params, lambda: trace_program(program, cluster)
-            )
+            with tracer.span("predict.traced_run", component="predict"):
+                program = get_program(bench, klass, nprocs, wl_seed)
+                traced["trace"], traced["dedicated"] = cache.traced_run(
+                    app_params, lambda: trace_program(program, cluster)
+                )
         return traced["trace"], traced["dedicated"]
 
     dedicated = cache.traced_run_result(app_params)
@@ -183,27 +210,30 @@ def compute_prediction(
                 warnings.simplefilter("ignore", SkeletonQualityWarning)
                 return build_skeleton(trace, target_seconds=target)
 
-        bundle = cache.skeleton(trace_digest, target, _build)
+        with tracer.span("predict.skeleton", component="predict"):
+            bundle = cache.skeleton(trace_digest, target, _build)
         if bundle_cache is not None:
             bundle_cache[skel_digest] = bundle
 
     skel_params = skeleton_program_params(skel_digest)
-    skel_ded = cache.simulated_run(
-        skel_params, DEDICATED, env_seed,
-        lambda: run_program(
-            bundle.program, cluster, DEDICATED, seed=env_seed
-        ),
-    )
+    with tracer.span("predict.skel_dedicated", component="predict"):
+        skel_ded = cache.simulated_run(
+            skel_params, DEDICATED, env_seed,
+            lambda: run_program(
+                bundle.program, cluster, DEDICATED, seed=env_seed
+            ),
+        )
     if skel_ded.elapsed <= 0:
         raise ServeError("skeleton executed in zero time")
     ratio = dedicated.elapsed / skel_ded.elapsed
     probe_seed = derive_seed(env_seed, "probe", scenario.name)
-    probe = cache.simulated_run(
-        skel_params, scenario, probe_seed,
-        lambda: run_program(
-            bundle.program, cluster, scenario, seed=probe_seed
-        ),
-    )
+    with tracer.span("predict.probe", component="predict"):
+        probe = cache.simulated_run(
+            skel_params, scenario, probe_seed,
+            lambda: run_program(
+                bundle.program, cluster, scenario, seed=probe_seed
+            ),
+        )
     return {
         "workload": {
             "bench": bench,

@@ -35,18 +35,25 @@ class ServiceClient:
         params: Optional[Mapping] = None,
         deadline_ms: Optional[int] = None,
         request_id: Optional[str] = None,
+        trace: Optional[Mapping] = None,
     ) -> dict:
         """Send one request, return the decoded reply envelope.
 
         Transport trouble (refused connection, timeout, truncated
         reply) raises :class:`ServeError`; protocol-level failures
-        come back as normal ``ok=False`` replies.
+        come back as normal ``ok=False`` replies. ``trace`` is an
+        optional trace-context dict (see
+        :meth:`repro.obs.tracing.TraceContext.to_dict`); a traced
+        request's reply carries the server-side spans under a
+        ``trace`` key when tracing is enabled server-side.
         """
         request: dict = {"verb": str(verb), "params": dict(params or {})}
         if deadline_ms is not None:
             request["deadline_ms"] = int(deadline_ms)
         if request_id is not None:
             request["id"] = request_id
+        if trace is not None:
+            request["trace"] = dict(trace)
         try:
             with socket.create_connection(
                 (self.host, self.port), timeout=self.timeout

@@ -46,9 +46,21 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.faults.resilience import RetryPolicy, resilient_call
+from repro.obs.log import get_logger
+from repro.obs.tracing import TraceContext, get_tracer
 from repro.parallel.supervisor import Supervisor, SupervisorConfig
 
 __all__ = ["WorkerPool"]
+
+_log = get_logger("serve.pool")
+
+
+def _shipped_spans(tracer, span) -> list:
+    """The completed spans of this task's trace, for the result
+    envelope (the parent adopts them into its flight recorder)."""
+    if not tracer.enabled or span.context is None:
+        return []
+    return tracer.recorder.trace_spans(span.context.trace_id)
 
 
 def _worker_main(
@@ -59,7 +71,13 @@ def _worker_main(
     heartbeat_interval: float,
     retry_policy: RetryPolicy,
 ) -> None:
-    """Worker loop: pull a request, compute, ship the payload back."""
+    """Worker loop: pull a request, compute, ship the payload back.
+
+    ``ok``/``err`` payloads are envelopes carrying the worker-side
+    spans of the task's trace alongside the result; the ``start`` ack
+    carries the opened span's identity so the parent can synthesize a
+    closed span if this process hangs or dies mid-task.
+    """
     if heartbeat_interval > 0:
 
         def _beat() -> None:
@@ -80,8 +98,28 @@ def _worker_main(
         item = tasks.get()
         if item is None:
             return
-        task_id, params = item
-        results.put(("start", worker_id, task_id, None))
+        task_id, params, ctx = item
+        # Workers are forked, so they inherit the parent's tracer (and
+        # any monkeypatched compute_prediction — see the module note).
+        tracer = get_tracer()
+        scope = tracer.span(
+            "worker.compute",
+            parent=TraceContext.from_dict(ctx) if ctx else None,
+            component="worker",
+            attrs={"worker_id": worker_id, "task_id": task_id},
+        )
+        span = scope.__enter__()
+        start_info = None
+        if span.context is not None:
+            start_info = {
+                "name": "worker.compute",
+                "trace_id": span.context.trace_id,
+                "span_id": span.context.span_id,
+                "parent_id": span.context.parent_id,
+                "ts": span.ts,
+                "worker_id": worker_id,
+            }
+        results.put(("start", worker_id, task_id, start_info))
         try:
             # Resolved through the module so a patch installed in the
             # parent before fork takes effect here too.
@@ -89,8 +127,15 @@ def _worker_main(
                 lambda: online.compute_prediction(params, cache, cluster),
                 retry_policy,
             )
-            results.put(("ok", worker_id, task_id, value))
+            scope.__exit__(None, None, None)
+            results.put((
+                "ok",
+                worker_id,
+                task_id,
+                {"payload": value, "spans": _shipped_spans(tracer, span)},
+            ))
         except BaseException as exc:  # ship, never kill the loop
+            scope.__exit__(type(exc), exc, exc.__traceback__)
             results.put((
                 "err",
                 worker_id,
@@ -99,6 +144,7 @@ def _worker_main(
                     "type": type(exc).__name__,
                     "message": str(exc),
                     "attempts": int(getattr(exc, "attempts", 1)),
+                    "spans": _shipped_spans(tracer, span),
                 },
             ))
 
@@ -141,8 +187,12 @@ class WorkerPool:
         #: process), leaving the task unattributable; these are
         #: resubmitted on such a death. Duplicate execution is benign:
         #: compute is idempotent against the content-addressed store.
-        self._unstarted: dict[int, dict] = {}
+        self._unstarted: dict[int, tuple] = {}
         self._requeued: dict[int, int] = {}
+        #: worker id -> span-start info from its "start" ack, so a
+        #: hung or dead worker still contributes a (synthesized)
+        #: closed span to the flight recorder.
+        self._span_starts: dict[int, dict] = {}
         self._max_requeues = 1
         self._lock = threading.Lock()
         self._next_task = 0
@@ -176,6 +226,7 @@ class WorkerPool:
         )
         proc.start()
         self._procs[worker_id] = proc
+        _log.info("worker_spawn", worker_id=worker_id, pid=proc.pid)
 
     def _kill(self, worker_id: int) -> None:
         proc = self._procs.pop(worker_id, None)
@@ -189,8 +240,13 @@ class WorkerPool:
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, params: dict) -> dict:
-        """Run one normalized request in a worker; block for the result."""
+    def submit(self, params: dict, ctx: Optional[dict] = None) -> dict:
+        """Run one normalized request in a worker; block for the result.
+
+        ``ctx`` is an optional trace-context dict (the service passes
+        its span's); the worker parents its ``worker.compute`` span to
+        it, joining the trace across the fork boundary.
+        """
         if self._closed:
             raise ServeError("worker pool is closed")
         with self._lock:
@@ -198,8 +254,8 @@ class WorkerPool:
             self._next_task += 1
             fut: Future = Future()
             self._futures[task_id] = fut
-            self._unstarted[task_id] = dict(params)
-        self._tasks.put((task_id, dict(params)))
+            self._unstarted[task_id] = (dict(params), ctx)
+        self._tasks.put((task_id, dict(params), ctx))
         return fut.result()
 
     # -- parent-side collection ------------------------------------------
@@ -219,6 +275,8 @@ class WorkerPool:
                 with self._lock:
                     self._running[wid] = task_id
                     self._unstarted.pop(task_id, None)
+                    if payload:
+                        self._span_starts[wid] = payload
             elif kind in ("ok", "err"):
                 _, started_at = self.supervisor._tasks.get(
                     wid, (None, None)
@@ -232,11 +290,22 @@ class WorkerPool:
                     self._running.pop(wid, None)
                     self._unstarted.pop(task_id, None)
                     self._requeued.pop(task_id, None)
+                    self._span_starts.pop(wid, None)
                     fut = self._futures.pop(task_id, None)
+                # Adopt the worker's completed spans before resolving
+                # the future, so the service span that wakes up sees a
+                # complete trace in the flight recorder.
+                tracer = get_tracer()
+                if (
+                    tracer.enabled
+                    and isinstance(payload, dict)
+                    and payload.get("spans")
+                ):
+                    tracer.recorder.record_remote(payload["spans"])
                 if fut is None:
                     continue
                 if kind == "ok":
-                    fut.set_result(payload)
+                    fut.set_result(payload["payload"])
                 else:
                     fut.set_exception(
                         RemoteComputeError(
@@ -247,9 +316,50 @@ class WorkerPool:
                     )
             self._enforce()
 
+    def _synthesize_span(self, wid: int, status: str, reason: str) -> None:
+        """A worker that hangs or dies cannot close its own span —
+        close it here from the "start" ack, record it, and dump the
+        flight recorder. Runs *before* the task's future is failed so
+        the waiting service span sees the worker span in the ring."""
+        tracer = get_tracer()
+        with self._lock:
+            info = self._span_starts.pop(wid, None)
+        if not tracer.enabled or not info:
+            return
+        ts = float(info.get("ts", time.time()))
+        tracer.recorder.record({
+            "name": info.get("name", "worker.compute"),
+            "trace_id": info.get("trace_id"),
+            "span_id": info.get("span_id"),
+            "parent_id": info.get("parent_id"),
+            "component": "worker",
+            "ts": ts,
+            "dur": max(0.0, time.time() - ts),
+            "status": status,
+            "attrs": {
+                "worker_id": wid,
+                "synthesized": True,
+                "reason": reason,
+            },
+        })
+        tracer.recorder.record_event(
+            f"worker_{status}",
+            worker_id=wid,
+            trace_id=info.get("trace_id"),
+            reason=reason,
+        )
+        tracer.recorder.maybe_dump(f"worker_{status}")
+
     def _enforce(self) -> None:
         """Cancel overdue workers; fail their futures; respawn."""
         for wid, key, runtime, reason in self.supervisor.overdue():
+            why = f"{reason} after {runtime:.1f}s"
+            _log.warning(
+                "worker_timeout",
+                f"prediction task hung in worker {wid} ({why})",
+                worker_id=wid,
+            )
+            self._synthesize_span(wid, "timeout", why)
             self._fail_worker_task(
                 wid,
                 TaskTimeoutError(
@@ -275,7 +385,14 @@ class WorkerPool:
             self.supervisor.task_finished(wid)
             with self._lock:
                 had_task = wid in self._running
+            _log.warning(
+                "worker_crash",
+                f"serve worker {wid} died"
+                + (" while computing a prediction" if had_task else ""),
+                worker_id=wid,
+            )
             if had_task:
+                self._synthesize_span(wid, "crashed", "worker died")
                 self._fail_worker_task(
                     wid,
                     WorkerCrashError(
@@ -296,7 +413,7 @@ class WorkerPool:
         instead of a crash/respawn loop."""
         with self._lock:
             items = list(self._unstarted.items())
-        for task_id, params in items:
+        for task_id, (params, ctx) in items:
             if self._requeued.get(task_id, 0) >= self._max_requeues:
                 with self._lock:
                     self._unstarted.pop(task_id, None)
@@ -314,7 +431,7 @@ class WorkerPool:
                 self._requeued[task_id] = (
                     self._requeued.get(task_id, 0) + 1
                 )
-                self._tasks.put((task_id, params))
+                self._tasks.put((task_id, params, ctx))
 
     def _fail_worker_task(self, wid: int, exc: Exception) -> None:
         with self._lock:

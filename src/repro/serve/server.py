@@ -31,16 +31,23 @@ import asyncio
 import json
 import signal
 import sys
+import time
 from typing import Optional
 
+from repro.obs.log import get_logger
 from repro.obs.metrics import get_metrics
+from repro.obs.tracing import TraceContext, get_tracer
 from repro.serve.service import PredictionService
 from repro.store.store import canonical_json
 
 __all__ = ["PredictionServer", "CHEAP_VERBS"]
 
 #: Verbs answered inline, outside the admission queue.
-CHEAP_VERBS = frozenset(("ping", "healthz", "metricz", "resolve", "list"))
+CHEAP_VERBS = frozenset(
+    ("ping", "healthz", "metricz", "tracez", "slowz", "resolve", "list")
+)
+
+_log = get_logger("serve.server")
 
 
 class PredictionServer:
@@ -55,6 +62,7 @@ class PredictionServer:
         max_concurrency: int = 2,
         default_deadline: float = 120.0,
         drain_grace: float = 10.0,
+        access_log: bool = False,
     ):
         self.service = service
         self.host = host
@@ -63,6 +71,7 @@ class PredictionServer:
         self.max_concurrency = int(max_concurrency)
         self.default_deadline = float(default_deadline)
         self.drain_grace = float(drain_grace)
+        self.access_log = bool(access_log)
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor = None
         self._pending = 0
@@ -97,6 +106,12 @@ class PredictionServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
         self.service.close()
+        # Final flight-recorder dump: what the server saw last, kept
+        # for post-mortems after the process is gone.
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.recorder.record_event("drain")
+            tracer.recorder.maybe_dump("drain")
 
     def run(self, ready_stream=None) -> None:
         """Serve until SIGTERM/SIGINT, then drain; blocks the caller.
@@ -115,12 +130,18 @@ class PredictionServer:
             except (NotImplementedError, RuntimeError):
                 pass  # non-main thread / platform without support
         await self.start()
+        # Exact line contract: scripts and CI parse this from stdout.
         print(f"serving on {self.host}:{self.port}",
               file=ready_stream, flush=True)
+        _log.info("serving", host=self.host, port=self.port,
+                  max_pending=self.max_pending,
+                  max_concurrency=self.max_concurrency)
         await stop.wait()
-        print("draining ...", file=sys.stderr, flush=True)
+        _log.info("drain", "draining ...")
         await self.drain()
-        print("drained, bye", file=sys.stderr, flush=True)
+        # "drained, bye" stays greppable in stderr (CI asserts a clean
+        # drain by finding it).
+        _log.info("drained", "drained, bye")
 
     # -- connection handling ---------------------------------------------
 
@@ -150,6 +171,7 @@ class PredictionServer:
                 pass
 
     async def _serve_line(self, raw: bytes, writer) -> None:
+        t0 = time.perf_counter()
         try:
             request = json.loads(raw.decode("utf-8"))
             if not isinstance(request, dict):
@@ -162,15 +184,58 @@ class PredictionServer:
                           "attempts": 1},
             })
             return
-        reply = await self._process(request)
+        verb = str(request.get("verb", ""))
+        tracer = get_tracer()
+        # The wire "trace" field is the client's context; a traced
+        # request gets its spans echoed back in the reply. Manual
+        # (non-ambient) span: interleaved requests share this thread.
+        wire_ctx = (
+            TraceContext.from_dict(request.get("trace"))
+            if tracer.enabled and request.get("trace") is not None
+            else None
+        )
+        traced = wire_ctx is not None
+        span = tracer.start_span(
+            "server.request", parent=wire_ctx, component="server",
+            attrs={"verb": verb},
+        )
+        reply = await self._process(request, span.context)
+        if tracer.enabled and span.context is not None:
+            span.set_attr("code", reply.get("code"))
+            span.finish("ok" if reply.get("ok") else "error")
+            if not reply.get("ok") and reply.get("code", 0) >= 500:
+                # The service's own dump ran before our span closed;
+                # re-dump so the file links server → service → worker.
+                tracer.recorder.maybe_dump("error_reply")
+            if traced:
+                reply["trace"] = {
+                    "trace_id": span.context.trace_id,
+                    "spans": tracer.recorder.trace_spans(
+                        span.context.trace_id
+                    ),
+                }
         reply["id"] = request.get("id")
+        if self.access_log:
+            _log.info(
+                "access",
+                verb=verb,
+                code=reply.get("code"),
+                ok=bool(reply.get("ok")),
+                seconds=round(time.perf_counter() - t0, 6),
+                id=request.get("id"),
+                **(
+                    {"trace_id": span.context.trace_id}
+                    if span.context is not None
+                    else {}
+                ),
+            )
         await self._reply(writer, reply)
 
-    async def _process(self, request: dict) -> dict:
+    async def _process(self, request: dict, ctx=None) -> dict:
         verb = str(request.get("verb", ""))
         params = request.get("params") or {}
         if verb in CHEAP_VERBS:
-            return self.service.handle(verb, params)
+            return self.service.handle(verb, params, ctx)
         if self._draining:
             return self._refusal("Draining", "server is draining")
         if self._pending >= self.max_pending:
@@ -194,7 +259,7 @@ class PredictionServer:
         try:
             return await asyncio.wait_for(
                 loop.run_in_executor(
-                    self._executor, self.service.handle, verb, params
+                    self._executor, self.service.handle, verb, params, ctx
                 ),
                 timeout=deadline,
             )

@@ -41,6 +41,7 @@ from repro.errors import RemoteComputeError, ReproError, ServeError
 from repro.experiments.report import format_failure_record
 from repro.faults.resilience import RetryPolicy, resilient_call
 from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer, render_span_tree
 from repro.predict import online
 from repro.serve.registry import RegistryEntry, SkeletonRegistry
 from repro.store.memo import PipelineCache, workload_params
@@ -51,8 +52,8 @@ from repro.workloads import get_program
 __all__ = ["PredictionService", "VERBS"]
 
 #: Protocol verbs, cheap ones first (the server answers these inline).
-VERBS = ("ping", "healthz", "metricz", "resolve", "list", "publish",
-         "predict")
+VERBS = ("ping", "healthz", "metricz", "tracez", "slowz", "resolve",
+         "list", "publish", "predict")
 
 
 class PredictionService:
@@ -78,39 +79,80 @@ class PredictionService:
         self.registry = SkeletonRegistry(self.store, lru_size=lru_size)
         self.pool = pool
         self.retry_policy = retry_policy or RetryPolicy()
-        self._inflight: dict[str, Future] = {}
+        # key -> (result Future, leader span id) for single-flight
+        # coalescing; followers link their spans to the leader's.
+        self._inflight: dict[str, tuple] = {}
         self._lock = threading.Lock()
         # Injectable for tests (e.g. to simulate slow/failing computes).
         self._compute = online.compute_prediction
 
     # -- public entry point ---------------------------------------------
 
-    def handle(self, verb: str, params: Optional[Mapping] = None) -> dict:
+    def handle(
+        self,
+        verb: str,
+        params: Optional[Mapping] = None,
+        ctx=None,
+    ) -> dict:
         """Execute one verb; always returns a reply envelope
         (``{"ok", "code", "result" | "error" [, "failure_record"]}``)
-        — protocol errors become replies, never exceptions."""
+        — protocol errors become replies, never exceptions.
+
+        ``ctx`` is an optional parent :class:`~repro.obs.tracing
+        .TraceContext` (the server passes its request span); with
+        tracing enabled the whole verb runs under a ``service.<verb>``
+        span, and error replies dump the flight recorder.
+        """
         params = dict(params or {})
+        verb = str(verb)
         metrics = get_metrics()
+        tracer = get_tracer()
         t0 = time.perf_counter()
         if metrics.enabled:
             metrics.counter("serve.requests", "requests by verb").labels(
-                verb=str(verb)
+                verb=verb
             ).inc()
+        scope = tracer.span(
+            f"service.{verb}", parent=ctx, component="service",
+            attrs={"verb": verb},
+        )
+        span = scope.__enter__()
+        reply: Optional[dict] = None
         try:
-            result = self._dispatch(str(verb), params)
-            reply = {"ok": True, "code": 200, "result": result}
-        except RemoteComputeError as exc:
-            reply = self._error_reply(500, exc, params)
-        except ServeError as exc:
-            reply = self._error_reply(400, exc, params)
-        except ReproError as exc:
-            reply = self._error_reply(500, exc, params)
-        except Exception as exc:  # never let a bug take the server down
-            reply = self._error_reply(500, exc, params)
+            try:
+                result = self._dispatch(verb, params)
+                reply = {"ok": True, "code": 200, "result": result}
+            except RemoteComputeError as exc:
+                reply = self._error_reply(500, exc, params)
+            except ServeError as exc:
+                reply = self._error_reply(400, exc, params)
+            except ReproError as exc:
+                reply = self._error_reply(500, exc, params)
+            except Exception as exc:  # never let a bug take the server down
+                reply = self._error_reply(500, exc, params)
+        finally:
+            if tracer.enabled and reply is not None and not reply["ok"]:
+                span.set_attr("code", reply["code"])
+                span.status = "error"
+            scope.__exit__(None, None, None)
+        if tracer.enabled and not reply["ok"]:
+            # The span just closed (and recorded) above, so on an error
+            # reply the ring holds the whole request — this dump is the
+            # complete post-mortem.
+            tracer.recorder.record_event(
+                "error_reply", verb=verb, code=reply["code"],
+                error=reply["error"]["type"],
+                trace_id=span.context.trace_id,
+            )
+            tracer.recorder.maybe_dump("error_reply")
         if metrics.enabled:
+            elapsed = time.perf_counter() - t0
             metrics.histogram(
                 "serve.latency_seconds", "request latency"
-            ).observe(time.perf_counter() - t0)
+            ).observe(elapsed)
+            metrics.histogram(
+                f"serve.latency.{verb}_seconds", f"{verb} latency"
+            ).observe(elapsed)
             if not reply["ok"]:
                 metrics.counter("serve.errors", "error replies").labels(
                     code=reply["code"]
@@ -124,6 +166,10 @@ class PredictionService:
             return self.healthz()
         if verb == "metricz":
             return get_metrics().snapshot()
+        if verb == "tracez":
+            return self.tracez(params)
+        if verb == "slowz":
+            return self.slowz(params)
         if verb == "resolve":
             return self.registry.resolve(
                 self._require(params, "alias")
@@ -187,6 +233,39 @@ class PredictionService:
             "store": {"root": str(self.store.root), "degraded": degraded},
             "pool": pool_state,
             "inflight": len(self._inflight),
+        }
+
+    def tracez(self, params: Mapping) -> dict:
+        """Flight-recorder introspection: recent spans and events, or —
+        with a ``trace_id`` parameter — one trace's span forest."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return {"enabled": False, "spans": [], "events": []}
+        trace_id = params.get("trace_id")
+        if trace_id is not None:
+            spans = tracer.recorder.trace_spans(str(trace_id))
+            return {
+                "enabled": True,
+                "trace_id": str(trace_id),
+                "spans": spans,
+                "tree": render_span_tree(spans),
+            }
+        limit = int(params.get("limit", 64))
+        out = tracer.recorder.snapshot(limit)
+        out["enabled"] = True
+        return out
+
+    def slowz(self, params: Mapping) -> dict:
+        """Top-K slowest requests with per-stage time breakdown."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return {"enabled": False, "slowest": []}
+        k = int(params.get("k", 10))
+        return {
+            "enabled": True,
+            "slowest": tracer.recorder.slowest(k),
+            "recorded_spans": tracer.recorder.n_spans,
+            "dropped_spans": tracer.recorder.dropped_spans,
         }
 
     def publish(self, params: Mapping) -> "RegistryEntry":
@@ -261,18 +340,33 @@ class PredictionService:
         req = self._normalize(params)
         key = online.request_key(req)
         metrics = get_metrics()
+        tracer = get_tracer()
+        span = tracer.current()
+        span_id = (
+            span.context.span_id
+            if span is not None and span.context is not None
+            else None
+        )
         with self._lock:
-            fut = self._inflight.get(key)
-            leader = fut is None
+            entry = self._inflight.get(key)
+            leader = entry is None
             if leader:
                 fut = Future()
-                self._inflight[key] = fut
+                self._inflight[key] = (fut, span_id)
+            else:
+                fut, leader_span_id = entry
         if not leader:
             if metrics.enabled:
                 metrics.counter(
                     "serve.coalesced",
                     "requests answered by an in-flight twin",
                 ).inc()
+            # The follower's span links to the leader whose compute it
+            # rode, so a trace shows *why* this request was instant.
+            if span is not None:
+                span.set_attr("coalesced", True)
+                if leader_span_id:
+                    span.set_attr("leader_span_id", leader_span_id)
             return fut.result()
         try:
             payload = self._execute(req)
@@ -313,12 +407,16 @@ class PredictionService:
 
     def _execute(self, req: dict) -> dict:
         metrics = get_metrics()
+        tracer = get_tracer()
         warm = online.is_warm(req, self.cache)
         if metrics.enabled:
             which = "hits" if warm else "misses"
             metrics.counter(
                 f"serve.cache_{which}", "warm/cold request split"
             ).inc()
+        span = tracer.current()
+        if span is not None:
+            span.set_attr("warm", warm)
         if warm or self.pool is None:
             value, _attempts = resilient_call(
                 lambda: self._compute(
@@ -327,7 +425,15 @@ class PredictionService:
                 self.retry_policy,
             )
             return value
-        return self.pool.submit(req)
+        # Hand the forked worker our span's context so its
+        # ``worker.compute`` span joins this trace across the process
+        # boundary (the worker ships completed spans back, see pool.py).
+        ctx = (
+            span.context.to_dict()
+            if span is not None and span.context is not None
+            else None
+        )
+        return self.pool.submit(req, ctx=ctx)
 
     # -- lifecycle -------------------------------------------------------
 

@@ -1,0 +1,116 @@
+"""ServiceClient transport error paths against a scripted socket peer.
+
+The client promises: transport trouble raises :class:`ServeError`
+with a message naming the failure; protocol-level failures come back
+as replies. These tests script the peer byte-for-byte (accept-once
+servers on an OS port) so each failure mode is exercised exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ServiceClient
+
+
+class OneShotPeer:
+    """Accept one connection, read one line, send ``response`` bytes,
+    close. Captures the request line for assertions."""
+
+    def __init__(self, response: bytes, read_request: bool = True):
+        self.response = response
+        self.read_request = read_request
+        self.request_line: bytes = b""
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self) -> None:
+        conn, _ = self._sock.accept()
+        with conn:
+            if self.read_request:
+                fh = conn.makefile("rb")
+                self.request_line = fh.readline()
+            if self.response:
+                conn.sendall(self.response)
+
+    def __enter__(self) -> "OneShotPeer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._thread.join(5)
+        self._sock.close()
+
+
+def _client(port: int) -> ServiceClient:
+    return ServiceClient(port=port, timeout=5.0)
+
+
+class TestTransportErrors:
+    def test_connection_refused(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(ServeError, match="cannot reach"):
+            _client(free_port).call("ping")
+
+    def test_close_without_reply(self):
+        with OneShotPeer(b"") as peer:
+            with pytest.raises(ServeError, match="without replying"):
+                _client(peer.port).call("ping")
+
+    def test_malformed_reply_line(self):
+        with OneShotPeer(b"this is not json\n") as peer:
+            with pytest.raises(ServeError, match="malformed reply"):
+                _client(peer.port).call("ping")
+
+    def test_reply_not_an_object(self):
+        with OneShotPeer(b"[1, 2, 3]\n") as peer:
+            with pytest.raises(ServeError, match="not an object"):
+                _client(peer.port).call("ping")
+
+    def test_mid_reply_disconnect(self):
+        # A reply truncated mid-JSON (no newline, connection closed):
+        # readline returns the partial bytes, which fail to parse.
+        with OneShotPeer(b'{"ok": true, "resu') as peer:
+            with pytest.raises(ServeError, match="malformed reply"):
+                _client(peer.port).call("ping")
+
+    def test_well_formed_reply_passes_through(self):
+        reply = {"id": None, "ok": True, "code": 200, "result": {}}
+        wire = json.dumps(reply).encode("utf-8") + b"\n"
+        with OneShotPeer(wire) as peer:
+            assert _client(peer.port).call("ping") == reply
+
+
+class TestRequestEncoding:
+    def _roundtrip(self, **kwargs) -> dict:
+        wire = b'{"id": null, "ok": true, "code": 200, "result": {}}\n'
+        with OneShotPeer(wire) as peer:
+            _client(peer.port).call("predict", {"alias": "a"}, **kwargs)
+            return json.loads(peer.request_line)
+
+    def test_minimal_request_has_no_optional_fields(self):
+        request = self._roundtrip()
+        assert request == {"verb": "predict", "params": {"alias": "a"}}
+
+    def test_deadline_ms_passthrough(self):
+        request = self._roundtrip(deadline_ms=1500)
+        assert request["deadline_ms"] == 1500
+
+    def test_request_id_passthrough(self):
+        request = self._roundtrip(request_id="req-7")
+        assert request["id"] == "req-7"
+
+    def test_trace_context_passthrough(self):
+        ctx = {"trace_id": "t", "span_id": "s"}
+        request = self._roundtrip(trace=ctx)
+        assert request["trace"] == ctx

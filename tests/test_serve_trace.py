@@ -1,0 +1,301 @@
+"""End-to-end request tracing through the serving stack.
+
+The acceptance spine of ``repro.obs.tracing``: spans propagate client
+→ server → service → forked worker under one trace id; coalesced
+followers link to their leader; a worker that hangs still yields a
+flight-recorder dump whose span tree links all three layers; and the
+prediction payload stays byte-identical with tracing on, whichever
+path computed it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.log import set_log_stream
+from repro.obs.tracing import (
+    Tracer,
+    build_span_forest,
+    enabled_tracing,
+    new_root_context,
+    set_tracer,
+)
+from repro.parallel.supervisor import SupervisorConfig
+from repro.serve import PredictionService, WorkerPool
+from repro.store import canonical_json
+from tests.test_serve_transport import ServerThread
+
+CG_S = {"bench": "cg", "klass": "S", "nprocs": 4, "target": 0.05}
+REQUEST = {**CG_S, "scenario": "cpu-one-node"}
+
+
+def _hang_forever(params, cache, cluster, bundle_cache=None):
+    time.sleep(60)
+
+
+@pytest.fixture
+def service(tmp_path):
+    return PredictionService(cache_dir=str(tmp_path / "store"))
+
+
+class TestWireTracing:
+    def test_traced_request_links_all_layers(self, service):
+        with enabled_tracing():
+            with ServerThread(service) as st:
+                ctx = new_root_context(seed="e2e")
+                reply = st.client().call(
+                    "predict", REQUEST, trace=ctx.to_dict()
+                )
+        assert reply["ok"]
+        trace = reply["trace"]
+        assert trace["trace_id"] == ctx.trace_id
+        spans = trace["spans"]
+        by_name = {s["name"]: s for s in spans}
+        # One trace id stitches every layer together.
+        assert {s["trace_id"] for s in spans} == {ctx.trace_id}
+        server = by_name["server.request"]
+        assert server["parent_id"] == ctx.span_id
+        assert by_name["service.predict"]["parent_id"] == server["span_id"]
+        compute = by_name["predict.compute"]
+        assert compute["parent_id"] == by_name["service.predict"]["span_id"]
+        assert {"predict.skel_dedicated", "predict.probe"} <= set(by_name)
+
+    def test_untraced_request_reply_has_no_trace_key(self, service):
+        with enabled_tracing():
+            with ServerThread(service) as st:
+                reply = st.client().call("ping")
+        assert reply["ok"] and "trace" not in reply
+
+    def test_cold_and_warm_replies_stay_byte_identical(self, service):
+        """The CI smoke's byte-equality contract survives tracing:
+        untraced predict replies carry no trace data, so cold and warm
+        answers are the same bytes even with the tracer on."""
+        with enabled_tracing():
+            with ServerThread(service) as st:
+                client = st.client()
+                cold = client.call("predict", REQUEST)
+                warm = client.call("predict", REQUEST)
+        assert cold["ok"] and warm["ok"]
+        assert canonical_json(cold) == canonical_json(warm)
+
+    def test_tracez_and_slowz_over_tcp(self, service):
+        with enabled_tracing():
+            with ServerThread(service) as st:
+                client = st.client()
+                ctx = new_root_context(seed="tz")
+                client.call("predict", REQUEST, trace=ctx.to_dict())
+                tz = client.call("tracez")
+                assert tz["ok"] and tz["result"]["enabled"]
+                assert tz["result"]["recorded_spans"] >= 3
+                tree = client.call(
+                    "tracez", {"trace_id": ctx.trace_id}
+                )["result"]
+                assert tree["spans"]
+                assert tree["tree"].startswith("server.request")
+                sz = client.call("slowz", {"k": 2})["result"]
+                assert sz["enabled"]
+                assert sz["slowest"]
+                slowest = sz["slowest"][0]
+                assert slowest["seconds"] > 0
+                assert "service.predict" in slowest["stages"]
+
+    def test_tracez_reports_disabled_without_tracer(self, service):
+        with ServerThread(service) as st:
+            tz = st.client().call("tracez")
+            sz = st.client().call("slowz")
+        assert tz["ok"] and tz["result"] == {
+            "enabled": False, "spans": [], "events": []
+        }
+        assert sz["ok"] and sz["result"] == {
+            "enabled": False, "slowest": []
+        }
+
+    def test_access_log_emits_one_line_per_request(self, service):
+        buf = io.StringIO()
+        prev = set_log_stream(buf)
+        try:
+            with ServerThread(service, access_log=True) as st:
+                st.client().call("ping", request_id="r1")
+        finally:
+            set_log_stream(prev)
+        lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+        access = [l for l in lines if l.get("event") == "access"]
+        assert len(access) == 1
+        assert access[0]["verb"] == "ping"
+        assert access[0]["code"] == 200
+        assert access[0]["ok"] is True
+        assert access[0]["id"] == "r1"
+        assert access[0]["seconds"] >= 0
+
+
+class TestCoalescedFollower:
+    def test_follower_span_links_to_leader(self, service):
+        release = threading.Event()
+
+        def slow_compute(req, cache, cluster, bundles):
+            assert release.wait(10)
+            return {"value": 1}
+
+        service._compute = slow_compute
+        replies = []
+        with enabled_tracing() as tracer:
+            t1 = threading.Thread(
+                target=lambda: replies.append(
+                    service.handle("predict", REQUEST)
+                )
+            )
+            t1.start()
+            time.sleep(0.3)  # let the leader claim the key
+            t2 = threading.Thread(
+                target=lambda: replies.append(
+                    service.handle("predict", REQUEST)
+                )
+            )
+            t2.start()
+            time.sleep(0.3)
+            release.set()
+            t1.join(10)
+            t2.join(10)
+            spans = [
+                s for s in tracer.recorder.spans()
+                if s["name"] == "service.predict"
+            ]
+        assert all(r["ok"] for r in replies)
+        assert len(spans) == 2
+        followers = [
+            s for s in spans if (s.get("attrs") or {}).get("coalesced")
+        ]
+        assert len(followers) == 1
+        leader = next(s for s in spans if s is not followers[0])
+        assert followers[0]["attrs"]["leader_span_id"] == leader["span_id"]
+
+
+class TestWorkerTracing:
+    def test_pooled_spans_ship_back_and_payloads_match(self, tmp_path):
+        """The forked worker's spans land in the parent's flight
+        recorder under the caller's trace id — and the payload bytes
+        match the warm in-process and offline compute paths exactly
+        (tracing enabled throughout)."""
+        from repro.cluster.topology import paper_testbed
+        from repro.predict import online
+        from repro.store.memo import PipelineCache
+        from repro.store.store import ArtifactStore
+
+        cache_dir = str(tmp_path / "store")
+        tracer = Tracer(enabled=True)
+        prev = set_tracer(tracer)
+        try:
+            # Install the tracer *before* the fork so workers inherit it.
+            pool = WorkerPool(cache_dir=cache_dir, workers=1)
+            service = PredictionService(cache_dir=cache_dir, pool=pool)
+            try:
+                cold = service.handle("predict", REQUEST)
+                assert cold["ok"]
+                worker_spans = [
+                    s for s in tracer.recorder.spans()
+                    if s["component"] == "worker"
+                ]
+                assert len(worker_spans) == 1
+                service_span = next(
+                    s for s in tracer.recorder.spans()
+                    if s["name"] == "service.predict"
+                )
+                assert (
+                    worker_spans[0]["trace_id"] == service_span["trace_id"]
+                )
+                assert (
+                    worker_spans[0]["parent_id"] == service_span["span_id"]
+                )
+                # The worker's own predict.* stage spans came along too.
+                shipped = {
+                    s["name"] for s in tracer.recorder.trace_spans(
+                        service_span["trace_id"]
+                    )
+                }
+                assert "predict.compute" in shipped
+
+                warm = service.handle("predict", REQUEST)
+                assert warm["ok"]
+            finally:
+                service.close()
+
+            offline = online.compute_prediction(
+                online.normalize_request(
+                    "cg", "S", 4, target=0.05, scenario="cpu-one-node"
+                ),
+                PipelineCache(ArtifactStore(cache_dir), paper_testbed()),
+                paper_testbed(),
+            )
+        finally:
+            set_tracer(prev)
+        assert (
+            canonical_json(cold["result"])
+            == canonical_json(warm["result"])
+            == canonical_json(offline)
+        )
+
+    def test_worker_timeout_dumps_linked_span_tree(
+        self, tmp_path, monkeypatch
+    ):
+        """ACCEPTANCE: a predict that hangs in a worker produces a
+        flight-recorder dump whose span tree links server → service →
+        worker spans under one trace id."""
+        import repro.predict.online as online
+
+        monkeypatch.setattr(online, "compute_prediction", _hang_forever)
+        dump_path = tmp_path / "flight.json"
+        tracer = Tracer(enabled=True, dump_path=str(dump_path))
+        prev = set_tracer(tracer)
+        try:
+            pool = WorkerPool(
+                cache_dir=str(tmp_path / "store"),
+                workers=1,
+                supervisor=SupervisorConfig(
+                    task_timeout=0.6,
+                    grace_seconds=0.2,
+                    heartbeat_interval=0.1,
+                ),
+            )
+            service = PredictionService(
+                cache_dir=str(tmp_path / "store"), pool=pool
+            )
+            with ServerThread(service) as st:
+                ctx = new_root_context(seed="hang")
+                reply = st.client().call(
+                    "predict", REQUEST, trace=ctx.to_dict()
+                )
+                # Read before shutdown: drain writes its own dump.
+                data = json.loads(dump_path.read_text())
+        finally:
+            set_tracer(prev)
+        assert not reply["ok"] and reply["code"] == 500
+        assert reply["error"]["type"] == "TaskTimeoutError"
+
+        assert data["reason"] == "error_reply"
+        spans = [
+            s for s in data["spans"] if s.get("trace_id") == ctx.trace_id
+        ]
+        by_name = {s["name"]: s for s in spans}
+        server = by_name["server.request"]
+        svc = by_name["service.predict"]
+        worker = by_name["worker.compute"]
+        assert server["parent_id"] == ctx.span_id
+        assert svc["parent_id"] == server["span_id"]
+        assert worker["parent_id"] == svc["span_id"]
+        assert worker["status"] == "timeout"
+        assert worker["attrs"]["synthesized"] is True
+        assert server["status"] == "error" and svc["status"] == "error"
+        # The three layers nest into a single tree under the client's
+        # (unretained) root span.
+        forest = build_span_forest(spans)
+        roots = [r["span"]["name"] for r in forest]
+        assert roots == ["server.request"]
+        # A worker_timeout event marks the synthesis in the dump too.
+        assert any(
+            e.get("name") == "worker_timeout" for e in data["events"]
+        )

@@ -1,0 +1,406 @@
+"""Unit tests for distributed tracing, the flight recorder, and
+structured logging (:mod:`repro.obs.tracing`, :mod:`repro.obs.log`)."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.log import get_logger, set_log_stream
+from repro.obs.metrics import Histogram, MetricsRegistry, render_metrics
+from repro.obs.tracing import (
+    COMPONENT_PIDS,
+    FlightRecorder,
+    NULL_TRACER,
+    TraceContext,
+    Tracer,
+    build_span_forest,
+    enabled_tracing,
+    get_tracer,
+    new_root_context,
+    render_span_tree,
+    set_tracer,
+    spans_to_chrome_trace,
+)
+
+
+class TestTraceContext:
+    def test_child_derivation_is_deterministic(self):
+        ctx = new_root_context(seed="t")
+        a = ctx.child("service.predict", 1)
+        b = ctx.child("service.predict", 1)
+        assert a == b
+        assert a.trace_id == ctx.trace_id
+        assert a.parent_id == ctx.span_id
+        assert a.span_id != ctx.span_id
+
+    def test_sibling_children_are_distinct(self):
+        ctx = new_root_context(seed="t")
+        assert ctx.child("x", 1) != ctx.child("x", 2)
+        assert ctx.child("x", 1) != ctx.child("y", 1)
+
+    def test_seeded_roots_reproducible_unseeded_unique(self):
+        assert new_root_context(seed="s") == new_root_context(seed="s")
+        assert new_root_context() != new_root_context()
+
+    def test_wire_round_trip(self):
+        ctx = new_root_context(seed="t").child("server.request", 1)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [None, 7, "x", [], {}, {"trace_id": 1, "span_id": "s"},
+         {"trace_id": "t"}, {"span_id": "s"}],
+    )
+    def test_garbage_wire_field_yields_none(self, garbage):
+        assert TraceContext.from_dict(garbage) is None
+
+    def test_non_string_parent_dropped(self):
+        ctx = TraceContext.from_dict(
+            {"trace_id": "t", "span_id": "s", "parent_id": 3}
+        )
+        assert ctx is not None and ctx.parent_id is None
+
+
+class TestTracer:
+    def test_default_tracer_is_disabled(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_disabled_tracer_hands_out_null_span(self):
+        t = Tracer(enabled=False, capacity=1)
+        with t.span("x") as span:
+            span.set_attr("k", "v")
+            span.add_event("e")
+        assert t.recorder.n_spans == 0
+        assert span.context is None
+        assert span.finish() == {}
+
+    def test_ambient_nesting_parents_correctly(self):
+        t = Tracer(enabled=True)
+        with t.span("outer", component="service") as outer:
+            assert t.current() is outer
+            with t.span("inner") as inner:
+                assert inner.context.parent_id == outer.context.span_id
+                assert inner.context.trace_id == outer.context.trace_id
+        assert t.current() is None
+        names = [s["name"] for s in t.recorder.spans()]
+        assert names == ["inner", "outer"]  # children close first
+
+    def test_manual_start_span_does_not_touch_ambient(self):
+        t = Tracer(enabled=True)
+        span = t.start_span("server.request", component="server")
+        assert t.current() is None
+        data = span.finish()
+        assert data["component"] == "server"
+        assert t.recorder.spans() == [data]
+
+    def test_explicit_context_parent(self):
+        t = Tracer(enabled=True)
+        ctx = new_root_context(seed="w")
+        with t.span("service.predict", parent=ctx) as span:
+            assert span.context.trace_id == ctx.trace_id
+            assert span.context.parent_id == ctx.span_id
+
+    def test_exception_marks_span_error(self):
+        t = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("nope")
+        (span,) = t.recorder.spans()
+        assert span["status"] == "error"
+        assert "RuntimeError" in span["attrs"]["error"]
+
+    def test_ambient_stack_is_thread_local(self):
+        t = Tracer(enabled=True)
+        seen = {}
+
+        def other():
+            seen["current"] = t.current()
+
+        with t.span("outer"):
+            th = threading.Thread(target=other)
+            th.start()
+            th.join()
+        assert seen["current"] is None
+
+    def test_enabled_tracing_restores_previous(self):
+        before = get_tracer()
+        with enabled_tracing() as t:
+            assert get_tracer() is t
+            assert t.enabled
+        assert get_tracer() is before
+
+    def test_set_tracer_none_restores_null(self):
+        prev = set_tracer(Tracer(enabled=True))
+        try:
+            assert get_tracer().enabled
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+        set_tracer(prev)
+
+
+class TestFlightRecorder:
+    def _traced(self, n):
+        t = Tracer(enabled=True, capacity=4)
+        for i in range(n):
+            t.start_span(f"s{i}").finish()
+        return t.recorder
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        rec = self._traced(10)
+        assert len(rec.spans()) == 4
+        assert rec.n_spans == 10
+        assert rec.dropped_spans == 6
+        assert [s["name"] for s in rec.spans()] == ["s6", "s7", "s8", "s9"]
+
+    def test_recent_is_newest_first(self):
+        rec = self._traced(4)
+        assert [s["name"] for s in rec.recent(2)] == ["s3", "s2"]
+
+    def test_trace_spans_filters_by_trace(self):
+        t = Tracer(enabled=True)
+        with t.span("a") as a:
+            trace_id = a.context.trace_id
+            with t.span("b"):
+                pass
+        t.start_span("unrelated").finish()
+        names = {s["name"] for s in t.recorder.trace_spans(trace_id)}
+        assert names == {"a", "b"}
+
+    def test_span_tree_and_render(self):
+        t = Tracer(enabled=True)
+        with t.span("root", component="server") as root:
+            trace_id = root.context.trace_id
+            with t.span("child", component="worker"):
+                pass
+        (tree,) = t.recorder.span_tree(trace_id)
+        assert tree["span"]["name"] == "root"
+        assert tree["children"][0]["span"]["name"] == "child"
+        text = render_span_tree(t.recorder.trace_spans(trace_id))
+        lines = text.splitlines()
+        assert lines[0].startswith("root [server]")
+        assert f"trace={trace_id}" in lines[0]
+        assert lines[1].startswith("  child [worker]")
+
+    def test_render_marks_coalesced(self):
+        t = Tracer(enabled=True)
+        with t.span("follower") as s:
+            s.set_attr("coalesced", True)
+        assert "(coalesced)" in render_span_tree(t.recorder.spans())
+
+    def test_render_empty(self):
+        assert render_span_tree([]) == "(no spans)"
+
+    def test_slowest_aggregates_stages(self):
+        rec = FlightRecorder(capacity=16)
+        rec.record({"name": "req", "trace_id": "t1", "span_id": "r",
+                    "parent_id": None, "ts": 0.0, "dur": 1.0,
+                    "status": "ok", "component": "server"})
+        for i, dur in enumerate((0.2, 0.3)):
+            rec.record({"name": "stage", "trace_id": "t1",
+                        "span_id": f"c{i}", "parent_id": "r",
+                        "ts": 0.1, "dur": dur, "status": "ok",
+                        "component": "predict"})
+        rec.record({"name": "req", "trace_id": "t2", "span_id": "r2",
+                    "parent_id": None, "ts": 0.0, "dur": 0.1,
+                    "status": "ok", "component": "server"})
+        slowest = rec.slowest(5)
+        assert [e["span"]["span_id"] for e in slowest] == ["r", "r2"]
+        stages = slowest[0]["stages"]
+        assert stages["stage"]["count"] == 2
+        assert stages["stage"]["seconds"] == pytest.approx(0.5)
+
+    def test_snapshot_shape(self):
+        rec = self._traced(6)
+        rec.record_event("worker_timeout", worker_id=3)
+        snap = rec.snapshot(limit=2)
+        assert len(snap["spans"]) == 2
+        assert snap["recorded_spans"] == 6
+        assert snap["dropped_spans"] == 2
+        assert snap["capacity"] == 4
+        assert snap["events"][0]["name"] == "worker_timeout"
+
+    def test_record_remote_skips_garbage(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record_remote([{"name": "ok"}, "junk", 3, None])
+        assert [s["name"] for s in rec.spans()] == ["ok"]
+
+    def test_dump_and_maybe_dump(self, tmp_path):
+        path = tmp_path / "flight.json"
+        t = Tracer(enabled=True, capacity=8, dump_path=str(path))
+        with t.span("req"):
+            pass
+        t.recorder.record_event("error_reply", code=500)
+        assert t.recorder.maybe_dump("error_reply") == str(path)
+        data = json.loads(path.read_text())
+        assert data["reason"] == "error_reply"
+        assert data["recorded_spans"] == 1
+        assert data["spans"][0]["name"] == "req"
+        assert data["events"][0]["name"] == "error_reply"
+
+    def test_maybe_dump_never_raises(self):
+        rec = FlightRecorder(capacity=2, dump_path="/nonexistent/x/y.json")
+        rec.record({"name": "s", "span_id": "a", "trace_id": "t"})
+        assert rec.maybe_dump("crash") is None  # bad path: swallowed
+        assert FlightRecorder(capacity=2).maybe_dump("x") is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestChromeExport:
+    def _spans(self):
+        t = Tracer(enabled=True)
+        with t.span("server.request", component="server"):
+            with t.span("worker.compute", component="worker"):
+                pass
+        return t.recorder.spans()
+
+    def test_lanes_and_flow_events(self):
+        trace = spans_to_chrome_trace(self._spans())
+        events = trace["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in slices} == {
+            COMPONENT_PIDS["server"], COMPONENT_PIDS["worker"]
+        }
+        flows = [e for e in events if e["ph"] in ("s", "f")]
+        assert len(flows) == 2  # one s/f pair across the lane boundary
+        assert flows[0]["id"] == flows[1]["id"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {
+            "serve server", "serve worker"
+        }
+
+    def test_timestamps_normalized_to_zero(self):
+        trace = spans_to_chrome_trace(self._spans())
+        ts = [e["ts"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert min(ts) == 0.0
+        assert max(ts) < 60 * 1e6  # µs since first span, not epoch
+
+    def test_same_lane_has_no_flow(self):
+        t = Tracer(enabled=True)
+        with t.span("a", component="service"):
+            with t.span("b", component="service"):
+                pass
+        events = spans_to_chrome_trace(t.recorder.spans())["traceEvents"]
+        assert not [e for e in events if e["ph"] in ("s", "f")]
+
+    def test_forest_orphans_become_roots(self):
+        spans = [
+            {"name": "lost-parent", "span_id": "a", "parent_id": "gone",
+             "trace_id": "t", "ts": 1.0},
+            {"name": "root", "span_id": "b", "parent_id": None,
+             "trace_id": "t", "ts": 0.0},
+        ]
+        roots = build_span_forest(spans)
+        assert [r["span"]["name"] for r in roots] == ["root", "lost-parent"]
+
+
+class TestStructuredLog:
+    def test_json_line_shape_and_ordering(self):
+        buf = io.StringIO()
+        prev = set_log_stream(buf)
+        try:
+            get_logger("serve.test").info("drain", "draining ...", n=3)
+        finally:
+            set_log_stream(prev)
+        record = json.loads(buf.getvalue())
+        assert record["level"] == "info"
+        assert record["component"] == "serve.test"
+        assert record["event"] == "drain"
+        assert record["msg"] == "draining ..."
+        assert record["n"] == 3
+        assert "trace_id" not in record  # no ambient span
+
+    def test_trace_correlation(self):
+        buf = io.StringIO()
+        prev_stream = set_log_stream(buf)
+        try:
+            with enabled_tracing() as t:
+                with t.span("req") as span:
+                    get_logger("c").warning("slow")
+        finally:
+            set_log_stream(prev_stream)
+        record = json.loads(buf.getvalue())
+        assert record["trace_id"] == span.context.trace_id
+        assert record["span_id"] == span.context.span_id
+
+    def test_unserialisable_fields_degrade_to_repr(self):
+        buf = io.StringIO()
+        prev = set_log_stream(buf)
+        try:
+            get_logger("c").error("boom", exc=ValueError("x"),
+                                  nested={"k": (1, 2)})
+        finally:
+            set_log_stream(prev)
+        record = json.loads(buf.getvalue())
+        assert "ValueError" in record["exc"]
+        assert record["nested"] == {"k": [1, 2]}
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        stream.close()
+        prev = set_log_stream(stream)
+        try:
+            get_logger("c").info("fine")  # must not raise
+        finally:
+            set_log_stream(prev)
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_none(self):
+        h = Histogram("t", buckets=(1.0, 2.0))
+        assert h.quantile(0.5) is None
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("t", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_interpolation_within_bucket(self):
+        h = Histogram("t", buckets=(0.0, 10.0))
+        for v in (1.0, 3.0, 5.0, 7.0, 9.0):
+            h.observe(v)
+        # All mass in the (0, 10] bucket: p50 interpolates linearly
+        # between the observed min and the bucket bound.
+        assert h.quantile(0.5) == pytest.approx(5.5, abs=1.0)
+        assert h.quantile(0.0) == pytest.approx(h.min)
+        assert h.quantile(1.0) == pytest.approx(h.max)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram("t", buckets=(100.0,))
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.quantile(0.99) <= h.max
+        assert h.quantile(0.01) >= h.min
+
+    def test_overflow_mass_reports_max(self):
+        h = Histogram("t", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(50.0)  # lands in the implicit +inf bucket
+        assert h.quantile(0.99) == 50.0
+
+    def test_snapshot_includes_percentiles(self):
+        h = Histogram("t")
+        for v in (0.01, 0.02, 0.03):
+            h.observe(v)
+        snap = h.snapshot()
+        for key in ("p50", "p95", "p99"):
+            assert snap[key] is not None
+            assert h.min <= snap[key] <= h.max
+
+    def test_render_metrics_shows_percentiles(self):
+        m = MetricsRegistry(enabled=True)
+        timer = m.histogram("stage.trace_seconds", "x")
+        for v in (0.1, 0.2, 0.4):
+            timer.observe(v)
+        text = render_metrics(m)
+        assert "p50" in text and "p95" in text and "p99" in text
